@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report validate study clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report
+
+validate:
+	$(PYTHON) -m repro validate
+
+study:
+	$(PYTHON) -m repro study .cache/dataset-default.json.gz
+
+clean:
+	rm -rf .cache benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure from the default
+full-factorial study dataset (built once and cached under
+``.cache/dataset-default.json.gz``; delete it or set ``REPRO_DATASET``
+to rebuild), times the analysis that produces it, prints the rendered
+rows/series, and writes them under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import Analysis, build_strategies
+from repro.experiments.common import default_analysis, default_dataset, default_strategies
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The full study dataset (17 apps x 3 inputs x 6 chips x 96 configs)."""
+    return default_dataset()
+
+
+@pytest.fixture(scope="session")
+def analysis(dataset) -> Analysis:
+    return default_analysis()
+
+
+@pytest.fixture(scope="session")
+def strategies(dataset, analysis):
+    return default_strategies()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print a rendered experiment and persist it under results/."""
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as f:
+            f.write(text + "\n")
+
+    return _publish

@@ -1,0 +1,29 @@
+"""Bench (beyond the paper): ablating the analysis's design choices.
+
+Expectation: the per-chip recommendations are stable across reasonable
+CI confidence levels (the filter is not doing the deciding), and the
+rank-based and magnitude-based decision rules agree on most clean
+verdicts while any divergences are reported for inspection.
+"""
+
+from repro.experiments import ablation_methodology
+
+
+def test_ablation_methodology(benchmark, dataset, analysis, publish):
+    comparisons, confidences = benchmark.pedantic(
+        ablation_methodology.data, args=(dataset, analysis), rounds=1, iterations=1
+    )
+    publish(
+        "ablation_methodology", ablation_methodology.run(dataset, analysis)
+    )
+
+    # Rank and magnitude rules mostly agree at the per-decision level
+    # (the magnitude *bias* is a configuration-selection phenomenon,
+    # quantified by Table IV).
+    divergent = [c for c in comparisons if c.diverges]
+    assert len(divergent) <= len(comparisons) // 4
+
+    # Recommendations are stable across CI levels.
+    ref = next(p for p in confidences if abs(p.confidence - 0.95) < 1e-9)
+    for p in confidences:
+        assert p.agreement_with(ref) >= 0.85

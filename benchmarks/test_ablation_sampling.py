@@ -1,0 +1,32 @@
+"""Bench (beyond the paper): sample efficiency of Algorithm 1.
+
+The paper's Section IX asks whether smaller samples of the test domain
+could replace the exhaustive sweep.  Expectation: agreement with the
+exhaustive per-chip decisions grows with the sampled configuration
+count and is already high well below the full 96 configurations.
+"""
+
+from repro.experiments import ablation_sampling
+
+
+def test_ablation_sampling(benchmark, dataset, analysis, publish):
+    points = benchmark.pedantic(
+        ablation_sampling.data,
+        args=(dataset, analysis),
+        kwargs={"sizes": (16, 48, 96), "trials": 2},
+        rounds=1,
+        iterations=1,
+    )
+    publish("ablation_sampling", ablation_sampling.run(dataset, analysis))
+
+    by_size = {p.n_configs: p for p in points}
+    # The exhaustive sample reproduces itself.
+    assert by_size[96].mean_agreement == 1.0
+    # Agreement grows with sample size.
+    assert (
+        by_size[16].mean_agreement
+        <= by_size[48].mean_agreement
+        <= by_size[96].mean_agreement
+    )
+    # Half the sweep already decides most optimisations correctly.
+    assert by_size[48].mean_agreement > 0.8

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig 1 (cross-chip portability heatmap).
+
+Paper shape: diagonal 1.00; every chip-specialised strategy costs at
+least ~1.1x geomean on the other chips; intra-vendor porting is cheap
+for the Intel pair; MALI is the portability outlier.
+"""
+
+from repro.experiments import fig1_heatmap
+from repro.util import geomean
+
+
+def test_fig1_heatmap(benchmark, dataset, publish):
+    chips, full = benchmark.pedantic(
+        fig1_heatmap.data, args=(dataset,), rounds=1, iterations=1
+    )
+    publish("fig1_heatmap", fig1_heatmap.run(dataset))
+
+    for chip in chips:
+        assert full[(chip, chip)] == 1.0
+    # Chip-specialised settings do not port freely.
+    off_diag = [full[(r, c)] for r in chips for c in chips if r != c]
+    assert geomean(off_diag) > 1.1
+    # The Intel pair ports almost freely (same architecture).
+    assert full[("HD5500", "IRIS")] < 1.15
+    assert full[("IRIS", "HD5500")] < 1.25

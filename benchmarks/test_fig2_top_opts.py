@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig 2 (optimisations behind each chip's top speedups).
+
+Paper shape: oitergb dominates the oracle configurations of the
+non-Nvidia chips and appears for far fewer tests on Nvidia; sg is
+needed on MALI more than anywhere else in relative terms.
+"""
+
+from repro.experiments import fig2_top_opts
+
+
+def test_fig2_top_opts(benchmark, dataset, publish):
+    counts = benchmark.pedantic(
+        fig2_top_opts.data, args=(dataset,), rounds=1, iterations=1
+    )
+    publish("fig2_top_opts", fig2_top_opts.run(dataset))
+
+    nvidia_oitergb = max(counts["M4000"]["oitergb"], counts["GTX1080"]["oitergb"])
+    for chip in ("HD5500", "IRIS", "R9", "MALI"):
+        assert counts[chip]["oitergb"] > nvidia_oitergb
+    # Every optimisation is needed by at least one chip somewhere:
+    # "one size doesn't fit all".
+    for opt in ("coop-cv", "sg", "fg8", "oitergb", "sz256", "wg"):
+        assert any(counts[chip][opt] > 0 for chip in counts)

@@ -1,0 +1,33 @@
+"""Bench: regenerate Fig 3 (outcome shares per strategy).
+
+Paper shape: the fully portable strategy speeds up a majority of tests
+while harming a minority (paper: 62% up / 18% down); adding a
+specialisation dimension cuts the slowdown share sharply; baseline and
+oracle bracket the spectrum (0% and 100% speedups).
+"""
+
+from repro.experiments import fig3_outcomes
+
+
+def test_fig3_outcomes(benchmark, dataset, strategies, publish):
+    outcomes = benchmark.pedantic(
+        fig3_outcomes.data, args=(dataset, strategies), rounds=1, iterations=1
+    )
+    publish("fig3_outcomes", fig3_outcomes.run(dataset, strategies))
+
+    assert outcomes["baseline"].pct_no_change == 100.0
+    assert outcomes["oracle"].pct_speedup == 100.0
+
+    glob = outcomes["global"]
+    assert glob.pct_speedup > 50.0
+    assert 0.0 < glob.pct_slowdown < 30.0
+
+    # Specialising on any dimension reduces slowdowns vs global.
+    for name in ("chip", "app", "input"):
+        assert outcomes[name].slowdowns <= glob.slowdowns
+    # Two dimensions reduce them further.
+    for name in ("chip+app", "chip+input", "app+input"):
+        assert outcomes[name].slowdowns <= min(
+            outcomes["chip"].slowdowns + outcomes["app"].slowdowns,
+            glob.slowdowns,
+        )

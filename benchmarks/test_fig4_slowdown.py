@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig 4 (geomean slowdown vs oracle per strategy).
+
+Paper shape: baseline worst, oracle exactly 1; every Algorithm 1
+strategy lands in between, with the portable (global) strategy already
+recovering a large share of the oracle's headroom and semi-specialised
+strategies recovering more.
+"""
+
+from repro.core.strategies import STRATEGY_ORDER
+from repro.experiments import fig4_slowdown
+
+
+def test_fig4_slowdown(benchmark, dataset, strategies, publish):
+    series = benchmark.pedantic(
+        fig4_slowdown.data, args=(dataset, strategies), rounds=1, iterations=1
+    )
+    publish("fig4_slowdown", fig4_slowdown.run(dataset, strategies))
+
+    assert series["oracle"] == 1.0
+    assert series["baseline"] == max(series.values())
+    for name in STRATEGY_ORDER:
+        assert 1.0 <= series[name] <= series["baseline"] + 1e-9
+    # The portable strategy closes a real share of the baseline gap...
+    assert series["global"] < series["baseline"] * 0.8
+    # ...and the best two-dimensional strategy improves on it again.
+    best_two_dim = min(
+        series["chip+app"], series["chip+input"], series["app+input"]
+    )
+    assert best_two_dim < series["global"]

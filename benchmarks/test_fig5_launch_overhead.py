@@ -1,0 +1,35 @@
+"""Bench: regenerate Fig 5 (utilisation vs kernel duration).
+
+Paper shape: Nvidia chips reach high utilisation at much smaller
+kernel durations than the others (their launch + copy latency is
+lowest), which is why their strategies do not need oitergb; MALI sits
+at the bottom of the chart.
+"""
+
+from repro.experiments import fig5_launch_overhead
+
+
+def test_fig5_launch_overhead(benchmark, publish):
+    sweep = benchmark.pedantic(
+        fig5_launch_overhead.data,
+        kwargs={"noisy": False},
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig5_launch_overhead", fig5_launch_overhead.run())
+
+    # Nvidia dominates the small-kernel regime.
+    for idx in range(4):
+        nvidia = min(
+            sweep["M4000"][idx].utilisation, sweep["GTX1080"][idx].utilisation
+        )
+        assert all(
+            nvidia > sweep[c][idx].utilisation
+            for c in sweep
+            if c not in ("M4000", "GTX1080")
+        )
+        assert sweep["MALI"][idx].utilisation == min(
+            sweep[c][idx].utilisation for c in sweep
+        )
+    # All chips converge towards full utilisation for long kernels.
+    assert all(points[-1].utilisation > 0.85 for points in sweep.values())

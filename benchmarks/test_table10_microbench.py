@@ -1,0 +1,25 @@
+"""Bench: regenerate Table X (sg-cmb and m-divg microbenchmarks).
+
+Paper numbers: sg-cmb ~22x on R9, ~8x on IRIS, ~1x (slight slowdown)
+on the JIT-combining chips and MALI; m-divg modest everywhere except
+MALI's ~6.45x.
+"""
+
+import pytest
+
+from repro.experiments import table10_microbench
+
+
+def test_table10_microbench(benchmark, publish):
+    sg, md = benchmark.pedantic(table10_microbench.data, rounds=3, iterations=1)
+    publish("table10_microbench", table10_microbench.run())
+
+    # sg-cmb row.
+    assert sg["R9"] == pytest.approx(22.0, rel=0.25)
+    assert sg["IRIS"] == pytest.approx(8.0, rel=0.25)
+    for chip in ("M4000", "GTX1080", "HD5500", "MALI"):
+        assert 0.6 <= sg[chip] <= 1.1
+    # m-divg row.
+    assert md["MALI"] == pytest.approx(6.45, rel=0.15)
+    for chip in ("M4000", "GTX1080", "HD5500", "IRIS", "R9"):
+        assert 1.0 <= md[chip] <= 1.6

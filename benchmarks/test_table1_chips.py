@@ -1,0 +1,9 @@
+"""Bench: regenerate Table I (the chip inventory)."""
+
+from repro.experiments import table1_chips
+
+
+def test_table1_chips(benchmark, publish):
+    text = benchmark.pedantic(table1_chips.run, rounds=3, iterations=1)
+    publish("table1_chips", text)
+    assert "M4000" in text and "MALI" in text

@@ -1,0 +1,38 @@
+"""Bench: regenerate Table II (per-chip performance envelope).
+
+Paper shape: despite a modest oracle geomean, individual tests see
+order-of-magnitude speedups and slowdowns, with the extremes living on
+the road input; the cross-vendor envelope (here up to ~15-20x) exceeds
+the Nvidia-only one (paper: 16x/22x vs 5x/10x).
+"""
+
+from repro.experiments import table2_envelope
+
+
+def test_table2_envelope(benchmark, dataset, publish):
+    env = benchmark.pedantic(
+        table2_envelope.data, args=(dataset,), rounds=1, iterations=1
+    )
+    publish("table2_envelope", table2_envelope.run(dataset))
+
+    best_speedup = max(best.factor for best, _ in env.values())
+    worst_slowdown = max(worst.factor for _, worst in env.values())
+    assert best_speedup > 8.0
+    assert worst_slowdown > 2.0
+
+    # The cross-vendor envelope exceeds the Nvidia-only envelope.
+    nvidia_best = max(env[c][0].factor for c in ("M4000", "GTX1080"))
+    assert best_speedup > nvidia_best
+
+    # Extremes concentrate on the structured inputs: several chips'
+    # extreme entries (either direction) fall on the high-diameter road
+    # input.  (The paper found *all* extremes on usa.ny; here part of
+    # the speedup envelope comes from the power-law input instead —
+    # see EXPERIMENTS.md.)
+    road_extremes = sum(
+        1
+        for best, worst in env.values()
+        for e in (best, worst)
+        if e.graph == "usa-ny-sim"
+    )
+    assert road_extremes >= 3

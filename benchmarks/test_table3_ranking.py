@@ -1,0 +1,29 @@
+"""Bench: regenerate Table III (global ranking of all 95 combinations).
+
+Paper shape: even the fewest-slowdowns combination still harms some
+tests (do-no-harm degenerates to the baseline); the bottom of the
+table is dominated by sz256-bearing combinations with geomeans below
+1; the max-geomean pick sits away from rank 0.
+"""
+
+from repro.compiler import BASELINE
+from repro.core.naive import do_no_harm, max_geomean
+from repro.experiments import table3_ranking
+
+
+def test_table3_ranking(benchmark, dataset, publish):
+    rankings = benchmark.pedantic(
+        table3_ranking.data, args=(dataset,), rounds=1, iterations=1
+    )
+    publish("table3_ranking", table3_ranking.run(dataset))
+
+    assert len(rankings) == 95
+    # Do no harm: every combination causes some slowdown.
+    assert rankings[0].slowdowns > 0
+    assert do_no_harm(dataset) == BASELINE
+    # The bottom rows are dominated by sz256 combinations.
+    bottom = rankings[-5:]
+    assert sum(1 for r in bottom if r.config.has("sz256")) >= 3
+    assert any(r.geomean_speedup < 1.0 for r in bottom)
+    # The max-geomean pick is not the fewest-slowdowns pick.
+    assert max_geomean(dataset).config != rankings[0].config

@@ -1,0 +1,20 @@
+"""Bench: regenerate Tables V and VI (strategies and opt parameters)."""
+
+from repro.compiler import BASELINE
+from repro.core.strategies import STRATEGY_ORDER
+from repro.experiments import table5_strategies
+
+
+def test_table5_strategies(benchmark, strategies, publish):
+    rows = benchmark.pedantic(
+        table5_strategies.data, args=(strategies,), rounds=1, iterations=1
+    )
+    publish("table5_strategies", table5_strategies.run(strategies))
+
+    assert [r[0] for r in rows] == list(STRATEGY_ORDER)
+    by_name = {r[0]: r for r in rows}
+    # Distinct-config counts grow along the specialisation spectrum.
+    assert by_name["baseline"][2] == 1
+    assert by_name["global"][2] == 1
+    assert by_name["chip"][2] >= 2
+    assert by_name["oracle"][2] >= by_name["chip+app+input"][2]

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table VII (the 17-application suite)."""
+
+from repro.experiments import table7_apps
+
+
+def test_table7_apps(benchmark, publish):
+    rows = benchmark.pedantic(table7_apps.data, rounds=3, iterations=1)
+    publish("table7_apps", table7_apps.run())
+
+    assert len(rows) == 17
+    problems = {r["problem"] for r in rows}
+    assert problems == {"BFS", "CC", "MIS", "MST", "PR", "SSSP", "TRI"}
+    starred = [r for r in rows if "(*)" in r["variant"]]
+    assert len(starred) == 7  # one fastest variant per problem

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table VIII (the 3 study inputs).
+
+Asserts the synthetic inputs carry the structural signatures of their
+paper classes: road = high diameter / narrow degrees; social =
+power-law degrees / tiny diameter; random = narrow degrees / tiny
+diameter.
+"""
+
+from repro.experiments import table8_inputs
+
+
+def test_table8_inputs(benchmark, publish):
+    rows = benchmark.pedantic(table8_inputs.data, rounds=1, iterations=1)
+    publish("table8_inputs", table8_inputs.run())
+
+    by_class = {cls: props for _, cls, props in rows}
+    assert set(by_class) == {"road", "social", "random"}
+    road, social, random_ = by_class["road"], by_class["social"], by_class["random"]
+    assert road.est_diameter > 10 * social.est_diameter
+    assert road.est_diameter > 10 * random_.est_diameter
+    assert social.degree_cv > 1.0
+    assert road.degree_cv < 0.5 and random_.degree_cv < 0.6
+    assert social.max_degree > 50 * social.avg_degree

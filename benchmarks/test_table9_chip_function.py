@@ -1,0 +1,45 @@
+"""Bench: regenerate Table IX (the per-chip optimisation function).
+
+Paper shape (Section VIII): coop-cv enabled only on R9 and IRIS (the
+Nvidia and HD5500 JITs already combine; MALI has no subgroups); sg
+enabled on every chip — including MALI, whose benefit is divergence
+relief, not load balancing; fg8 widely enabled with high effect sizes
+on Nvidia/AMD; oitergb enabled everywhere except Nvidia; wg disabled
+everywhere but with a non-zero effect size.
+"""
+
+from repro.experiments import table9_chip_function
+
+
+def test_table9_chip_function(benchmark, dataset, analysis, publish):
+    per_chip = benchmark.pedantic(
+        table9_chip_function.data, args=(dataset, analysis), rounds=1, iterations=1
+    )
+    publish("table9_chip_function", table9_chip_function.run(dataset, analysis))
+
+    # coop-cv: only the chips whose runtime does not already combine.
+    for chip, expect in {
+        "M4000": False, "GTX1080": False, "HD5500": False,
+        "IRIS": True, "R9": True, "MALI": False,
+    }.items():
+        assert per_chip[chip]["coop-cv"].enabled == expect, chip
+
+    # oitergb: everywhere except Nvidia.
+    for chip in ("HD5500", "IRIS", "R9", "MALI"):
+        assert per_chip[chip]["oitergb"].enabled
+    for chip in ("M4000", "GTX1080"):
+        assert not per_chip[chip]["oitergb"].enabled
+
+    # sg enabled on every chip (MALI via divergence relief).
+    for chip in per_chip:
+        assert per_chip[chip]["sg"].enabled
+
+    # fg8 broadly enabled; strongest on Nvidia/AMD.
+    for chip in per_chip:
+        assert per_chip[chip]["fg8"].enabled
+        assert per_chip[chip]["fg8"].effect_size > 0.8
+
+    # wg never chosen, but its effect size is non-zero.
+    for chip in per_chip:
+        assert not per_chip[chip]["wg"].enabled
+        assert per_chip[chip]["wg"].effect_size > 0.0

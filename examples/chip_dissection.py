@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scenario: dissect why chips want different optimisations (Section VIII).
+
+Reproduces the paper's explanatory chain for three per-chip findings:
+
+1. Nvidia chips disable ``oitergb``  — launch-overhead microbenchmark;
+2. only R9 and IRIS enable ``coop-cv`` — subgroup atomic-combining
+   microbenchmark (JIT combining on Nvidia/HD5500, trivial subgroups
+   on MALI);
+3. MALI enables ``sg`` despite subgroup size 1 — the memory-divergence
+   microbenchmark shows its gratuitous barriers pay for themselves.
+
+Run:  python examples/chip_dissection.py
+"""
+
+from repro.chips import all_chips
+from repro.core.reporting import render_table
+from repro.microbench import launch_overhead_sweep, m_divg_table, sg_cmb_table
+
+
+def main() -> None:
+    chips = [c.short_name for c in all_chips()]
+
+    # 1. Kernel-launch overhead (Fig 5's 10us column).
+    sweep = launch_overhead_sweep(noisy=False)
+    rows = [
+        [
+            chip,
+            f"{next(c for c in all_chips() if c.short_name == chip).launch_overhead_us:.0f}us",
+            f"{sweep[chip][3].utilisation * 100:.0f}%",
+            "no (cheap launches)" if chip in ("M4000", "GTX1080") else "yes",
+        ]
+        for chip in chips
+    ]
+    print(
+        render_table(
+            ["Chip", "Launch latency", "Utilisation @10us kernels", "Needs oitergb?"],
+            rows,
+            title="1. Why Nvidia does not need iteration outlining (Fig 5)",
+        )
+    )
+
+    # 2. Subgroup atomic combining (Table X, sg-cmb).
+    sg = sg_cmb_table()
+    reasons = {
+        "M4000": "JIT already combines",
+        "GTX1080": "JIT already combines",
+        "HD5500": "JIT already combines",
+        "IRIS": "software combining pays",
+        "R9": "software combining pays (sg=64)",
+        "MALI": "subgroup size 1: nothing to combine",
+    }
+    rows = [
+        [chip, f"{sg[chip].speedup:.2f}x", reasons[chip]] for chip in chips
+    ]
+    print()
+    print(
+        render_table(
+            ["Chip", "sg-cmb speedup", "Interpretation"],
+            rows,
+            title="2. Why only R9 and IRIS enable coop-cv (Table X)",
+        )
+    )
+
+    # 3. Memory divergence (Table X, m-divg).
+    md = m_divg_table()
+    rows = [[chip, f"{md[chip].speedup:.2f}x"] for chip in chips]
+    print()
+    print(
+        render_table(
+            ["Chip", "m-divg speedup"],
+            rows,
+            title=(
+                "3. Why MALI enables sg despite trivial subgroups: a "
+                "gratuitous barrier fixes its memory divergence"
+            ),
+        )
+    )
+    print(
+        "\nMALI's outlier sensitivity suggests the paper's closing "
+        "observation: a dedicated anti-divergence optimisation may be "
+        "needed for mobile GPUs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scenario: architectural what-if studies with the chip models.
+
+The paper infers hardware characteristics *from* optimisation
+decisions (Section VIII).  With a parameterised chip model the
+inference runs the other way too: edit one architectural parameter and
+watch the recommended optimisations flip.  Two what-ifs:
+
+1. Give MALI a divergence-tolerant memory system — does its analysis
+   still demand ``sg`` (whose only MALI benefit is divergence relief)?
+2. Strip GTX1080's JIT atomic combining — does ``coop-cv`` become
+   worthwhile on an Nvidia chip?
+
+Run:  python examples/what_if_hardware.py        (~1-2 minutes)
+"""
+
+from repro import StudyConfig, run_study
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.core import Analysis
+
+
+APPS = ("bfs-wl", "sssp-nf", "pr-wl", "cc-wl")
+
+
+def chip_decisions(chip, opts=("coop-cv", "sg", "fg", "fg8", "oitergb")):
+    """Run a reduced study on one chip and return its Table IX row."""
+    config = StudyConfig(
+        apps=[get_application(a) for a in APPS],
+        chips=[chip],
+        scale=0.5,
+    )
+    dataset = run_study(config, progress=lambda m: None)
+    analysis = Analysis(dataset)
+    decisions = analysis.opts_for_partition(dataset.tests)
+    return {opt: decisions[opt] for opt in opts}
+
+
+def show(title, decisions):
+    print(title)
+    for opt, d in decisions.items():
+        print(f"  {opt:8s} {d.mark()}  (CL {d.effect_size:.2f})")
+    print()
+
+
+def main() -> None:
+    # -- what-if 1: a divergence-tolerant MALI -------------------------
+    mali = get_chip("MALI")
+    show("MALI as shipped:", chip_decisions(mali))
+
+    tolerant = mali.with_overrides(divergence_sensitivity=0.05)
+    show(
+        "MALI with a divergence-tolerant memory system "
+        "(sensitivity 15.0 -> 0.05):",
+        chip_decisions(tolerant),
+    )
+    print(
+        "-> on the tolerant MALI, sg's effect collapses: with a "
+        "subgroup size of 1 its only benefit was divergence relief — "
+        "the paper's Section VIII-c claim, inverted into a "
+        "prediction.\n"
+    )
+
+    # -- what-if 2: GTX1080 without JIT atomic combining ----------------
+    gtx = get_chip("GTX1080")
+    show("GTX1080 as shipped (JIT combines subgroup atomics):", chip_decisions(gtx))
+
+    no_jit = gtx.with_overrides(jit_coop_cv=False, atomic_rmw_ns=6.0)
+    show(
+        "GTX1080 without JIT combining (and R9-class atomic latency):",
+        chip_decisions(no_jit),
+    )
+    print(
+        "-> coop-cv becomes profitable the moment the runtime stops "
+        "combining for you — Section VIII-b's explanation, run forward."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim for environments without PEP 660 editable-install support."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'One Size Doesn't Fit All: Quantifying Performance "
+        "Portability of Graph Applications on GPUs' (IISWC 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20", "scipy>=1.7"],
+)

@@ -1,0 +1,57 @@
+"""repro — reproduction of *One Size Doesn't Fit All: Quantifying
+Performance Portability of Graph Applications on GPUs* (IISWC 2019).
+
+The package layers, bottom-up:
+
+* :mod:`repro.graphs`    — CSR graphs, generators, the 3 study inputs;
+* :mod:`repro.ocl`       — OpenCL execution-model abstractions;
+* :mod:`repro.chips`     — the 6 study GPUs as calibrated models;
+* :mod:`repro.dsl`       — the IrGL-style graph-algorithm DSL;
+* :mod:`repro.compiler`  — the 96-point optimisation space + passes;
+* :mod:`repro.runtime`   — functional execution and workload tracing;
+* :mod:`repro.perfmodel` — the analytical GPU performance simulator;
+* :mod:`repro.apps`      — the 17 study applications;
+* :mod:`repro.microbench`— the explanatory microbenchmarks;
+* :mod:`repro.study`     — the full-factorial sweep and its dataset;
+* :mod:`repro.core`      — the paper's contribution: the rank-based
+  specialisation analysis (Algorithm 1, strategies, evaluations);
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import run_study, StudyConfig, build_strategies
+    dataset = run_study(StudyConfig(scale=0.2))
+    strategies = build_strategies(dataset)
+    print(strategies["global"].distinct_configs)
+"""
+
+from .apps import all_applications, get_application
+from .chips import CHIPS, all_chips, get_chip
+from .compiler import BASELINE, OptConfig, compile_program, enumerate_configs
+from .core import Analysis, build_strategies
+from .graphs import CSRGraph, get_input, study_inputs
+from .study import PerfDataset, StudyConfig, TestCase, run_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "all_applications",
+    "get_application",
+    "CHIPS",
+    "all_chips",
+    "get_chip",
+    "BASELINE",
+    "OptConfig",
+    "compile_program",
+    "enumerate_configs",
+    "Analysis",
+    "build_strategies",
+    "CSRGraph",
+    "get_input",
+    "study_inputs",
+    "PerfDataset",
+    "StudyConfig",
+    "TestCase",
+    "run_study",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""``python -m repro`` — top-level command dispatch.
+
+Subcommands:
+
+* ``study OUTPUT [--scale S] [--repetitions N]`` — run the full study
+  and save the dataset (delegates to :mod:`repro.study.runner`);
+* ``report [EXPERIMENT ...]`` — regenerate paper tables/figures
+  (delegates to :mod:`repro.experiments.report`);
+* ``validate`` — run every application against its oracle on small
+  instances of the three input classes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["main"]
+
+_USAGE = """usage: python -m repro <command> [args]
+
+commands:
+  study OUTPUT [--scale S] [--repetitions N]   run the full study
+  report [EXPERIMENT ...]                      regenerate tables/figures
+  validate                                     oracle-check all applications
+"""
+
+
+def _validate() -> int:
+    from .apps.registry import all_applications
+    from .graphs.inputs import study_inputs
+
+    inputs = study_inputs(scale=0.05)
+    failures = 0
+    for inp in inputs.values():
+        for app in all_applications():
+            if app.requires_weights and not inp.graph.has_weights:
+                continue
+            ok = app.validate(inp.graph, source=0)
+            print(f"{app.name:14s} on {inp.name:12s}: {'ok' if ok else 'FAIL'}")
+            failures += not ok
+    print(f"\n{failures} failures")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "study":
+        from .study import runner
+
+        sys.argv = ["repro-study"] + rest
+        runner.main()
+        return 0
+    if command == "report":
+        from .experiments.report import main as report_main
+
+        return report_main(rest)
+    if command == "validate":
+        return _validate()
+    print(f"unknown command {command!r}", file=sys.stderr)
+    print(_USAGE, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""The 17 study applications over 7 graph problems (paper Table VII)."""
+
+from .base import Application, expand_frontier
+from .bfs import BFSHybrid, BFSTopo, BFSWorklist, BFSWorklistCautious
+from .cc import CCTopo, CCWorklist
+from .mis import MISTopo, MISWorklist, mis_priorities
+from .mst import MSTBoruvka, kruskal_weight
+from .pr import PRPush, PRTopo, pagerank_reference
+from .registry import (
+    APP_NAMES,
+    APPLICATION_CLASSES,
+    PROBLEMS,
+    all_applications,
+    applications_by_problem,
+    get_application,
+    table7_rows,
+)
+from .sssp import SSSPNearFar, SSSPTopo, SSSPWorklist, dijkstra_reference
+from .tri import TriEdgeIterator, TriHybrid, TriNodeIterator, triangle_count_oracle
+
+__all__ = [
+    "Application",
+    "expand_frontier",
+    "BFSTopo",
+    "BFSWorklist",
+    "BFSWorklistCautious",
+    "BFSHybrid",
+    "CCTopo",
+    "CCWorklist",
+    "MISTopo",
+    "MISWorklist",
+    "mis_priorities",
+    "MSTBoruvka",
+    "kruskal_weight",
+    "PRTopo",
+    "PRPush",
+    "pagerank_reference",
+    "SSSPTopo",
+    "SSSPWorklist",
+    "SSSPNearFar",
+    "dijkstra_reference",
+    "TriNodeIterator",
+    "TriEdgeIterator",
+    "TriHybrid",
+    "triangle_count_oracle",
+    "APP_NAMES",
+    "APPLICATION_CLASSES",
+    "PROBLEMS",
+    "all_applications",
+    "applications_by_problem",
+    "get_application",
+    "table7_rows",
+]

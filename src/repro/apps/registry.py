@@ -1,0 +1,98 @@
+"""The study's application suite (paper Table VII).
+
+The IrGL distribution contains 19 applications; the paper uses 17,
+dropping DMR and the priority-worklist SSSP (their support libraries
+are CUDA-only).  The supplied copy of Table VII is partially garbled,
+so the concrete variant list is reconstructed from the paper's
+Section VI-B prose: 7 problems — BFS, CC, MIS, MST, PR, SSSP, TRI —
+each with the implementation strategies common to the IrGL suite, and
+one variant per problem marked (*) as the fastest algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ReproError
+from .base import Application
+from .bfs import BFSHybrid, BFSTopo, BFSWorklist, BFSWorklistCautious
+from .cc import CCTopo, CCWorklist
+from .mis import MISTopo, MISWorklist
+from .mst import MSTBoruvka
+from .pr import PRPush, PRTopo
+from .sssp import SSSPNearFar, SSSPTopo, SSSPWorklist
+from .tri import TriEdgeIterator, TriHybrid, TriNodeIterator
+
+__all__ = [
+    "APPLICATION_CLASSES",
+    "APP_NAMES",
+    "PROBLEMS",
+    "all_applications",
+    "get_application",
+    "applications_by_problem",
+    "table7_rows",
+]
+
+APPLICATION_CLASSES: Tuple[type, ...] = (
+    BFSTopo,
+    BFSWorklist,
+    BFSWorklistCautious,
+    BFSHybrid,
+    CCTopo,
+    CCWorklist,
+    MISTopo,
+    MISWorklist,
+    MSTBoruvka,
+    PRTopo,
+    PRPush,
+    SSSPTopo,
+    SSSPWorklist,
+    SSSPNearFar,
+    TriNodeIterator,
+    TriEdgeIterator,
+    TriHybrid,
+)
+
+APP_NAMES: Tuple[str, ...] = tuple(cls.name for cls in APPLICATION_CLASSES)
+
+PROBLEMS: Tuple[str, ...] = ("BFS", "CC", "MIS", "MST", "PR", "SSSP", "TRI")
+
+
+def all_applications() -> List[Application]:
+    """Fresh instances of all 17 study applications, Table VII order."""
+    return [cls() for cls in APPLICATION_CLASSES]
+
+
+def get_application(name: str) -> Application:
+    """Instantiate one study application by name."""
+    for cls in APPLICATION_CLASSES:
+        if cls.name == name:
+            return cls()
+    raise ReproError(
+        f"unknown application {name!r}; known: {', '.join(APP_NAMES)}"
+    )
+
+
+def applications_by_problem(problem: str) -> List[Application]:
+    """All variants of one high-level problem."""
+    found = [cls() for cls in APPLICATION_CLASSES if cls.problem == problem]
+    if not found:
+        raise ReproError(
+            f"unknown problem {problem!r}; known: {', '.join(PROBLEMS)}"
+        )
+    return found
+
+
+def table7_rows() -> List[Dict[str, str]]:
+    """Rows of the Table VII reproduction."""
+    rows = []
+    for cls in APPLICATION_CLASSES:
+        rows.append(
+            {
+                "problem": cls.problem,
+                "application": cls.name,
+                "variant": cls.variant + (" (*)" if cls.fastest_variant else ""),
+                "description": cls.description,
+            }
+        )
+    return rows

@@ -1,0 +1,13 @@
+"""Chip parameter models and the six study GPUs (paper Table I)."""
+
+from .database import CHIP_NAMES, CHIPS, all_chips, chips_by_vendor, get_chip
+from .model import ChipModel
+
+__all__ = [
+    "ChipModel",
+    "CHIPS",
+    "CHIP_NAMES",
+    "get_chip",
+    "all_chips",
+    "chips_by_vendor",
+]

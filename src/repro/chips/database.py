@@ -1,0 +1,270 @@
+"""The six study chips (paper Table I) with calibrated parameters.
+
+Per-chip rationale, tied to the paper's observations:
+
+* **M4000 / GTX1080 (Nvidia)** — very low kernel-launch and copy
+  overhead (Fig 5: highest utilisation at small kernel times), which is
+  why their strategies *disable* ``oitergb``; their OpenCL JIT already
+  performs subgroup RMW combining (Table X ``sg-cmb`` ≈ 1×), so
+  ``coop-cv`` only adds overhead; subgroups are exposed via inline PTX
+  and the OpenCL 2.0 memory model is fence-emulated.  GTX1080 (Pascal)
+  has higher raw throughput but is more occupancy-sensitive than
+  M4000 (Maxwell), producing the paper's asymmetric intra-vendor
+  porting (M4000 runs fine with GTX1080 settings, not vice versa).
+* **HD5500 / IRIS (Intel Broadwell GT2/GT3)** — identical architecture
+  at different tiers, so settings port between them almost freely
+  (Fig 1); high launch overhead (driver stack), so ``oitergb`` is
+  enabled; HD5500's JIT combines subgroup atomics but IRIS's code path
+  does not (paper Section VIII-b), so only IRIS enables ``coop-cv``.
+* **R9 (AMD)** — large subgroups (64) with slow contended global RMWs:
+  the biggest ``coop-cv`` winner (Table X: ≈ 22×); discrete-card
+  launch overhead makes ``oitergb`` profitable.
+* **MALI (ARM Mali-T628)** — mobile part: no subgroups (size 1), tiny
+  occupancy, very high launch overhead, extreme sensitivity to
+  intra-workgroup memory divergence (Table X ``m-divg`` ≈ 6.45×) —
+  the reason ``sg`` helps despite trivial subgroups (its gratuitous
+  workgroup barriers keep threads in lockstep) — and the noisiest
+  timings (no device timers; calibration-loop measurement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ChipError
+from ..ocl.progress import CUResources
+from .model import ChipModel
+
+__all__ = ["CHIPS", "CHIP_NAMES", "get_chip", "all_chips", "chips_by_vendor"]
+
+
+def _nvidia_m4000() -> ChipModel:
+    return ChipModel(
+        name="Quadro M4000",
+        short_name="M4000",
+        vendor="Nvidia",
+        architecture="Maxwell",
+        integrated=False,
+        os="Linux",
+        n_cus=13,
+        sg_size=32,
+        max_wg_size=1024,
+        lockstep_subgroups=True,
+        supports_subgroups=True,
+        cu=CUResources(max_workgroups=32, max_threads=2048, local_mem_bytes=49152),
+        threads_for_peak=512,
+        edges_per_us_per_cu=420.0,
+        launch_overhead_us=7.0,
+        copy_overhead_us=4.0,
+        global_barrier_base_us=13.0,
+        global_barrier_per_wg_ns=25.0,
+        wg_barrier_ns=22.0,
+        sg_barrier_ns=0.0,
+        atomic_rmw_ns=1.6,
+        local_traffic_ns=0.7,
+        divergence_sensitivity=0.30,
+        barrier_divergence_relief=0.85,
+        jit_coop_cv=True,
+        native_ocl2_atomics=False,
+        atomic_emulation_factor=1.25,
+        noise_sigma=0.035,
+    )
+
+
+def _nvidia_gtx1080() -> ChipModel:
+    return ChipModel(
+        name="GTX 1080",
+        short_name="GTX1080",
+        vendor="Nvidia",
+        architecture="Pascal",
+        integrated=False,
+        os="Linux",
+        n_cus=20,
+        sg_size=32,
+        max_wg_size=1024,
+        lockstep_subgroups=True,
+        supports_subgroups=True,
+        cu=CUResources(max_workgroups=32, max_threads=2048, local_mem_bytes=65536),
+        threads_for_peak=896,
+        edges_per_us_per_cu=760.0,
+        launch_overhead_us=6.0,
+        copy_overhead_us=3.5,
+        global_barrier_base_us=14.0,
+        global_barrier_per_wg_ns=25.0,
+        wg_barrier_ns=18.0,
+        sg_barrier_ns=0.0,
+        atomic_rmw_ns=1.2,
+        local_traffic_ns=0.5,
+        divergence_sensitivity=0.45,
+        barrier_divergence_relief=0.85,
+        jit_coop_cv=True,
+        native_ocl2_atomics=False,
+        atomic_emulation_factor=1.2,
+        noise_sigma=0.035,
+    )
+
+
+def _intel_hd5500() -> ChipModel:
+    return ChipModel(
+        name="HD 5500",
+        short_name="HD5500",
+        vendor="Intel",
+        architecture="Broadwell GT2",
+        integrated=True,
+        os="Windows",
+        n_cus=24,
+        sg_size=16,
+        max_wg_size=256,
+        lockstep_subgroups=False,
+        supports_subgroups=True,
+        cu=CUResources(max_workgroups=16, max_threads=448, local_mem_bytes=65536),
+        threads_for_peak=224,
+        edges_per_us_per_cu=55.0,
+        launch_overhead_us=20.0,
+        copy_overhead_us=8.0,
+        global_barrier_base_us=7.0,
+        global_barrier_per_wg_ns=12.0,
+        wg_barrier_ns=45.0,
+        sg_barrier_ns=10.0,
+        atomic_rmw_ns=6.0,
+        local_traffic_ns=1.2,
+        divergence_sensitivity=0.22,
+        barrier_divergence_relief=0.85,
+        jit_coop_cv=True,
+        native_ocl2_atomics=True,
+        noise_sigma=0.055,
+    )
+
+
+def _intel_iris6100() -> ChipModel:
+    return ChipModel(
+        name="Iris 6100",
+        short_name="IRIS",
+        vendor="Intel",
+        architecture="Broadwell GT3",
+        integrated=True,
+        os="Windows",
+        n_cus=47,
+        sg_size=16,
+        max_wg_size=256,
+        lockstep_subgroups=False,
+        supports_subgroups=True,
+        cu=CUResources(max_workgroups=16, max_threads=448, local_mem_bytes=65536),
+        threads_for_peak=224,
+        edges_per_us_per_cu=58.0,
+        launch_overhead_us=18.0,
+        copy_overhead_us=8.0,
+        global_barrier_base_us=7.0,
+        global_barrier_per_wg_ns=12.0,
+        wg_barrier_ns=42.0,
+        sg_barrier_ns=9.0,
+        atomic_rmw_ns=6.5,
+        local_traffic_ns=1.1,
+        divergence_sensitivity=0.25,
+        barrier_divergence_relief=0.85,
+        jit_coop_cv=False,
+        native_ocl2_atomics=True,
+        noise_sigma=0.055,
+    )
+
+
+def _amd_r9() -> ChipModel:
+    return ChipModel(
+        name="Radeon R9",
+        short_name="R9",
+        vendor="AMD",
+        architecture="GCN",
+        integrated=False,
+        os="Windows",
+        n_cus=28,
+        sg_size=64,
+        max_wg_size=256,
+        lockstep_subgroups=True,
+        supports_subgroups=True,
+        cu=CUResources(max_workgroups=40, max_threads=2560, local_mem_bytes=65536),
+        threads_for_peak=768,
+        edges_per_us_per_cu=560.0,
+        launch_overhead_us=14.0,
+        copy_overhead_us=7.0,
+        global_barrier_base_us=6.0,
+        global_barrier_per_wg_ns=10.0,
+        wg_barrier_ns=28.0,
+        sg_barrier_ns=0.0,
+        atomic_rmw_ns=6.0,
+        local_traffic_ns=0.6,
+        divergence_sensitivity=0.35,
+        barrier_divergence_relief=0.85,
+        jit_coop_cv=False,
+        native_ocl2_atomics=True,
+        noise_sigma=0.045,
+    )
+
+
+def _arm_mali() -> ChipModel:
+    return ChipModel(
+        name="Mali-T628",
+        short_name="MALI",
+        vendor="ARM",
+        architecture="Midgard",
+        integrated=True,
+        os="Linux",
+        n_cus=4,
+        sg_size=1,
+        max_wg_size=256,
+        lockstep_subgroups=False,
+        supports_subgroups=False,
+        cu=CUResources(max_workgroups=4, max_threads=256, local_mem_bytes=32768),
+        threads_for_peak=128,
+        edges_per_us_per_cu=40.0,
+        launch_overhead_us=50.0,
+        copy_overhead_us=25.0,
+        global_barrier_base_us=8.0,
+        global_barrier_per_wg_ns=100.0,
+        wg_barrier_ns=60.0,
+        sg_barrier_ns=20.0,
+        atomic_rmw_ns=8.0,
+        local_traffic_ns=2.0,
+        divergence_sensitivity=15.0,
+        barrier_divergence_relief=0.92,
+        jit_coop_cv=False,
+        native_ocl2_atomics=False,
+        atomic_emulation_factor=1.4,
+        noise_sigma=0.12,
+    )
+
+
+def all_chips() -> List[ChipModel]:
+    """The six chips of the study, in Table I order."""
+    return [
+        _nvidia_m4000(),
+        _nvidia_gtx1080(),
+        _intel_hd5500(),
+        _intel_iris6100(),
+        _amd_r9(),
+        _arm_mali(),
+    ]
+
+
+CHIPS: Dict[str, ChipModel] = {chip.short_name: chip for chip in all_chips()}
+CHIP_NAMES: Tuple[str, ...] = tuple(CHIPS)
+
+
+def get_chip(short_name: str) -> ChipModel:
+    """Look up a study chip by its Table I short name."""
+    try:
+        return CHIPS[short_name]
+    except KeyError:
+        raise ChipError(
+            f"unknown chip {short_name!r}; known chips: {', '.join(CHIP_NAMES)}"
+        ) from None
+
+
+def chips_by_vendor(vendor: str) -> List[ChipModel]:
+    """All study chips from one vendor (case-insensitive)."""
+    found = [c for c in all_chips() if c.vendor.lower() == vendor.lower()]
+    if not found:
+        vendors = sorted({c.vendor for c in all_chips()})
+        raise ChipError(
+            f"unknown vendor {vendor!r}; known vendors: {', '.join(vendors)}"
+        )
+    return found

@@ -1,0 +1,147 @@
+"""Chip parameter model.
+
+A :class:`ChipModel` captures everything the performance simulator
+needs to know about a GPU *as a black box with structure*: the
+execution-hierarchy geometry (CUs, subgroup size, occupancy limits) and
+a small set of calibrated throughput/latency parameters corresponding
+to the "performance parameters" column of the paper's Table VI —
+kernel-launch and copy overhead, barrier throughput at each scope,
+atomic RMW throughput, memory-divergence sensitivity — plus vendor
+quirk flags (JIT atomic combining, lockstep subgroups) that the paper
+identifies in Section VIII.
+
+The absolute values are *calibrated, not measured*: the reproduction's
+analysis consumes only relative runtimes, so what matters is that each
+chip's parameter vector produces the per-chip phenomena the paper
+reports (see ``repro.chips.database`` for the per-chip rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..errors import ChipError
+from ..ocl.progress import CUResources, discover_occupancy
+
+__all__ = ["ChipModel"]
+
+
+@dataclass(frozen=True)
+class ChipModel:
+    """Calibrated performance model of one GPU (plus runtime environment).
+
+    The paper uses *chip* rather than *GPU* to include the runtime; the
+    JIT and OS related flags below are part of that environment.
+    """
+
+    # -- identity (paper Table I) -------------------------------------
+    name: str
+    short_name: str
+    vendor: str
+    architecture: str
+    integrated: bool
+    os: str
+
+    # -- execution geometry -------------------------------------------
+    n_cus: int
+    sg_size: int
+    max_wg_size: int
+    lockstep_subgroups: bool  # subgroup barriers are free when True
+    supports_subgroups: bool  # False => sg_size is trivially 1 (MALI)
+    cu: CUResources = field(
+        default_factory=lambda: CUResources(
+            max_workgroups=16, max_threads=1024, local_mem_bytes=32768
+        )
+    )
+    threads_for_peak: int = 512  # threads/CU needed to hide latency
+
+    # -- throughputs and latencies ------------------------------------
+    edges_per_us_per_cu: float = 100.0  # edge-work throughput at peak
+    node_cost_factor: float = 1.0  # node work relative to edge work
+    launch_overhead_us: float = 20.0  # kernel launch latency
+    copy_overhead_us: float = 10.0  # host<->device copy latency
+    global_barrier_base_us: float = 2.0
+    global_barrier_per_wg_ns: float = 150.0
+    wg_barrier_ns: float = 30.0
+    sg_barrier_ns: float = 8.0
+    atomic_rmw_ns: float = 10.0  # serialised contended global RMW
+    local_traffic_ns: float = 1.0  # per element moved through local mem
+
+    # -- memory divergence (paper Section VIII-c) ----------------------
+    divergence_sensitivity: float = 0.3
+    barrier_divergence_relief: float = 0.9
+
+    # -- vendor/runtime quirks (paper Sections VI-A, VIII) -------------
+    jit_coop_cv: bool = False  # JIT already combines subgroup RMWs
+    native_ocl2_atomics: bool = True  # else fence-emulated (slower)
+    atomic_emulation_factor: float = 1.0  # cost multiplier when emulated
+
+    # -- measurement noise ---------------------------------------------
+    noise_sigma: float = 0.03  # log-normal sigma of one timing run
+
+    def __post_init__(self) -> None:
+        if self.n_cus < 1:
+            raise ChipError(f"{self.name}: n_cus must be positive")
+        if self.sg_size < 1:
+            raise ChipError(f"{self.name}: sg_size must be positive")
+        if not self.supports_subgroups and self.sg_size != 1:
+            raise ChipError(
+                f"{self.name}: chips without subgroup support must use sg_size 1"
+            )
+        if self.max_wg_size < 1:
+            raise ChipError(f"{self.name}: max_wg_size must be positive")
+        if self.edges_per_us_per_cu <= 0:
+            raise ChipError(f"{self.name}: edge throughput must be positive")
+        if not 0.0 <= self.barrier_divergence_relief <= 1.0:
+            raise ChipError(
+                f"{self.name}: barrier_divergence_relief must be in [0, 1]"
+            )
+        if self.noise_sigma < 0:
+            raise ChipError(f"{self.name}: noise_sigma must be non-negative")
+
+    # -- derived quantities --------------------------------------------
+
+    @property
+    def peak_edges_per_us(self) -> float:
+        """Device-wide edge-work throughput at full occupancy."""
+        return self.n_cus * self.edges_per_us_per_cu
+
+    def effective_sg_barrier_ns(self) -> float:
+        """Subgroup barrier cost; free on lockstep-subgroup hardware."""
+        return 0.0 if self.lockstep_subgroups else self.sg_barrier_ns
+
+    def effective_atomic_rmw_ns(self) -> float:
+        """Global RMW cost including OpenCL 2.0 emulation overhead."""
+        factor = 1.0 if self.native_ocl2_atomics else self.atomic_emulation_factor
+        return self.atomic_rmw_ns * factor
+
+    def supports_wg_size(self, wg_size: int) -> bool:
+        return 1 <= wg_size <= self.max_wg_size
+
+    def occupancy(self, workgroup_size: int, local_mem_per_wg: int = 0) -> int:
+        """Device-wide co-resident workgroups for a kernel shape."""
+        return discover_occupancy(
+            self.cu, self.n_cus, workgroup_size, local_mem_per_wg
+        )
+
+    def utilisation(self, workgroup_size: int, local_mem_per_wg: int = 0) -> float:
+        """Fraction of peak throughput reachable at this kernel shape.
+
+        Resident threads per CU below :attr:`threads_for_peak` leave
+        memory latency exposed; throughput scales roughly linearly in
+        that regime (the classic occupancy curve).
+        """
+        resident = self.occupancy(workgroup_size, local_mem_per_wg)
+        if resident == 0:
+            return 0.0
+        threads_per_cu = resident * workgroup_size / self.n_cus
+        return min(1.0, threads_per_cu / self.threads_for_peak)
+
+    def with_overrides(self, **kwargs) -> "ChipModel":
+        """Return a copy with some parameters replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+    def summary_row(self) -> Tuple[str, str, int, int, str]:
+        """(vendor, chip, #CUs, subgroup size, short name) — Table I row."""
+        return (self.vendor, self.name, self.n_cus, self.sg_size, self.short_name)

@@ -1,0 +1,26 @@
+"""Optimising compiler: configuration space, passes and plan IR."""
+
+from .options import (
+    BASELINE,
+    OPT_NAMES,
+    OptConfig,
+    configs_with,
+    describe_optimisation,
+    disable_opt,
+    enumerate_configs,
+)
+from .pipeline import compile_program
+from .plan import ExecutablePlan, KernelPlan
+
+__all__ = [
+    "BASELINE",
+    "OPT_NAMES",
+    "OptConfig",
+    "configs_with",
+    "describe_optimisation",
+    "disable_opt",
+    "enumerate_configs",
+    "compile_program",
+    "ExecutablePlan",
+    "KernelPlan",
+]

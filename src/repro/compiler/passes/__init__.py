@@ -1,0 +1,13 @@
+"""Compiler optimisation passes, one module per paper optimisation."""
+
+from .coop_cv import apply_coop_cv
+from .iteration_outlining import apply_iteration_outlining
+from .nested_parallelism import apply_nested_parallelism
+from .workgroup_size import apply_workgroup_size
+
+__all__ = [
+    "apply_coop_cv",
+    "apply_iteration_outlining",
+    "apply_nested_parallelism",
+    "apply_workgroup_size",
+]

@@ -1,0 +1,59 @@
+"""The ``oitergb`` pass: iteration outlining (paper Section V-C).
+
+Fixpoint loops whose per-iteration kernels are short are dominated by
+kernel-launch latency and the per-iteration device-to-host convergence
+copy.  Iteration outlining moves the host loop onto the device: the
+kernels become device function calls separated by a *portable global
+barrier*, so the whole fixpoint costs one launch.
+
+The crux is the global barrier's functional portability: OpenCL gives
+no inter-workgroup forward-progress guarantee, so the generated code
+follows the occupancy-discovery recipe — it queries the safe
+co-resident workgroup count at runtime and launches exactly that many
+workgroups, virtualising the rest of the iteration space inside them.
+This pass performs that discovery against the chip model (accounting
+for the plan's CU-local memory demand) and refuses configurations
+whose kernels cannot be resident at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...chips.model import ChipModel
+from ...ocl.progress import validate_global_barrier
+from ..options import OptConfig
+from ..plan import ExecutablePlan, KernelPlan
+
+__all__ = ["apply_iteration_outlining"]
+
+
+def apply_iteration_outlining(
+    plan: ExecutablePlan, chip: ChipModel, config: OptConfig
+) -> ExecutablePlan:
+    """Outline the program's fixpoint loops onto the device."""
+    if not config.oitergb:
+        return plan
+    if not plan.program.has_fixpoint:
+        # Nothing to outline: a straight-line program has no
+        # iteration structure; the optimisation degenerates to a no-op.
+        return plan
+
+    # The outlined mega-kernel's resource demand is the maximum over
+    # the kernels it inlines (they share one launch).
+    local_mem = plan.max_local_mem_bytes
+    occupancy = chip.occupancy(config.wg_size, local_mem)
+    validate_global_barrier(occupancy, occupancy)
+
+    kernels: Dict[str, KernelPlan] = {
+        name: kp.add_note(
+            "oitergb: launch outlined to device; iterations synchronise "
+            f"via a global barrier over {occupancy} workgroups"
+        )
+        for name, kp in plan.kernels.items()
+    }
+    from dataclasses import replace
+
+    return replace(
+        plan, kernels=kernels, outlined=True, outlined_workgroups=occupancy
+    )

@@ -1,0 +1,63 @@
+"""Compiler driver: program + configuration + chip → executable plan.
+
+Pass order matters and mirrors the generation order of the original
+compiler: workgroup sizing first (it scales every later resource
+computation), then the intra-kernel transformations (nested
+parallelism, cooperative conversion), then whole-program iteration
+outlining (which needs the final per-kernel resource demands to
+discover a safe global-barrier occupancy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..chips.model import ChipModel
+from ..dsl.ast import Program
+from ..dsl.validate import validate_program
+from ..errors import CompileError
+from .options import OptConfig
+from .passes.coop_cv import apply_coop_cv
+from .passes.iteration_outlining import apply_iteration_outlining
+from .passes.nested_parallelism import apply_nested_parallelism
+from .passes.workgroup_size import apply_workgroup_size
+from .plan import ExecutablePlan, KernelPlan
+
+__all__ = ["compile_program"]
+
+
+def compile_program(
+    program: Program, chip: ChipModel, config: OptConfig
+) -> ExecutablePlan:
+    """Compile ``program`` for ``chip`` under ``config``.
+
+    Raises :class:`~repro.errors.InvalidConfigError` for configurations
+    illegal on the chip (unsupported workgroup size) and
+    :class:`~repro.errors.ForwardProgressError` when ``oitergb`` cannot
+    construct a safe global barrier.
+    """
+    validate_program(program)
+
+    kernels: Dict[str, KernelPlan] = {}
+    for kernel in program.kernels:
+        plan = KernelPlan(
+            kernel=kernel,
+            wg_size=config.wg_size,
+            sg_size=chip.sg_size if chip.supports_subgroups else 1,
+        )
+        plan = apply_workgroup_size(plan, chip, config)
+        plan = apply_nested_parallelism(plan, chip, config)
+        plan = apply_coop_cv(plan, chip, config)
+        if plan.local_mem_bytes > chip.cu.local_mem_bytes:
+            raise CompileError(
+                f"kernel {kernel.name!r} needs {plan.local_mem_bytes} B of "
+                f"local memory under [{config.label()}] but chip "
+                f"{chip.short_name} has {chip.cu.local_mem_bytes} B per CU"
+            )
+        kernels[kernel.name] = plan
+
+    plan = ExecutablePlan(
+        program=program, chip=chip, config=config, kernels=kernels
+    )
+    plan = apply_iteration_outlining(plan, chip, config)
+    return plan

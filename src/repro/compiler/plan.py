@@ -1,0 +1,130 @@
+"""Compiler output IR: executable kernel plans.
+
+A :class:`KernelPlan` records the *structural consequences* of the
+optimisation passes for one kernel — which load-balancing schemes are
+active and at what degree thresholds, how many barriers of which scope
+the generated code executes per unit of work, how much CU-local memory
+it reserves, whether contended RMWs are cooperatively combined, and
+the predication overhead of OpenCL-uniform control flow.  The
+performance model prices exactly these facts against a workload trace;
+the functional executor ignores them (optimisations are semantics-
+preserving by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..chips.model import ChipModel
+from ..dsl.ast import Kernel, Program
+from .options import OptConfig
+
+__all__ = ["KernelPlan", "ExecutablePlan"]
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """Compiled form of one kernel under a configuration on a chip."""
+
+    kernel: Kernel
+    wg_size: int
+    sg_size: int
+
+    # Nested-parallelism schemes (paper Section V-B).  A node whose
+    # degree is >= wg_threshold is processed by the whole workgroup;
+    # >= sg_threshold by its subgroup; the rest serially per-thread or,
+    # when fg_edges is set, via the fine-grained linearised executor.
+    wg_scheme: bool = False
+    sg_scheme: bool = False
+    fg_edges: Optional[int] = None
+    wg_threshold: int = 0
+    sg_threshold: int = 0
+
+    # Cooperative conversion (Section V-A): scope at which contended
+    # RMWs/pushes are aggregated, or None when not applied.
+    coop_scope: Optional[str] = None
+
+    # Structural cost facts.
+    local_mem_bytes: int = 0
+    wg_barriers_per_chunk: float = 0.0
+    sg_barriers_per_chunk: float = 0.0
+    predication_overhead: float = 0.0
+    leader_election_atomics: bool = False
+
+    # Human-readable record of the transformations applied.
+    notes: Tuple[str, ...] = ()
+
+    def with_(self, **kwargs) -> "KernelPlan":
+        """Functional update helper used by compiler passes."""
+        return replace(self, **kwargs)
+
+    def add_note(self, note: str) -> "KernelPlan":
+        return replace(self, notes=self.notes + (note,))
+
+    @property
+    def inserts_inner_barriers(self) -> bool:
+        """Whether the generated code reconverges the inner loop.
+
+        This is the structural fact behind the paper's MALI finding
+        (Section VIII-c): workgroup barriers that keep threads within
+        one inner-loop iteration of each other curb intra-workgroup
+        memory divergence — a benefit *independent of* the barriers'
+        load-balancing purpose.  The ``sg`` scheme's phase-separation
+        barriers and the ``fg`` executor's per-round barriers have this
+        shape; the ``wg`` scheme's barriers only run for its (rare)
+        high-degree nodes, and cooperative conversion's subgroup
+        barriers sit at the post-loop push site — neither reconverges
+        the divergent loop.
+        """
+        if self.sg_scheme or self.fg_edges is not None:
+            return True
+        # Hand-placed gratuitous barriers (the m-divg microbenchmark
+        # shape): inner-loop workgroup barriers without any scheme.
+        return self.wg_barriers_per_chunk > 0 and not self.wg_scheme
+
+    @property
+    def inserts_workgroup_barriers(self) -> bool:
+        return self.wg_barriers_per_chunk > 0
+
+
+@dataclass(frozen=True)
+class ExecutablePlan:
+    """Compiled form of a whole program for (chip, configuration)."""
+
+    program: Program
+    chip: ChipModel
+    config: OptConfig
+    kernels: Dict[str, KernelPlan] = field(default_factory=dict)
+
+    # Iteration outlining (Section V-C): when True, fixpoint loops run
+    # on-device; each loop iteration costs a global barrier instead of
+    # a kernel launch + host round-trip.
+    outlined: bool = False
+    outlined_workgroups: int = 0  # occupancy-discovered safe launch size
+
+    def kernel_plan(self, name: str) -> KernelPlan:
+        try:
+            return self.kernels[name]
+        except KeyError:
+            raise KeyError(
+                f"plan for program {self.program.name!r} has no kernel {name!r}"
+            ) from None
+
+    @property
+    def max_local_mem_bytes(self) -> int:
+        return max((k.local_mem_bytes for k in self.kernels.values()), default=0)
+
+    def describe(self) -> str:
+        """Multi-line description of the compiled plan (for reports)."""
+        lines = [
+            f"program {self.program.name} on {self.chip.short_name} "
+            f"with [{self.config.label()}]",
+            f"  outlined: {self.outlined}"
+            + (f" ({self.outlined_workgroups} workgroups)" if self.outlined else ""),
+        ]
+        for name, plan in self.kernels.items():
+            lines.append(f"  kernel {name}: wg_size={plan.wg_size}")
+            for note in plan.notes:
+                lines.append(f"    - {note}")
+        return "\n".join(lines)

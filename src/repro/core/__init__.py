@@ -1,0 +1,121 @@
+"""Analysis core: the paper's rank-based specialisation methodology.
+
+This package is the primary contribution of the paper being
+reproduced: a magnitude-agnostic statistical procedure (Algorithm 1)
+that turns a performance dataset into optimisation strategies at every
+degree of specialisation over {chip, application, input}, plus the
+naive analyses it improves upon and the portability quantifications
+built on top.
+"""
+
+from .ablation import (
+    ConfidencePoint,
+    MagnitudeComparison,
+    confidence_ablation,
+    magnitude_decide,
+    magnitude_vs_rank,
+)
+from .algorithm1 import Analysis, OptDecision, SPECIALISATION_DIMS
+from .sampling import (
+    AgreementPoint,
+    decision_agreement,
+    restrict_dataset,
+    sample_efficiency_curve,
+    subsample_configs,
+)
+from .evaluation import (
+    StrategyOutcomes,
+    evaluate_strategies,
+    optimisable_tests,
+    strategy_outcomes,
+    strategy_slowdown_vs_oracle,
+)
+from .naive import (
+    ConfigRanking,
+    do_no_harm,
+    fewest_slowdowns,
+    max_geomean,
+    per_chip_breakdown,
+    rank_configurations,
+)
+from .portability import (
+    EnvelopeEntry,
+    cross_chip_heatmap,
+    max_geomean_speedup,
+    performance_envelope,
+    top_speedup_opts,
+)
+from .significance import classify_outcome, significant_difference, welch_interval
+from .stats import (
+    MWUResult,
+    cl_effect_size,
+    cl_from_u,
+    geomean,
+    mann_whitney_u,
+    median,
+    rankdata,
+    speedup_ratio,
+    t_cdf,
+    t_ppf,
+)
+from .strategies import (
+    STRATEGY_DIMS,
+    STRATEGY_ORDER,
+    Strategy,
+    build_strategies,
+    load_strategies,
+    oracle_assignment,
+    save_strategies,
+)
+
+__all__ = [
+    "Analysis",
+    "OptDecision",
+    "SPECIALISATION_DIMS",
+    "ConfidencePoint",
+    "MagnitudeComparison",
+    "confidence_ablation",
+    "magnitude_decide",
+    "magnitude_vs_rank",
+    "AgreementPoint",
+    "decision_agreement",
+    "restrict_dataset",
+    "sample_efficiency_curve",
+    "subsample_configs",
+    "StrategyOutcomes",
+    "evaluate_strategies",
+    "optimisable_tests",
+    "strategy_outcomes",
+    "strategy_slowdown_vs_oracle",
+    "ConfigRanking",
+    "do_no_harm",
+    "fewest_slowdowns",
+    "max_geomean",
+    "per_chip_breakdown",
+    "rank_configurations",
+    "EnvelopeEntry",
+    "cross_chip_heatmap",
+    "max_geomean_speedup",
+    "performance_envelope",
+    "top_speedup_opts",
+    "classify_outcome",
+    "significant_difference",
+    "welch_interval",
+    "MWUResult",
+    "cl_effect_size",
+    "cl_from_u",
+    "geomean",
+    "mann_whitney_u",
+    "median",
+    "rankdata",
+    "speedup_ratio",
+    "t_cdf",
+    "t_ppf",
+    "Strategy",
+    "STRATEGY_ORDER",
+    "STRATEGY_DIMS",
+    "build_strategies",
+    "oracle_assignment",
+    "save_strategies",
+    "load_strategies",
+]

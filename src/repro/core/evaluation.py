@@ -1,0 +1,137 @@
+"""Quantifying semi-specialisation (paper Section VII, Figs 3 and 4).
+
+Evaluates every Table V strategy over the dataset:
+
+* **outcome shares** (Fig 3) — for each strategy, the percentage of
+  tests whose deployed configuration gives a significant speedup,
+  slowdown or no change versus the baseline.  Following the paper,
+  tests where even the oracle provides no significant speedup are
+  excluded (43 % of tests in the paper's data).
+* **slowdown versus oracle** (Fig 4) — the geometric-mean factor by
+  which each strategy trails the per-test oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler.options import BASELINE
+from ..study.dataset import PerfDataset, TestCase
+from .significance import classify_outcome
+from .stats.summary import geomean, median
+from .strategies import Strategy
+
+__all__ = [
+    "StrategyOutcomes",
+    "optimisable_tests",
+    "strategy_outcomes",
+    "strategy_slowdown_vs_oracle",
+    "evaluate_strategies",
+]
+
+
+@dataclass(frozen=True)
+class StrategyOutcomes:
+    """Fig 3 bar for one strategy."""
+
+    strategy: str
+    speedups: int
+    slowdowns: int
+    no_change: int
+
+    @property
+    def n_tests(self) -> int:
+        return self.speedups + self.slowdowns + self.no_change
+
+    @property
+    def pct_speedup(self) -> float:
+        return 100.0 * self.speedups / max(1, self.n_tests)
+
+    @property
+    def pct_slowdown(self) -> float:
+        return 100.0 * self.slowdowns / max(1, self.n_tests)
+
+    @property
+    def pct_no_change(self) -> float:
+        return 100.0 * self.no_change / max(1, self.n_tests)
+
+
+def optimisable_tests(
+    dataset: PerfDataset, oracle: Strategy
+) -> List[TestCase]:
+    """Tests where some configuration beats the baseline significantly.
+
+    The complement (no configuration helps — 43 % of the paper's
+    tests) is excluded from the Fig 3 outcome shares.
+    """
+    kept = []
+    for test in dataset.tests:
+        base = dataset.times(test, BASELINE)
+        best = dataset.times(test, oracle.config_for(test))
+        if classify_outcome(base, best) == "speedup":
+            kept.append(test)
+    return kept
+
+
+def strategy_outcomes(
+    dataset: PerfDataset,
+    strategy: Strategy,
+    tests: Sequence[TestCase],
+) -> StrategyOutcomes:
+    """Classify every test's outcome under a strategy (vs. baseline)."""
+    counts = {"speedup": 0, "slowdown": 0, "no-change": 0}
+    for test in tests:
+        base = dataset.times(test, BASELINE)
+        times = dataset.times(test, strategy.config_for(test))
+        counts[classify_outcome(base, times)] += 1
+    return StrategyOutcomes(
+        strategy=strategy.name,
+        speedups=counts["speedup"],
+        slowdowns=counts["slowdown"],
+        no_change=counts["no-change"],
+    )
+
+
+def strategy_slowdown_vs_oracle(
+    dataset: PerfDataset,
+    strategy: Strategy,
+    oracle: Strategy,
+    tests: Optional[Sequence[TestCase]] = None,
+) -> float:
+    """Fig 4: geomean of median(strategy) / median(oracle) over tests."""
+    tests = list(tests) if tests is not None else dataset.tests
+    ratios = []
+    for test in tests:
+        t_strategy = median(dataset.times(test, strategy.config_for(test)))
+        t_oracle = median(dataset.times(test, oracle.config_for(test)))
+        ratios.append(t_strategy / t_oracle)
+    return geomean(ratios)
+
+
+def evaluate_strategies(
+    dataset: PerfDataset, strategies: Dict[str, Strategy]
+) -> Dict[str, Dict[str, float]]:
+    """Joint Fig 3 + Fig 4 evaluation of all strategies.
+
+    Returns, per strategy: speedup/slowdown/no-change counts and
+    percentages over the optimisable tests, and the geomean slowdown
+    versus the oracle over all tests.
+    """
+    oracle = strategies["oracle"]
+    kept = optimisable_tests(dataset, oracle)
+    summary: Dict[str, Dict[str, float]] = {}
+    for name, strategy in strategies.items():
+        outcomes = strategy_outcomes(dataset, strategy, kept)
+        summary[name] = {
+            "speedups": outcomes.speedups,
+            "slowdowns": outcomes.slowdowns,
+            "no_change": outcomes.no_change,
+            "pct_speedup": outcomes.pct_speedup,
+            "pct_slowdown": outcomes.pct_slowdown,
+            "pct_no_change": outcomes.pct_no_change,
+            "slowdown_vs_oracle": strategy_slowdown_vs_oracle(
+                dataset, strategy, oracle
+            ),
+        }
+    return summary

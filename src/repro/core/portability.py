@@ -1,0 +1,145 @@
+"""Cross-chip portability analyses (paper Section II, Figs 1-2, Table II).
+
+These consume only oracle queries over the dataset:
+
+* **cross-chip heatmap** (Fig 1) — how much a chip slows down when run
+  with optimisation settings that are optimal for another chip;
+* **performance envelope** (Table II) — each chip's most extreme
+  speedup and slowdown over the baseline, with the responsible
+  application and input;
+* **top-speedup optimisations** (Fig 2) — which optimisations appear
+  in each chip's per-test oracle configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.options import BASELINE, OPT_NAMES, OptConfig
+from ..study.dataset import PerfDataset, TestCase
+from .significance import classify_outcome
+from .stats.summary import geomean, median
+
+__all__ = [
+    "cross_chip_heatmap",
+    "EnvelopeEntry",
+    "performance_envelope",
+    "top_speedup_opts",
+    "max_geomean_speedup",
+]
+
+
+def cross_chip_heatmap(
+    dataset: PerfDataset,
+) -> Tuple[List[str], Dict[Tuple[str, str], float]]:
+    """Fig 1: geomean slowdown of chip-B-optimal settings on chip A.
+
+    Returns the chip order and a map (run_chip, opt_chip) → geomean
+    slowdown over all (application, input) pairs; the diagonal is 1.0
+    by construction.
+    """
+    chips = dataset.chips
+    pairs = sorted({(t.app, t.graph) for t in dataset.tests})
+    # Oracle configuration of every (app, input, chip).
+    best: Dict[Tuple[str, str, str], OptConfig] = {}
+    for test in dataset.tests:
+        best[(test.app, test.graph, test.chip)] = dataset.best_config(test)
+
+    heat: Dict[Tuple[str, str], float] = {}
+    for run_chip in chips:
+        for opt_chip in chips:
+            ratios = []
+            for app, graph in pairs:
+                test = TestCase(app, graph, run_chip)
+                own = median(dataset.times(test, best[(app, graph, run_chip)]))
+                ported = median(dataset.times(test, best[(app, graph, opt_chip)]))
+                ratios.append(ported / own)
+            heat[(run_chip, opt_chip)] = geomean(ratios)
+    return chips, heat
+
+
+@dataclass(frozen=True)
+class EnvelopeEntry:
+    """One side of Table II's envelope for a chip."""
+
+    chip: str
+    app: str
+    graph: str
+    config: OptConfig
+    factor: float  # speedup (>1) or slowdown (>1, i.e. base/config inverted)
+
+
+def performance_envelope(
+    dataset: PerfDataset,
+) -> Dict[str, Tuple[EnvelopeEntry, EnvelopeEntry]]:
+    """Table II: per chip, the extreme speedup and slowdown vs baseline.
+
+    Only statistically significant outcomes qualify, matching the
+    paper's definitions of speedup and slowdown.
+    """
+    result: Dict[str, Tuple[EnvelopeEntry, EnvelopeEntry]] = {}
+    for chip in dataset.chips:
+        best_entry: Optional[EnvelopeEntry] = None
+        worst_entry: Optional[EnvelopeEntry] = None
+        for test in dataset.tests_where(chip=chip):
+            base = dataset.times(test, BASELINE)
+            base_med = median(base)
+            for config in dataset.configs:
+                if config.is_baseline:
+                    continue
+                times = dataset.times(test, config)
+                outcome = classify_outcome(base, times)
+                if outcome == "no-change":
+                    continue
+                speedup = base_med / median(times)
+                if outcome == "speedup" and (
+                    best_entry is None or speedup > best_entry.factor
+                ):
+                    best_entry = EnvelopeEntry(
+                        chip, test.app, test.graph, config, speedup
+                    )
+                elif outcome == "slowdown" and (
+                    worst_entry is None or 1.0 / speedup > worst_entry.factor
+                ):
+                    worst_entry = EnvelopeEntry(
+                        chip, test.app, test.graph, config, 1.0 / speedup
+                    )
+        if best_entry is None:
+            best_entry = EnvelopeEntry(chip, "-", "-", BASELINE, 1.0)
+        if worst_entry is None:
+            worst_entry = EnvelopeEntry(chip, "-", "-", BASELINE, 1.0)
+        result[chip] = (best_entry, worst_entry)
+    return result
+
+
+def top_speedup_opts(
+    dataset: PerfDataset, threshold: float = 0.0
+) -> Dict[str, Dict[str, int]]:
+    """Fig 2: per chip, how often each optimisation appears in the
+    per-test oracle configuration (counted over tests whose oracle
+    speedup exceeds ``threshold``)."""
+    counts: Dict[str, Dict[str, int]] = {
+        chip: {opt: 0 for opt in OPT_NAMES} for chip in dataset.chips
+    }
+    for test in dataset.tests:
+        best = dataset.best_config(test)
+        base_med = median(dataset.times(test, BASELINE))
+        if base_med / median(dataset.times(test, best)) <= 1.0 + threshold:
+            continue
+        for opt in best.enabled_names():
+            counts[test.chip][opt] += 1
+    return counts
+
+
+def max_geomean_speedup(
+    dataset: PerfDataset, tests: Optional[Sequence[TestCase]] = None
+) -> float:
+    """Section II-B's headline: the oracle's geomean speedup over baseline."""
+    tests = list(tests) if tests is not None else dataset.tests
+    ratios = []
+    for test in tests:
+        base = median(dataset.times(test, BASELINE))
+        best = median(dataset.times(test, dataset.best_config(test)))
+        ratios.append(base / best)
+    return geomean(ratios)

@@ -1,0 +1,101 @@
+"""Plain-text renderers for the experiment tables and figures.
+
+Every experiment module renders through these helpers so that the
+benchmark harness prints consistent, diffable output (the textual
+equivalents of the paper's tables and figure series).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["render_table", "render_heatmap", "render_bar_series", "render_csv"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_heatmap(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Dict[Tuple[str, str], float],
+    title: str = "",
+    corner: str = "",
+) -> str:
+    """ASCII heatmap: rows × columns of formatted values."""
+    headers = [corner] + list(col_labels)
+    rows = [
+        [r] + [_fmt(values.get((r, c), float("nan"))) for c in col_labels]
+        for r in row_labels
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def render_bar_series(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Textual stand-in for a stacked/grouped bar figure.
+
+    One row per label; each named series is printed as a numeric
+    column plus a proportional bar of ``#`` characters scaled to the
+    series' maximum.
+    """
+    out: List[str] = []
+    if title:
+        out.append(title)
+    label_w = max((len(s) for s in labels), default=0)
+    for name, values in series.items():
+        out.append(f"-- {name} --")
+        peak = max((abs(v) for v in values), default=1.0) or 1.0
+        for label, value in zip(labels, values):
+            bar = "#" * int(round(width * abs(value) / peak))
+            out.append(f"{label.ljust(label_w)}  {value:>8.2f}  {bar}")
+    return "\n".join(out)
+
+
+def render_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """CSV rendering of the same (headers, rows) the tables use.
+
+    Minimal quoting: fields containing commas, quotes or newlines are
+    double-quoted per RFC 4180.
+    """
+
+    def field(value: object) -> str:
+        text = _fmt(value)
+        if any(ch in text for ch in ',"\n'):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(field(h) for h in headers)]
+    lines.extend(",".join(field(c) for c in row) for row in rows)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,144 @@
+"""Sample-efficiency analysis (the paper's Section IX future work).
+
+The study uses an *exhaustive* set of runtime results — every
+configuration measured for every test.  The paper asks whether smaller
+samples from the test domain would suffice, which would cut
+experimental time and open the door to larger domains.
+
+This module answers the question over our dataset: Algorithm 1 is run
+against random subsets of the measured configurations and its
+decisions are compared with the exhaustive ones.  Because the analysis
+skips comparison pairs it cannot form (a sampled configuration whose
+mirror was not sampled still pairs against it only if both are
+present), subsampling simply thins the A/B lists — exactly what
+collecting less data would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.options import OPT_NAMES, OptConfig, enumerate_configs
+from ..errors import AnalysisError
+from ..study.dataset import PerfDataset
+from ..util import stable_hash
+from .algorithm1 import Analysis, OptDecision
+
+__all__ = [
+    "subsample_configs",
+    "restrict_dataset",
+    "decision_agreement",
+    "AgreementPoint",
+    "sample_efficiency_curve",
+]
+
+
+def subsample_configs(
+    n_configs: int, seed: int = 0, pool: Optional[Sequence[OptConfig]] = None
+) -> List[OptConfig]:
+    """A random subset of the optimisation space of size ``n_configs``.
+
+    The baseline is always included (it anchors the speedup/slowdown
+    vocabulary); the rest are drawn uniformly without replacement.
+    """
+    pool = list(pool) if pool is not None else enumerate_configs()
+    non_baseline = [c for c in pool if not c.is_baseline]
+    if not 1 <= n_configs <= len(non_baseline) + 1:
+        raise AnalysisError(
+            f"n_configs must be in [1, {len(non_baseline) + 1}] "
+            f"(got {n_configs})"
+        )
+    rng = np.random.default_rng(stable_hash("subsample", n_configs, seed))
+    chosen = rng.choice(len(non_baseline), size=n_configs - 1, replace=False)
+    return [OptConfig()] + [non_baseline[i] for i in sorted(chosen)]
+
+
+def restrict_dataset(
+    dataset: PerfDataset, configs: Sequence[OptConfig]
+) -> PerfDataset:
+    """A copy of ``dataset`` containing only the given configurations."""
+    keep = {c.key() for c in configs}
+    out = PerfDataset()
+    for test, config, times in dataset.iter_measurements():
+        if config.key() in keep:
+            out.add(test, config, times)
+    return out
+
+
+def decision_agreement(
+    reference: Dict[str, OptDecision], candidate: Dict[str, OptDecision]
+) -> float:
+    """Fraction of optimisations on which two analyses agree.
+
+    Agreement means the same enabled/disabled verdict; an inconclusive
+    candidate decision counts as disagreement unless the reference is
+    also inconclusive (less data should not get credit for shrugging).
+    """
+    agree = 0
+    for opt in OPT_NAMES:
+        ref, cand = reference[opt], candidate[opt]
+        if ref.inconclusive and cand.inconclusive:
+            agree += 1
+        elif not ref.inconclusive and not cand.inconclusive:
+            agree += ref.enabled == cand.enabled
+    return agree / len(OPT_NAMES)
+
+
+@dataclass(frozen=True)
+class AgreementPoint:
+    """Agreement with the exhaustive analysis at one sample size."""
+
+    n_configs: int
+    mean_agreement: float
+    min_agreement: float
+    n_trials: int
+
+
+def sample_efficiency_curve(
+    dataset: PerfDataset,
+    sizes: Sequence[int] = (8, 16, 32, 48, 64, 96),
+    trials: int = 3,
+    dims: Tuple[str, ...] = ("chip",),
+    analysis: Optional[Analysis] = None,
+) -> List[AgreementPoint]:
+    """Decision agreement vs the exhaustive analysis per sample size.
+
+    For each size, ``trials`` random configuration subsets are drawn;
+    Algorithm 1 runs on each restricted dataset at the given
+    specialisation, and its per-partition decisions are compared with
+    the exhaustive ones.  Returns one point per size with mean and
+    worst-case agreement across trials and partitions.
+    """
+    if analysis is None:
+        analysis = Analysis(dataset)
+    reference = analysis.specialise_decisions(dims)
+
+    points: List[AgreementPoint] = []
+    for size in sizes:
+        agreements: List[float] = []
+        for trial in range(trials):
+            configs = subsample_configs(size, seed=trial)
+            restricted = restrict_dataset(dataset, configs)
+            sub = Analysis(
+                restricted,
+                confidence=analysis.confidence,
+                alpha=analysis.alpha,
+                min_samples=analysis.min_samples,
+            )
+            candidate = sub.specialise_decisions(dims)
+            for key, ref_decisions in reference.items():
+                agreements.append(
+                    decision_agreement(ref_decisions, candidate[key])
+                )
+        points.append(
+            AgreementPoint(
+                n_configs=size,
+                mean_agreement=float(np.mean(agreements)),
+                min_agreement=float(np.min(agreements)),
+                n_trials=trials,
+            )
+        )
+    return points

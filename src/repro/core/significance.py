@@ -1,0 +1,76 @@
+"""The per-comparison 95 % CI significance filter (Algorithm 1, line 14).
+
+Before a runtime ratio enters the rank analysis, the paper requires
+the difference between the two timing samples to be statistically
+significant at 95 % confidence.  With the study's three repetitions
+per measurement this is a Welch confidence interval on the difference
+of means: the comparison is significant when the interval excludes
+zero.
+
+The same filter defines the paper's vocabulary: a configuration gives
+a test a *speedup* (or *slowdown*) only when its timings differ
+significantly from the baseline's and the median moved in the
+corresponding direction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .stats.summary import median
+from .stats.tdist import t_ppf
+
+__all__ = ["significant_difference", "classify_outcome", "welch_interval"]
+
+
+def welch_interval(
+    a: Sequence[float], b: Sequence[float], confidence: float = 0.95
+):
+    """Welch CI for mean(a) - mean(b); returns (low, high).
+
+    Degenerate zero-variance samples get a tiny floor variance so the
+    interval stays well-defined (timing data is never exactly
+    constant, but simulated data can be).
+    """
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("Welch interval needs at least two samples per side")
+    va = max(float(a.var(ddof=1)), 1e-24)
+    vb = max(float(b.var(ddof=1)), 1e-24)
+    na, nb = a.size, b.size
+    se_sq = va / na + vb / nb
+    df = se_sq ** 2 / (
+        (va / na) ** 2 / (na - 1) + (vb / nb) ** 2 / (nb - 1)
+    )
+    t_crit = t_ppf(0.5 + confidence / 2.0, max(df, 1.0))
+    diff = float(a.mean() - b.mean())
+    half = t_crit * math.sqrt(se_sq)
+    return diff - half, diff + half
+
+
+def significant_difference(
+    a: Sequence[float], b: Sequence[float], confidence: float = 0.95
+) -> bool:
+    """Whether two timing samples differ at the given confidence."""
+    low, high = welch_interval(a, b, confidence)
+    return low > 0.0 or high < 0.0
+
+
+def classify_outcome(
+    baseline_times: Sequence[float],
+    times: Sequence[float],
+    confidence: float = 0.95,
+) -> str:
+    """The paper's outcome vocabulary: speedup / slowdown / no-change.
+
+    A significant difference with a lower median is a ``"speedup"``,
+    with a higher median a ``"slowdown"``; anything else is
+    ``"no-change"``.
+    """
+    if not significant_difference(times, baseline_times, confidence):
+        return "no-change"
+    return "speedup" if median(times) < median(baseline_times) else "slowdown"

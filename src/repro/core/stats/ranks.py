@@ -1,0 +1,45 @@
+"""Rank utilities for the non-parametric tests."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["rankdata", "tie_groups"]
+
+
+def rankdata(values: Sequence[float]) -> np.ndarray:
+    """Ranks (1-based) with ties assigned their average rank.
+
+    Matches the standard mid-rank convention used by the Mann-Whitney
+    U test.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        # Positions i..j (0-based) share the average of ranks i+1..j+1.
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def tie_groups(values: Sequence[float]) -> Tuple[int, ...]:
+    """Sizes of groups of tied values (size >= 2 only)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    groups = []
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and values[j + 1] == values[i]:
+            j += 1
+        if j > i:
+            groups.append(j - i + 1)
+        i = j + 1
+    return tuple(groups)

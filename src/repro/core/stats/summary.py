@@ -1,0 +1,23 @@
+"""Summary statistics used throughout the analysis and reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...util import geomean
+
+__all__ = ["geomean", "median", "speedup_ratio"]
+
+
+def median(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("median of an empty sequence")
+    return float(np.median(np.asarray(values, dtype=np.float64)))
+
+
+def speedup_ratio(baseline_times: Sequence[float], times: Sequence[float]) -> float:
+    """Median-based speedup of ``times`` over ``baseline_times`` (>1 is faster)."""
+    return median(baseline_times) / median(times)

@@ -1,0 +1,169 @@
+"""The optimisation-strategy functions of the paper's Table V.
+
+A *strategy* maps an (application, input, chip) tuple to an
+optimisation configuration.  Nine strategies come from Algorithm 1 at
+every degree of specialisation — the baseline (everything off), the
+fully portable *global* function, the three single-dimension
+functions, the three two-dimension functions, and the fully
+specialised three-dimension function — plus the *oracle*, which simply
+queries the dataset for the best configuration of each test (the
+upper bound any strategy can reach).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.options import BASELINE, OptConfig
+from ..errors import AnalysisError
+from ..study.dataset import PerfDataset, TestCase
+from .algorithm1 import Analysis
+
+__all__ = [
+    "Strategy",
+    "STRATEGY_ORDER",
+    "STRATEGY_DIMS",
+    "build_strategies",
+    "oracle_assignment",
+    "save_strategies",
+    "load_strategies",
+]
+
+#: Paper presentation order, least to most specialised.
+STRATEGY_ORDER: Tuple[str, ...] = (
+    "baseline",
+    "global",
+    "chip",
+    "app",
+    "input",
+    "chip+app",
+    "chip+input",
+    "app+input",
+    "chip+app+input",
+    "oracle",
+)
+
+#: The specialisation dimensions of each Algorithm 1 strategy.
+STRATEGY_DIMS: Dict[str, Tuple[str, ...]] = {
+    "global": (),
+    "chip": ("chip",),
+    "app": ("app",),
+    "input": ("input",),
+    "chip+app": ("chip", "app"),
+    "chip+input": ("chip", "input"),
+    "app+input": ("app", "input"),
+    "chip+app+input": ("chip", "app", "input"),
+}
+
+
+@dataclass
+class Strategy:
+    """A named mapping from tests to configurations."""
+
+    name: str
+    dims: Tuple[str, ...]
+    assignment: Dict[Tuple, OptConfig] = field(default_factory=dict)
+
+    def key_for(self, test: TestCase) -> Tuple:
+        values = []
+        for dim in self.dims:
+            if dim == "chip":
+                values.append(test.chip)
+            elif dim == "app":
+                values.append(test.app)
+            elif dim == "input":
+                values.append(test.graph)
+            else:  # pragma: no cover - constructed internally
+                raise AnalysisError(f"unknown dimension {dim!r}")
+        return tuple(values)
+
+    def config_for(self, test: TestCase) -> OptConfig:
+        """The configuration this strategy deploys for a test."""
+        key = self.key_for(test)
+        try:
+            return self.assignment[key]
+        except KeyError:
+            raise AnalysisError(
+                f"strategy {self.name!r} has no assignment for {test} "
+                f"(partition key {key!r})"
+            ) from None
+
+    @property
+    def distinct_configs(self) -> List[OptConfig]:
+        seen: Dict[str, OptConfig] = {}
+        for cfg in self.assignment.values():
+            seen.setdefault(cfg.key(), cfg)
+        return list(seen.values())
+
+    # -- persistence ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "dims": list(self.dims),
+            "assignment": [
+                {"key": list(key), "config": cfg.key()}
+                for key, cfg in self.assignment.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Strategy":
+        assignment = {
+            tuple(entry["key"]): (
+                BASELINE
+                if entry["config"] == "baseline"
+                else OptConfig.from_names(entry["config"].split("+"))
+            )
+            for entry in data["assignment"]
+        }
+        return cls(
+            name=data["name"], dims=tuple(data["dims"]), assignment=assignment
+        )
+
+
+def oracle_assignment(
+    dataset: PerfDataset, tests: Optional[Sequence[TestCase]] = None
+) -> Dict[Tuple, OptConfig]:
+    """Best configuration per (app, input, chip), queried exhaustively."""
+    tests = list(tests) if tests is not None else dataset.tests
+    return {
+        (t.app, t.graph, t.chip): dataset.best_config(t) for t in tests
+    }
+
+
+def save_strategies(strategies: Dict[str, Strategy], path: str) -> None:
+    """Persist a set of strategies as JSON.
+
+    This is the artifact a domain compiler would ship: the optimisation
+    policy derived from one study, deployable without the dataset.
+    """
+    with open(path, "w") as f:
+        json.dump({name: s.to_dict() for name, s in strategies.items()}, f)
+
+
+def load_strategies(path: str) -> Dict[str, Strategy]:
+    """Load strategies persisted by :func:`save_strategies`."""
+    with open(path) as f:
+        data = json.load(f)
+    return {name: Strategy.from_dict(d) for name, d in data.items()}
+
+
+def build_strategies(
+    dataset: PerfDataset, analysis: Optional[Analysis] = None
+) -> Dict[str, Strategy]:
+    """Construct all ten Table V strategies from a dataset."""
+    if analysis is None:
+        analysis = Analysis(dataset)
+
+    strategies: Dict[str, Strategy] = {
+        "baseline": Strategy("baseline", (), {(): BASELINE})
+    }
+    for name, dims in STRATEGY_DIMS.items():
+        strategies[name] = Strategy(name, dims, analysis.specialise(dims))
+    strategies["oracle"] = Strategy(
+        "oracle", ("app", "input", "chip"), oracle_assignment(dataset)
+    )
+    return strategies

@@ -1,0 +1,44 @@
+"""IrGL-style graph algorithm DSL: AST, builders and validation."""
+
+from .ast import (
+    AtomicRMW,
+    Fixpoint,
+    Invoke,
+    IterationSpace,
+    Kernel,
+    Load,
+    NeighborLoop,
+    Program,
+    Push,
+    ScheduleNode,
+    Store,
+)
+from .builder import (
+    edge_kernel,
+    fixpoint_program,
+    phased_program,
+    relax_kernel,
+    topology_kernel,
+)
+from .validate import validate_kernel, validate_program
+
+__all__ = [
+    "AtomicRMW",
+    "Fixpoint",
+    "Invoke",
+    "IterationSpace",
+    "Kernel",
+    "Load",
+    "NeighborLoop",
+    "Program",
+    "Push",
+    "ScheduleNode",
+    "Store",
+    "relax_kernel",
+    "topology_kernel",
+    "edge_kernel",
+    "fixpoint_program",
+    "phased_program",
+    "validate_kernel",
+    "validate_program",
+]

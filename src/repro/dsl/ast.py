@@ -1,0 +1,285 @@
+"""AST for the IrGL-style graph-algorithm DSL.
+
+The DSL mirrors the structure IrGL gives graph algorithms: a *program*
+is a host-side schedule (straight-line kernel invocations and
+fixpoint loops) over *kernels*; a kernel iterates over an iteration
+space (all nodes, all edges, or a dynamic worklist) and its body is a
+tree of *operations* — optionally containing one irregular
+``NeighborLoop`` (the nested-parallelism target), memory accesses with
+declared spatial patterns, atomic read-modify-writes and worklist
+pushes.
+
+The AST is deliberately operation-granular rather than
+expression-granular: it captures exactly the structure the paper's
+optimisations transform (Table VI's performance parameters), while the
+algorithms' value-level semantics are bound separately as vectorised
+step functions (see :mod:`repro.runtime.executor`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..ocl.memory import AccessPattern, AtomicOp, MemoryRegion
+
+__all__ = [
+    "IterationSpace",
+    "Op",
+    "Load",
+    "Store",
+    "AtomicRMW",
+    "Push",
+    "NeighborLoop",
+    "Kernel",
+    "Invoke",
+    "Fixpoint",
+    "ScheduleNode",
+    "Program",
+]
+
+
+class IterationSpace(enum.Enum):
+    """What a kernel's outer parallel loop ranges over."""
+
+    ALL_NODES = "all_nodes"  # topology-driven
+    ALL_EDGES = "all_edges"  # edge-centric
+    WORKLIST = "worklist"  # data-driven
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for kernel body operations."""
+
+
+@dataclass(frozen=True)
+class Load(Op):
+    """Read of a named field with a declared access pattern."""
+
+    field_name: str
+    pattern: AccessPattern = AccessPattern.COALESCED
+    region: MemoryRegion = MemoryRegion.GLOBAL
+
+
+@dataclass(frozen=True)
+class Store(Op):
+    """Write of a named field with a declared access pattern."""
+
+    field_name: str
+    pattern: AccessPattern = AccessPattern.COALESCED
+    region: MemoryRegion = MemoryRegion.GLOBAL
+
+
+@dataclass(frozen=True)
+class AtomicRMW(Op):
+    """Atomic read-modify-write.
+
+    ``contended`` marks single-location hot spots (worklist tails,
+    global accumulators) whose RMWs serialise — the target of the
+    cooperative-conversion optimisation.
+    """
+
+    field_name: str
+    op: AtomicOp = AtomicOp.ADD
+    region: MemoryRegion = MemoryRegion.GLOBAL
+    contended: bool = False
+
+
+@dataclass(frozen=True)
+class Push(Op):
+    """Append an item to the global output worklist.
+
+    Implemented as one contended global RMW (tail-pointer bump) plus a
+    payload store; cooperative conversion aggregates these across a
+    subgroup or workgroup.
+    """
+
+    worklist: str = "out_wl"
+
+
+@dataclass(frozen=True)
+class NeighborLoop(Op):
+    """The irregular inner loop over a node's out-edges.
+
+    This is the nested-parallelism target: its trip count is the node's
+    degree, so the outer ``ALL_NODES``/``WORKLIST`` loop is load-
+    imbalanced exactly when the degree distribution is skewed.
+    """
+
+    ops: Tuple[Op, ...] = ()
+
+    def __init__(self, ops: Sequence[Op] = ()) -> None:
+        object.__setattr__(self, "ops", tuple(ops))
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One device kernel: iteration space plus operation tree."""
+
+    name: str
+    space: IterationSpace
+    ops: Tuple[Op, ...] = ()
+    workgroup_size_agnostic: bool = True  # required by sz256 (Section V-D)
+
+    def __init__(
+        self,
+        name: str,
+        space: IterationSpace,
+        ops: Sequence[Op] = (),
+        workgroup_size_agnostic: bool = True,
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "ops", tuple(ops))
+        object.__setattr__(
+            self, "workgroup_size_agnostic", workgroup_size_agnostic
+        )
+
+    # -- structural queries (used by compiler passes) -------------------
+
+    def walk(self) -> Iterator[Op]:
+        """Depth-first iteration over all operations in the body."""
+
+        def _walk(ops: Tuple[Op, ...]) -> Iterator[Op]:
+            for op in ops:
+                yield op
+                if isinstance(op, NeighborLoop):
+                    yield from _walk(op.ops)
+
+        return _walk(self.ops)
+
+    @property
+    def neighbor_loops(self) -> List[NeighborLoop]:
+        return [op for op in self.ops if isinstance(op, NeighborLoop)]
+
+    @property
+    def has_neighbor_loop(self) -> bool:
+        return bool(self.neighbor_loops)
+
+    @property
+    def pushes(self) -> List[Push]:
+        return [op for op in self.walk() if isinstance(op, Push)]
+
+    @property
+    def contended_atomics(self) -> List[AtomicRMW]:
+        return [
+            op
+            for op in self.walk()
+            if isinstance(op, AtomicRMW) and op.contended
+        ]
+
+    @property
+    def uncontended_atomics(self) -> List[AtomicRMW]:
+        return [
+            op
+            for op in self.walk()
+            if isinstance(op, AtomicRMW) and not op.contended
+        ]
+
+    @property
+    def irregular_accesses(self) -> List[Union[Load, Store]]:
+        return [
+            op
+            for op in self.walk()
+            if isinstance(op, (Load, Store))
+            and op.pattern is AccessPattern.IRREGULAR
+        ]
+
+    def inner_ops_of_kind(self, kind: type) -> List[Op]:
+        """Ops of ``kind`` inside neighbour loops (per-edge operations)."""
+        found: List[Op] = []
+        for loop in self.neighbor_loops:
+            stack = list(loop.ops)
+            while stack:
+                op = stack.pop()
+                if isinstance(op, kind):
+                    found.append(op)
+                if isinstance(op, NeighborLoop):
+                    stack.extend(op.ops)
+        return found
+
+
+@dataclass(frozen=True)
+class Invoke:
+    """Schedule node: launch one kernel once."""
+
+    kernel: str
+
+
+@dataclass(frozen=True)
+class Fixpoint:
+    """Schedule node: repeat a body of invocations until convergence.
+
+    ``convergence`` names the mechanism the host uses to detect the
+    fixed point — an empty worklist or a device-written flag — each of
+    which costs one device-to-host copy per iteration unless the whole
+    loop is outlined to the device (``oitergb``).
+    """
+
+    body: Tuple[Invoke, ...]
+    convergence: str = "worklist-empty"  # or "flag"
+
+    def __init__(
+        self, body: Sequence[Invoke], convergence: str = "worklist-empty"
+    ) -> None:
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "convergence", convergence)
+
+
+ScheduleNode = Union[Invoke, Fixpoint]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete DSL program: kernels plus a host schedule."""
+
+    name: str
+    kernels: Tuple[Kernel, ...]
+    schedule: Tuple[ScheduleNode, ...]
+    description: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        kernels: Sequence[Kernel],
+        schedule: Sequence[ScheduleNode],
+        description: str = "",
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "kernels", tuple(kernels))
+        object.__setattr__(self, "schedule", tuple(schedule))
+        object.__setattr__(self, "description", description)
+
+    def kernel(self, name: str) -> Kernel:
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(f"program {self.name!r} has no kernel {name!r}")
+
+    @property
+    def kernel_names(self) -> List[str]:
+        return [k.name for k in self.kernels]
+
+    @property
+    def uses_worklist(self) -> bool:
+        return any(k.space is IterationSpace.WORKLIST for k in self.kernels) or any(
+            k.pushes for k in self.kernels
+        )
+
+    @property
+    def fixpoints(self) -> List[Fixpoint]:
+        return [node for node in self.schedule if isinstance(node, Fixpoint)]
+
+    @property
+    def has_fixpoint(self) -> bool:
+        return bool(self.fixpoints)
+
+    def invocations(self) -> Iterator[Tuple[Optional[Fixpoint], Invoke]]:
+        """All invocations with their enclosing fixpoint (or None)."""
+        for node in self.schedule:
+            if isinstance(node, Invoke):
+                yield None, node
+            else:
+                for inv in node.body:
+                    yield node, inv

@@ -1,0 +1,166 @@
+"""Convenience constructors for common DSL program shapes.
+
+Graph algorithms in the study reuse a small number of kernel shapes:
+data-driven relaxation (worklist in, neighbour loop, atomic update,
+worklist out), topology-driven sweeps, and edge-centric scans.  These
+helpers build those shapes with the correct operation annotations so
+applications stay concise and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ocl.memory import AccessPattern, AtomicOp, MemoryRegion
+from .ast import (
+    AtomicRMW,
+    Fixpoint,
+    Invoke,
+    IterationSpace,
+    Kernel,
+    Load,
+    NeighborLoop,
+    Program,
+    Push,
+    Store,
+)
+from .validate import validate_program
+
+__all__ = [
+    "relax_kernel",
+    "topology_kernel",
+    "edge_kernel",
+    "fixpoint_program",
+    "phased_program",
+]
+
+
+def relax_kernel(
+    name: str,
+    update_field: str,
+    atomic_op: AtomicOp = AtomicOp.MIN,
+    space: IterationSpace = IterationSpace.WORKLIST,
+    push: bool = True,
+    read_weights: bool = False,
+) -> Kernel:
+    """Data-driven relaxation kernel (BFS/SSSP/CC work-item shape).
+
+    Each active node walks its out-edges, reads the neighbour's value
+    (irregular access), atomically improves it, and pushes improved
+    neighbours to the output worklist.
+    """
+    inner: list = [
+        Load(update_field, AccessPattern.IRREGULAR),
+        AtomicRMW(update_field, atomic_op, MemoryRegion.GLOBAL),
+    ]
+    if read_weights:
+        inner.insert(0, Load("edge_weight", AccessPattern.COALESCED))
+    if push:
+        inner.append(Push())
+    return Kernel(
+        name,
+        space,
+        ops=[
+            Load(update_field, AccessPattern.COALESCED),
+            NeighborLoop(inner),
+        ],
+    )
+
+
+def topology_kernel(
+    name: str,
+    read_field: str,
+    write_field: str,
+    neighbor_reads: bool = True,
+    atomic: Optional[AtomicOp] = None,
+    convergence_flag: bool = True,
+) -> Kernel:
+    """Topology-driven sweep over all nodes.
+
+    Reads a per-node field, optionally gathers from all neighbours
+    (irregular), writes a per-node result and raises the global
+    convergence flag via an uncontended atomic when something changed.
+    """
+    inner: list = []
+    if neighbor_reads:
+        inner.append(Load(read_field, AccessPattern.IRREGULAR))
+    if atomic is not None:
+        inner.append(AtomicRMW(write_field, atomic, MemoryRegion.GLOBAL))
+    ops: list = [Load(read_field, AccessPattern.COALESCED)]
+    if inner:
+        ops.append(NeighborLoop(inner))
+    ops.append(Store(write_field, AccessPattern.COALESCED))
+    if convergence_flag:
+        ops.append(
+            AtomicRMW("changed", AtomicOp.MAX, MemoryRegion.GLOBAL, contended=True)
+        )
+    return Kernel(name, IterationSpace.ALL_NODES, ops=ops)
+
+
+def edge_kernel(
+    name: str,
+    read_fields: Sequence[str],
+    write_field: Optional[str] = None,
+    atomic: Optional[AtomicOp] = None,
+) -> Kernel:
+    """Edge-centric kernel: one work item per edge, no inner loop."""
+    ops: list = [Load(f, AccessPattern.IRREGULAR) for f in read_fields]
+    if atomic is not None and write_field is not None:
+        ops.append(AtomicRMW(write_field, atomic, MemoryRegion.GLOBAL))
+    elif write_field is not None:
+        ops.append(Store(write_field, AccessPattern.COALESCED))
+    return Kernel(name, IterationSpace.ALL_EDGES, ops=ops)
+
+
+def fixpoint_program(
+    name: str,
+    kernels: Sequence[Kernel],
+    convergence: str = "worklist-empty",
+    init_kernel: Optional[Kernel] = None,
+    description: str = "",
+) -> Program:
+    """A program that iterates ``kernels`` until convergence.
+
+    The dominant shape in the suite: optional one-shot initialisation
+    kernel followed by a fixpoint loop over the main kernels.
+    """
+    all_kernels = ([init_kernel] if init_kernel else []) + list(kernels)
+    schedule: list = []
+    if init_kernel is not None:
+        schedule.append(Invoke(init_kernel.name))
+    schedule.append(
+        Fixpoint([Invoke(k.name) for k in kernels], convergence=convergence)
+    )
+    program = Program(name, all_kernels, schedule, description=description)
+    validate_program(program)
+    return program
+
+
+def phased_program(
+    name: str,
+    phases: Sequence[object],
+    description: str = "",
+) -> Program:
+    """A program with an explicit mixed schedule.
+
+    ``phases`` interleaves :class:`Kernel` objects (invoked once, in
+    order) and ``(kernels, convergence)`` tuples (fixpoint loops).
+    """
+    kernels: list = []
+    schedule: list = []
+    for phase in phases:
+        if isinstance(phase, Kernel):
+            kernels.append(phase)
+            schedule.append(Invoke(phase.name))
+        else:
+            loop_kernels, convergence = phase
+            kernels.extend(loop_kernels)
+            schedule.append(
+                Fixpoint(
+                    [Invoke(k.name) for k in loop_kernels],
+                    convergence=convergence,
+                )
+            )
+    program = Program(name, kernels, schedule, description=description)
+    validate_program(program)
+    return program

@@ -1,0 +1,111 @@
+"""Structural validation of DSL programs.
+
+The compiler assumes programs are well-formed; this module enforces
+that before any pass runs.  Checks are deliberately conservative —
+each corresponds to an assumption some optimisation pass relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import DSLError
+from .ast import Fixpoint, Invoke, Kernel, NeighborLoop, Program
+
+__all__ = ["validate_program", "validate_kernel"]
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Raise :class:`DSLError` if ``kernel`` is structurally invalid."""
+    if not kernel.name:
+        raise DSLError("kernel must have a non-empty name")
+    if not kernel.name.isidentifier():
+        raise DSLError(f"kernel name {kernel.name!r} must be an identifier")
+    # Nested-parallelism passes handle exactly one level of irregular
+    # nesting, matching IrGL's inspector/executor generation.
+    for loop in kernel.neighbor_loops:
+        for op in loop.ops:
+            if isinstance(op, NeighborLoop):
+                raise DSLError(
+                    f"kernel {kernel.name!r}: nested NeighborLoops are not "
+                    "supported (one irregular level, as in IrGL)"
+                )
+    if not kernel.workgroup_size_agnostic:
+        raise DSLError(
+            f"kernel {kernel.name!r}: kernels must be workgroup-size "
+            "agnostic (required by the sz256 optimisation, Section V-D)"
+        )
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`DSLError` if ``program`` is structurally invalid."""
+    if not program.kernels:
+        raise DSLError(f"program {program.name!r} has no kernels")
+    names: List[str] = []
+    for kernel in program.kernels:
+        validate_kernel(kernel)
+        if kernel.name in names:
+            raise DSLError(
+                f"program {program.name!r}: duplicate kernel {kernel.name!r}"
+            )
+        names.append(kernel.name)
+
+    if not program.schedule:
+        raise DSLError(f"program {program.name!r} has an empty schedule")
+
+    for node in program.schedule:
+        if isinstance(node, Invoke):
+            _check_invoke(program, node, names)
+        elif isinstance(node, Fixpoint):
+            if not node.body:
+                raise DSLError(
+                    f"program {program.name!r}: fixpoint with empty body"
+                )
+            if node.convergence not in ("worklist-empty", "flag"):
+                raise DSLError(
+                    f"program {program.name!r}: unknown convergence "
+                    f"mechanism {node.convergence!r}"
+                )
+            for inv in node.body:
+                _check_invoke(program, inv, names)
+        else:  # pragma: no cover - defensive
+            raise DSLError(
+                f"program {program.name!r}: unknown schedule node {node!r}"
+            )
+
+    _check_worklist_consistency(program)
+
+
+def _check_invoke(program: Program, invoke: Invoke, names: List[str]) -> None:
+    if invoke.kernel not in names:
+        raise DSLError(
+            f"program {program.name!r}: schedule invokes unknown kernel "
+            f"{invoke.kernel!r}"
+        )
+
+
+def _check_worklist_consistency(program: Program) -> None:
+    """Worklist-driven kernels need a producer of worklist items.
+
+    A kernel iterating a worklist inside a fixpoint must be fed either
+    by its own pushes or by another kernel in the same fixpoint body;
+    otherwise the loop trivially terminates after one iteration and the
+    program author almost certainly made a mistake.
+    """
+    from .ast import IterationSpace
+
+    for fixpoint in program.fixpoints:
+        body_kernels = [program.kernel(inv.kernel) for inv in fixpoint.body]
+        consumes = any(
+            k.space is IterationSpace.WORKLIST for k in body_kernels
+        )
+        produces = any(k.pushes for k in body_kernels)
+        if (
+            consumes
+            and not produces
+            and fixpoint.convergence == "worklist-empty"
+        ):
+            raise DSLError(
+                f"program {program.name!r}: fixpoint consumes a worklist "
+                "but no kernel in its body pushes to one"
+            )

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems: graphs, DSL/compiler, runtime execution, performance model
+and the statistical analysis core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Malformed graph data or an unsupported graph operation."""
+
+
+class GraphFormatError(GraphError):
+    """A graph file could not be parsed."""
+
+
+class DSLError(ReproError):
+    """A DSL program is structurally invalid."""
+
+
+class CompileError(ReproError):
+    """The compiler could not apply the requested optimisations."""
+
+
+class InvalidConfigError(CompileError):
+    """An optimisation configuration violates a legality constraint.
+
+    For example enabling both ``fg1`` and ``fg8``, or requesting a
+    workgroup size the target chip cannot launch.
+    """
+
+
+class ExecutionError(ReproError):
+    """The functional executor encountered an inconsistent state."""
+
+
+class ForwardProgressError(ExecutionError):
+    """A blocking synchronisation idiom would hang on the target chip.
+
+    Raised when a program requires more concurrently-resident workgroups
+    than the occupancy-bound execution model guarantees (Section IV of
+    the paper): e.g. a global barrier launched with more workgroups than
+    can be co-resident.
+    """
+
+
+class ChipError(ReproError):
+    """An unknown chip was requested or a chip parameter is invalid."""
+
+
+class DatasetError(ReproError):
+    """A performance dataset is missing required measurements."""
+
+
+class AnalysisError(ReproError):
+    """The statistical analysis was asked an unanswerable question."""
+
+
+class InsufficientDataError(AnalysisError):
+    """Not enough significant samples to run a statistical test.
+
+    Mirrors the paper's Table IX case where ``fg8`` on MALI has too few
+    statistically-significant measurements to make a recommendation.
+    """

@@ -1,0 +1,79 @@
+"""One module per paper table/figure; each exposes ``data()`` and ``run()``.
+
+``run()`` renders the experiment as text (the same rows/series the
+paper reports); ``data()`` returns the structured results.  All
+dataset-driven experiments accept an explicit
+:class:`~repro.study.dataset.PerfDataset` and default to the cached
+full-study dataset (see :mod:`repro.experiments.common`).
+
+Run everything from the command line::
+
+    python -m repro.experiments.report
+"""
+
+from . import (
+    ablation_methodology,
+    ablation_sampling,
+    common,
+    nvidia_only,
+    fig1_heatmap,
+    fig2_top_opts,
+    fig3_outcomes,
+    fig4_slowdown,
+    fig5_launch_overhead,
+    table1_chips,
+    table2_envelope,
+    table3_ranking,
+    table4_bias,
+    table5_strategies,
+    table7_apps,
+    table8_inputs,
+    table9_chip_function,
+    table10_microbench,
+)
+
+#: All experiments in paper order, as (identifier, module) pairs.
+ALL_EXPERIMENTS = (
+    ("table1", table1_chips),
+    ("fig1", fig1_heatmap),
+    ("table2", table2_envelope),
+    ("table3", table3_ranking),
+    ("table4", table4_bias),
+    ("table5", table5_strategies),
+    ("table7", table7_apps),
+    ("table8", table8_inputs),
+    ("fig2", fig2_top_opts),
+    ("fig3", fig3_outcomes),
+    ("fig4", fig4_slowdown),
+    ("table9", table9_chip_function),
+    ("fig5", fig5_launch_overhead),
+    ("table10", table10_microbench),
+    # Section II-B's Nvidia-only comparison (prose in the paper).
+    ("nvidia-only", nvidia_only),
+    # Beyond the paper: its Section IX future work and methodological
+    # ablations of the analysis design.
+    ("ablation-sampling", ablation_sampling),
+    ("ablation-methodology", ablation_methodology),
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ablation_methodology",
+    "ablation_sampling",
+    "common",
+    "nvidia_only",
+    "table1_chips",
+    "fig1_heatmap",
+    "table2_envelope",
+    "table3_ranking",
+    "table4_bias",
+    "table5_strategies",
+    "table7_apps",
+    "table8_inputs",
+    "fig2_top_opts",
+    "fig3_outcomes",
+    "fig4_slowdown",
+    "table9_chip_function",
+    "fig5_launch_overhead",
+    "table10_microbench",
+]

@@ -1,0 +1,76 @@
+"""Ablation: the analysis's own design choices.
+
+Quantifies the two methodological pillars of the paper's Section III:
+
+* rank-based vs magnitude-based decisions — where would a t-test on
+  the same CI-filtered data disagree with the Mann-Whitney U?
+* the 95 % significance filter — how stable are the per-chip
+  recommendations as the confidence level moves?
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.ablation import (
+    ConfidencePoint,
+    MagnitudeComparison,
+    confidence_ablation,
+    magnitude_vs_rank,
+)
+from ..core.algorithm1 import Analysis
+from ..core.reporting import render_table
+from ..study.dataset import PerfDataset
+from .common import default_analysis, default_dataset
+
+__all__ = ["data", "run"]
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+    analysis: Optional[Analysis] = None,
+) -> Tuple[List[MagnitudeComparison], List[ConfidencePoint]]:
+    if dataset is None:
+        dataset = default_dataset()
+        analysis = analysis or default_analysis()
+    comparisons = magnitude_vs_rank(dataset, dims=("chip",), analysis=analysis)
+    confidences = confidence_ablation(dataset)
+    return comparisons, confidences
+
+
+def run(
+    dataset: Optional[PerfDataset] = None,
+    analysis: Optional[Analysis] = None,
+) -> str:
+    comparisons, confidences = data(dataset, analysis)
+
+    divergent = [c for c in comparisons if c.diverges]
+    rows = [
+        [
+            "/".join(map(str, c.partition)),
+            c.opt,
+            "+" if c.rank_enabled else "-",
+            "+" if c.magnitude_enabled else "-",
+        ]
+        for c in divergent
+    ]
+    part1 = render_table(
+        ["Partition", "Opt", "Rank (MWU)", "Magnitude (t-test)"],
+        rows,
+        title=(
+            f"Rank vs magnitude decisions: {len(divergent)} of "
+            f"{len(comparisons)} (partition, optimisation) verdicts diverge"
+        ),
+    )
+
+    ref = next(p for p in confidences if abs(p.confidence - 0.95) < 1e-9)
+    rows2 = [
+        [f"{p.confidence:.2f}", f"{p.agreement_with(ref) * 100:.1f}%"]
+        for p in confidences
+    ]
+    part2 = render_table(
+        ["CI confidence", "Agreement with 0.95"],
+        rows2,
+        title="Stability of per-chip recommendations across CI levels",
+    )
+    return part1 + "\n\n" + part2

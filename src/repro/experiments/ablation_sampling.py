@@ -1,0 +1,61 @@
+"""Ablation: how much measurement can the analysis do without?
+
+The paper's future-work question (Section IX): could smaller samples
+of the configuration space yield the same recommendations as the
+exhaustive sweep?  This experiment draws random configuration subsets
+of increasing size, reruns Algorithm 1 per chip on each, and reports
+decision agreement with the exhaustive analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.algorithm1 import Analysis
+from ..core.reporting import render_table
+from ..core.sampling import AgreementPoint, sample_efficiency_curve
+from ..study.dataset import PerfDataset
+from .common import default_analysis, default_dataset
+
+__all__ = ["data", "run", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (8, 16, 32, 48, 64, 96)
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+    analysis: Optional[Analysis] = None,
+    sizes=DEFAULT_SIZES,
+    trials: int = 3,
+) -> List[AgreementPoint]:
+    if dataset is None:
+        dataset = default_dataset()
+        analysis = analysis or default_analysis()
+    return sample_efficiency_curve(
+        dataset, sizes=sizes, trials=trials, analysis=analysis
+    )
+
+
+def run(
+    dataset: Optional[PerfDataset] = None,
+    analysis: Optional[Analysis] = None,
+) -> str:
+    points = data(dataset, analysis)
+    rows = [
+        [
+            p.n_configs,
+            f"{p.mean_agreement * 100:.1f}%",
+            f"{p.min_agreement * 100:.1f}%",
+            p.n_trials,
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["#Configs sampled", "Mean agreement", "Worst agreement", "Trials"],
+        rows,
+        title=(
+            "Ablation (paper Section IX): per-chip decision agreement with "
+            "the exhaustive analysis\nwhen only a random subset of "
+            "configurations is measured"
+        ),
+    )

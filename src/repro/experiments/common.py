@@ -1,0 +1,89 @@
+"""Shared infrastructure for the experiment modules.
+
+Each experiment module regenerates one table or figure of the paper
+from a :class:`~repro.study.dataset.PerfDataset`.  The full study is
+deterministic but takes a couple of minutes, so this module provides a
+process-level cache backed by an on-disk artifact.
+
+Resolution order for :func:`default_dataset`:
+
+1. the in-process cache;
+2. the path in ``$REPRO_DATASET``, if set;
+3. ``.cache/dataset-default.json.gz`` under the repository root (or
+   the current directory);
+4. a fresh :func:`~repro.study.runner.run_study` run, saved to (3).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from ..core.algorithm1 import Analysis
+from ..core.strategies import Strategy, build_strategies
+from ..study.dataset import PerfDataset
+from ..study.runner import StudyConfig, run_study
+
+__all__ = [
+    "default_dataset",
+    "default_analysis",
+    "default_strategies",
+    "cache_path",
+    "reset_cache",
+]
+
+_CACHE: Dict[str, object] = {}
+
+_DATASET_ENV = "REPRO_DATASET"
+_DEFAULT_RELATIVE = os.path.join(".cache", "dataset-default.json.gz")
+
+
+def cache_path() -> str:
+    """Where the default dataset artifact lives on disk."""
+    env = os.environ.get(_DATASET_ENV)
+    if env:
+        return env
+    # Prefer the repository root (two levels above this package's
+    # ``src`` directory) when running from a source checkout.
+    here = os.path.dirname(os.path.abspath(__file__))
+    for base in (os.path.abspath(os.path.join(here, *[os.pardir] * 3)), os.getcwd()):
+        candidate = os.path.join(base, _DEFAULT_RELATIVE)
+        if os.path.exists(candidate) or os.path.isdir(os.path.dirname(candidate)):
+            return candidate
+    return os.path.join(os.getcwd(), _DEFAULT_RELATIVE)
+
+
+def default_dataset(rebuild: bool = False) -> PerfDataset:
+    """The full-factorial study dataset (cached in process and on disk)."""
+    if not rebuild and "dataset" in _CACHE:
+        return _CACHE["dataset"]  # type: ignore[return-value]
+    path = cache_path()
+    if not rebuild and os.path.exists(path):
+        dataset = PerfDataset.load(path)
+    else:
+        dataset = run_study(StudyConfig())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        dataset.save(path)
+    _CACHE["dataset"] = dataset
+    return dataset
+
+
+def default_analysis() -> Analysis:
+    """Algorithm 1 over the default dataset (cached)."""
+    if "analysis" not in _CACHE:
+        _CACHE["analysis"] = Analysis(default_dataset())
+    return _CACHE["analysis"]  # type: ignore[return-value]
+
+
+def default_strategies() -> Dict[str, Strategy]:
+    """All Table V strategies over the default dataset (cached)."""
+    if "strategies" not in _CACHE:
+        _CACHE["strategies"] = build_strategies(
+            default_dataset(), default_analysis()
+        )
+    return _CACHE["strategies"]  # type: ignore[return-value]
+
+
+def reset_cache() -> None:
+    """Drop the in-process caches (tests use this)."""
+    _CACHE.clear()

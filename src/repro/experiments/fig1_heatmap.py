@@ -1,0 +1,52 @@
+"""Figure 1: cross-chip portability heatmap.
+
+Geomean slowdown (over all application × input pairs) when a chip runs
+with the optimisation settings that are oracle-optimal for another
+chip.  The diagonal is 1.00; the extra bottom row / right column hold
+the per-column / per-row geomeans the paper annotates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.portability import cross_chip_heatmap
+from ..core.reporting import render_heatmap
+from ..study.dataset import PerfDataset
+from ..util import geomean
+from .common import default_dataset
+
+__all__ = ["data", "run"]
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+) -> Tuple[List[str], Dict[Tuple[str, str], float]]:
+    """(chip order, {(run_chip, opt_chip) -> geomean slowdown}),
+    including the ``geomean`` summary row and column."""
+    dataset = dataset or default_dataset()
+    chips, heat = cross_chip_heatmap(dataset)
+    full = dict(heat)
+    for opt_chip in chips:
+        full[("geomean", opt_chip)] = geomean(
+            heat[(run, opt_chip)] for run in chips
+        )
+    for run_chip in chips:
+        full[(run_chip, "geomean")] = geomean(
+            heat[(run_chip, opt)] for opt in chips
+        )
+    return chips, full
+
+
+def run(dataset: Optional[PerfDataset] = None) -> str:
+    chips, full = data(dataset)
+    return render_heatmap(
+        chips + ["geomean"],
+        chips + ["geomean"],
+        full,
+        title=(
+            "Fig 1: geomean slowdown running each chip (rows) with the\n"
+            "optimal optimisations of another chip (columns); higher is worse"
+        ),
+        corner="run\\opt",
+    )

@@ -1,0 +1,42 @@
+"""Figure 2: optimisations necessary for top speedups, per chip.
+
+For every chip, how often each optimisation appears in the per-test
+oracle configurations (counted over tests whose oracle gives a real
+speedup).  Chips needing ``oitergb`` everywhere, MALI's reliance on
+``sg``, and the rarity of ``wg`` are all visible here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..compiler.options import OPT_NAMES
+from ..core.portability import top_speedup_opts
+from ..core.reporting import render_table
+from ..study.dataset import PerfDataset
+from .common import default_dataset
+
+__all__ = ["data", "run"]
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+) -> Dict[str, Dict[str, int]]:
+    dataset = dataset or default_dataset()
+    return top_speedup_opts(dataset)
+
+
+def run(dataset: Optional[PerfDataset] = None) -> str:
+    counts = data(dataset)
+    rows = [
+        [chip] + [counts[chip][opt] for opt in OPT_NAMES]
+        for chip in sorted(counts)
+    ]
+    return render_table(
+        ["Chip"] + list(OPT_NAMES),
+        rows,
+        title=(
+            "Fig 2: how often each optimisation appears in a chip's "
+            "oracle (top-speedup) configurations"
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Figure 3: speedup/slowdown/no-change shares per strategy.
+
+For each Table V strategy, the percentage of tests whose deployed
+configuration yields a significant speedup, slowdown or no change
+versus the baseline.  Tests where even the oracle provides no speedup
+are excluded, as in the paper.  The baseline row shows no differences
+and the oracle row speedups on all tests, bracketing the spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.evaluation import StrategyOutcomes, optimisable_tests, strategy_outcomes
+from ..core.reporting import render_table
+from ..core.strategies import STRATEGY_ORDER, Strategy
+from ..study.dataset import PerfDataset
+from .common import default_dataset, default_strategies
+
+__all__ = ["data", "run"]
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+    strategies: Optional[Dict[str, Strategy]] = None,
+) -> Dict[str, StrategyOutcomes]:
+    if dataset is None:
+        dataset = default_dataset()
+        strategies = strategies or default_strategies()
+    if strategies is None:
+        from ..core.strategies import build_strategies
+
+        strategies = build_strategies(dataset)
+    kept = optimisable_tests(dataset, strategies["oracle"])
+    return {
+        name: strategy_outcomes(dataset, strategies[name], kept)
+        for name in STRATEGY_ORDER
+    }
+
+
+def run(
+    dataset: Optional[PerfDataset] = None,
+    strategies: Optional[Dict[str, Strategy]] = None,
+) -> str:
+    outcomes = data(dataset, strategies)
+    rows = []
+    for name in STRATEGY_ORDER:
+        o = outcomes[name]
+        rows.append(
+            [
+                name,
+                o.speedups,
+                f"{o.pct_speedup:.1f}%",
+                o.slowdowns,
+                f"{o.pct_slowdown:.1f}%",
+                o.no_change,
+                f"{o.pct_no_change:.1f}%",
+            ]
+        )
+    return render_table(
+        ["Strategy", "Up", "Up%", "Down", "Down%", "Same", "Same%"],
+        rows,
+        title=(
+            "Fig 3: test outcomes vs baseline per strategy "
+            "(tests the oracle cannot speed up are excluded)"
+        ),
+    )

@@ -1,0 +1,51 @@
+"""Figure 4: geomean slowdown versus the oracle, per strategy.
+
+The magnitude companion to Figure 3: how much runtime each strategy
+leaves on the table relative to per-test exhaustive specialisation.
+Portability is progressively traded for performance along the strategy
+order; the paper's headline numbers (global ≈ 1.15× over baseline,
+app+input ≈ 1.29×) are corollaries of this series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.evaluation import strategy_slowdown_vs_oracle
+from ..core.reporting import render_bar_series
+from ..core.strategies import STRATEGY_ORDER, Strategy
+from ..study.dataset import PerfDataset
+from .common import default_dataset, default_strategies
+
+__all__ = ["data", "run"]
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+    strategies: Optional[Dict[str, Strategy]] = None,
+) -> Dict[str, float]:
+    if dataset is None:
+        dataset = default_dataset()
+        strategies = strategies or default_strategies()
+    if strategies is None:
+        from ..core.strategies import build_strategies
+
+        strategies = build_strategies(dataset)
+    oracle = strategies["oracle"]
+    return {
+        name: strategy_slowdown_vs_oracle(dataset, strategies[name], oracle)
+        for name in STRATEGY_ORDER
+    }
+
+
+def run(
+    dataset: Optional[PerfDataset] = None,
+    strategies: Optional[Dict[str, Strategy]] = None,
+) -> str:
+    series = data(dataset, strategies)
+    labels = list(STRATEGY_ORDER)
+    return render_bar_series(
+        labels,
+        {"geomean slowdown vs oracle": [series[n] for n in labels]},
+        title="Fig 4: geomean slowdown vs the oracle, per strategy",
+    )

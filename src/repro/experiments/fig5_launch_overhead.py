@@ -1,0 +1,40 @@
+"""Figure 5: GPU utilisation vs kernel duration (launch overhead).
+
+10 000 constant-time kernel launches interleaved with single-integer
+device-to-host copies; utilisation is the fraction of wall time the
+GPU spends in the kernels.  Nvidia chips stay near full utilisation
+down to microsecond kernels — the reason their strategies disable
+``oitergb`` — while the other chips collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.reporting import render_table
+from ..microbench.launch_overhead import (
+    DEFAULT_KERNEL_TIMES_US,
+    UtilisationPoint,
+    launch_overhead_sweep,
+)
+
+__all__ = ["data", "run"]
+
+
+def data(noisy: bool = True) -> Dict[str, List[UtilisationPoint]]:
+    return launch_overhead_sweep(noisy=noisy)
+
+
+def run(noisy: bool = True) -> str:
+    sweep = data(noisy=noisy)
+    rows = []
+    for chip in sorted(sweep):
+        rows.append(
+            [chip] + [f"{p.utilisation:.2f}" for p in sweep[chip]]
+        )
+    headers = ["Chip"] + [f"{t:g}us" for t in DEFAULT_KERNEL_TIMES_US]
+    return render_table(
+        headers,
+        rows,
+        title="Fig 5: GPU utilisation vs kernel duration (10000 launches)",
+    )

@@ -1,0 +1,63 @@
+"""Section II-B: what an Nvidia-only study would have missed.
+
+The paper notes that prior work evaluated only Nvidia GPUs, and that
+restricting its own dataset to the two Nvidia chips shrinks the
+observed performance envelope (5x/10x instead of 16x/22x): the
+cross-vendor study is what reveals the true spread.  This experiment
+computes both envelopes side by side from our dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.portability import performance_envelope
+from ..core.reporting import render_table
+from ..study.dataset import PerfDataset
+from .common import default_dataset
+
+__all__ = ["data", "run", "NVIDIA_CHIPS"]
+
+NVIDIA_CHIPS = ("M4000", "GTX1080")
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """({scope: max speedup}, {scope: max slowdown}) for the Nvidia-only
+    and cross-vendor scopes."""
+    dataset = dataset or default_dataset()
+    env = performance_envelope(dataset)
+
+    def extremes(chips):
+        ups = [env[c][0].factor for c in chips if c in env]
+        downs = [env[c][1].factor for c in chips if c in env]
+        return max(ups, default=1.0), max(downs, default=1.0)
+
+    nv_up, nv_down = extremes([c for c in dataset.chips if c in NVIDIA_CHIPS])
+    all_up, all_down = extremes(dataset.chips)
+    return (
+        {"nvidia-only": nv_up, "cross-vendor": all_up},
+        {"nvidia-only": nv_down, "cross-vendor": all_down},
+    )
+
+
+def run(dataset: Optional[PerfDataset] = None) -> str:
+    speedups, slowdowns = data(dataset)
+    rows = [
+        [
+            scope,
+            f"{speedups[scope]:.2f}x",
+            f"{slowdowns[scope]:.2f}x",
+        ]
+        for scope in ("nvidia-only", "cross-vendor")
+    ]
+    return render_table(
+        ["Study scope", "Max speedup", "Max slowdown"],
+        rows,
+        title=(
+            "Section II-B: the performance envelope seen by an "
+            "Nvidia-only study vs the cross-vendor study\n(paper: 5x/10x "
+            "vs 16x/22x — vendor diversity reveals the true spread)"
+        ),
+    )

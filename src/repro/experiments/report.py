@@ -1,0 +1,43 @@
+"""CLI: regenerate every paper table and figure.
+
+Usage::
+
+    python -m repro.experiments.report            # all experiments
+    python -m repro.experiments.report fig1 table9
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    wanted = set(argv)
+    unknown = wanted - {name for name, _ in ALL_EXPERIMENTS}
+    if unknown:
+        print(f"unknown experiments: {', '.join(sorted(unknown))}", file=sys.stderr)
+        print(
+            "known: " + ", ".join(name for name, _ in ALL_EXPERIMENTS),
+            file=sys.stderr,
+        )
+        return 2
+    for name, module in ALL_EXPERIMENTS:
+        if wanted and name not in wanted:
+            continue
+        started = time.time()
+        output = module.run()
+        elapsed = time.time() - started
+        print(f"==== {name} ({elapsed:.1f}s) " + "=" * 40)
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Table X: the two explanatory microbenchmarks.
+
+``sg-cmb``: speedup of combining all subgroup atomics into one
+(cooperative conversion's mechanism) — large on R9/IRIS, ≈ 1 where the
+JIT already combines (Nvidia, HD5500) or where subgroups are trivial
+(MALI).
+
+``m-divg``: speedup from a gratuitous inner-loop workgroup barrier on
+a strided-access kernel — modest everywhere except MALI, whose extreme
+memory-divergence sensitivity explains why its strategy enables ``sg``
+despite its subgroup size of 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..chips.database import CHIP_NAMES
+from ..core.reporting import render_table
+from ..microbench.m_divg import m_divg_table
+from ..microbench.sg_cmb import sg_cmb_table
+
+__all__ = ["data", "run"]
+
+
+def data() -> Tuple[Dict[str, float], Dict[str, float]]:
+    """({chip: sg-cmb speedup}, {chip: m-divg speedup})."""
+    sg = {name: r.speedup for name, r in sg_cmb_table().items()}
+    md = {name: r.speedup for name, r in m_divg_table().items()}
+    return sg, md
+
+
+def run() -> str:
+    sg, md = data()
+    rows = [
+        ["sg-cmb"] + [f"{sg[chip]:.2f}" for chip in CHIP_NAMES],
+        ["m-divg"] + [f"{md[chip]:.2f}" for chip in CHIP_NAMES],
+    ]
+    return render_table(
+        ["Microbenchmark"] + list(CHIP_NAMES),
+        rows,
+        title="Table X: microbenchmark speedups per chip",
+    )

@@ -1,0 +1,23 @@
+"""Table I: the GPUs of the study."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..chips.database import all_chips
+from ..core.reporting import render_table
+
+__all__ = ["data", "run"]
+
+
+def data() -> List[Tuple[str, str, int, int, str]]:
+    """Rows: (vendor, chip, #CUs, subgroup size, short name)."""
+    return [chip.summary_row() for chip in all_chips()]
+
+
+def run() -> str:
+    return render_table(
+        ["Vendor", "Chip", "#CUs", "SG Size", "Short Name"],
+        data(),
+        title="Table I: GPUs of the study",
+    )

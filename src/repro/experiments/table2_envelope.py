@@ -1,0 +1,57 @@
+"""Table II: the per-chip performance envelope.
+
+For every chip, the most extreme statistically-significant speedup and
+slowdown over the baseline across all (application, input,
+configuration) triples, with the responsible application, input and
+configuration.  In the paper the extremes all fall on the road input
+(``usa.ny``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.portability import EnvelopeEntry, performance_envelope
+from ..core.reporting import render_table
+from ..study.dataset import PerfDataset
+from .common import default_dataset
+
+__all__ = ["data", "run"]
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+) -> Dict[str, Tuple[EnvelopeEntry, EnvelopeEntry]]:
+    dataset = dataset or default_dataset()
+    return performance_envelope(dataset)
+
+
+def run(dataset: Optional[PerfDataset] = None) -> str:
+    rows = []
+    for chip, (best, worst) in sorted(data(dataset).items()):
+        rows.append(
+            [
+                chip,
+                f"{best.factor:.2f}x",
+                best.app,
+                best.graph,
+                best.config.label(),
+                f"{worst.factor:.2f}x",
+                worst.app,
+                worst.graph,
+            ]
+        )
+    return render_table(
+        [
+            "Chip",
+            "Max speedup",
+            "App",
+            "Input",
+            "Config",
+            "Max slowdown",
+            "App",
+            "Input",
+        ],
+        rows,
+        title="Table II: extreme speedups and slowdowns vs baseline, per chip",
+    )

@@ -1,0 +1,53 @@
+"""Table III: all 95 optimisation combinations ranked globally.
+
+Each combination applied to every (application, input, chip) tuple,
+ranked by the number of statistically-significant slowdowns versus the
+baseline; the paper prints the top five, bottom five and two middle
+rows.  The ranking exhibits the failure of the naive analyses: even
+rank 0 harms some tests (do-no-harm degenerates to the baseline), and
+the max-geomean row is biased (Table IV).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.naive import ConfigRanking, rank_configurations
+from ..core.reporting import render_table
+from ..study.dataset import PerfDataset
+from .common import default_dataset
+
+__all__ = ["data", "run"]
+
+
+def data(dataset: Optional[PerfDataset] = None) -> List[ConfigRanking]:
+    dataset = dataset or default_dataset()
+    return rank_configurations(dataset)
+
+
+def run(dataset: Optional[PerfDataset] = None, full: bool = False) -> str:
+    rankings = data(dataset)
+    indices: List[int]
+    if full:
+        indices = list(range(len(rankings)))
+    else:
+        mid = len(rankings) // 2
+        indices = [0, 1, 2, 3, 4, mid - 1, mid, *range(len(rankings) - 5, len(rankings))]
+    rows = [
+        [
+            i,
+            rankings[i].label,
+            rankings[i].slowdowns,
+            rankings[i].speedups,
+            f"{rankings[i].geomean_speedup:.2f}",
+        ]
+        for i in indices
+    ]
+    return render_table(
+        ["Rank", "Enabled Opts", "Slowdowns", "Speedups", "Geomean"],
+        rows,
+        title=(
+            "Table III: optimisation combinations applied globally, ranked "
+            "by #slowdowns\n(top five, two middle, bottom five)"
+        ),
+    )

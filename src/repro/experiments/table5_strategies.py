@@ -1,0 +1,70 @@
+"""Tables V and VI: the strategy functions and optimisation parameters.
+
+Table V enumerates the optimisation-strategy functions — baseline, the
+eight Algorithm 1 specialisations over {chip, application, input} and
+the oracle.  Table VI lists, per optimisation, the architectural
+performance parameters its profitability depends on.  Both are
+definitional; this experiment renders them from the implementation so
+the code and the paper stay in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.options import OPT_NAMES, describe_optimisation
+from ..core.reporting import render_table
+from ..core.strategies import STRATEGY_DIMS, STRATEGY_ORDER, Strategy
+from .common import default_strategies
+
+__all__ = ["data", "run"]
+
+_DESCRIPTIONS = {
+    "baseline": "all optimisations disabled",
+    "global": "one configuration for every (app, input, chip)",
+    "chip": "specialised per chip; portable over apps and inputs",
+    "app": "specialised per application; portable over inputs and chips",
+    "input": "specialised per input; portable over apps and chips",
+    "chip+app": "specialised per (chip, application); portable over inputs",
+    "chip+input": "specialised per (chip, input); portable over apps",
+    "app+input": "specialised per (application, input); portable over chips",
+    "chip+app+input": "fully specialised via Algorithm 1",
+    "oracle": "best configuration per test, queried exhaustively",
+}
+
+
+def data(
+    strategies: Optional[Dict[str, Strategy]] = None,
+) -> List[Tuple[str, str, int, str]]:
+    """Rows: (strategy, specialised dimensions, #distinct configs,
+    description)."""
+    strategies = strategies or default_strategies()
+    rows = []
+    for name in STRATEGY_ORDER:
+        dims = STRATEGY_DIMS.get(name, ())
+        if name == "oracle":
+            dims = ("chip", "app", "input")
+        strategy = strategies[name]
+        rows.append(
+            (
+                name,
+                ", ".join(dims) or "-",
+                len(strategy.distinct_configs),
+                _DESCRIPTIONS[name],
+            )
+        )
+    return rows
+
+
+def run(strategies: Optional[Dict[str, Strategy]] = None) -> str:
+    table5 = render_table(
+        ["Strategy", "Specialised over", "#Configs", "Description"],
+        data(strategies),
+        title="Table V: optimisation strategy functions",
+    )
+    table6 = render_table(
+        ["Optimisation", "Performance parameters"],
+        [(name, describe_optimisation(name)) for name in OPT_NAMES],
+        title="Table VI: performance parameters per optimisation",
+    )
+    return table5 + "\n\n" + table6

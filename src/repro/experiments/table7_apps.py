@@ -1,0 +1,26 @@
+"""Table VII: the 17 applications over 7 problems."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps.registry import table7_rows
+from ..core.reporting import render_table
+
+__all__ = ["data", "run"]
+
+
+def data() -> List[Dict[str, str]]:
+    return table7_rows()
+
+
+def run() -> str:
+    rows = [
+        [r["problem"], r["application"], r["variant"], r["description"]]
+        for r in data()
+    ]
+    return render_table(
+        ["Problem", "Application", "Variant", "Description"],
+        rows,
+        title="Table VII: study applications ((*) marks the fastest variant)",
+    )

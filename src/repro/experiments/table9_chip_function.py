@@ -1,0 +1,60 @@
+"""Table IX: the per-chip optimisation function with effect sizes.
+
+Algorithm 1 partitioned per chip: for each (chip, optimisation) pair,
+whether the analysis enables (+), disables (-) or cannot decide (?)
+the optimisation, alongside the common-language effect size — the
+probability a random (application, input) pair speeds up under the
+optimisation on that chip.  This is the paper's tool for dissecting
+performance-critical differences between GPUs (Section VIII).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..compiler.options import OPT_NAMES
+from ..core.algorithm1 import Analysis, OptDecision
+from ..core.reporting import render_table
+from ..study.dataset import PerfDataset
+from .common import default_analysis, default_dataset
+
+__all__ = ["data", "run"]
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+    analysis: Optional[Analysis] = None,
+) -> Dict[str, Dict[str, OptDecision]]:
+    """{chip: {optimisation: decision}}."""
+    if dataset is None:
+        dataset = default_dataset()
+        analysis = analysis or default_analysis()
+    if analysis is None:
+        analysis = Analysis(dataset)
+    return {
+        key[0]: decisions
+        for key, decisions in analysis.specialise_decisions(("chip",)).items()
+    }
+
+
+def run(
+    dataset: Optional[PerfDataset] = None,
+    analysis: Optional[Analysis] = None,
+) -> str:
+    per_chip = data(dataset, analysis)
+    rows = []
+    for chip in sorted(per_chip):
+        row = [chip]
+        for opt in OPT_NAMES:
+            d = per_chip[chip][opt]
+            row.append(f"{d.mark()} (CL {d.effect_size:.2f})")
+        rows.append(row)
+    return render_table(
+        ["Chip"] + list(OPT_NAMES),
+        rows,
+        title=(
+            "Table IX: per-chip optimisation decisions with common-language "
+            "effect sizes\n(+ enable, - disable, ? insufficient significant "
+            "samples)"
+        ),
+    )

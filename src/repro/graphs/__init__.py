@@ -1,0 +1,36 @@
+"""Graph substrate: CSR graphs, generators, I/O and the study inputs."""
+
+from .csr import CSRGraph
+from .generators import rmat_graph, road_network, uniform_random_graph
+from .inputs import INPUT_NAMES, StudyInput, get_input, study_inputs
+from .io import load_dimacs, load_edge_list, load_graph, save_dimacs, save_edge_list
+from .properties import (
+    GraphProperties,
+    analyze,
+    bfs_levels,
+    degree_cv,
+    degree_gini,
+    estimate_diameter,
+)
+
+__all__ = [
+    "CSRGraph",
+    "road_network",
+    "rmat_graph",
+    "uniform_random_graph",
+    "StudyInput",
+    "study_inputs",
+    "get_input",
+    "INPUT_NAMES",
+    "load_dimacs",
+    "save_dimacs",
+    "load_edge_list",
+    "save_edge_list",
+    "load_graph",
+    "GraphProperties",
+    "analyze",
+    "bfs_levels",
+    "estimate_diameter",
+    "degree_cv",
+    "degree_gini",
+]

@@ -1,0 +1,166 @@
+"""Synthetic generators for the study's three graph input classes.
+
+The paper evaluates on three classes of input (Table VIII):
+
+* a road network (``usa.ny``): planar, very large diameter, low and
+  nearly-uniform degree;
+* a social network (RMAT): tiny diameter, power-law degree
+  distribution;
+* a uniformly random graph: small diameter, narrow degree distribution.
+
+Real inputs are unavailable offline, so these generators synthesise
+graphs with the same structural signatures.  The properties that drive
+the paper's performance effects — diameter (iteration count), degree
+skew (load imbalance) and density — are validated by tests against
+:mod:`repro.graphs.properties`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+__all__ = ["road_network", "rmat_graph", "uniform_random_graph"]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def road_network(
+    width: int,
+    height: int,
+    seed: int = 0,
+    drop_fraction: float = 0.08,
+    shortcut_fraction: float = 0.02,
+    name: str = "road",
+) -> CSRGraph:
+    """Generate a road-network-like graph on a jittered grid.
+
+    Nodes form a ``width × height`` lattice connected to 4-neighbours,
+    with a fraction of edges dropped (dead ends, rivers) and a small
+    fraction of local diagonal shortcuts added (highways).  Edge weights
+    are integer road lengths in ``[1, 1000]``.  The result is symmetric
+    and, like ``usa.ny``, has mean degree ≈ 2–4 and diameter
+    ``Θ(width + height)``.
+    """
+    if width < 2 or height < 2:
+        raise GraphError("road network requires at least a 2x2 grid")
+    if not 0.0 <= drop_fraction < 1.0:
+        raise GraphError("drop_fraction must be in [0, 1)")
+    rng = _rng(seed)
+    n = width * height
+
+    def node(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return y * width + x
+
+    xs, ys = np.meshgrid(np.arange(width), np.arange(height))
+    xs, ys = xs.ravel(), ys.ravel()
+
+    # Horizontal and vertical lattice edges.
+    right = (xs < width - 1)
+    down = (ys < height - 1)
+    src = np.concatenate([node(xs[right], ys[right]), node(xs[down], ys[down])])
+    dst = np.concatenate(
+        [node(xs[right] + 1, ys[right]), node(xs[down], ys[down] + 1)]
+    )
+
+    keep = rng.random(src.size) >= drop_fraction
+    src, dst = src[keep], dst[keep]
+
+    # Diagonal shortcuts between nearby intersections.
+    n_short = int(shortcut_fraction * src.size)
+    if n_short:
+        sx = rng.integers(0, width - 1, size=n_short)
+        sy = rng.integers(0, height - 1, size=n_short)
+        src = np.concatenate([src, node(sx, sy)])
+        dst = np.concatenate([dst, node(sx + 1, sy + 1)])
+
+    w = rng.integers(1, 1001, size=src.size).astype(np.float64)
+    g = CSRGraph.from_edges(
+        n, np.column_stack([src, dst]), w, name=name
+    ).symmetrized()
+    return CSRGraph(g.row_ptr, g.col_idx, g.weights, name=name)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    weighted: bool = True,
+    name: str = "rmat",
+) -> CSRGraph:
+    """Generate an RMAT (Kronecker) power-law graph.
+
+    ``2**scale`` nodes and approximately ``edge_factor * 2**scale``
+    directed edges, placed by the classic recursive-matrix procedure
+    with quadrant probabilities ``(a, b, c, d = 1 - a - b - c)``.  The
+    Graph500 defaults produce the heavy-tailed degree distribution of a
+    social network.  Duplicates and self-loops are removed, so the edge
+    count is slightly below the nominal value.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GraphError("RMAT quadrant probabilities must be non-negative")
+    if scale < 1:
+        raise GraphError("scale must be >= 1")
+    rng = _rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    a_norm = a / ab if ab else 0.5
+    c_norm = c / (c + d) if (c + d) else 0.5
+    for level in range(scale):
+        go_down = rng.random(m) >= ab
+        go_right = np.where(
+            go_down, rng.random(m) >= c_norm, rng.random(m) >= a_norm
+        )
+        bit = 1 << (scale - 1 - level)
+        src += bit * go_down
+        dst += bit * go_right
+
+    # Random node relabelling removes the correlation between node id
+    # and degree that raw RMAT exhibits.
+    perm = rng.permutation(n)
+    src, dst = perm[src], perm[dst]
+
+    w = rng.integers(1, 1001, size=m).astype(np.float64) if weighted else None
+    g = CSRGraph.from_edges(n, np.column_stack([src, dst]), w, name=name)
+    return g.deduplicated()
+
+
+def uniform_random_graph(
+    n_nodes: int,
+    avg_degree: float = 8.0,
+    seed: int = 0,
+    weighted: bool = True,
+    name: str = "uniform",
+) -> CSRGraph:
+    """Generate an Erdős–Rényi-style uniform random directed graph.
+
+    Each of ``round(n_nodes * avg_degree)`` edges picks its endpoints
+    uniformly at random, giving a binomial (narrow) degree distribution
+    and logarithmic diameter: the "no load imbalance" end of the input
+    spectrum where nested-parallelism schemes only add overhead.
+    """
+    if n_nodes < 2:
+        raise GraphError("uniform random graph requires >= 2 nodes")
+    if avg_degree <= 0:
+        raise GraphError("avg_degree must be positive")
+    rng = _rng(seed)
+    m = int(round(n_nodes * avg_degree))
+    src = rng.integers(0, n_nodes, size=m)
+    dst = rng.integers(0, n_nodes, size=m)
+    w = rng.integers(1, 1001, size=m).astype(np.float64) if weighted else None
+    g = CSRGraph.from_edges(n_nodes, np.column_stack([src, dst]), w, name=name)
+    return g.deduplicated()

@@ -1,0 +1,105 @@
+"""The three study inputs (paper Table VIII), synthesised.
+
+Each :class:`StudyInput` names one of the paper's input classes and
+lazily constructs (and caches) a synthetic graph whose structural
+signature matches that class:
+
+* ``usa-ny-sim``  — road network: huge diameter, degree ≈ 2–4;
+* ``rmat-sim``    — social network: power-law degrees, tiny diameter;
+* ``uniform-sim`` — uniform random: narrow degrees, tiny diameter.
+
+Sizes default to laptop scale; pass ``scale`` to
+:func:`study_inputs` to grow them uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .csr import CSRGraph
+from .generators import rmat_graph, road_network, uniform_random_graph
+
+__all__ = ["StudyInput", "study_inputs", "get_input", "INPUT_NAMES"]
+
+INPUT_NAMES: Tuple[str, ...] = ("usa-ny-sim", "rmat-sim", "uniform-sim")
+
+
+@dataclass
+class StudyInput:
+    """A named, lazily-built graph input of the study."""
+
+    name: str
+    input_class: str  # "road" | "social" | "random"
+    description: str
+    _builder: Callable[[], CSRGraph]
+    _graph: Optional[CSRGraph] = field(default=None, repr=False)
+
+    @property
+    def graph(self) -> CSRGraph:
+        """The graph, built on first access and cached."""
+        if self._graph is None:
+            self._graph = self._builder()
+        return self._graph
+
+
+def study_inputs(scale: float = 1.0, seed: int = 7) -> Dict[str, StudyInput]:
+    """Build the study's three inputs at a given size multiplier.
+
+    ``scale=1`` yields ~10⁴-node graphs (seconds to trace);
+    ``scale=10`` approaches the published input sizes.
+    """
+    side = max(8, int(round(140 * scale ** 0.5)))
+    rmat_scale = max(8, int(round(14 + math.log2(max(scale, 1e-9)))))
+    n_uniform = max(64, int(round(20_000 * scale)))
+
+    return {
+        "usa-ny-sim": StudyInput(
+            name="usa-ny-sim",
+            input_class="road",
+            description=(
+                "Synthetic New-York-style road network (jittered grid, "
+                f"{side}x{side}); stands in for DIMACS usa.ny"
+            ),
+            _builder=lambda: road_network(side, side, seed=seed, name="usa-ny-sim"),
+        ),
+        "rmat-sim": StudyInput(
+            name="rmat-sim",
+            input_class="social",
+            description=(
+                f"Synthetic RMAT power-law graph (scale {rmat_scale}, "
+                "Graph500 parameters); stands in for rmat22"
+            ),
+            _builder=lambda: rmat_graph(
+                rmat_scale, edge_factor=16, seed=seed, name="rmat-sim"
+            ),
+        ),
+        "uniform-sim": StudyInput(
+            name="uniform-sim",
+            input_class="random",
+            description=(
+                f"Uniform random graph ({n_uniform} nodes, avg degree 8); "
+                "stands in for a uniform-degree random input"
+            ),
+            _builder=lambda: uniform_random_graph(
+                n_uniform, avg_degree=8.0, seed=seed, name="uniform-sim"
+            ),
+        ),
+    }
+
+
+_DEFAULT_INPUTS: Optional[Dict[str, StudyInput]] = None
+
+
+def get_input(name: str) -> StudyInput:
+    """Return a default-scale study input by name (cached)."""
+    global _DEFAULT_INPUTS
+    if _DEFAULT_INPUTS is None:
+        _DEFAULT_INPUTS = study_inputs()
+    try:
+        return _DEFAULT_INPUTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown input {name!r}; known inputs: {', '.join(INPUT_NAMES)}"
+        ) from None

@@ -1,0 +1,21 @@
+"""Explanatory microbenchmarks (paper Fig 5 and Table X)."""
+
+from .launch_overhead import (
+    DEFAULT_KERNEL_TIMES_US,
+    UtilisationPoint,
+    launch_overhead_sweep,
+)
+from .m_divg import MDivgResult, m_divg_speedup, m_divg_table
+from .sg_cmb import SgCmbResult, sg_cmb_speedup, sg_cmb_table
+
+__all__ = [
+    "DEFAULT_KERNEL_TIMES_US",
+    "UtilisationPoint",
+    "launch_overhead_sweep",
+    "MDivgResult",
+    "m_divg_speedup",
+    "m_divg_table",
+    "SgCmbResult",
+    "sg_cmb_speedup",
+    "sg_cmb_table",
+]

@@ -1,0 +1,73 @@
+"""Kernel-launch / memory-copy overhead microbenchmark (paper Fig 5).
+
+Launches a constant-time kernel a fixed number of times, interleaving
+each launch with a single-integer device-to-host copy, and reports GPU
+*utilisation*: the fraction of wall time the GPU spent in the kernels.
+Chips with low launch and copy latencies (Nvidia) stay near full
+utilisation even for microsecond kernels — which is why their
+strategies disable ``oitergb`` — while the other chips' utilisation
+collapses, making iteration outlining essential.
+
+As in the paper, timing uses a host-side calibration loop (OpenCL has
+no portable device timers), so the simulated measurements inherit the
+chip's noise level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..chips.database import all_chips
+from ..chips.model import ChipModel
+from ..util import stable_hash
+
+__all__ = ["UtilisationPoint", "launch_overhead_sweep", "DEFAULT_KERNEL_TIMES_US"]
+
+#: Kernel durations swept in the paper-style figure (microseconds).
+DEFAULT_KERNEL_TIMES_US: Sequence[float] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0
+)
+
+#: Number of interleaved launches, as in the paper's microbenchmark.
+N_LAUNCHES = 10_000
+
+
+@dataclass(frozen=True)
+class UtilisationPoint:
+    chip: str
+    kernel_time_us: float
+    utilisation: float  # in [0, 1]
+
+
+def _utilisation(chip: ChipModel, kernel_time_us: float, noisy: bool) -> float:
+    busy = N_LAUNCHES * kernel_time_us
+    total = N_LAUNCHES * (
+        kernel_time_us + chip.launch_overhead_us + chip.copy_overhead_us
+    )
+    if noisy:
+        rng = np.random.default_rng(
+            stable_hash("launch-overhead", chip.short_name, kernel_time_us)
+        )
+        total *= float(np.exp(rng.normal(0.0, chip.noise_sigma)))
+    return min(1.0, busy / total)
+
+
+def launch_overhead_sweep(
+    chips: Optional[Sequence[ChipModel]] = None,
+    kernel_times_us: Sequence[float] = DEFAULT_KERNEL_TIMES_US,
+    noisy: bool = True,
+) -> Dict[str, List[UtilisationPoint]]:
+    """Fig 5 data: per chip, utilisation across kernel durations."""
+    chips = list(chips) if chips is not None else all_chips()
+    return {
+        chip.short_name: [
+            UtilisationPoint(
+                chip.short_name, t, _utilisation(chip, t, noisy)
+            )
+            for t in kernel_times_us
+        ]
+        for chip in chips
+    }

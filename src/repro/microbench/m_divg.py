@@ -1,0 +1,93 @@
+"""Intra-workgroup memory-divergence microbenchmark (Table X, ``m-divg``).
+
+Two kernels stride through a large array; one adds a *gratuitous*
+workgroup barrier inside the loop so threads never drift more than one
+iteration apart.  The speedup of the barriered kernel quantifies each
+chip's sensitivity to intra-workgroup memory divergence — modest
+(1.1-1.5×) everywhere except MALI, whose ≈ 6.45× is the paper's
+explanation for ``sg`` being enabled on a chip with subgroup size 1.
+
+Uses the same divergence model as the main study's kernel cost
+(:mod:`repro.perfmodel.divergence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..chips.database import all_chips
+from ..chips.model import ChipModel
+from ..compiler.plan import KernelPlan
+from ..dsl.ast import IterationSpace, Kernel, Load, NeighborLoop
+from ..ocl.memory import AccessPattern
+from ..perfmodel.divergence import divergence_factor
+
+__all__ = ["MDivgResult", "m_divg_speedup", "m_divg_table"]
+
+#: Strided accesses scatter fully: one new cache line per access.
+_STRIDED_IRREGULARITY = 1.0
+#: Loop iterations each thread performs over the array.
+_ITERATIONS_PER_THREAD = 256
+#: Baseline cost of one strided (cache-missing) access iteration.
+_STRIDED_ACCESS_NS = 400.0
+
+
+def _kernel() -> Kernel:
+    return Kernel(
+        "strided_scan",
+        IterationSpace.ALL_NODES,
+        ops=[NeighborLoop([Load("array", AccessPattern.STRIDED)])],
+    )
+
+
+def _plan(chip: ChipModel, with_barrier: bool) -> KernelPlan:
+    plan = KernelPlan(kernel=_kernel(), wg_size=128, sg_size=chip.sg_size)
+    if with_barrier:
+        plan = plan.with_(wg_barriers_per_chunk=1.0)
+    return plan
+
+
+@dataclass(frozen=True)
+class MDivgResult:
+    chip: str
+    time_plain_us: float
+    time_barrier_us: float
+
+    @property
+    def speedup(self) -> float:
+        return self.time_plain_us / self.time_barrier_us
+
+
+def m_divg_speedup(chip: ChipModel) -> MDivgResult:
+    """Speedup from the gratuitous barrier on one chip.
+
+    Wall time per workgroup is iterations × (strided access inflated
+    by the divergence factor), plus one workgroup barrier per
+    iteration in the barriered kernel; workgroups run concurrently, so
+    the per-workgroup time is the kernel time.
+    """
+    access_us = _STRIDED_ACCESS_NS / 1000.0
+    plain = (
+        _ITERATIONS_PER_THREAD
+        * access_us
+        * divergence_factor(
+            chip, _plan(chip, with_barrier=False), _STRIDED_IRREGULARITY
+        )
+    )
+    barriered = _ITERATIONS_PER_THREAD * (
+        access_us
+        * divergence_factor(
+            chip, _plan(chip, with_barrier=True), _STRIDED_IRREGULARITY
+        )
+        + chip.wg_barrier_ns / 1000.0
+    )
+    return MDivgResult(chip.short_name, plain, barriered)
+
+
+def m_divg_table(
+    chips: Optional[Sequence[ChipModel]] = None,
+) -> Dict[str, MDivgResult]:
+    """Table X's ``m-divg`` row across the study chips."""
+    chips = list(chips) if chips is not None else all_chips()
+    return {chip.short_name: m_divg_speedup(chip) for chip in chips}

@@ -1,0 +1,24 @@
+"""Abstract OpenCL machine model: hierarchy, memory, barriers, progress."""
+
+from .barriers import BarrierScope
+from .hierarchy import LaunchGeometry
+from .memory import AccessPattern, AtomicOp, MemoryRegion, MemoryScope
+from .progress import (
+    CUResources,
+    discover_occupancy,
+    occupant_workgroups,
+    validate_global_barrier,
+)
+
+__all__ = [
+    "BarrierScope",
+    "LaunchGeometry",
+    "AccessPattern",
+    "AtomicOp",
+    "MemoryRegion",
+    "MemoryScope",
+    "CUResources",
+    "discover_occupancy",
+    "occupant_workgroups",
+    "validate_global_barrier",
+]

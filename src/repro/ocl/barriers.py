@@ -1,0 +1,34 @@
+"""Barrier flavours of the OpenCL model (paper Section IV-A-b).
+
+OpenCL provides intra-workgroup and subgroup barriers natively; the
+inter-workgroup (global) barrier is *not* provided by the standard and
+must be built on top of the occupancy-bound execution model
+(:mod:`repro.ocl.progress`).  The compiler inserts barriers when
+lowering cooperative schemes, and the performance model prices each
+flavour per chip.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["BarrierScope"]
+
+
+class BarrierScope(enum.Enum):
+    """Scope of a barrier synchronisation."""
+
+    SUBGROUP = "subgroup"
+    WORKGROUP = "workgroup"
+    GLOBAL = "global"
+
+    @property
+    def is_portable(self) -> bool:
+        """Whether plain OpenCL guarantees this barrier terminates.
+
+        Global barriers rely on empirical forward-progress properties
+        (occupancy-bound execution); they are functionally portable
+        only when launched with at most the co-resident workgroup
+        count discovered at runtime.
+        """
+        return self is not BarrierScope.GLOBAL

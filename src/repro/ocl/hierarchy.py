@@ -1,0 +1,79 @@
+"""The OpenCL execution hierarchy (paper Section IV-A).
+
+Threads are partitioned into subgroups; subgroups into workgroups; a
+kernel is executed by an NDRange of workgroups.  These classes model
+the *geometry* of a launch — how many threads/subgroups/workgroups
+exist and how ids decompose — which both the compiler (to reason about
+cooperative schemes) and the performance model (to reason about
+occupancy and divergence) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DSLError
+
+__all__ = ["LaunchGeometry"]
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Geometry of a 1-D kernel launch.
+
+    Parameters mirror OpenCL's ``clEnqueueNDRangeKernel``: a global
+    size decomposed into workgroups of ``workgroup_size`` threads, each
+    made of subgroups of ``subgroup_size`` threads.  A subgroup never
+    spans workgroups; the final subgroup of a workgroup may be partial
+    on devices whose subgroup size does not divide the workgroup size.
+    """
+
+    n_workgroups: int
+    workgroup_size: int
+    subgroup_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_workgroups < 1:
+            raise DSLError("launch requires at least one workgroup")
+        if self.workgroup_size < 1:
+            raise DSLError("workgroup size must be positive")
+        if self.subgroup_size < 1:
+            raise DSLError("subgroup size must be positive")
+
+    @property
+    def global_size(self) -> int:
+        """Total number of threads in the launch."""
+        return self.n_workgroups * self.workgroup_size
+
+    @property
+    def subgroups_per_workgroup(self) -> int:
+        """Number of (possibly partial) subgroups in each workgroup."""
+        return -(-self.workgroup_size // self.subgroup_size)
+
+    @property
+    def n_subgroups(self) -> int:
+        return self.n_workgroups * self.subgroups_per_workgroup
+
+    def workgroup_of(self, global_id: int) -> int:
+        self._check_thread(global_id)
+        return global_id // self.workgroup_size
+
+    def local_id_of(self, global_id: int) -> int:
+        self._check_thread(global_id)
+        return global_id % self.workgroup_size
+
+    def subgroup_of(self, global_id: int) -> int:
+        """Global subgroup index of a thread."""
+        wg = self.workgroup_of(global_id)
+        return wg * self.subgroups_per_workgroup + (
+            self.local_id_of(global_id) // self.subgroup_size
+        )
+
+    def subgroup_lane_of(self, global_id: int) -> int:
+        return self.local_id_of(global_id) % self.subgroup_size
+
+    def _check_thread(self, global_id: int) -> None:
+        if not 0 <= global_id < self.global_size:
+            raise DSLError(
+                f"thread id {global_id} out of range [0, {self.global_size})"
+            )

@@ -1,0 +1,54 @@
+"""OpenCL memory regions, scopes and atomic operations (Section IV-A).
+
+These enums label DSL operations and kernel-plan cost items: where a
+memory access lands (private registers, CU-local memory, device global
+memory), the scope at which an atomic or fence synchronises, and which
+read-modify-write operation is used.  The performance model prices
+each (region, operation) pair per chip.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["MemoryRegion", "MemoryScope", "AtomicOp", "AccessPattern"]
+
+
+class MemoryRegion(enum.Enum):
+    """Where data lives in the OpenCL memory hierarchy."""
+
+    PRIVATE = "private"  # per-thread registers
+    LOCAL = "local"  # per-workgroup CU-local memory
+    GLOBAL = "global"  # device memory, visible to all threads
+
+
+class MemoryScope(enum.Enum):
+    """Synchronisation scope of an atomic or fence (OpenCL 2.0)."""
+
+    SUBGROUP = "subgroup"
+    WORKGROUP = "workgroup"
+    DEVICE = "device"
+
+
+class AtomicOp(enum.Enum):
+    """Read-modify-write operations used by the graph applications."""
+
+    ADD = "add"
+    MIN = "min"
+    MAX = "max"
+    CAS = "cas"
+    EXCHANGE = "exchange"
+
+
+class AccessPattern(enum.Enum):
+    """Spatial pattern of a memory access stream.
+
+    Drives the memory-divergence model: coalesced streams use full
+    cache lines; strided and irregular (graph-neighbour) streams touch
+    many lines per subgroup access, which some chips (notably MALI in
+    the paper's Table X) penalise heavily.
+    """
+
+    COALESCED = "coalesced"
+    STRIDED = "strided"
+    IRREGULAR = "irregular"

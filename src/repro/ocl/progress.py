@@ -1,0 +1,101 @@
+"""Occupancy-bound execution and the portable global barrier.
+
+The OpenCL standard gives no forward-progress guarantee between
+workgroups, so a blocking inter-workgroup barrier can hang.  Prior work
+(Sorensen et al., the "recipe" cited in the paper as [17]) shows GPUs
+empirically provide *occupancy-bound execution*: workgroups that are
+co-resident on the chip keep making progress.  A portable global
+barrier therefore (1) discovers at runtime how many workgroups can be
+co-resident and (2) launches exactly that many, virtualising any extra
+work inside them.
+
+This module implements the occupancy calculation and the safety check;
+:mod:`repro.compiler.passes.iteration_outlining` uses it when lowering
+``oitergb``, and the performance model uses the same numbers to price
+utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ForwardProgressError
+
+__all__ = ["CUResources", "occupant_workgroups", "discover_occupancy", "validate_global_barrier"]
+
+
+@dataclass(frozen=True)
+class CUResources:
+    """Per-compute-unit scheduling limits of a chip."""
+
+    max_workgroups: int  # scheduler slots per CU
+    max_threads: int  # resident thread limit per CU
+    local_mem_bytes: int  # CU-local memory capacity
+
+    def __post_init__(self) -> None:
+        if self.max_workgroups < 1 or self.max_threads < 1:
+            raise ValueError("CU limits must be positive")
+        if self.local_mem_bytes < 0:
+            raise ValueError("local memory size must be non-negative")
+
+
+def occupant_workgroups(
+    resources: CUResources,
+    workgroup_size: int,
+    local_mem_per_wg: int = 0,
+) -> int:
+    """Workgroups of a kernel that can be co-resident on one CU.
+
+    The minimum over the three limiting resources: scheduler slots,
+    resident threads, and CU-local memory.  Returns 0 when the kernel
+    cannot fit at all (e.g. local memory demand exceeds capacity).
+    """
+    if workgroup_size < 1:
+        raise ValueError("workgroup size must be positive")
+    if local_mem_per_wg < 0:
+        raise ValueError("local memory demand must be non-negative")
+    by_slots = resources.max_workgroups
+    by_threads = resources.max_threads // workgroup_size
+    if local_mem_per_wg == 0:
+        by_local = by_slots
+    else:
+        by_local = resources.local_mem_bytes // local_mem_per_wg
+    return max(0, min(by_slots, by_threads, by_local))
+
+
+def discover_occupancy(
+    resources: CUResources,
+    n_cus: int,
+    workgroup_size: int,
+    local_mem_per_wg: int = 0,
+) -> int:
+    """Total safely co-resident workgroups across the device.
+
+    This models the runtime occupancy-discovery step of the portable
+    global barrier: the number returned is the largest launch for
+    which occupancy-bound execution guarantees the barrier terminates.
+    """
+    if n_cus < 1:
+        raise ValueError("device must have at least one CU")
+    return n_cus * occupant_workgroups(resources, workgroup_size, local_mem_per_wg)
+
+
+def validate_global_barrier(n_workgroups: int, safe_occupancy: int) -> None:
+    """Raise :class:`ForwardProgressError` for an unsafe barrier launch.
+
+    A global barrier executed by more workgroups than can be
+    co-resident deadlocks under the occupancy-bound execution model:
+    resident workgroups spin at the barrier while the workgroups they
+    wait for are never scheduled.
+    """
+    if safe_occupancy < 1:
+        raise ForwardProgressError(
+            "kernel cannot be resident on the device at all; "
+            "global barrier would never be reached"
+        )
+    if n_workgroups > safe_occupancy:
+        raise ForwardProgressError(
+            f"global barrier launched with {n_workgroups} workgroups but only "
+            f"{safe_occupancy} can be co-resident; excess workgroups would "
+            "starve and the barrier would hang"
+        )

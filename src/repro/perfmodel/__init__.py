@@ -1,0 +1,45 @@
+"""Analytical GPU performance model (the hardware substitution).
+
+Prices workload traces on the calibrated chip models.  Components:
+load imbalance (:mod:`.imbalance`), memory divergence
+(:mod:`.divergence`), atomic RMW throughput with cooperative/JIT
+combining (:mod:`.atomics`), host-side overheads and the portable
+global barrier (:mod:`.launch`), per-launch composition (:mod:`.cost`)
+and the deterministic noise model (:mod:`.noise`).
+"""
+
+from .atomics import achieved_combine_factor, atomic_time_us
+from .cost import LaunchCost, kernel_time_us, launch_cost
+from .divergence import divergence_factor, workgroup_pressure
+from .imbalance import (
+    SchemeWork,
+    bucket_degree,
+    expected_max_degree,
+    imbalance_factor,
+    partition_work,
+)
+from .launch import global_barrier_us, host_overhead_us
+from .noise import measurement_rng, noisy_measurement_us
+from .simulate import estimate_runtime_us, measure_repeats_us, measure_us
+
+__all__ = [
+    "achieved_combine_factor",
+    "atomic_time_us",
+    "LaunchCost",
+    "kernel_time_us",
+    "launch_cost",
+    "divergence_factor",
+    "workgroup_pressure",
+    "SchemeWork",
+    "bucket_degree",
+    "expected_max_degree",
+    "imbalance_factor",
+    "partition_work",
+    "global_barrier_us",
+    "host_overhead_us",
+    "measurement_rng",
+    "noisy_measurement_us",
+    "estimate_runtime_us",
+    "measure_repeats_us",
+    "measure_us",
+]

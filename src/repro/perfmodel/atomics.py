@@ -1,0 +1,90 @@
+"""Atomic read-modify-write cost model (paper Sections V-A, VIII-b).
+
+Contended RMWs — worklist tail bumps, global flags — serialise at the
+memory controller: their cost is count × per-op latency regardless of
+how many threads issue them.  Cooperative conversion divides the count
+by an achieved *combining factor* (bounded by the subgroup size and by
+how many pushes actually co-occur in a subgroup) at the price of
+subgroup orchestration.  Some OpenCL JITs (Nvidia, Intel HD5500)
+already perform this combining transparently — on those chips the
+software transformation gains nothing and only pays its overhead,
+which is exactly why the paper's per-chip analysis disables ``coop-cv``
+there.
+"""
+
+from __future__ import annotations
+
+from ..chips.model import ChipModel
+from ..compiler.plan import KernelPlan
+from ..runtime.trace import LaunchRecord
+
+__all__ = ["achieved_combine_factor", "atomic_time_us"]
+
+#: Efficiency of software subgroup combining: reduction tree depth and
+#: broadcast keep the achieved factor below the subgroup size (the
+#: paper observes 22x of a possible 64x on R9, ~8x of 16x on IRIS).
+_SW_COMBINE_EFFICIENCY = 0.50
+
+#: Hardware/JIT combining is cheaper but also imperfect.
+_JIT_COMBINE_EFFICIENCY = 0.85
+
+
+def achieved_combine_factor(
+    sg_size: int, pushes: int, expanded_items: int, efficiency: float
+) -> float:
+    """How many contended RMWs collapse into one, on average.
+
+    Combining can only merge pushes that occur in the same subgroup at
+    the same time: with ``pushes`` spread over ``expanded_items`` work
+    items, a subgroup of ``sg_size`` threads co-issues about
+    ``sg_size * pushes / expanded_items`` pushes per round.
+    """
+    if sg_size <= 1 or pushes == 0:
+        return 1.0
+    # Wider subgroups need deeper reduction trees and broadcasts, so
+    # combining efficiency decays with subgroup size (R9's 64-wide
+    # subgroups deliver ~22x of a possible 64x in the paper).
+    efficiency = efficiency * (16.0 / sg_size) ** 0.28
+    per_sg = sg_size * pushes / max(1, expanded_items)
+    return max(1.0, min(sg_size * efficiency, per_sg * efficiency))
+
+
+def atomic_time_us(
+    chip: ChipModel, plan: KernelPlan, record: LaunchRecord
+) -> float:
+    """Time spent on the launch's atomic operations, in microseconds."""
+    atomic_ns = chip.effective_atomic_rmw_ns()
+    contended = record.pushes + record.contended_rmws
+
+    # Transparent JIT combining applies with or without coop-cv.
+    factor = 1.0
+    if chip.jit_coop_cv:
+        factor = achieved_combine_factor(
+            chip.sg_size, contended, record.expanded_items, _JIT_COMBINE_EFFICIENCY
+        )
+    orchestration_us = 0.0
+    if plan.coop_scope is not None:
+        sw_factor = achieved_combine_factor(
+            plan.sg_size, contended, record.expanded_items, _SW_COMBINE_EFFICIENCY
+        )
+        factor = max(factor, sw_factor)
+        # Software combining moves every payload through local memory
+        # and runs its subgroup barriers; barrier costs are priced with
+        # the other barrier events in the kernel cost model, the
+        # payload traffic here.  Local memory is CU-private, so the
+        # traffic proceeds in parallel across CUs.
+        orchestration_us = (
+            contended * chip.local_traffic_ns / 1000.0 / max(1, 2 * chip.n_cus)
+        )
+
+    contended_us = contended / factor * atomic_ns / 1000.0
+
+    # Uncontended RMWs (per-node distance/label updates) proceed in
+    # parallel across memory channels; model them as distributed over
+    # the CUs.
+    # Atomic channels pipeline independent-address RMWs ~4 deep per CU.
+    uncontended_us = (
+        record.uncontended_rmws * atomic_ns / 1000.0 / max(1, 4 * chip.n_cus)
+    )
+
+    return contended_us + uncontended_us + orchestration_us

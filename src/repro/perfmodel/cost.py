@@ -1,0 +1,203 @@
+"""Per-launch kernel cost model.
+
+Prices one traced kernel launch on one chip under one compiled plan.
+The model decomposes a launch into the components of the paper's
+Table VI: outer-loop scan, inner-loop edge work (inflated by load
+imbalance and memory divergence, deflated by occupancy-limited
+throughput), barrier orchestration of the active schemes, local-memory
+traffic, and atomic RMWs.  All times are in microseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..chips.model import ChipModel
+from ..compiler.plan import ExecutablePlan, KernelPlan
+from ..runtime.trace import LaunchRecord
+from .atomics import atomic_time_us
+from .divergence import divergence_factor
+from .imbalance import SchemeWork, imbalance_factor, partition_work
+
+__all__ = ["LaunchCost", "launch_cost", "kernel_time_us"]
+
+#: Outer-loop cost of scanning one work item, in edge-work units.
+_SCAN_UNITS_PER_ITEM = 0.35
+#: Extra inspector work when nested parallelism is on (degree tests,
+#: ballots, work-item staging) — the "simply adds overhead" cost on
+#: load-balanced inputs (paper Section V-B).  Split between a cheap
+#: per-scanned-item degree test and heavier per-expanded-item staging.
+_NP_INSPECTOR_UNITS_PER_SCAN = 0.08
+_NP_INSPECTOR_UNITS_PER_ITEM = 0.30
+#: Per-edge efficiency of each scheme's executor.
+_SG_EDGE_FACTOR = 1.10
+_WG_EDGE_FACTOR = 1.30
+_FG_EDGE_FACTOR = {1: 1.16, 8: 1.07}
+#: Fixed pipeline fill/drain per kernel execution.
+_KERNEL_FIXED_US = 0.4
+#: Barrier latency growth with workgroup size (normalised to 128).
+_BARRIER_SIZE_EXP = 1.5
+#: Load imbalance softening: the hardware scheduler interleaves other
+#: subgroups while a straggler lane finishes, so only part of the
+#: worst-lane gap reaches wall time, and reconvergence bounds the rest.
+_IMBALANCE_COUPLING = 0.5
+_IMBALANCE_CAP = 3.5
+
+
+def effective_imbalance(raw_factor: float) -> float:
+    """Wall-clock imbalance factor from the distributional one."""
+    return min(_IMBALANCE_CAP, 1.0 + (raw_factor - 1.0) * _IMBALANCE_COUPLING)
+
+
+@dataclass(frozen=True)
+class LaunchCost:
+    """Cost breakdown of one kernel launch (microseconds)."""
+
+    scan_us: float
+    edge_us: float
+    barrier_us: float
+    local_us: float
+    atomic_us: float
+    fixed_us: float
+
+    @property
+    def total_us(self) -> float:
+        return (
+            self.scan_us
+            + self.edge_us
+            + self.barrier_us
+            + self.local_us
+            + self.atomic_us
+            + self.fixed_us
+        )
+
+
+def _throughput_edges_per_us(
+    chip: ChipModel, kplan: KernelPlan, launched_wgs: int, work_width: float
+) -> float:
+    """Achievable edge-work throughput for this launch shape.
+
+    ``work_width`` caps the useful parallelism: threads beyond the
+    number of parallel work items idle regardless of launch geometry
+    (a 256-thread workgroup over a 100-node frontier is no faster than
+    a 128-thread one).
+    """
+    resident = chip.occupancy(kplan.wg_size, kplan.local_mem_bytes)
+    concurrent = max(1, min(resident, launched_wgs))
+    live_threads = min(concurrent * kplan.wg_size, max(1.0, work_width))
+    occupancy_frac = min(1.0, live_threads / (chip.n_cus * chip.threads_for_peak))
+    # A single resident workgroup per CU cannot hide its own barrier
+    # and memory stalls behind another workgroup's work.
+    per_cu = resident / chip.n_cus
+    latency_hiding = 1.0 if per_cu >= 2 else 0.8
+    return max(1e-9, chip.peak_edges_per_us * occupancy_frac * latency_hiding)
+
+
+def _concurrent_wgs(chip: ChipModel, kplan: KernelPlan, launched_wgs: int) -> int:
+    resident = chip.occupancy(kplan.wg_size, kplan.local_mem_bytes)
+    return max(1, min(resident, launched_wgs))
+
+
+def launch_cost(
+    plan: ExecutablePlan, kplan: KernelPlan, record: LaunchRecord
+) -> LaunchCost:
+    """Cost one traced launch under a compiled plan."""
+    chip = plan.chip
+    wg_size = kplan.wg_size
+
+    if plan.outlined and record.in_fixpoint:
+        launched_wgs = max(1, plan.outlined_workgroups)
+    else:
+        launched_wgs = max(1, math.ceil(record.active_items / wg_size))
+
+    # Useful parallel width: outer items, widened by the fine-grained
+    # executor, which re-parallelises the frontier's edges.
+    work_width = float(max(record.active_items, record.expanded_items))
+    if kplan.fg_edges is not None and record.edges:
+        work_width = max(work_width, record.edges / kplan.fg_edges)
+
+    throughput = _throughput_edges_per_us(chip, kplan, launched_wgs, work_width)
+    concurrent = _concurrent_wgs(chip, kplan, launched_wgs)
+
+    has_loop = kplan.kernel.has_neighbor_loop
+    np_active = has_loop and (
+        kplan.wg_scheme or kplan.sg_scheme or kplan.fg_edges is not None
+    )
+
+    # -- outer-loop scan ------------------------------------------------
+    scan_units = record.active_items * _SCAN_UNITS_PER_ITEM * chip.node_cost_factor
+    if np_active:
+        # Degree tests run for every scanned item; the heavier staging
+        # (ballots, work-item buffering) only for items with real work.
+        scan_units += (
+            record.active_items * _NP_INSPECTOR_UNITS_PER_SCAN
+            + record.expanded_items * _NP_INSPECTOR_UNITS_PER_ITEM
+        )
+    scan_us = scan_units / throughput
+
+    # -- inner-loop edge work -------------------------------------------
+    if has_loop and record.deg_hist:
+        work: SchemeWork = partition_work(record.deg_hist, kplan)
+        serial_units = work.serial_edges * effective_imbalance(
+            imbalance_factor(work.serial_hist, kplan.sg_size)
+        )
+        fg_factor = _FG_EDGE_FACTOR.get(kplan.fg_edges or 0, 1.0)
+        edge_units = (
+            serial_units
+            + work.sg_edges * _SG_EDGE_FACTOR
+            + work.wg_edges * _WG_EDGE_FACTOR
+            + work.fg_edges * fg_factor
+        )
+        n_sg_nodes, n_wg_nodes = work.n_sg_nodes, work.n_wg_nodes
+        fg_rounds = (
+            work.fg_edges / (wg_size * kplan.fg_edges) if kplan.fg_edges else 0.0
+        )
+    else:
+        # Edge-centric / simple kernels: linear, balanced work.
+        edge_units = float(record.edges)
+        n_sg_nodes = n_wg_nodes = 0.0
+        fg_rounds = 0.0
+
+    div = divergence_factor(chip, kplan, record.irregularity)
+    edge_us = edge_units * div * (1.0 + kplan.predication_overhead) / throughput
+
+    # -- barrier orchestration -------------------------------------------
+    outer_chunks = record.expanded_items / wg_size if record.expanded_items else 0.0
+    wg_events = 2.0 * fg_rounds
+    sg_events = 0.0
+    if has_loop and kplan.wg_scheme:
+        wg_events += 2.0 * n_wg_nodes + 2.0 * outer_chunks
+    if has_loop and kplan.sg_scheme:
+        wg_events += 1.0 * outer_chunks  # phase-separation barriers
+        sg_events += 2.0 * n_sg_nodes
+    if kplan.coop_scope is not None and (record.pushes or record.contended_rmws):
+        sg_events += 2.0 * outer_chunks  # one combine round per chunk
+
+    size_scale = (wg_size / 128.0) ** _BARRIER_SIZE_EXP
+    barrier_us = (
+        wg_events * chip.wg_barrier_ns * size_scale
+        + sg_events * chip.effective_sg_barrier_ns()
+    ) / 1000.0 / concurrent
+
+    # -- local-memory traffic (fg inspector prefix sums) ------------------
+    local_us = fg_rounds * wg_size * chip.local_traffic_ns / 1000.0 / concurrent
+
+    # -- atomics -----------------------------------------------------------
+    atomic_us = atomic_time_us(chip, kplan, record)
+
+    return LaunchCost(
+        scan_us=scan_us,
+        edge_us=edge_us,
+        barrier_us=barrier_us,
+        local_us=local_us,
+        atomic_us=atomic_us,
+        fixed_us=_KERNEL_FIXED_US,
+    )
+
+
+def kernel_time_us(
+    plan: ExecutablePlan, kplan: KernelPlan, record: LaunchRecord
+) -> float:
+    """Total time of one traced launch, in microseconds."""
+    return launch_cost(plan, kplan, record).total_us

@@ -1,0 +1,54 @@
+"""Intra-workgroup memory-divergence model (paper Section VIII-c).
+
+Irregular neighbour gathers touch scattered cache lines; when the
+threads of a workgroup drift apart in their loop iterations, the
+divergence compounds and effective memory throughput collapses on
+sensitive chips.  The paper's ``m-divg`` microbenchmark shows a
+*gratuitous* workgroup barrier — semantically unnecessary, but keeping
+threads within one iteration of each other — recovers most of the loss,
+spectacularly so on MALI (≈ 6.45×).
+
+The model: inner-loop work is inflated by
+``1 + sensitivity · irregularity · wg_pressure``, and plans whose inner
+loops contain barriers (any nested-parallelism scheme) retain only
+``(1 - relief)`` of that penalty.
+"""
+
+from __future__ import annotations
+
+from ..chips.model import ChipModel
+from ..compiler.plan import KernelPlan
+
+__all__ = ["divergence_factor", "workgroup_pressure"]
+
+
+def workgroup_pressure(wg_size: int) -> float:
+    """How much a workgroup size amplifies divergence exposure.
+
+    Larger workgroups give threads more room to drift apart before the
+    implicit reconvergence at the end of a pass; normalised to 1.0 at
+    the study's default size of 128.
+    """
+    return 1.0 + 0.15 * (wg_size / 128.0 - 1.0)
+
+
+def divergence_factor(
+    chip: ChipModel, plan: KernelPlan, irregularity: float
+) -> float:
+    """Multiplier on inner-loop work due to memory divergence.
+
+    ``irregularity`` is the trace-measured access scatter in [0, 1].
+    Inner-loop barriers (from the ``sg``/``wg``/``fg`` schemes) relieve
+    a chip-specific fraction of the penalty — the mechanism by which
+    ``sg`` speeds up MALI despite its trivial subgroup size.
+    """
+    if irregularity <= 0.0:
+        return 1.0
+    penalty = (
+        chip.divergence_sensitivity
+        * min(1.0, irregularity)
+        * workgroup_pressure(plan.wg_size)
+    )
+    if plan.inserts_inner_barriers:
+        penalty *= 1.0 - chip.barrier_divergence_relief
+    return 1.0 + penalty

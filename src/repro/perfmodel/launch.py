@@ -1,0 +1,49 @@
+"""Kernel-launch, host-copy and global-barrier overheads (Section V-C).
+
+The host-side cost of a program is what iteration outlining targets:
+without ``oitergb`` each kernel launch pays the chip's launch latency,
+and each fixpoint iteration additionally pays a device-to-host copy to
+check convergence.  With ``oitergb`` the whole fixpoint is one launch
+and each iteration instead pays a portable global barrier, whose cost
+grows with the number of participating (co-resident) workgroups.
+"""
+
+from __future__ import annotations
+
+from ..chips.model import ChipModel
+from ..compiler.plan import ExecutablePlan
+from ..runtime.trace import Trace
+
+__all__ = ["global_barrier_us", "host_overhead_us"]
+
+#: Program setup/teardown copies (graph upload amortised out; result
+#: download and final flag read remain).
+_FIXED_COPIES = 2
+
+
+def global_barrier_us(chip: ChipModel, n_workgroups: int) -> float:
+    """One execution of the portable global barrier.
+
+    Master/slave signalling through global memory: a base latency plus
+    a per-workgroup term for the gather/release round-trips.
+    """
+    return chip.global_barrier_base_us + n_workgroups * chip.global_barrier_per_wg_ns / 1000.0
+
+
+def host_overhead_us(plan: ExecutablePlan, trace: Trace) -> float:
+    """Total launch/copy/global-barrier cost of a traced execution."""
+    chip = plan.chip
+    outside = sum(1 for r in trace.launches if not r.in_fixpoint)
+    inside = sum(1 for r in trace.launches if r.in_fixpoint)
+    iterations = trace.n_fixpoint_iterations
+
+    total = _FIXED_COPIES * chip.copy_overhead_us
+    if plan.outlined and inside:
+        # One launch enters the outlined loop; every dependent
+        # iteration synchronises via the global barrier on the device.
+        total += (outside + 1) * chip.launch_overhead_us
+        total += iterations * global_barrier_us(chip, plan.outlined_workgroups)
+    else:
+        total += (outside + inside) * chip.launch_overhead_us
+        total += iterations * chip.copy_overhead_us
+    return total

@@ -1,0 +1,51 @@
+"""Measurement-noise model.
+
+The paper times each test three times; its statistical machinery (95 %
+CI significance filter, Mann-Whitney U) exists *because* measurements
+are noisy, and its Table IX records one case (``fg8`` on MALI) where
+noise leaves too few significant samples to decide.  We reproduce that
+setting with multiplicative log-normal noise — the standard model for
+timing measurements — whose magnitude is a per-chip parameter (MALI,
+timed via a calibration loop because OpenCL exposes no device timers,
+is by far the noisiest), plus a small additive timer-granularity term.
+
+All noise is deterministic given (chip, program, graph, configuration,
+repetition): re-running the study bit-reproduces the dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chips.model import ChipModel
+from ..util import stable_hash
+
+__all__ = ["noisy_measurement_us", "measurement_rng"]
+
+#: Additive timer granularity / scheduling jitter bound (microseconds).
+_TIMER_JITTER_US = 1.5
+
+
+def measurement_rng(
+    chip: ChipModel, program: str, graph: str, config_key: str, rep: int
+) -> np.random.Generator:
+    """Deterministic RNG for one timing measurement."""
+    seed = stable_hash(chip.short_name, program, graph, config_key, rep)
+    return np.random.default_rng(seed)
+
+
+def noisy_measurement_us(
+    true_us: float,
+    chip: ChipModel,
+    program: str,
+    graph: str,
+    config_key: str,
+    rep: int,
+) -> float:
+    """One simulated timing measurement of a run with true cost ``true_us``."""
+    if true_us < 0:
+        raise ValueError("true runtime must be non-negative")
+    rng = measurement_rng(chip, program, graph, config_key, rep)
+    multiplicative = float(np.exp(rng.normal(0.0, chip.noise_sigma)))
+    jitter = float(rng.uniform(0.0, _TIMER_JITTER_US))
+    return true_us * multiplicative + jitter

@@ -1,0 +1,67 @@
+"""End-to-end runtime estimation: trace × plan → (noisy) timings.
+
+The public entry points of the performance model: price a traced
+execution under a compiled plan (:func:`estimate_runtime_us`), or
+produce the study's three noisy repetitions
+(:func:`measure_repeats_us`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..compiler.plan import ExecutablePlan
+from ..errors import ExecutionError
+from ..runtime.trace import Trace
+from .cost import kernel_time_us
+from .launch import host_overhead_us
+from .noise import noisy_measurement_us
+
+__all__ = ["estimate_runtime_us", "measure_us", "measure_repeats_us"]
+
+
+def estimate_runtime_us(plan: ExecutablePlan, trace: Trace) -> float:
+    """Noise-free end-to-end runtime of a traced execution, in µs."""
+    if trace.program != plan.program.name:
+        raise ExecutionError(
+            f"trace is for program {trace.program!r} but plan compiles "
+            f"{plan.program.name!r}"
+        )
+    total = host_overhead_us(plan, trace)
+    for record in trace.launches:
+        kplan = plan.kernel_plan(record.kernel)
+        total += kernel_time_us(plan, kplan, record)
+    return total
+
+
+def measure_us(plan: ExecutablePlan, trace: Trace, rep: int = 0) -> float:
+    """One simulated timing measurement (deterministic per ``rep``)."""
+    true_us = estimate_runtime_us(plan, trace)
+    return noisy_measurement_us(
+        true_us,
+        plan.chip,
+        trace.program,
+        trace.graph,
+        plan.config.key(),
+        rep,
+    )
+
+
+def measure_repeats_us(
+    plan: ExecutablePlan, trace: Trace, repetitions: int = 3
+) -> List[float]:
+    """The study's repeated timings (paper: three per test)."""
+    if repetitions < 1:
+        raise ValueError("at least one repetition is required")
+    true_us = estimate_runtime_us(plan, trace)
+    return [
+        noisy_measurement_us(
+            true_us,
+            plan.chip,
+            trace.program,
+            trace.graph,
+            plan.config.key(),
+            rep,
+        )
+        for rep in range(repetitions)
+    ]

@@ -1,0 +1,25 @@
+"""Functional runtime: executor, worklists and trace collection."""
+
+from .executor import ExecutionResult, execute
+from .stats import (
+    StepResult,
+    access_irregularity,
+    degree_histogram,
+    frontier_degree_stats,
+    frontier_step_result,
+)
+from .trace import LaunchRecord, Trace
+from .worklist import Worklist
+
+__all__ = [
+    "ExecutionResult",
+    "execute",
+    "StepResult",
+    "access_irregularity",
+    "degree_histogram",
+    "frontier_degree_stats",
+    "frontier_step_result",
+    "LaunchRecord",
+    "Trace",
+    "Worklist",
+]

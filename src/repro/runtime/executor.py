@@ -1,0 +1,126 @@
+"""Functional executor: runs a DSL program and collects its trace.
+
+Executes an application's kernels (vectorised Python step functions
+bound to the program's kernel names) following the host schedule —
+straight-line invocations and fixpoint loops — exactly as the OpenCL
+host code would, and records a :class:`~repro.runtime.trace.Trace` of
+the work performed.  Optimisations never change this phase: they are
+semantics-preserving, so functional execution happens once per
+(application, input) and all 6 chips × 96 configurations are priced
+from the same trace by :mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dsl.ast import Fixpoint, Invoke, Program
+from ..dsl.validate import validate_program
+from ..errors import ExecutionError
+from ..graphs.csr import CSRGraph
+from .stats import StepResult
+from .trace import LaunchRecord, Trace
+
+__all__ = ["execute", "ExecutionResult"]
+
+
+class ExecutionResult:
+    """Outcome of a functional execution: final state plus trace."""
+
+    def __init__(self, state: dict, trace: Trace) -> None:
+        self.state = state
+        self.trace = trace
+
+
+def _record(kernel: str, result: StepResult, iteration: int, in_fixpoint: bool) -> LaunchRecord:
+    return LaunchRecord(
+        kernel=kernel,
+        iteration=iteration,
+        in_fixpoint=in_fixpoint,
+        active_items=result.active_items,
+        expanded_items=result.expanded_items,
+        edges=result.edges,
+        deg_mean=result.deg_mean,
+        deg_std=result.deg_std,
+        deg_max=result.deg_max,
+        deg_hist=tuple(result.deg_hist),
+        pushes=result.pushes,
+        contended_rmws=result.contended_rmws,
+        uncontended_rmws=result.uncontended_rmws,
+        irregularity=min(1.0, max(0.0, result.irregularity)),
+    )
+
+
+def execute(
+    app,
+    graph: CSRGraph,
+    source: int = 0,
+    max_iterations: Optional[int] = None,
+) -> ExecutionResult:
+    """Run ``app`` on ``graph`` functionally and trace the workload.
+
+    ``app`` follows the :class:`repro.apps.base.Application` protocol:
+    ``program()``, ``init_state(graph, source)``,
+    ``kernel_step(name, state, graph)`` and
+    ``extract_result(state, graph)``.
+
+    Raises :class:`~repro.errors.ExecutionError` when a fixpoint fails
+    to converge within ``max_iterations`` (default: a generous
+    ``4 * n_nodes + 512`` — every study application converges well
+    below it).
+    """
+    program: Program = app.program()
+    validate_program(program)
+    if max_iterations is None:
+        # Linear head-room for traversal fixpoints plus a constant term
+        # for size-independent convergence (e.g. PageRank's residual
+        # decay, ~log(eps)/log(damping) iterations on any graph).
+        max_iterations = 4 * graph.n_nodes + 512
+
+    state = app.init_state(graph, source)
+    trace = Trace(program=program.name, graph=graph.name)
+
+    for node in program.schedule:
+        if isinstance(node, Invoke):
+            result = app.kernel_step(node.kernel, state, graph)
+            trace.add(_record(node.kernel, result, iteration=-1, in_fixpoint=False))
+        elif isinstance(node, Fixpoint):
+            _run_fixpoint(app, node, state, graph, trace, max_iterations)
+        else:  # pragma: no cover - validated earlier
+            raise ExecutionError(f"unknown schedule node {node!r}")
+
+    result_array = app.extract_result(state, graph)
+    trace.result_checksum = _checksum(result_array)
+    return ExecutionResult(state, trace)
+
+
+def _run_fixpoint(
+    app,
+    fixpoint: Fixpoint,
+    state: dict,
+    graph: CSRGraph,
+    trace: Trace,
+    max_iterations: int,
+) -> None:
+    for iteration in range(max_iterations):
+        more_work = False
+        for invoke in fixpoint.body:
+            result = app.kernel_step(invoke.kernel, state, graph)
+            trace.add(_record(invoke.kernel, result, iteration, in_fixpoint=True))
+            more_work = more_work or result.more_work
+        if not more_work:
+            trace.converged = True
+            return
+    raise ExecutionError(
+        f"program {trace.program!r} on {trace.graph!r}: fixpoint did not "
+        f"converge within {max_iterations} iterations"
+    )
+
+
+def _checksum(result: np.ndarray) -> float:
+    """Order-independent checksum of an application result array."""
+    arr = np.asarray(result, dtype=np.float64)
+    finite = arr[np.isfinite(arr)]
+    return float(finite.sum() + 0.5 * np.count_nonzero(~np.isfinite(arr)))

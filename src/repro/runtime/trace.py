@@ -1,0 +1,119 @@
+"""Workload traces: what a program actually did on an input.
+
+The study's two-phase design runs each (application, input) pair once
+*functionally* and records, per kernel launch, the quantities the
+performance model prices: outer work items, inner-loop edge work, the
+degree distribution of expanded nodes (load imbalance), worklist
+pushes and other atomics (RMW pressure), and the spatial irregularity
+of neighbour accesses (memory divergence).  Every (chip,
+configuration) timing is then derived from the same trace — mirroring
+the paper's premise that the optimisations are semantics-preserving,
+so the *work* is fixed and only its *cost* varies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["LaunchRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """Workload statistics of one kernel launch."""
+
+    kernel: str
+    iteration: int  # fixpoint iteration index; -1 outside fixpoints
+    in_fixpoint: bool
+    active_items: int  # outer-loop work items scanned
+    expanded_items: int  # items whose inner loop actually ran
+    edges: int  # total inner-loop iterations
+    deg_mean: float = 0.0  # over expanded items
+    deg_std: float = 0.0
+    deg_max: int = 0
+    deg_hist: tuple = ()  # power-of-two degree buckets of expanded items
+    pushes: int = 0  # worklist appends (contended RMW each)
+    contended_rmws: int = 0  # other hot-location RMWs (flags, tails)
+    uncontended_rmws: int = 0  # distributed per-node/edge RMWs
+    irregularity: float = 0.0  # [0, 1] neighbour-access scatter
+
+    def __post_init__(self) -> None:
+        if self.active_items < 0 or self.edges < 0:
+            raise ValueError("work counts must be non-negative")
+        if not 0.0 <= self.irregularity <= 1.0:
+            raise ValueError("irregularity must lie in [0, 1]")
+
+    @property
+    def has_inner_work(self) -> bool:
+        return self.edges > 0
+
+
+@dataclass
+class Trace:
+    """Complete workload trace of one functional program execution."""
+
+    program: str
+    graph: str
+    launches: List[LaunchRecord] = field(default_factory=list)
+    converged: bool = True
+    result_checksum: Optional[float] = None
+
+    def add(self, record: LaunchRecord) -> None:
+        self.launches.append(record)
+
+    # -- summary quantities used by the performance model ---------------
+
+    @property
+    def n_launches(self) -> int:
+        return len(self.launches)
+
+    @property
+    def n_fixpoint_iterations(self) -> int:
+        """Dependent fixpoint iterations, each costing one host round-trip."""
+        iters = {r.iteration for r in self.launches if r.in_fixpoint}
+        return len(iters)
+
+    @property
+    def total_edges(self) -> int:
+        return sum(r.edges for r in self.launches)
+
+    @property
+    def total_pushes(self) -> int:
+        return sum(r.pushes for r in self.launches)
+
+    def launches_of(self, kernel: str) -> Iterator[LaunchRecord]:
+        return (r for r in self.launches if r.kernel == kernel)
+
+    # -- (de)serialisation ----------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "program": self.program,
+            "graph": self.graph,
+            "converged": self.converged,
+            "result_checksum": self.result_checksum,
+            "launches": [asdict(r) for r in self.launches],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Trace":
+        trace = cls(
+            program=data["program"],
+            graph=data["graph"],
+            converged=data["converged"],
+            result_checksum=data.get("result_checksum"),
+        )
+        for rec in data["launches"]:
+            rec = dict(rec)
+            rec["deg_hist"] = tuple(rec.get("deg_hist", ()))
+            trace.add(LaunchRecord(**rec))
+        return trace
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        return cls.from_dict(json.loads(text))

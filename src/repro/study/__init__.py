@@ -1,0 +1,6 @@
+"""Study harness: full-factorial sweep runner and performance dataset."""
+
+from .dataset import PerfDataset, TestCase
+from .runner import StudyConfig, collect_traces, run_study
+
+__all__ = ["PerfDataset", "TestCase", "StudyConfig", "collect_traces", "run_study"]

@@ -1,0 +1,212 @@
+"""Performance dataset: the study's measurements and their query API.
+
+A *test* is an (application, input, chip) tuple — the paper's unit of
+analysis.  For every test the dataset holds repeated timings under
+every optimisation configuration.  The analysis layer
+(:mod:`repro.core`) consumes only this object, mirroring the paper's
+design where the statistical machinery treats chips, applications and
+inputs as black boxes behind a timing table.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.options import OptConfig
+from ..errors import DatasetError
+
+__all__ = ["TestCase", "PerfDataset"]
+
+
+@dataclass(frozen=True, order=True)
+class TestCase:
+    """One (application, input, chip) tuple."""
+
+    #: Tell pytest this is not a test class despite the name.
+    __test__ = False
+
+    app: str
+    graph: str
+    chip: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.app}/{self.graph}/{self.chip}"
+
+
+class PerfDataset:
+    """Timings for tests × configurations.
+
+    Keys are stable strings: configurations are identified by
+    :meth:`repro.compiler.options.OptConfig.key`.
+    """
+
+    def __init__(self) -> None:
+        self._times: Dict[Tuple[TestCase, str], Tuple[float, ...]] = {}
+        self._configs: Dict[str, OptConfig] = {}
+        self._tests: Dict[TestCase, None] = {}  # insertion-ordered set
+
+    # -- population -------------------------------------------------------
+
+    def add(
+        self, test: TestCase, config: OptConfig, times: Sequence[float]
+    ) -> None:
+        """Record the repeated timings of one (test, configuration)."""
+        if not times:
+            raise DatasetError(f"no timings provided for {test} [{config.label()}]")
+        if any(t <= 0 for t in times):
+            raise DatasetError(f"non-positive timing for {test} [{config.label()}]")
+        key = config.key()
+        self._times[(test, key)] = tuple(float(t) for t in times)
+        self._configs.setdefault(key, config)
+        self._tests.setdefault(test, None)
+
+    # -- axes ---------------------------------------------------------------
+
+    @property
+    def tests(self) -> List[TestCase]:
+        return list(self._tests)
+
+    @property
+    def configs(self) -> List[OptConfig]:
+        return list(self._configs.values())
+
+    @property
+    def apps(self) -> List[str]:
+        return sorted({t.app for t in self._tests})
+
+    @property
+    def graphs(self) -> List[str]:
+        return sorted({t.graph for t in self._tests})
+
+    @property
+    def chips(self) -> List[str]:
+        return sorted({t.chip for t in self._tests})
+
+    @property
+    def n_measurements(self) -> int:
+        return len(self._times)
+
+    # -- queries ------------------------------------------------------------
+
+    def has(self, test: TestCase, config: OptConfig) -> bool:
+        return (test, config.key()) in self._times
+
+    def times(self, test: TestCase, config: OptConfig) -> Tuple[float, ...]:
+        """Raw repeated timings, in microseconds."""
+        try:
+            return self._times[(test, config.key())]
+        except KeyError:
+            raise DatasetError(
+                f"no measurement for {test} under [{config.label()}]"
+            ) from None
+
+    def median(self, test: TestCase, config: OptConfig) -> float:
+        return float(np.median(self.times(test, config)))
+
+    def best_config(
+        self, test: TestCase, configs: Optional[Iterable[OptConfig]] = None
+    ) -> OptConfig:
+        """The oracle configuration: lowest median time for this test."""
+        candidates = list(configs) if configs is not None else self.configs
+        if not candidates:
+            raise DatasetError("no configurations to choose from")
+        return min(candidates, key=lambda c: self.median(test, c))
+
+    def tests_where(
+        self,
+        app: Optional[str] = None,
+        graph: Optional[str] = None,
+        chip: Optional[str] = None,
+    ) -> List[TestCase]:
+        """Tests matching the given (partial) coordinates — the
+        partitioning primitive of Algorithm 1's specialisations."""
+        return [
+            t
+            for t in self._tests
+            if (app is None or t.app == app)
+            and (graph is None or t.graph == graph)
+            and (chip is None or t.chip == chip)
+        ]
+
+    def subset(self, tests: Iterable[TestCase]) -> "PerfDataset":
+        """A dataset restricted to the given tests (shared timing data)."""
+        wanted = set(tests)
+        sub = PerfDataset()
+        for (test, key), times in self._times.items():
+            if test in wanted:
+                sub._times[(test, key)] = times
+                sub._configs.setdefault(key, self._configs[key])
+                sub._tests.setdefault(test, None)
+        return sub
+
+    def iter_measurements(
+        self,
+    ) -> Iterator[Tuple[TestCase, OptConfig, Tuple[float, ...]]]:
+        for (test, key), times in self._times.items():
+            yield test, self._configs[key], times
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "measurements": [
+                {
+                    "app": test.app,
+                    "graph": test.graph,
+                    "chip": test.chip,
+                    "config": key,
+                    "times": list(times),
+                }
+                for (test, key), times in self._times.items()
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PerfDataset":
+        ds = cls()
+        for rec in data["measurements"]:
+            config = (
+                OptConfig()
+                if rec["config"] == "baseline"
+                else OptConfig.from_names(rec["config"].split("+"))
+            )
+            ds.add(
+                TestCase(rec["app"], rec["graph"], rec["chip"]),
+                config,
+                rec["times"],
+            )
+        return ds
+
+    def save(self, path: str) -> None:
+        """Write the dataset as (optionally gzipped) JSON."""
+        payload = json.dumps(self.to_dict())
+        if path.endswith(".gz"):
+            with gzip.open(path, "wt") as f:
+                f.write(payload)
+        else:
+            with open(path, "w") as f:
+                f.write(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "PerfDataset":
+        if path.endswith(".gz"):
+            with gzip.open(path, "rt") as f:
+                data = json.load(f)
+        else:
+            with open(path) as f:
+                data = json.load(f)
+        return cls.from_dict(data)
+
+    def __len__(self) -> int:
+        return len(self._tests)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PerfDataset(tests={len(self._tests)}, "
+            f"configs={len(self._configs)}, measurements={len(self._times)})"
+        )

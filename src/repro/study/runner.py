@@ -1,0 +1,132 @@
+"""Study sweep runner: the paper's data-collection phase.
+
+Executes every application on every input *once* to obtain workload
+traces, then prices each trace on every chip under every optimisation
+configuration, with the study's three noisy timing repetitions.  The
+full factorial — 17 applications × 3 inputs × 6 chips × 96
+configurations × 3 repetitions — matches the paper's experimental
+scope.
+
+Everything is deterministic: graph generation, functional execution
+and the noise model are all seeded, so two invocations produce
+identical datasets.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..apps.base import Application
+from ..apps.registry import all_applications
+from ..chips.database import all_chips
+from ..chips.model import ChipModel
+from ..compiler.options import OptConfig, enumerate_configs
+from ..compiler.pipeline import compile_program
+from ..graphs.inputs import StudyInput, study_inputs
+from ..perfmodel.simulate import measure_repeats_us
+from ..runtime.trace import Trace
+from .dataset import PerfDataset, TestCase
+
+__all__ = ["run_study", "collect_traces", "StudyConfig"]
+
+
+class StudyConfig:
+    """Parameters of a study run (defaults reproduce the paper scope)."""
+
+    def __init__(
+        self,
+        apps: Optional[List[Application]] = None,
+        inputs: Optional[Dict[str, StudyInput]] = None,
+        chips: Optional[List[ChipModel]] = None,
+        configs: Optional[List[OptConfig]] = None,
+        repetitions: int = 3,
+        source: int = 0,
+        scale: float = 1.0,
+        seed: int = 7,
+    ) -> None:
+        self.apps = apps if apps is not None else all_applications()
+        self.inputs = (
+            inputs if inputs is not None else study_inputs(scale=scale, seed=seed)
+        )
+        self.chips = chips if chips is not None else all_chips()
+        self.configs = configs if configs is not None else enumerate_configs()
+        self.repetitions = repetitions
+        self.source = source
+
+
+def collect_traces(
+    config: StudyConfig, progress: Optional[Callable[[str], None]] = None
+) -> Dict[tuple, Trace]:
+    """Phase 1: run every (application, input) pair functionally."""
+    traces: Dict[tuple, Trace] = {}
+    for inp in config.inputs.values():
+        graph = inp.graph
+        for app in config.apps:
+            if app.requires_weights and not graph.has_weights:
+                continue
+            if progress:
+                progress(f"tracing {app.name} on {inp.name}")
+            result = app.run(graph, source=config.source)
+            traces[(app.name, inp.name)] = result.trace
+    return traces
+
+
+def run_study(
+    config: Optional[StudyConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PerfDataset:
+    """Run the full study and return the performance dataset."""
+    if config is None:
+        config = StudyConfig()
+    traces = collect_traces(config, progress)
+
+    dataset = PerfDataset()
+    programs = {app.name: app.program() for app in config.apps}
+    for chip in config.chips:
+        if progress:
+            progress(f"pricing on {chip.short_name}")
+        for opt in config.configs:
+            plans = {
+                name: compile_program(program, chip, opt)
+                for name, program in programs.items()
+            }
+            for (app_name, input_name), trace in traces.items():
+                times = measure_repeats_us(
+                    plans[app_name], trace, config.repetitions
+                )
+                dataset.add(
+                    TestCase(app_name, input_name, chip.short_name), opt, times
+                )
+    return dataset
+
+
+def _stderr_progress(message: str) -> None:  # pragma: no cover - CLI helper
+    print(f"[study] {message}", file=sys.stderr)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    """CLI: run the full study and save the dataset."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=run_study.__doc__)
+    parser.add_argument("output", help="path for the dataset JSON (.gz ok)")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repetitions", type=int, default=3)
+    args = parser.parse_args()
+
+    started = time.time()
+    dataset = run_study(
+        StudyConfig(scale=args.scale, repetitions=args.repetitions),
+        progress=_stderr_progress,
+    )
+    dataset.save(args.output)
+    print(
+        f"wrote {dataset.n_measurements} measurements "
+        f"({len(dataset)} tests) in {time.time() - started:.1f}s to {args.output}"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,55 @@
+"""Small shared numeric helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["expand_segments", "geomean", "stable_hash"]
+
+
+def expand_segments(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Expand per-segment (start, count) pairs into flat indices.
+
+    For segments ``(s_i, c_i)`` returns the concatenation of
+    ``[s_i, s_i + 1, ..., s_i + c_i - 1]`` — the vectorised equivalent
+    of iterating CSR adjacency lists, used throughout the functional
+    executor.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg_begin = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - seg_begin + np.repeat(starts, counts)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; 1.0 for an empty input.
+
+    The paper summarises relative performance with geometric means
+    throughout; an empty set of ratios is the multiplicative identity.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 1.0
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def stable_hash(*parts: object) -> int:
+    """A deterministic 63-bit hash of string-convertible parts.
+
+    Python's built-in ``hash`` is salted per process; experiment seeds
+    must be reproducible across runs, so we use FNV-1a over the joined
+    string representation.
+    """
+    h = np.uint64(14695981039346656037)
+    prime = np.uint64(1099511628211)
+    with np.errstate(over="ignore"):
+        for ch in "\x1f".join(str(p) for p in parts).encode("utf-8"):
+            h = (h ^ np.uint64(ch)) * prime
+    return int(h & np.uint64((1 << 63) - 1))

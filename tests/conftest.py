@@ -1,0 +1,119 @@
+"""Shared fixtures: small graphs, a miniature study dataset, helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.compiler import enumerate_configs
+from repro.graphs import CSRGraph, rmat_graph, road_network, uniform_random_graph
+from repro.study import StudyConfig, run_study
+from repro.graphs.inputs import StudyInput
+
+
+# -- small structural graphs ------------------------------------------------
+
+
+@pytest.fixture
+def line_graph() -> CSRGraph:
+    """0 -> 1 -> 2 -> 3 -> 4, unit weights."""
+    edges = [(i, i + 1) for i in range(4)]
+    return CSRGraph.from_edges(5, edges, [1.0] * 4, name="line")
+
+
+@pytest.fixture
+def star_graph() -> CSRGraph:
+    """Hub 0 connected out to 1..8 (weighted)."""
+    edges = [(0, i) for i in range(1, 9)]
+    return CSRGraph.from_edges(9, edges, list(range(1, 9)), name="star")
+
+
+@pytest.fixture
+def triangle_pair() -> CSRGraph:
+    """Two triangles sharing no nodes, symmetric, unit weights."""
+    tri1 = [(0, 1), (1, 2), (2, 0)]
+    tri2 = [(3, 4), (4, 5), (5, 3)]
+    g = CSRGraph.from_edges(6, tri1 + tri2, [1.0] * 6, name="tri-pair")
+    return g.symmetrized()
+
+
+@pytest.fixture
+def disconnected_graph() -> CSRGraph:
+    """Component {0,1,2} and isolated nodes 3, 4."""
+    edges = [(0, 1), (1, 2), (2, 0)]
+    return CSRGraph.from_edges(5, edges, [1.0, 2.0, 3.0], name="disc")
+
+
+@pytest.fixture
+def small_road() -> CSRGraph:
+    return road_network(12, 12, seed=3)
+
+
+@pytest.fixture
+def small_rmat() -> CSRGraph:
+    return rmat_graph(8, edge_factor=8, seed=3)
+
+
+@pytest.fixture
+def small_uniform() -> CSRGraph:
+    return uniform_random_graph(200, 5.0, seed=3)
+
+
+@pytest.fixture(params=["road", "rmat", "uniform"])
+def any_small_graph(request, small_road, small_rmat, small_uniform) -> CSRGraph:
+    return {"road": small_road, "rmat": small_rmat, "uniform": small_uniform}[
+        request.param
+    ]
+
+
+# -- miniature study dataset --------------------------------------------------
+
+
+def _tiny_inputs():
+    road = road_network(16, 16, seed=5, name="tiny-road")
+    rmat = rmat_graph(8, edge_factor=8, seed=5, name="tiny-rmat")
+    return {
+        "tiny-road": StudyInput(
+            name="tiny-road",
+            input_class="road",
+            description="test road input",
+            _builder=lambda: road,
+        ),
+        "tiny-rmat": StudyInput(
+            name="tiny-rmat",
+            input_class="social",
+            description="test rmat input",
+            _builder=lambda: rmat,
+        ),
+    }
+
+
+@pytest.fixture(scope="session")
+def mini_study_config() -> StudyConfig:
+    """3 apps x 2 inputs x 3 chips x all 96 configurations."""
+    return StudyConfig(
+        apps=[
+            get_application("bfs-wl"),
+            get_application("sssp-nf"),
+            get_application("pr-topo"),
+        ],
+        inputs=_tiny_inputs(),
+        chips=[get_chip("GTX1080"), get_chip("R9"), get_chip("MALI")],
+        configs=enumerate_configs(),
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_dataset(mini_study_config):
+    """A real (small) study dataset shared across analysis tests."""
+    return run_study(mini_study_config)
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

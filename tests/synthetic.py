@@ -1,0 +1,68 @@
+"""Synthetic performance datasets with designed optimisation effects.
+
+Used by the analysis tests: each optimisation's effect on each test is
+an explicit multiplicative factor, so Algorithm 1's expected decisions
+are known by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.compiler import OptConfig, enumerate_configs
+from repro.study import PerfDataset, TestCase
+from repro.util import stable_hash
+
+__all__ = ["build_synthetic_dataset", "DESIGNED_EFFECTS"]
+
+
+def DESIGNED_EFFECTS(opt: str, test: TestCase) -> float:
+    """The default effect design.
+
+    * ``sg``  : universal 0.8x speedup;
+    * ``wg``  : universal 1.25x slowdown;
+    * ``fg``  : universal mild 0.9x speedup;
+    * ``fg8`` : 0.7x on chip C1, 1.3x slowdown on chip C2;
+    * others  : no effect.
+    """
+    if opt == "sg":
+        return 0.8
+    if opt == "wg":
+        return 1.25
+    if opt == "fg":
+        return 0.9
+    if opt == "fg8":
+        return 0.7 if test.chip == "C1" else 1.3
+    return 1.0
+
+
+def build_synthetic_dataset(
+    effects: Callable[[str, TestCase], float] = DESIGNED_EFFECTS,
+    chips: Sequence[str] = ("C1", "C2"),
+    apps: Sequence[str] = ("a1", "a2"),
+    graphs: Sequence[str] = ("g1", "g2"),
+    base_time: float = 1000.0,
+    jitter: float = 0.004,
+    repetitions: int = 3,
+) -> PerfDataset:
+    """Full-factorial dataset whose timings follow ``effects`` exactly."""
+    ds = PerfDataset()
+    for chip in chips:
+        for app in apps:
+            for graph in graphs:
+                test = TestCase(app, graph, chip)
+                for config in enumerate_configs():
+                    true = base_time
+                    for opt in config.enabled_names():
+                        true *= effects(opt, test)
+                    rng = np.random.default_rng(
+                        stable_hash("synthetic", str(test), config.key())
+                    )
+                    times = [
+                        true * (1.0 + rng.normal(0.0, jitter))
+                        for _ in range(repetitions)
+                    ]
+                    ds.add(test, config, times)
+    return ds

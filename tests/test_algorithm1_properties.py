@@ -1,0 +1,79 @@
+"""Property-based tests of Algorithm 1 on randomly designed effects.
+
+Hypothesis draws a random per-optimisation effect design; the analysis
+must recover each effect's sign whenever its magnitude clears the
+noise floor, and must never *enable* an optimisation designed to hurt.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import OPT_NAMES
+from repro.core import Analysis
+
+from .synthetic import build_synthetic_dataset
+
+# Effects either clearly help, clearly hurt, or do nothing; magnitudes
+# stay well outside the 0.4% jitter so the expected verdicts are
+# unambiguous.
+effect_values = st.sampled_from([0.7, 0.85, 1.0, 1.2, 1.4])
+
+
+@st.composite
+def effect_designs(draw):
+    return {opt: draw(effect_values) for opt in OPT_NAMES}
+
+
+class TestRecoveryProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(effect_designs())
+    def test_signs_recovered(self, design):
+        ds = build_synthetic_dataset(
+            effects=lambda opt, test: design[opt],
+            apps=("a1",),
+            graphs=("g1",),
+            chips=("C1",),
+        )
+        analysis = Analysis(ds)
+        for opt in OPT_NAMES:
+            decision = analysis.decide(ds.tests, opt)
+            if design[opt] < 1.0:
+                assert decision.enabled, (opt, design[opt])
+            elif design[opt] > 1.0:
+                assert not decision.enabled, (opt, design[opt])
+            else:
+                # No designed effect: must not be confidently enabled.
+                assert not decision.enabled
+
+    @settings(max_examples=6, deadline=None)
+    @given(effect_designs())
+    def test_recommended_config_never_contains_harm(self, design):
+        ds = build_synthetic_dataset(
+            effects=lambda opt, test: design[opt],
+            apps=("a1",),
+            graphs=("g1",),
+            chips=("C1",),
+        )
+        analysis = Analysis(ds)
+        config = analysis.config_for_partition(ds.tests)
+        for opt in config.enabled_names():
+            assert design[opt] < 1.0
+
+    @settings(max_examples=6, deadline=None)
+    @given(effect_designs())
+    def test_effect_size_tracks_design_direction(self, design):
+        ds = build_synthetic_dataset(
+            effects=lambda opt, test: design[opt],
+            apps=("a1",),
+            graphs=("g1",),
+            chips=("C1",),
+        )
+        analysis = Analysis(ds)
+        for opt in OPT_NAMES:
+            decision = analysis.decide(ds.tests, opt)
+            if decision.inconclusive:
+                continue
+            if design[opt] < 1.0:
+                assert decision.effect_size > 0.5
+            elif design[opt] > 1.0:
+                assert decision.effect_size < 0.5

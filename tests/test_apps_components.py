@@ -1,0 +1,129 @@
+"""Tests for CC, MIS and MST applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_application, kruskal_weight, mis_priorities
+from repro.graphs import CSRGraph, uniform_random_graph
+
+
+class TestCC:
+    @pytest.mark.parametrize("name", ["cc-topo", "cc-wl"])
+    def test_two_components(self, name, disconnected_graph):
+        app = get_application(name)
+        res = app.run(disconnected_graph)
+        labels = app.extract_result(res.state, disconnected_graph)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] != labels[0]
+        assert labels[4] not in (labels[0], labels[3])
+
+    @pytest.mark.parametrize("name", ["cc-topo", "cc-wl"])
+    def test_direction_ignored(self, name):
+        # 0 -> 1, 2 -> 1: weakly connected as one component.
+        g = CSRGraph.from_edges(3, [(0, 1), (2, 1)])
+        app = get_application(name)
+        labels = app.extract_result(app.run(g).state, g)
+        assert labels[0] == labels[1] == labels[2]
+
+    def test_variants_agree(self, small_uniform):
+        a = get_application("cc-topo")
+        b = get_application("cc-wl")
+        la = a.extract_result(a.run(small_uniform).state, small_uniform)
+        lb = b.extract_result(b.run(small_uniform).state, small_uniform)
+        assert np.array_equal(la, lb)
+
+    def test_labels_are_min_member(self, triangle_pair):
+        app = get_application("cc-wl")
+        labels = app.extract_result(app.run(triangle_pair).state, triangle_pair)
+        assert labels.tolist() == [0, 0, 0, 3, 3, 3]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_matches_scipy_on_random(self, seed):
+        g = uniform_random_graph(80, 1.5, seed=seed % 991)
+        assert get_application("cc-wl").validate(g)
+
+
+class TestMIS:
+    @pytest.mark.parametrize("name", ["mis-topo", "mis-wl"])
+    def test_is_independent_and_maximal(self, name, small_uniform):
+        app = get_application(name)
+        res = app.run(small_uniform)
+        in_set = app.extract_result(res.state, small_uniform).astype(bool)
+        und = small_uniform.symmetrized()
+        # Independence: no edge inside the set.
+        for u in np.flatnonzero(in_set):
+            assert not in_set[und.neighbors(u)].any()
+        # Maximality: every excluded node has a neighbour in the set.
+        for v in np.flatnonzero(~in_set):
+            assert in_set[und.neighbors(v)].any()
+
+    def test_variants_agree(self, small_uniform):
+        a = get_application("mis-topo")
+        b = get_application("mis-wl")
+        sa = a.extract_result(a.run(small_uniform).state, small_uniform)
+        sb = b.extract_result(b.run(small_uniform).state, small_uniform)
+        assert np.array_equal(sa, sb)
+
+    def test_isolated_nodes_always_in_set(self, disconnected_graph):
+        app = get_application("mis-wl")
+        in_set = app.extract_result(
+            app.run(disconnected_graph).state, disconnected_graph
+        )
+        assert in_set[3] == 1 and in_set[4] == 1
+
+    def test_priorities_deterministic(self, small_uniform):
+        assert np.array_equal(
+            mis_priorities(small_uniform), mis_priorities(small_uniform)
+        )
+
+    def test_converges_in_few_rounds(self, small_rmat):
+        trace = get_application("mis-wl").run(small_rmat).trace
+        # Priority MIS converges in O(log n) rounds w.h.p.
+        assert trace.n_fixpoint_iterations < 30
+
+
+class TestMST:
+    def test_line_forest_weight(self, line_graph):
+        app = get_application("mst-boruvka")
+        res = app.run(line_graph)
+        assert app.extract_result(res.state, line_graph)[0] == 4.0
+
+    def test_cycle_drops_heaviest(self):
+        g = CSRGraph.from_edges(
+            3, [(0, 1), (1, 2), (2, 0)], [1.0, 2.0, 5.0]
+        )
+        app = get_application("mst-boruvka")
+        assert app.extract_result(app.run(g).state, g)[0] == 3.0
+
+    def test_forest_on_disconnected(self, disconnected_graph):
+        app = get_application("mst-boruvka")
+        res = app.run(disconnected_graph)
+        # Triangle with weights 1,2,3 -> MST weight 3; isolated nodes add 0.
+        assert app.extract_result(res.state, disconnected_graph)[0] == 3.0
+
+    def test_equal_weights_still_spanning(self):
+        g = CSRGraph.from_edges(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0)], [1.0, 1.0, 1.0, 1.0]
+        )
+        app = get_application("mst-boruvka")
+        assert app.extract_result(app.run(g).state, g)[0] == 3.0
+
+    def test_kruskal_oracle_on_known_graph(self):
+        g = CSRGraph.from_edges(
+            4, [(0, 1), (0, 2), (1, 2), (2, 3)], [4.0, 1.0, 2.0, 7.0]
+        ).symmetrized()
+        assert kruskal_weight(g) == 10.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_matches_kruskal_on_random(self, seed):
+        g = uniform_random_graph(40, 3.0, seed=seed % 983)
+        assert get_application("mst-boruvka").validate(g)
+
+    def test_component_count_decreases_per_round(self, small_road):
+        """Borůvka at least halves components per round: few rounds."""
+        trace = get_application("mst-boruvka").run(small_road).trace
+        assert trace.n_fixpoint_iterations <= 14

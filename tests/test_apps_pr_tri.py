@@ -1,0 +1,116 @@
+"""Tests for PageRank and triangle-counting applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_application, pagerank_reference, triangle_count_oracle
+from repro.graphs import CSRGraph, rmat_graph, uniform_random_graph
+
+TRI_VARIANTS = ["tri-nodeiter", "tri-edgeiter", "tri-hybrid"]
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("name", ["pr-topo", "pr-wl"])
+    def test_symmetric_cycle_uniform_rank(self, name):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        app = get_application(name)
+        ranks = app.extract_result(app.run(g).state, g)
+        assert np.allclose(ranks, 0.25, atol=1e-4)
+
+    @pytest.mark.parametrize("name", ["pr-topo", "pr-wl"])
+    def test_hub_attracts_rank(self, name):
+        # Everyone points at node 0.
+        g = CSRGraph.from_edges(5, [(i, 0) for i in range(1, 5)])
+        app = get_application(name)
+        ranks = app.extract_result(app.run(g).state, g)
+        assert ranks[0] > 3 * ranks[1]
+
+    def test_variants_agree(self, small_rmat):
+        a = get_application("pr-topo")
+        b = get_application("pr-wl")
+        ra = a.extract_result(a.run(small_rmat).state, small_rmat)
+        rb = b.extract_result(b.run(small_rmat).state, small_rmat)
+        assert np.allclose(ra, rb, atol=5e-6)
+
+    def test_reference_fixed_point(self, small_uniform):
+        """The oracle satisfies its own defining equation."""
+        rank = pagerank_reference(small_uniform, tolerance=1e-12)
+        n = small_uniform.n_nodes
+        deg = small_uniform.out_degrees().astype(float)
+        contrib = np.where(deg > 0, rank / np.maximum(deg, 1), 0.0)
+        incoming = np.bincount(
+            small_uniform.col_idx,
+            weights=contrib[small_uniform.edge_sources()],
+            minlength=n,
+        )
+        assert np.allclose(rank, 0.15 / n + 0.85 * incoming, atol=1e-9)
+
+    def test_push_variant_worklist_driven(self, small_road):
+        trace = get_application("pr-wl").run(small_road).trace
+        assert trace.total_pushes > 0
+
+    def test_dangling_nodes_handled(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)])  # 1, 2 dangle
+        for name in ("pr-topo", "pr-wl"):
+            app = get_application(name)
+            ranks = app.extract_result(app.run(g).state, g)
+            assert np.all(np.isfinite(ranks))
+            assert ranks[1] == pytest.approx(ranks[2])
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("name", TRI_VARIANTS)
+    def test_two_disjoint_triangles(self, name, triangle_pair):
+        app = get_application(name)
+        count = app.extract_result(app.run(triangle_pair).state, triangle_pair)
+        assert count[0] == 2
+
+    @pytest.mark.parametrize("name", TRI_VARIANTS)
+    def test_triangle_free_graph(self, name):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        app = get_application(name)
+        assert app.extract_result(app.run(g).state, g)[0] == 0
+
+    @pytest.mark.parametrize("name", TRI_VARIANTS)
+    def test_complete_graph_k5(self, name):
+        edges = [(u, v) for u in range(5) for v in range(5) if u != v]
+        g = CSRGraph.from_edges(5, edges)
+        app = get_application(name)
+        assert app.extract_result(app.run(g).state, g)[0] == 10  # C(5,3)
+
+    def test_variants_agree(self, small_rmat):
+        counts = []
+        for name in TRI_VARIANTS:
+            app = get_application(name)
+            counts.append(
+                app.extract_result(app.run(small_rmat).state, small_rmat)[0]
+            )
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_oracle_on_known_graph(self, triangle_pair):
+        assert triangle_count_oracle(triangle_pair) == 2
+
+    def test_direction_ignored(self):
+        # A directed 3-cycle is an undirected triangle.
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        app = get_application("tri-nodeiter")
+        assert app.extract_result(app.run(g).state, g)[0] == 1
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_matches_oracle_on_random(self, seed):
+        g = uniform_random_graph(40, 4.0, seed=seed % 977)
+        assert get_application("tri-hybrid").validate(g)
+
+    def test_single_launch_programs(self, small_rmat):
+        """Triangle counting has no fixpoint: oitergb has no target."""
+        trace = get_application("tri-nodeiter").run(small_rmat).trace
+        assert trace.n_fixpoint_iterations == 0
+        assert trace.n_launches == 1
+
+    def test_hybrid_splits_work_on_power_law(self, small_rmat):
+        trace = get_application("tri-hybrid").run(small_rmat).trace
+        kernels = {r.kernel for r in trace.launches}
+        assert kernels == {"tri_light_step", "tri_hub_step"}

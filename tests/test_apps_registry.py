@@ -1,0 +1,95 @@
+"""Tests for the application registry and cross-cutting app properties."""
+
+import pytest
+
+from repro.apps import (
+    APP_NAMES,
+    PROBLEMS,
+    all_applications,
+    applications_by_problem,
+    get_application,
+    table7_rows,
+)
+from repro.dsl import validate_program
+from repro.errors import ExecutionError, ReproError
+
+
+class TestRegistry:
+    def test_seventeen_applications(self):
+        assert len(all_applications()) == 17
+        assert len(set(APP_NAMES)) == 17
+
+    def test_seven_problems(self):
+        apps = all_applications()
+        assert {a.problem for a in apps} == set(PROBLEMS)
+
+    def test_one_fastest_variant_per_problem(self):
+        """Table VII marks exactly one (*) per problem."""
+        for problem in PROBLEMS:
+            variants = applications_by_problem(problem)
+            assert sum(1 for a in variants if a.fastest_variant) == 1
+
+    def test_lookup(self):
+        assert get_application("bfs-wl").name == "bfs-wl"
+        with pytest.raises(ReproError):
+            get_application("bfs-quantum")
+        with pytest.raises(ReproError):
+            applications_by_problem("SORT")
+
+    def test_table7_rows_complete(self):
+        rows = table7_rows()
+        assert len(rows) == 17
+        assert all(r["description"] for r in rows)
+
+
+class TestAllProgramsValid:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_program_validates(self, name):
+        app = get_application(name)
+        validate_program(app.program())
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_program_cached(self, name):
+        app = get_application(name)
+        assert app.program() is app.program()
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_metadata_present(self, name):
+        app = get_application(name)
+        assert app.problem in PROBLEMS
+        assert app.variant
+        assert app.description
+
+
+class TestWeightRequirements:
+    def test_weighted_apps_reject_unweighted_graphs(self):
+        from repro.graphs import CSRGraph
+
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        for name in ("sssp-wl", "sssp-nf", "sssp-topo", "mst-boruvka"):
+            with pytest.raises(ExecutionError):
+                get_application(name).run(g)
+
+    def test_unweighted_apps_accept_unweighted_graphs(self):
+        from repro.graphs import CSRGraph
+
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        result = get_application("bfs-wl").run(g)
+        assert result.trace.converged
+
+
+class TestAllAppsValidateOnStudyClasses:
+    """Every application produces oracle-correct results on each of the
+    three input classes (small instances)."""
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_validates_on_road(self, name, small_road):
+        assert get_application(name).validate(small_road, source=0)
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_validates_on_rmat(self, name, small_rmat):
+        assert get_application(name).validate(small_rmat, source=1)
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_validates_on_uniform(self, name, small_uniform):
+        assert get_application(name).validate(small_uniform, source=5)

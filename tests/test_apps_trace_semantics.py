@@ -1,0 +1,108 @@
+"""Tests pinning the workload statistics each application reports.
+
+The performance model is only as honest as the traces feeding it;
+these tests check the per-launch counters against hand-computable
+expectations on small structured graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.graphs import CSRGraph
+
+
+@pytest.fixture
+def star():
+    """Hub 0 -> 1..8 plus unit weights."""
+    edges = [(0, i) for i in range(1, 9)]
+    return CSRGraph.from_edges(9, edges, [1.0] * 8, name="star")
+
+
+class TestBFSTrace:
+    def test_star_pushes_all_leaves_once(self, star):
+        trace = get_application("bfs-wl").run(star).trace
+        steps = [r for r in trace.launches if r.kernel == "bfs_wl_step"]
+        assert steps[0].pushes == 8  # all leaves discovered in round 1
+        assert steps[0].edges == 8
+        assert sum(r.pushes for r in steps) == 8
+
+    def test_topology_variant_scans_all_nodes(self, star):
+        trace = get_application("bfs-topo").run(star).trace
+        steps = [r for r in trace.launches if r.kernel == "bfs_topo_step"]
+        assert all(r.active_items == star.n_nodes for r in steps)
+        assert steps[0].expanded_items == 1  # only the hub has work
+
+    def test_cas_attempts_bounded_by_edges(self, small_rmat):
+        trace = get_application("bfs-wl").run(small_rmat).trace
+        for r in trace.launches:
+            assert r.uncontended_rmws <= r.edges
+
+    def test_degree_histogram_mass_matches_frontier(self, star):
+        trace = get_application("bfs-wl").run(star).trace
+        first = next(r for r in trace.launches if r.kernel == "bfs_wl_step")
+        assert sum(first.deg_hist) == 1  # the hub
+        assert first.deg_max == 8
+
+
+class TestSSSPTrace:
+    def test_near_far_launch_count_exceeds_worklist(self, small_road):
+        """The near-far pile structure costs extra (cheap) launches."""
+        nf = get_application("sssp-nf").run(small_road).trace
+        wl = get_application("sssp-wl").run(small_road).trace
+        assert nf.n_launches >= wl.n_launches
+
+    def test_relaxations_counted(self, star):
+        trace = get_application("sssp-wl").run(star).trace
+        first = next(r for r in trace.launches if r.kernel == "sssp_wl_step")
+        assert first.uncontended_rmws == 8  # every leaf improves once
+        assert first.pushes == 8
+
+
+class TestPRTrace:
+    def test_pull_touches_every_edge_every_iteration(self, small_uniform):
+        trace = get_application("pr-topo").run(small_uniform).trace
+        for r in trace.launches:
+            assert r.edges == small_uniform.n_edges
+            assert r.active_items == small_uniform.n_nodes
+
+    def test_push_worklist_shrinks(self, small_uniform):
+        trace = get_application("pr-wl").run(small_uniform).trace
+        actives = [r.active_items for r in trace.launches]
+        # Residual-push activity decays towards convergence.
+        assert actives[-1] < actives[0]
+        assert actives[0] == small_uniform.n_nodes
+
+
+class TestMISTrace:
+    def test_worklist_monotonically_shrinks(self, small_uniform):
+        trace = get_application("mis-wl").run(small_uniform).trace
+        actives = [r.active_items for r in trace.launches]
+        assert all(b <= a for a, b in zip(actives, actives[1:]))
+
+
+class TestTriangleTrace:
+    def test_edgeiter_active_items_are_edges(self, small_uniform):
+        und = small_uniform.symmetrized()
+        trace = get_application("tri-edgeiter").run(small_uniform).trace
+        (launch,) = trace.launches
+        assert launch.active_items == und.n_edges // 2
+
+    def test_merge_work_exceeds_edge_count(self, small_rmat):
+        """Intersection cost is super-linear in edges on skewed graphs."""
+        und = small_rmat.symmetrized()
+        trace = get_application("tri-nodeiter").run(small_rmat).trace
+        assert trace.launches[0].edges > 2 * und.n_edges
+
+
+class TestIrregularitySignals:
+    def test_rmat_more_irregular_than_road(self, small_road, small_rmat):
+        road = get_application("bfs-wl").run(small_road).trace
+        rmat = get_application("bfs-wl").run(small_rmat).trace
+
+        def weighted_irr(trace):
+            num = sum(r.irregularity * r.edges for r in trace.launches)
+            den = max(1, sum(r.edges for r in trace.launches))
+            return num / den
+
+        assert weighted_irr(rmat) > weighted_irr(road)

@@ -1,0 +1,140 @@
+"""Tests for the traversal applications: BFS and SSSP variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_application
+from repro.graphs import CSRGraph, bfs_levels, rmat_graph, uniform_random_graph
+from repro.apps.sssp import dijkstra_reference
+
+BFS_VARIANTS = ["bfs-topo", "bfs-wl", "bfs-wlc", "bfs-hybrid"]
+SSSP_VARIANTS = ["sssp-topo", "sssp-wl", "sssp-nf"]
+
+
+def random_weighted_graph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    edges = np.column_stack(
+        [rng.integers(0, n, size=m), rng.integers(0, n, size=m)]
+    )
+    weights = rng.integers(1, 50, size=m).astype(np.float64)
+    return CSRGraph.from_edges(n, edges, weights, name=f"rand-{seed}")
+
+
+class TestBFS:
+    @pytest.mark.parametrize("name", BFS_VARIANTS)
+    def test_line_levels(self, name, line_graph):
+        app = get_application(name)
+        result = app.run(line_graph)
+        levels = app.extract_result(result.state, line_graph)
+        assert levels.tolist() == [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize("name", BFS_VARIANTS)
+    def test_unreachable_nodes(self, name, disconnected_graph):
+        app = get_application(name)
+        result = app.run(disconnected_graph, source=0)
+        levels = app.extract_result(result.state, disconnected_graph)
+        assert levels[3] == -1 and levels[4] == -1
+
+    @pytest.mark.parametrize("name", BFS_VARIANTS)
+    def test_single_node_source_component(self, name):
+        g = CSRGraph.from_edges(3, [(1, 2)])
+        app = get_application(name)
+        result = app.run(g, source=0)
+        levels = app.extract_result(result.state, g)
+        assert levels.tolist() == [0, -1, -1]
+
+    def test_variants_agree(self, small_rmat):
+        results = {}
+        for name in BFS_VARIANTS:
+            app = get_application(name)
+            res = app.run(small_rmat, source=2)
+            results[name] = app.extract_result(res.state, small_rmat)
+        base = results[BFS_VARIANTS[0]]
+        for name in BFS_VARIANTS[1:]:
+            assert np.array_equal(results[name], base)
+
+    def test_iterations_match_depth(self, line_graph):
+        app = get_application("bfs-wl")
+        trace = app.run(line_graph).trace
+        # 4 productive levels plus one empty-check iteration at most.
+        assert 4 <= trace.n_fixpoint_iterations <= 5
+
+    def test_hybrid_switches_to_dense_mode(self, small_rmat):
+        app = get_application("bfs-hybrid")
+        trace = app.run(small_rmat, source=2).trace
+        actives = [
+            r.active_items for r in trace.launches if r.kernel == "bfs_hybrid_step"
+        ]
+        # At least one dense sweep (active == n) and one sparse step.
+        assert any(a == small_rmat.n_nodes for a in actives)
+        assert any(a < small_rmat.n_nodes for a in actives)
+
+    def test_wlc_reports_no_cas(self, small_road):
+        cas = get_application("bfs-wl").run(small_road).trace
+        racy = get_application("bfs-wlc").run(small_road).trace
+        assert sum(r.uncontended_rmws for r in cas.launches) > 0
+        assert sum(r.uncontended_rmws for r in racy.launches) == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_bfs_matches_oracle_on_random_graphs(self, seed):
+        g = uniform_random_graph(60, 3.0, seed=seed % 1000)
+        app = get_application("bfs-wl")
+        res = app.run(g, source=0)
+        assert np.array_equal(
+            app.extract_result(res.state, g), bfs_levels(g, 0)
+        )
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("name", SSSP_VARIANTS)
+    def test_line_distances(self, name, line_graph):
+        app = get_application(name)
+        res = app.run(line_graph)
+        dist = app.extract_result(res.state, line_graph)
+        assert dist.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    @pytest.mark.parametrize("name", SSSP_VARIANTS)
+    def test_unreachable_is_inf(self, name, disconnected_graph):
+        app = get_application(name)
+        res = app.run(disconnected_graph, source=0)
+        dist = app.extract_result(res.state, disconnected_graph)
+        assert np.isinf(dist[3]) and np.isinf(dist[4])
+
+    @pytest.mark.parametrize("name", SSSP_VARIANTS)
+    def test_prefers_cheap_long_path(self, name):
+        # Direct edge weight 10; two-hop path weight 3.
+        g = CSRGraph.from_edges(
+            3, [(0, 2), (0, 1), (1, 2)], [10.0, 1.0, 2.0]
+        )
+        app = get_application(name)
+        res = app.run(g)
+        assert app.extract_result(res.state, g)[2] == 3.0
+
+    def test_variants_agree(self, small_road):
+        results = {}
+        for name in SSSP_VARIANTS:
+            app = get_application(name)
+            res = app.run(small_road, source=7)
+            results[name] = app.extract_result(res.state, small_road)
+        base = results[SSSP_VARIANTS[0]]
+        for name in SSSP_VARIANTS[1:]:
+            assert np.allclose(results[name], base, equal_nan=False)
+
+    def test_near_far_does_less_work_than_worklist(self, small_road):
+        wl = get_application("sssp-wl").run(small_road).trace
+        nf = get_application("sssp-nf").run(small_road).trace
+        assert nf.total_edges <= wl.total_edges
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_sssp_matches_dijkstra_on_random_graphs(self, seed):
+        g = random_weighted_graph(50, 200, seed % 997).deduplicated()
+        app = get_application("sssp-nf")
+        res = app.run(g, source=0)
+        computed = app.extract_result(res.state, g)
+        expected = dijkstra_reference(g, 0)
+        both_inf = np.isinf(computed) & np.isinf(expected)
+        assert np.all(both_inf | np.isclose(computed, expected))

@@ -1,0 +1,116 @@
+"""Tests for the chip models and the study chip database."""
+
+import pytest
+
+from repro.chips import CHIP_NAMES, CHIPS, all_chips, chips_by_vendor, get_chip
+from repro.errors import ChipError
+from repro.ocl import CUResources
+
+
+class TestDatabase:
+    def test_six_chips_four_vendors(self):
+        chips = all_chips()
+        assert len(chips) == 6
+        assert {c.vendor for c in chips} == {"Nvidia", "Intel", "AMD", "ARM"}
+
+    def test_table1_identities(self):
+        assert get_chip("M4000").n_cus == 13
+        assert get_chip("GTX1080").n_cus == 20
+        assert get_chip("R9").sg_size == 64
+        assert get_chip("MALI").sg_size == 1
+        assert get_chip("M4000").sg_size == 32
+
+    def test_lookup_by_short_name(self):
+        for name in CHIP_NAMES:
+            assert get_chip(name).short_name == name
+
+    def test_unknown_chip(self):
+        with pytest.raises(ChipError):
+            get_chip("V100")
+
+    def test_by_vendor(self):
+        assert len(chips_by_vendor("nvidia")) == 2
+        assert len(chips_by_vendor("Intel")) == 2
+        assert len(chips_by_vendor("ARM")) == 1
+        with pytest.raises(ChipError):
+            chips_by_vendor("Imagination")
+
+    def test_paper_quirks(self):
+        # Section VIII-b: Nvidia and HD5500 JITs combine subgroup RMWs.
+        assert get_chip("M4000").jit_coop_cv
+        assert get_chip("GTX1080").jit_coop_cv
+        assert get_chip("HD5500").jit_coop_cv
+        assert not get_chip("IRIS").jit_coop_cv
+        assert not get_chip("R9").jit_coop_cv
+        # Section VI-A: ARM has no subgroups; Nvidia/ARM emulate
+        # OpenCL 2.0 atomics.
+        assert not get_chip("MALI").supports_subgroups
+        assert not get_chip("M4000").native_ocl2_atomics
+        assert not get_chip("MALI").native_ocl2_atomics
+        # Section VIII-c: MALI's divergence sensitivity dwarfs the rest.
+        mali = get_chip("MALI")
+        assert all(
+            mali.divergence_sensitivity > 10 * c.divergence_sensitivity
+            for c in all_chips()
+            if c.short_name != "MALI"
+        )
+
+    def test_launch_overhead_ordering(self):
+        # Fig 5: Nvidia has the cheapest launches; MALI the dearest.
+        overheads = {c.short_name: c.launch_overhead_us for c in all_chips()}
+        assert overheads["M4000"] < min(
+            v for k, v in overheads.items() if k not in ("M4000", "GTX1080")
+        )
+        assert overheads["MALI"] == max(overheads.values())
+
+
+class TestChipModel:
+    def test_validation(self):
+        chip = get_chip("R9")
+        with pytest.raises(ChipError):
+            chip.with_overrides(n_cus=0)
+        with pytest.raises(ChipError):
+            chip.with_overrides(sg_size=0)
+        with pytest.raises(ChipError):
+            chip.with_overrides(barrier_divergence_relief=1.5)
+        with pytest.raises(ChipError):
+            chip.with_overrides(supports_subgroups=False)  # sg_size != 1
+
+    def test_lockstep_subgroup_barrier_free(self):
+        assert get_chip("R9").effective_sg_barrier_ns() == 0.0
+        assert get_chip("IRIS").effective_sg_barrier_ns() > 0.0
+
+    def test_atomic_emulation_cost(self):
+        m4000 = get_chip("M4000")
+        assert m4000.effective_atomic_rmw_ns() > m4000.atomic_rmw_ns
+        r9 = get_chip("R9")
+        assert r9.effective_atomic_rmw_ns() == r9.atomic_rmw_ns
+
+    def test_supports_wg_size(self):
+        assert get_chip("M4000").supports_wg_size(1024)
+        assert not get_chip("R9").supports_wg_size(512)
+        assert not get_chip("R9").supports_wg_size(0)
+
+    def test_occupancy_monotone_in_local_mem(self):
+        chip = get_chip("GTX1080")
+        assert chip.occupancy(128, 0) >= chip.occupancy(128, 16384)
+
+    def test_utilisation_bounds(self):
+        for chip in all_chips():
+            for wg in (128, 256):
+                u = chip.utilisation(wg)
+                assert 0.0 <= u <= 1.0
+
+    def test_utilisation_zero_when_unschedulable(self):
+        chip = get_chip("MALI")
+        assert chip.utilisation(128, local_mem_per_wg=10**9) == 0.0
+
+    def test_with_overrides_creates_copy(self):
+        chip = get_chip("R9")
+        other = chip.with_overrides(noise_sigma=0.5)
+        assert other.noise_sigma == 0.5
+        assert chip.noise_sigma != 0.5
+
+    def test_summary_row_matches_table1(self):
+        vendor, name, cus, sg, short = get_chip("MALI").summary_row()
+        assert (vendor, name, cus, sg, short) == ("ARM", "Mali-T628", 4, 1, "MALI")

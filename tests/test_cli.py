@@ -1,0 +1,41 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.reporting import render_csv
+
+
+class TestDispatch:
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "commands:" in capsys.readouterr().out
+
+    def test_no_args_shows_usage(self, capsys):
+        assert main([]) == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_report_rejects_unknown_experiment(self, capsys):
+        assert main(["report", "table99"]) == 2
+
+    def test_report_definitional_experiment(self, capsys):
+        assert main(["report", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Quadro M4000" in out
+
+
+class TestRenderCsv:
+    def test_basic(self):
+        csv = render_csv(["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert csv.splitlines() == ["a,b", "1,2.50", "x,y"]
+
+    def test_quoting(self):
+        csv = render_csv(["a"], [['he said "hi", twice']])
+        assert csv.splitlines()[1] == '"he said ""hi"", twice"'
+
+    def test_empty_rows(self):
+        assert render_csv(["only", "headers"], []) == "only,headers"

@@ -1,0 +1,135 @@
+"""Tests for the optimisation space (OptConfig and friends)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler import (
+    BASELINE,
+    OPT_NAMES,
+    OptConfig,
+    configs_with,
+    describe_optimisation,
+    disable_opt,
+    enumerate_configs,
+)
+from repro.errors import InvalidConfigError
+
+
+def config_strategy():
+    return st.builds(
+        OptConfig,
+        coop_cv=st.booleans(),
+        wg=st.booleans(),
+        sg=st.booleans(),
+        fg=st.sampled_from([None, 1, 8]),
+        oitergb=st.booleans(),
+        wg_size=st.sampled_from([128, 256]),
+    )
+
+
+class TestSpaceSize:
+    def test_paper_counts(self):
+        # 96 configurations; "95 optimisation combinations" + baseline.
+        assert len(enumerate_configs()) == 96
+        assert len(enumerate_configs(include_baseline=False)) == 95
+
+    def test_no_duplicates(self):
+        keys = [c.key() for c in enumerate_configs()]
+        assert len(keys) == len(set(keys))
+
+    def test_baseline_is_in_space(self):
+        assert BASELINE in enumerate_configs()
+        assert BASELINE.is_baseline
+
+
+class TestNames:
+    def test_roundtrip_names(self):
+        for cfg in enumerate_configs():
+            assert OptConfig.from_names(cfg.enabled_names()) == cfg
+
+    def test_fg_variants_mutually_exclusive(self):
+        with pytest.raises(InvalidConfigError):
+            OptConfig.from_names({"fg", "fg8"})
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            OptConfig.from_names({"turbo"})
+        with pytest.raises(InvalidConfigError):
+            BASELINE.has("turbo")
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            OptConfig(fg=4)
+        with pytest.raises(InvalidConfigError):
+            OptConfig(wg_size=192)
+
+    def test_label_ordering(self):
+        cfg = OptConfig.from_names({"sz256", "wg", "coop-cv"})
+        assert cfg.label() == "coop-cv, wg, sz256"
+        assert BASELINE.label() == "baseline"
+
+    def test_key_stable(self):
+        cfg = OptConfig.from_names({"wg", "sg"})
+        assert cfg.key() == "sg+wg"
+        assert BASELINE.key() == "baseline"
+
+    def test_describe_optimisation(self):
+        for name in OPT_NAMES:
+            assert describe_optimisation(name)
+        with pytest.raises(InvalidConfigError):
+            describe_optimisation("nope")
+
+
+class TestMirrors:
+    @given(config_strategy(), st.sampled_from(OPT_NAMES))
+    def test_disable_opt_only_touches_target(self, cfg, name):
+        mirror = disable_opt(cfg, name)
+        assert not mirror.has(name)
+        # Every other optimisation keeps its state.
+        for other in OPT_NAMES:
+            if other == name:
+                continue
+            assert mirror.has(other) == cfg.has(other)
+
+    @given(st.sampled_from(OPT_NAMES))
+    def test_configs_with_halves_the_space(self, name):
+        enabled = configs_with(name)
+        disabled = configs_with(name, enabled=False)
+        assert len(enabled) + len(disabled) == 96
+        assert all(c.has(name) for c in enabled)
+        assert all(not c.has(name) for c in disabled)
+        # fg/fg8 split the 3-valued axis; boolean axes split evenly.
+        if name in ("fg", "fg8"):
+            assert len(enabled) == 32
+        else:
+            assert len(enabled) == 48
+
+    @given(st.sampled_from(OPT_NAMES))
+    def test_mirror_is_bijective_into_disabled_set(self, name):
+        mirrors = {disable_opt(c, name).key() for c in configs_with(name)}
+        assert len(mirrors) == len(configs_with(name))
+
+    def test_disable_fg_does_not_touch_fg8(self):
+        cfg = OptConfig(fg=8)
+        assert disable_opt(cfg, "fg") == cfg
+        assert disable_opt(cfg, "fg8").fg is None
+
+    def test_unknown_opt_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            disable_opt(BASELINE, "nope")
+        with pytest.raises(InvalidConfigError):
+            configs_with("nope")
+
+
+class TestSemantics:
+    @given(config_strategy())
+    def test_enabled_names_consistent_with_has(self, cfg):
+        for name in OPT_NAMES:
+            assert cfg.has(name) == (name in cfg.enabled_names())
+
+    @given(config_strategy())
+    def test_nested_parallelism_flag(self, cfg):
+        assert cfg.uses_nested_parallelism == (
+            cfg.wg or cfg.sg or cfg.fg is not None
+        )

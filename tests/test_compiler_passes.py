@@ -1,0 +1,144 @@
+"""Tests for the individual compiler passes."""
+
+import pytest
+
+from repro.chips import get_chip
+from repro.compiler import OptConfig, compile_program
+from repro.compiler.passes.coop_cv import apply_coop_cv
+from repro.compiler.passes.nested_parallelism import apply_nested_parallelism
+from repro.compiler.passes.workgroup_size import apply_workgroup_size
+from repro.compiler.plan import KernelPlan
+from repro.dsl import IterationSpace, Kernel, Store, fixpoint_program, relax_kernel, topology_kernel
+from repro.errors import InvalidConfigError
+
+
+def make_plan(kernel, chip, wg_size=128):
+    return KernelPlan(kernel=kernel, wg_size=wg_size, sg_size=chip.sg_size)
+
+
+class TestWorkgroupSizePass:
+    def test_sets_size(self):
+        chip = get_chip("R9")
+        plan = make_plan(relax_kernel("k", "x"), chip)
+        out = apply_workgroup_size(plan, chip, OptConfig(wg_size=256))
+        assert out.wg_size == 256
+        assert any("sz256" in n for n in out.notes)
+
+    def test_rejects_unsupported_size(self):
+        chip = get_chip("R9").with_overrides(max_wg_size=128)
+        plan = make_plan(relax_kernel("k", "x"), chip)
+        with pytest.raises(InvalidConfigError):
+            apply_workgroup_size(plan, chip, OptConfig(wg_size=256))
+
+    def test_default_size_no_note(self):
+        chip = get_chip("R9")
+        out = apply_workgroup_size(
+            make_plan(relax_kernel("k", "x"), chip), chip, OptConfig()
+        )
+        assert out.wg_size == 128
+        assert not out.notes
+
+
+class TestCoopCvPass:
+    def test_noop_when_disabled(self):
+        chip = get_chip("IRIS")
+        plan = make_plan(relax_kernel("k", "x"), chip)
+        assert apply_coop_cv(plan, chip, OptConfig()) == plan
+
+    def test_applies_to_push_kernel(self):
+        chip = get_chip("IRIS")
+        plan = make_plan(relax_kernel("k", "x"), chip)
+        out = apply_coop_cv(plan, chip, OptConfig(coop_cv=True))
+        assert out.coop_scope == "subgroup"
+        assert out.local_mem_bytes > 0
+        assert out.sg_barriers_per_chunk >= 2.0
+
+    def test_skips_kernel_without_targets(self):
+        chip = get_chip("IRIS")
+        kernel = Kernel("k", IterationSpace.ALL_NODES, ops=[Store("x")])
+        out = apply_coop_cv(make_plan(kernel, chip), chip, OptConfig(coop_cv=True))
+        assert out.coop_scope is None
+        assert any("not applied" in n for n in out.notes)
+
+    def test_predication_depends_on_lockstep(self):
+        push_kernel = relax_kernel("k", "x")
+        iris = get_chip("IRIS")  # non-lockstep
+        r9 = get_chip("R9")  # lockstep
+        out_iris = apply_coop_cv(
+            make_plan(push_kernel, iris), iris, OptConfig(coop_cv=True)
+        )
+        out_r9 = apply_coop_cv(
+            make_plan(push_kernel, r9), r9, OptConfig(coop_cv=True)
+        )
+        assert out_iris.predication_overhead > out_r9.predication_overhead > 0
+
+
+class TestNestedParallelismPass:
+    def test_noop_without_np_flags(self):
+        chip = get_chip("R9")
+        plan = make_plan(relax_kernel("k", "x"), chip)
+        assert apply_nested_parallelism(plan, chip, OptConfig()) == plan
+
+    def test_skips_kernel_without_inner_loop(self):
+        chip = get_chip("R9")
+        kernel = Kernel("k", IterationSpace.ALL_NODES, ops=[Store("x")])
+        out = apply_nested_parallelism(
+            make_plan(kernel, chip), chip, OptConfig(wg=True, sg=True, fg=8)
+        )
+        assert not out.wg_scheme and not out.sg_scheme and out.fg_edges is None
+
+    def test_all_schemes_compose(self):
+        chip = get_chip("R9")
+        plan = make_plan(relax_kernel("k", "x"), chip)
+        out = apply_nested_parallelism(
+            plan, chip, OptConfig(wg=True, sg=True, fg=8)
+        )
+        assert out.wg_scheme and out.sg_scheme and out.fg_edges == 8
+        assert out.wg_threshold == 128
+        assert out.sg_threshold == 64
+        assert out.leader_election_atomics
+        assert out.local_mem_bytes > 0
+
+    def test_fg_variants(self):
+        chip = get_chip("R9")
+        plan = make_plan(relax_kernel("k", "x"), chip)
+        assert apply_nested_parallelism(plan, chip, OptConfig(fg=1)).fg_edges == 1
+        assert apply_nested_parallelism(plan, chip, OptConfig(fg=8)).fg_edges == 8
+
+    def test_sg_scheme_relieves_divergence_wg_alone_does_not(self):
+        chip = get_chip("MALI")
+        plan = make_plan(relax_kernel("k", "x"), chip)
+        sg_out = apply_nested_parallelism(plan, chip, OptConfig(sg=True))
+        wg_out = apply_nested_parallelism(plan, chip, OptConfig(wg=True))
+        assert sg_out.inserts_inner_barriers
+        assert not wg_out.inserts_inner_barriers
+
+
+class TestPlanAccounting:
+    def test_local_memory_accumulates_across_passes(self):
+        chip = get_chip("IRIS")
+        program = fixpoint_program("p", [relax_kernel("k", "x")])
+        lean = compile_program(program, chip, OptConfig(sg=True))
+        fat = compile_program(program, chip, OptConfig(sg=True, coop_cv=True, fg=8))
+        assert (
+            fat.kernel_plan("k").local_mem_bytes
+            > lean.kernel_plan("k").local_mem_bytes
+        )
+
+    def test_notes_record_transformations(self):
+        chip = get_chip("R9")
+        program = fixpoint_program("p", [relax_kernel("k", "x")])
+        plan = compile_program(
+            program, chip, OptConfig(coop_cv=True, sg=True, fg=8, wg_size=256)
+        )
+        notes = "\n".join(plan.kernel_plan("k").notes)
+        assert "sz256" in notes
+        assert "np/sg" in notes
+        assert "np/fg" in notes
+        assert "coop-cv" in notes
+
+    def test_describe_mentions_outlining(self):
+        chip = get_chip("R9")
+        program = fixpoint_program("p", [relax_kernel("k", "x")])
+        plan = compile_program(program, chip, OptConfig(oitergb=True))
+        assert "outlined: True" in plan.describe()

@@ -1,0 +1,83 @@
+"""Tests for the methodological ablations."""
+
+import pytest
+
+from repro.core import Analysis
+from repro.core.ablation import (
+    confidence_ablation,
+    magnitude_decide,
+    magnitude_vs_rank,
+)
+
+from .synthetic import build_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def designed():
+    ds = build_synthetic_dataset()
+    return ds, Analysis(ds)
+
+
+class TestMagnitudeDecide:
+    def test_clear_speedup_enabled(self):
+        assert magnitude_decide([0.8, 0.82, 0.79, 0.81, 0.8])
+
+    def test_clear_slowdown_disabled(self):
+        assert not magnitude_decide([1.2, 1.22, 1.19, 1.21])
+
+    def test_too_few_samples_disabled(self):
+        assert not magnitude_decide([0.5, 0.5])
+
+    def test_zero_variance_uses_mean_sign(self):
+        assert magnitude_decide([0.9, 0.9, 0.9])
+        assert not magnitude_decide([1.1, 1.1, 1.1])
+
+    def test_magnitude_sensitivity(self):
+        """A minority of large wins among consistent small losses flips
+        the t-test but not the rank-based rule — the Section II-C bias:
+        magnitude metrics favour the sensitive cases."""
+        ratios = [0.4] * 5 + [1.03] * 10
+        assert magnitude_decide(ratios)  # mean log is strongly negative
+        from repro.core.stats import mann_whitney_u, median
+
+        result = mann_whitney_u(ratios, [1.0] * len(ratios))
+        rank_enabled = result.reject_null() and median(ratios) < 1.0
+        assert not rank_enabled
+
+
+class TestMagnitudeVsRank:
+    def test_covers_all_partition_opt_pairs(self, designed):
+        ds, analysis = designed
+        results = magnitude_vs_rank(ds, dims=("chip",), analysis=analysis)
+        assert len(results) == 2 * 7  # 2 chips x 7 optimisations
+
+    def test_agree_on_designed_clear_effects(self, designed):
+        ds, analysis = designed
+        results = magnitude_vs_rank(ds, dims=(), analysis=analysis)
+        by_opt = {r.opt: r for r in results}
+        # Clean universal effects: both rules see them identically.
+        assert by_opt["sg"].rank_enabled and by_opt["sg"].magnitude_enabled
+        assert not by_opt["wg"].rank_enabled
+        assert not by_opt["wg"].magnitude_enabled
+
+
+class TestConfidenceAblation:
+    def test_reference_level_agrees_with_itself(self, designed):
+        ds, _ = designed
+        points = confidence_ablation(ds, levels=(0.95,), dims=("chip",))
+        assert points[0].agreement_with(points[0]) == 1.0
+
+    def test_designed_effects_stable_across_levels(self, designed):
+        """Clean effects survive any reasonable filter level."""
+        ds, _ = designed
+        points = confidence_ablation(
+            ds, levels=(0.80, 0.95, 0.99), dims=("chip",)
+        )
+        ref = points[1]
+        for p in points:
+            assert p.agreement_with(ref) >= 0.85
+
+    def test_levels_recorded(self, designed):
+        ds, _ = designed
+        points = confidence_ablation(ds, levels=(0.9, 0.99), dims=())
+        assert [p.confidence for p in points] == [0.9, 0.99]

@@ -1,0 +1,120 @@
+"""Tests for Algorithm 1 on datasets with designed effects."""
+
+import pytest
+
+from repro.compiler import OptConfig
+from repro.core import Analysis
+from repro.study import TestCase
+
+from .synthetic import build_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def designed():
+    ds = build_synthetic_dataset()
+    return ds, Analysis(ds)
+
+
+class TestGlobalDecisions:
+    def test_universal_speedup_enabled(self, designed):
+        ds, analysis = designed
+        assert analysis.decide(ds.tests, "sg").enabled
+
+    def test_universal_slowdown_disabled(self, designed):
+        ds, analysis = designed
+        decision = analysis.decide(ds.tests, "wg")
+        assert not decision.enabled
+        assert not decision.inconclusive
+        assert decision.median_ratio > 1.0
+
+    def test_no_effect_opt_not_enabled(self, designed):
+        ds, analysis = designed
+        decision = analysis.decide(ds.tests, "oitergb")
+        assert not decision.enabled
+
+    def test_effect_sizes_track_design(self, designed):
+        ds, analysis = designed
+        sg = analysis.decide(ds.tests, "sg")
+        wg = analysis.decide(ds.tests, "wg")
+        assert sg.effect_size > 0.9  # almost all comparisons speed up
+        assert wg.effect_size < 0.1
+
+    def test_comparison_lists_normalised(self, designed):
+        ds, analysis = designed
+        a, b = analysis.comparison_lists(ds.tests, "sg")
+        assert len(a) == len(b)
+        assert all(x == 1.0 for x in b)
+        assert all(0.7 < x < 0.9 for x in a)  # designed 0.8 +/- jitter
+
+
+class TestChipSpecialisation:
+    def test_chip_dependent_opt_split(self, designed):
+        ds, analysis = designed
+        per_chip = analysis.specialise(("chip",))
+        assert per_chip[("C1",)].has("fg8")
+        assert not per_chip[("C2",)].has("fg8")
+
+    def test_universal_opts_on_both_chips(self, designed):
+        ds, analysis = designed
+        per_chip = analysis.specialise(("chip",))
+        for key in (("C1",), ("C2",)):
+            assert per_chip[key].has("sg")
+            assert not per_chip[key].has("wg")
+
+    def test_partitions_cover_all_tests(self, designed):
+        ds, analysis = designed
+        groups = analysis.partitions(("chip", "app"))
+        assert len(groups) == 4
+        assert sum(len(v) for v in groups.values()) == len(ds.tests)
+
+    def test_unknown_dimension_rejected(self, designed):
+        _, analysis = designed
+        with pytest.raises(ValueError):
+            analysis.partitions(("flavour",))
+
+
+class TestFgConflict:
+    def test_mutually_exclusive_variants_resolved(self, designed):
+        """fg (0.9x) and fg8 (0.7x on C1) both help on C1; only the
+        stronger survives in the recommended configuration."""
+        ds, analysis = designed
+        decisions = analysis.opts_for_partition(ds.tests_where(chip="C1"))
+        assert decisions["fg8"].enabled
+        assert not decisions["fg"].enabled
+        config = analysis.config_for_partition(ds.tests_where(chip="C1"))
+        assert config.fg == 8
+
+
+class TestInconclusive:
+    def test_zero_noise_no_effect_is_inconclusive(self):
+        """With no significant comparisons at all, the analysis must
+        report '?' rather than guessing (Table IX, fg8 on MALI)."""
+        ds = build_synthetic_dataset(
+            effects=lambda opt, test: 1.0, jitter=0.0
+        )
+        analysis = Analysis(ds)
+        decision = analysis.decide(ds.tests, "sg")
+        assert decision.inconclusive
+        assert decision.n_samples < 3
+        assert decision.mark() == "?"
+
+    def test_marks(self, designed):
+        ds, analysis = designed
+        assert analysis.decide(ds.tests, "sg").mark() == "+"
+        assert analysis.decide(ds.tests, "wg").mark() == "-"
+
+
+class TestCaching:
+    def test_significance_cache_consistent(self, designed):
+        ds, analysis = designed
+        first = analysis.decide(ds.tests, "sg")
+        second = analysis.decide(ds.tests, "sg")
+        assert first == second
+
+    def test_specialise_decisions_match_specialise(self, designed):
+        ds, analysis = designed
+        configs = analysis.specialise(("chip",))
+        decisions = analysis.specialise_decisions(("chip",))
+        for key, config in configs.items():
+            enabled = {o for o, d in decisions[key].items() if d.enabled}
+            assert OptConfig.from_names(enabled) == config

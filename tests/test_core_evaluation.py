@@ -1,0 +1,100 @@
+"""Tests for strategy evaluation (Figures 3 and 4) on designed data."""
+
+import pytest
+
+from repro.core import (
+    Analysis,
+    build_strategies,
+    evaluate_strategies,
+    optimisable_tests,
+    strategy_outcomes,
+    strategy_slowdown_vs_oracle,
+)
+from repro.core.strategies import STRATEGY_ORDER
+
+from .synthetic import build_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def designed():
+    ds = build_synthetic_dataset()
+    return ds, build_strategies(ds, Analysis(ds))
+
+
+class TestOptimisableTests:
+    def test_all_tests_optimisable_in_designed_data(self, designed):
+        ds, strategies = designed
+        # sg helps everywhere, so the oracle speeds up every test.
+        assert len(optimisable_tests(ds, strategies["oracle"])) == len(ds.tests)
+
+    def test_nothing_optimisable_when_opts_only_harm(self):
+        ds = build_synthetic_dataset(effects=lambda o, t: 1.4)
+        strategies = build_strategies(ds, Analysis(ds))
+        assert optimisable_tests(ds, strategies["oracle"]) == []
+
+
+class TestOutcomes:
+    def test_baseline_all_no_change(self, designed):
+        ds, strategies = designed
+        kept = optimisable_tests(ds, strategies["oracle"])
+        o = strategy_outcomes(ds, strategies["baseline"], kept)
+        assert o.no_change == o.n_tests
+        assert o.pct_no_change == 100.0
+
+    def test_oracle_all_speedups(self, designed):
+        ds, strategies = designed
+        kept = optimisable_tests(ds, strategies["oracle"])
+        o = strategy_outcomes(ds, strategies["oracle"], kept)
+        assert o.speedups == o.n_tests
+
+    def test_percentages_sum_to_hundred(self, designed):
+        ds, strategies = designed
+        kept = optimisable_tests(ds, strategies["oracle"])
+        for name in STRATEGY_ORDER:
+            o = strategy_outcomes(ds, strategies[name], kept)
+            assert o.pct_speedup + o.pct_slowdown + o.pct_no_change == pytest.approx(
+                100.0
+            )
+
+
+class TestSlowdownVsOracle:
+    def test_oracle_is_exactly_one(self, designed):
+        ds, strategies = designed
+        assert strategy_slowdown_vs_oracle(
+            ds, strategies["oracle"], strategies["oracle"]
+        ) == pytest.approx(1.0)
+
+    def test_every_strategy_at_least_oracle(self, designed):
+        ds, strategies = designed
+        oracle = strategies["oracle"]
+        for name in STRATEGY_ORDER:
+            v = strategy_slowdown_vs_oracle(ds, strategies[name], oracle)
+            assert v >= 1.0 - 1e-6
+
+    def test_baseline_is_worst(self, designed):
+        ds, strategies = designed
+        oracle = strategies["oracle"]
+        values = {
+            name: strategy_slowdown_vs_oracle(ds, strategies[name], oracle)
+            for name in STRATEGY_ORDER
+        }
+        assert values["baseline"] == max(values.values())
+
+    def test_chip_specialisation_recovers_chip_effect(self, designed):
+        """fg8 is chip-conditional by design, so the chip strategy must
+        strictly beat the global one."""
+        ds, strategies = designed
+        oracle = strategies["oracle"]
+        chip = strategy_slowdown_vs_oracle(ds, strategies["chip"], oracle)
+        glob = strategy_slowdown_vs_oracle(ds, strategies["global"], oracle)
+        assert chip < glob
+
+
+class TestEvaluateStrategies:
+    def test_summary_covers_all_strategies(self, designed):
+        ds, strategies = designed
+        summary = evaluate_strategies(ds, strategies)
+        assert set(summary) == set(STRATEGY_ORDER)
+        for name, stats in summary.items():
+            assert stats["slowdown_vs_oracle"] >= 1.0 - 1e-6
+            assert 0 <= stats["pct_speedup"] <= 100

@@ -1,0 +1,101 @@
+"""Tests for the naive analyses (Section II-C) on designed data."""
+
+import pytest
+
+from repro.compiler import BASELINE, OptConfig
+from repro.core import (
+    do_no_harm,
+    fewest_slowdowns,
+    max_geomean,
+    per_chip_breakdown,
+    rank_configurations,
+)
+
+from .synthetic import build_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def designed():
+    return build_synthetic_dataset()
+
+
+class TestRanking:
+    def test_covers_all_nonbaseline_configs(self, designed):
+        rankings = rank_configurations(designed)
+        assert len(rankings) == 95
+
+    def test_sorted_by_slowdowns(self, designed):
+        rankings = rank_configurations(designed)
+        slow = [r.slowdowns for r in rankings]
+        assert slow == sorted(slow)
+
+    def test_harmful_configs_rank_last(self, designed):
+        rankings = rank_configurations(designed)
+        # wg is a universal slowdown; configs enabling it without any
+        # compensating speedup must sit at the bottom.
+        assert rankings[-1].config.has("wg")
+        assert rankings[-1].slowdowns > 0
+        assert rankings[-1].geomean_speedup < 1.0
+
+    def test_pure_speedup_config_at_top(self, designed):
+        rankings = rank_configurations(designed)
+        assert rankings[0].slowdowns == 0
+        assert rankings[0].config.has("sg")
+        assert rankings[0].geomean_speedup > 1.0
+
+    def test_counts_consistent(self, designed):
+        for r in rank_configurations(designed)[:10]:
+            assert r.slowdowns + r.speedups <= len(designed.tests)
+            assert r.max_speedup >= 1.0
+            assert r.max_slowdown >= 1.0
+
+
+class TestPicks:
+    def test_do_no_harm_finds_harmless_config(self, designed):
+        pick = do_no_harm(designed)
+        # sg-only style configs never harm in the designed data.
+        assert pick.has("sg") or pick.is_baseline
+        rankings = {r.config.key(): r for r in rank_configurations(designed)}
+        if not pick.is_baseline:
+            assert rankings[pick.key()].slowdowns == 0
+
+    def test_do_no_harm_degenerates_when_everything_harms(self):
+        # Every optimisation hurts: the paper's degenerate case.
+        ds = build_synthetic_dataset(effects=lambda opt, test: 1.5)
+        assert do_no_harm(ds) == BASELINE
+
+    def test_fewest_slowdowns_is_rank_zero(self, designed):
+        assert (
+            fewest_slowdowns(designed).config
+            == rank_configurations(designed)[0].config
+        )
+
+    def test_max_geomean_beats_others_on_geomean(self, designed):
+        best = max_geomean(designed)
+        assert all(
+            best.geomean_speedup >= r.geomean_speedup - 1e-12
+            for r in rank_configurations(designed)
+        )
+
+    def test_max_geomean_is_biased_towards_sensitive_chip(self):
+        """The Table IV failure mode: an opt that hugely helps one chip
+        but mildly hurts the other wins the geomean yet harms C2."""
+
+        def effects(opt, test):
+            if opt == "fg8":
+                return 0.2 if test.chip == "C1" else 1.15
+            return 1.0
+
+        ds = build_synthetic_dataset(effects=effects)
+        pick = max_geomean(ds)
+        assert pick.config.has("fg8")
+        breakdown = per_chip_breakdown(ds, pick.config)
+        assert breakdown["C2"].slowdowns > 0
+        assert breakdown["C1"].slowdowns == 0
+
+    def test_per_chip_breakdown_covers_all_chips(self, designed):
+        breakdown = per_chip_breakdown(designed, OptConfig(sg=True))
+        assert set(breakdown) == {"C1", "C2"}
+        for chip, record in breakdown.items():
+            assert record.slowdowns == 0
+            assert record.speedups == len(designed.tests_where(chip=chip))

@@ -1,0 +1,57 @@
+"""Tests for strategy persistence (the shippable policy artifact)."""
+
+import pytest
+
+from repro.compiler import BASELINE
+from repro.core import (
+    Analysis,
+    Strategy,
+    build_strategies,
+    load_strategies,
+    save_strategies,
+)
+
+from .synthetic import build_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def designed():
+    ds = build_synthetic_dataset()
+    return ds, build_strategies(ds, Analysis(ds))
+
+
+class TestStrategyRoundtrip:
+    def test_single_strategy_dict_roundtrip(self, designed):
+        _, strategies = designed
+        chip = strategies["chip"]
+        rebuilt = Strategy.from_dict(chip.to_dict())
+        assert rebuilt.name == chip.name
+        assert rebuilt.dims == chip.dims
+        assert rebuilt.assignment == chip.assignment
+
+    def test_file_roundtrip_preserves_all_strategies(self, designed, tmp_path):
+        ds, strategies = designed
+        path = str(tmp_path / "policy.json")
+        save_strategies(strategies, path)
+        loaded = load_strategies(path)
+        assert set(loaded) == set(strategies)
+        for name in strategies:
+            assert loaded[name].assignment == strategies[name].assignment
+
+    def test_loaded_strategy_deploys_identically(self, designed, tmp_path):
+        ds, strategies = designed
+        path = str(tmp_path / "policy.json")
+        save_strategies(strategies, path)
+        loaded = load_strategies(path)
+        for test in ds.tests:
+            for name in ("global", "chip", "oracle"):
+                assert loaded[name].config_for(test) == strategies[
+                    name
+                ].config_for(test)
+
+    def test_baseline_config_survives(self, designed, tmp_path):
+        _, strategies = designed
+        path = str(tmp_path / "policy.json")
+        save_strategies(strategies, path)
+        loaded = load_strategies(path)
+        assert loaded["baseline"].assignment[()] == BASELINE

@@ -1,0 +1,92 @@
+"""Tests for the portability analyses (Fig 1, Fig 2, Table II)."""
+
+import pytest
+
+from repro.core import (
+    cross_chip_heatmap,
+    max_geomean_speedup,
+    performance_envelope,
+    top_speedup_opts,
+)
+
+from .synthetic import build_synthetic_dataset
+
+
+def chip_conditional_effects(opt, test):
+    """fg8 helps C1 and hurts C2; sg helps everywhere."""
+    if opt == "sg":
+        return 0.8
+    if opt == "fg8":
+        return 0.5 if test.chip == "C1" else 1.5
+    if opt == "wg":
+        return 1.25
+    return 1.0
+
+
+@pytest.fixture(scope="module")
+def designed():
+    return build_synthetic_dataset(effects=chip_conditional_effects)
+
+
+class TestHeatmap:
+    def test_diagonal_is_one(self, designed):
+        chips, heat = cross_chip_heatmap(designed)
+        for chip in chips:
+            assert heat[(chip, chip)] == pytest.approx(1.0)
+
+    def test_porting_harmful_settings_shows_up(self, designed):
+        chips, heat = cross_chip_heatmap(designed)
+        # C1's optimal configs include fg8, which hurts C2 badly.
+        assert heat[("C2", "C1")] > 1.5
+        # C2's optimal configs lack fg8; on C1 that forgoes a 2x win.
+        assert heat[("C1", "C2")] > 1.5
+
+    def test_off_diagonals_at_least_one(self, designed):
+        chips, heat = cross_chip_heatmap(designed)
+        assert all(v >= 1.0 - 1e-6 for v in heat.values())
+
+
+class TestEnvelope:
+    def test_extremes_match_design(self, designed):
+        env = performance_envelope(designed)
+        best_c1, worst_c1 = env["C1"]
+        # Best on C1: sg (0.8) x fg8 (0.5) => 2.5x speedup.
+        assert best_c1.factor == pytest.approx(2.5, rel=0.05)
+        assert best_c1.config.has("fg8")
+        best_c2, worst_c2 = env["C2"]
+        # Worst on C2: wg (1.25) x fg8 (1.5) => 1.875x slowdown.
+        assert worst_c2.factor == pytest.approx(1.875, rel=0.05)
+
+    def test_envelope_entries_significant_only(self, designed):
+        env = performance_envelope(designed)
+        for chip, (best, worst) in env.items():
+            assert best.factor >= 1.0
+            assert worst.factor >= 1.0
+
+    def test_degenerate_dataset_yields_unit_envelope(self):
+        flat = build_synthetic_dataset(effects=lambda o, t: 1.0, jitter=0.0)
+        env = performance_envelope(flat)
+        for chip, (best, worst) in env.items():
+            assert best.factor == 1.0
+            assert worst.factor == 1.0
+
+
+class TestTopOpts:
+    def test_counts_reflect_designed_effects(self, designed):
+        counts = top_speedup_opts(designed)
+        # Every C1 oracle config should contain sg and fg8.
+        n_c1 = len(designed.tests_where(chip="C1"))
+        assert counts["C1"]["fg8"] == n_c1
+        assert counts["C1"]["sg"] == n_c1
+        # fg8 never appears in C2 oracle configs.
+        assert counts["C2"]["fg8"] == 0
+        # wg is pure harm: never in any oracle config.
+        assert counts["C1"]["wg"] == 0
+        assert counts["C2"]["wg"] == 0
+
+
+class TestMaxGeomeanSpeedup:
+    def test_matches_designed_oracle(self, designed):
+        # C1 oracle: 2.5x; C2 oracle: 1.25x (sg only).
+        expected = (2.5 * 1.25) ** 0.5
+        assert max_geomean_speedup(designed) == pytest.approx(expected, rel=0.05)

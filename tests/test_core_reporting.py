@@ -1,0 +1,49 @@
+"""Tests for the text renderers."""
+
+from repro.core.reporting import render_bar_series, render_heatmap, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        out = render_table(["A", "Long header"], [[1, 2.5], ["xx", 3.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("A")
+        assert "Long header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "2.50" in out  # floats formatted to 2 dp
+
+    def test_title(self):
+        out = render_table(["X"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        out = render_table(["A", "B"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_wide_cell_expands_column(self):
+        out = render_table(["A"], [["very-long-cell-value"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) >= len("very-long-cell-value")
+
+
+class TestRenderHeatmap:
+    def test_grid_structure(self):
+        values = {("r1", "c1"): 1.0, ("r1", "c2"): 2.0, ("r2", "c1"): 3.0}
+        out = render_heatmap(["r1", "r2"], ["c1", "c2"], values, corner="x")
+        assert "x" in out.splitlines()[0]
+        assert "1.00" in out and "2.00" in out and "3.00" in out
+        assert "nan" in out  # missing (r2, c2)
+
+
+class TestRenderBarSeries:
+    def test_bars_proportional(self):
+        out = render_bar_series(
+            ["a", "b"], {"series": [1.0, 2.0]}, width=10
+        )
+        lines = [l for l in out.splitlines() if "#" in l]
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_handles_zero_series(self):
+        out = render_bar_series(["a"], {"s": [0.0]})
+        assert "0.00" in out

@@ -1,0 +1,96 @@
+"""Tests for the sample-efficiency analysis (Section IX future work)."""
+
+import pytest
+
+from repro.compiler import BASELINE, enumerate_configs
+from repro.core import Analysis
+from repro.core.sampling import (
+    decision_agreement,
+    restrict_dataset,
+    sample_efficiency_curve,
+    subsample_configs,
+)
+from repro.errors import AnalysisError
+
+from .synthetic import build_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def designed():
+    ds = build_synthetic_dataset()
+    return ds, Analysis(ds)
+
+
+class TestSubsample:
+    def test_includes_baseline(self):
+        configs = subsample_configs(10, seed=1)
+        assert BASELINE in configs
+        assert len(configs) == 10
+
+    def test_no_duplicates(self):
+        configs = subsample_configs(40, seed=2)
+        assert len({c.key() for c in configs}) == 40
+
+    def test_deterministic_per_seed(self):
+        assert subsample_configs(20, seed=5) == subsample_configs(20, seed=5)
+        assert subsample_configs(20, seed=5) != subsample_configs(20, seed=6)
+
+    def test_full_size_returns_whole_space(self):
+        configs = subsample_configs(96, seed=0)
+        assert {c.key() for c in configs} == {
+            c.key() for c in enumerate_configs()
+        }
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(AnalysisError):
+            subsample_configs(0)
+        with pytest.raises(AnalysisError):
+            subsample_configs(97)
+
+
+class TestRestrictDataset:
+    def test_keeps_only_requested_configs(self, designed):
+        ds, _ = designed
+        configs = subsample_configs(12, seed=3)
+        sub = restrict_dataset(ds, configs)
+        assert len(sub.configs) == 12
+        assert len(sub) == len(ds)  # all tests survive
+
+    def test_times_preserved(self, designed):
+        ds, _ = designed
+        configs = subsample_configs(12, seed=3)
+        sub = restrict_dataset(ds, configs)
+        test = ds.tests[0]
+        for config in configs:
+            assert sub.times(test, config) == ds.times(test, config)
+
+
+class TestAgreement:
+    def test_identical_decisions_agree_fully(self, designed):
+        ds, analysis = designed
+        decisions = analysis.opts_for_partition(ds.tests)
+        assert decision_agreement(decisions, decisions) == 1.0
+
+    def test_full_sample_agrees_fully(self, designed):
+        ds, analysis = designed
+        points = sample_efficiency_curve(
+            ds, sizes=(96,), trials=1, dims=(), analysis=analysis
+        )
+        assert points[0].mean_agreement == 1.0
+
+    def test_agreement_generally_improves_with_samples(self, designed):
+        ds, analysis = designed
+        points = sample_efficiency_curve(
+            ds, sizes=(6, 96), trials=2, dims=(), analysis=analysis
+        )
+        assert points[-1].mean_agreement >= points[0].mean_agreement
+
+    def test_points_well_formed(self, designed):
+        ds, analysis = designed
+        points = sample_efficiency_curve(
+            ds, sizes=(8, 16), trials=2, dims=("chip",), analysis=analysis
+        )
+        assert [p.n_configs for p in points] == [8, 16]
+        for p in points:
+            assert 0.0 <= p.min_agreement <= p.mean_agreement <= 1.0
+            assert p.n_trials == 2

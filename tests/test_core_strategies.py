@@ -1,0 +1,91 @@
+"""Tests for the Table V strategy functions."""
+
+import pytest
+
+from repro.compiler import BASELINE
+from repro.core import Analysis, Strategy, build_strategies, oracle_assignment
+from repro.core.strategies import STRATEGY_DIMS, STRATEGY_ORDER
+from repro.errors import AnalysisError
+from repro.study import TestCase
+
+from .synthetic import build_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def designed():
+    ds = build_synthetic_dataset()
+    return ds, build_strategies(ds, Analysis(ds))
+
+
+class TestConstruction:
+    def test_all_ten_strategies(self, designed):
+        _, strategies = designed
+        assert set(strategies) == set(STRATEGY_ORDER)
+
+    def test_baseline_maps_everything_to_baseline(self, designed):
+        ds, strategies = designed
+        for test in ds.tests:
+            assert strategies["baseline"].config_for(test) == BASELINE
+
+    def test_global_is_single_config(self, designed):
+        _, strategies = designed
+        assert len(strategies["global"].distinct_configs) == 1
+
+    def test_partition_counts(self, designed):
+        ds, strategies = designed
+        assert len(strategies["chip"].assignment) == 2
+        assert len(strategies["app"].assignment) == 2
+        assert len(strategies["input"].assignment) == 2
+        assert len(strategies["chip+app"].assignment) == 4
+        assert len(strategies["chip+app+input"].assignment) == 8
+        assert len(strategies["oracle"].assignment) == 8
+
+    def test_dims_registry_consistent(self):
+        assert set(STRATEGY_DIMS) == set(STRATEGY_ORDER) - {"baseline", "oracle"}
+
+
+class TestAssignments:
+    def test_chip_strategy_reflects_designed_effects(self, designed):
+        _, strategies = designed
+        chip = strategies["chip"]
+        c1 = chip.config_for(TestCase("a1", "g1", "C1"))
+        c2 = chip.config_for(TestCase("a1", "g1", "C2"))
+        assert c1.has("fg8") and c1.has("sg")
+        assert not c2.has("fg8") and c2.has("sg")
+
+    def test_oracle_picks_best_config(self, designed):
+        ds, strategies = designed
+        for test in ds.tests:
+            config = strategies["oracle"].config_for(test)
+            best_median = ds.median(test, config)
+            assert all(
+                best_median <= ds.median(test, other) + 1e-9
+                for other in ds.configs
+            )
+
+    def test_oracle_never_enables_pure_harm(self, designed):
+        ds, strategies = designed
+        for test in ds.tests:
+            assert not strategies["oracle"].config_for(test).has("wg")
+
+    def test_missing_partition_raises(self, designed):
+        _, strategies = designed
+        with pytest.raises(AnalysisError):
+            strategies["chip"].config_for(TestCase("a1", "g1", "C9"))
+
+    def test_oracle_assignment_standalone(self, designed):
+        ds, _ = designed
+        assignment = oracle_assignment(ds)
+        assert len(assignment) == len(ds.tests)
+
+
+class TestStrategyObject:
+    def test_key_for_dim_order(self):
+        s = Strategy("x", ("input", "chip"), {})
+        key = s.key_for(TestCase("app", "graph", "chip"))
+        assert key == ("graph", "chip")
+
+    def test_distinct_configs_deduplicates(self, designed):
+        _, strategies = designed
+        chip = strategies["chip"]
+        assert 1 <= len(chip.distinct_configs) <= 2

@@ -1,0 +1,157 @@
+"""Tests for the DSL AST, builders and validation."""
+
+import pytest
+
+from repro.dsl import (
+    AtomicRMW,
+    Fixpoint,
+    Invoke,
+    IterationSpace,
+    Kernel,
+    Load,
+    NeighborLoop,
+    Program,
+    Push,
+    Store,
+    edge_kernel,
+    fixpoint_program,
+    phased_program,
+    relax_kernel,
+    topology_kernel,
+    validate_kernel,
+    validate_program,
+)
+from repro.errors import DSLError
+from repro.ocl import AccessPattern, AtomicOp
+
+
+class TestKernelQueries:
+    def test_relax_kernel_shape(self):
+        k = relax_kernel("relax", "dist", AtomicOp.MIN, read_weights=True)
+        assert k.space is IterationSpace.WORKLIST
+        assert k.has_neighbor_loop
+        assert len(k.pushes) == 1
+        assert len(k.uncontended_atomics) == 1
+        assert k.irregular_accesses
+
+    def test_walk_covers_nested_ops(self):
+        k = relax_kernel("relax", "dist")
+        names = [type(op).__name__ for op in k.walk()]
+        assert "NeighborLoop" in names
+        assert "Push" in names
+
+    def test_inner_ops_of_kind(self):
+        k = relax_kernel("relax", "dist")
+        assert len(k.inner_ops_of_kind(Push)) == 1
+        assert len(k.inner_ops_of_kind(AtomicRMW)) == 1
+
+    def test_topology_kernel_flag_is_contended(self):
+        k = topology_kernel("sweep", "x", "x", atomic=AtomicOp.MIN)
+        assert k.space is IterationSpace.ALL_NODES
+        assert len(k.contended_atomics) == 1
+
+    def test_edge_kernel_has_no_inner_loop(self):
+        k = edge_kernel("scan", ["a", "b"], "c", AtomicOp.ADD)
+        assert k.space is IterationSpace.ALL_EDGES
+        assert not k.has_neighbor_loop
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        p = fixpoint_program("p", [relax_kernel("k", "x")])
+        validate_program(p)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DSLError):
+            validate_program(Program("p", [], []))
+
+    def test_duplicate_kernels_rejected(self):
+        k = relax_kernel("k", "x")
+        with pytest.raises(DSLError):
+            validate_program(Program("p", [k, k], [Invoke("k")]))
+
+    def test_unknown_kernel_in_schedule(self):
+        k = relax_kernel("k", "x")
+        with pytest.raises(DSLError):
+            validate_program(Program("p", [k], [Invoke("missing")]))
+
+    def test_empty_schedule_rejected(self):
+        k = relax_kernel("k", "x")
+        with pytest.raises(DSLError):
+            validate_program(Program("p", [k], []))
+
+    def test_empty_fixpoint_rejected(self):
+        k = relax_kernel("k", "x")
+        with pytest.raises(DSLError):
+            validate_program(Program("p", [k], [Fixpoint([])]))
+
+    def test_unknown_convergence_rejected(self):
+        k = relax_kernel("k", "x")
+        with pytest.raises(DSLError):
+            validate_program(
+                Program("p", [k], [Fixpoint([Invoke("k")], convergence="magic")])
+            )
+
+    def test_worklist_fixpoint_needs_producer(self):
+        # A worklist-space kernel without pushes starves its own loop.
+        k = Kernel(
+            "consume",
+            IterationSpace.WORKLIST,
+            ops=[Load("x", AccessPattern.COALESCED)],
+        )
+        with pytest.raises(DSLError):
+            validate_program(Program("p", [k], [Fixpoint([Invoke("consume")])]))
+
+    def test_nested_neighbor_loops_rejected(self):
+        k = Kernel(
+            "bad",
+            IterationSpace.ALL_NODES,
+            ops=[NeighborLoop([NeighborLoop([])])],
+        )
+        with pytest.raises(DSLError):
+            validate_kernel(k)
+
+    def test_kernel_name_must_be_identifier(self):
+        with pytest.raises(DSLError):
+            validate_kernel(Kernel("bad name", IterationSpace.ALL_NODES))
+        with pytest.raises(DSLError):
+            validate_kernel(Kernel("", IterationSpace.ALL_NODES))
+
+    def test_wg_size_agnostic_required(self):
+        k = Kernel(
+            "k", IterationSpace.ALL_NODES, ops=[], workgroup_size_agnostic=False
+        )
+        with pytest.raises(DSLError):
+            validate_kernel(k)
+
+
+class TestProgramStructure:
+    def test_uses_worklist(self):
+        wl = fixpoint_program("p", [relax_kernel("k", "x")])
+        assert wl.uses_worklist
+        topo = fixpoint_program(
+            "q", [topology_kernel("t", "x", "x")], convergence="flag"
+        )
+        assert not topo.uses_worklist
+
+    def test_kernel_lookup(self):
+        p = fixpoint_program("p", [relax_kernel("k", "x")])
+        assert p.kernel("k").name == "k"
+        with pytest.raises(KeyError):
+            p.kernel("zzz")
+
+    def test_invocations_with_enclosing_fixpoint(self):
+        init = Kernel("init", IterationSpace.ALL_NODES, ops=[Store("x")])
+        p = fixpoint_program("p", [relax_kernel("k", "x")], init_kernel=init)
+        pairs = list(p.invocations())
+        assert pairs[0] == (None, Invoke("init"))
+        assert pairs[1][0] is not None
+        assert pairs[1][1] == Invoke("k")
+
+    def test_phased_program_mixed_schedule(self):
+        a = Kernel("a", IterationSpace.ALL_NODES, ops=[Store("x")])
+        b = topology_kernel("b", "x", "x")
+        p = phased_program("p", [a, ([b], "flag")])
+        assert isinstance(p.schedule[0], Invoke)
+        assert isinstance(p.schedule[1], Fixpoint)
+        assert p.has_fixpoint

@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_single_root(self):
+        for name in (
+            "GraphError",
+            "GraphFormatError",
+            "DSLError",
+            "CompileError",
+            "InvalidConfigError",
+            "ExecutionError",
+            "ForwardProgressError",
+            "ChipError",
+            "DatasetError",
+            "AnalysisError",
+            "InsufficientDataError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_specialisation_relationships(self):
+        assert issubclass(errors.GraphFormatError, errors.GraphError)
+        assert issubclass(errors.InvalidConfigError, errors.CompileError)
+        assert issubclass(errors.ForwardProgressError, errors.ExecutionError)
+        assert issubclass(errors.InsufficientDataError, errors.AnalysisError)
+
+    def test_catchable_as_root(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.InsufficientDataError("too few samples")
+
+    def test_library_raises_only_repro_errors(self):
+        """Public entry points translate misuse into the hierarchy."""
+        from repro.compiler import OptConfig
+        from repro.graphs import CSRGraph
+
+        with pytest.raises(errors.ReproError):
+            CSRGraph.from_edges(1, [(0, 5)])
+        with pytest.raises(errors.ReproError):
+            OptConfig(fg=3)

@@ -1,0 +1,140 @@
+"""Tests for the experiment modules (run on the mini study dataset)."""
+
+import pytest
+
+from repro.core import Analysis, build_strategies
+from repro.experiments import (
+    fig1_heatmap,
+    fig2_top_opts,
+    fig3_outcomes,
+    fig4_slowdown,
+    fig5_launch_overhead,
+    table1_chips,
+    table2_envelope,
+    table3_ranking,
+    table4_bias,
+    table5_strategies,
+    table7_apps,
+    table8_inputs,
+    table9_chip_function,
+    table10_microbench,
+)
+
+
+@pytest.fixture(scope="module")
+def strategies(mini_dataset):
+    return build_strategies(mini_dataset, Analysis(mini_dataset))
+
+
+class TestDefinitionalExperiments:
+    def test_table1(self):
+        out = table1_chips.run()
+        assert "Quadro M4000" in out
+        assert "MALI" in out
+        assert len(table1_chips.data()) == 6
+
+    def test_table7(self):
+        out = table7_apps.run()
+        assert len(table7_apps.data()) == 17
+        assert "bfs-hybrid" in out
+        assert "(*)" in out
+
+    def test_table8(self):
+        rows = table8_inputs.data()
+        assert len(rows) == 3
+        classes = {cls for _, cls, _ in rows}
+        assert classes == {"road", "social", "random"}
+        assert "usa-ny-sim" in table8_inputs.run()
+
+    def test_fig5(self):
+        out = fig5_launch_overhead.run(noisy=False)
+        assert "GTX1080" in out and "MALI" in out
+
+    def test_table10(self):
+        sg, md = table10_microbench.data()
+        assert set(sg) == set(md)
+        assert "sg-cmb" in table10_microbench.run()
+
+
+class TestDatasetExperiments:
+    def test_fig1_includes_summary_row(self, mini_dataset):
+        chips, full = fig1_heatmap.data(mini_dataset)
+        assert set(chips) == set(mini_dataset.chips)
+        for chip in chips:
+            assert ("geomean", chip) in full
+            assert (chip, "geomean") in full
+            assert full[(chip, chip)] == pytest.approx(1.0)
+        assert "geomean" in fig1_heatmap.run(mini_dataset)
+
+    def test_table2(self, mini_dataset):
+        env = table2_envelope.data(mini_dataset)
+        assert set(env) == set(mini_dataset.chips)
+        assert "Max speedup" in table2_envelope.run(mini_dataset)
+
+    def test_table3(self, mini_dataset):
+        rankings = table3_ranking.data(mini_dataset)
+        assert len(rankings) == 95
+        out = table3_ranking.run(mini_dataset)
+        assert "Rank" in out
+        full = table3_ranking.run(mini_dataset, full=True)
+        assert len(full.splitlines()) > len(out.splitlines())
+
+    def test_table4(self, mini_dataset):
+        geo_pick, geo_rows, mwu_pick, mwu_rows = table4_bias.data(mini_dataset)
+        assert set(geo_rows) == set(mini_dataset.chips)
+        assert set(mwu_rows) == set(mini_dataset.chips)
+        assert "mwu" in table4_bias.run(mini_dataset)
+
+    def test_table5(self, mini_dataset, strategies):
+        rows = table5_strategies.data(strategies)
+        assert len(rows) == 10
+        out = table5_strategies.run(strategies)
+        assert "Table V" in out and "Table VI" in out
+
+    def test_fig2(self, mini_dataset):
+        counts = fig2_top_opts.data(mini_dataset)
+        assert set(counts) == set(mini_dataset.chips)
+        assert all(v >= 0 for per in counts.values() for v in per.values())
+
+    def test_fig3(self, mini_dataset, strategies):
+        outcomes = fig3_outcomes.data(mini_dataset, strategies)
+        assert outcomes["oracle"].slowdowns == 0
+        assert outcomes["baseline"].speedups == 0
+        assert "Strategy" in fig3_outcomes.run(mini_dataset, strategies)
+
+    def test_fig4(self, mini_dataset, strategies):
+        series = fig4_slowdown.data(mini_dataset, strategies)
+        assert series["oracle"] == pytest.approx(1.0)
+        assert series["baseline"] >= max(
+            v for k, v in series.items() if k != "baseline"
+        ) - 1e-9
+        assert "#" in fig4_slowdown.run(mini_dataset, strategies)
+
+    def test_table9(self, mini_dataset):
+        per_chip = table9_chip_function.data(mini_dataset)
+        assert set(per_chip) == set(mini_dataset.chips)
+        out = table9_chip_function.run(mini_dataset)
+        assert "CL" in out
+
+
+class TestReportCLI:
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.report import main
+
+        assert main(["nonsense"]) == 2
+
+
+class TestNvidiaOnly:
+    def test_cross_vendor_envelope_wider(self, mini_dataset):
+        from repro.experiments import nvidia_only
+
+        speedups, slowdowns = nvidia_only.data(mini_dataset)
+        assert speedups["cross-vendor"] >= speedups["nvidia-only"]
+        assert slowdowns["cross-vendor"] >= 1.0
+        out = nvidia_only.run(mini_dataset)
+        assert "cross-vendor" in out
+
+    def test_nvidia_scope_restricted_to_nvidia_chips(self, mini_dataset):
+        from repro.experiments.nvidia_only import NVIDIA_CHIPS
+
+        assert set(NVIDIA_CHIPS) == {"M4000", "GTX1080"}

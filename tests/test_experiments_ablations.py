@@ -1,0 +1,68 @@
+"""Tests for the ablation experiment modules on designed data."""
+
+import pytest
+
+from repro.core import Analysis
+from repro.experiments import ablation_methodology, ablation_sampling
+
+from .synthetic import build_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def designed():
+    ds = build_synthetic_dataset()
+    return ds, Analysis(ds)
+
+
+class TestAblationSampling:
+    def test_data_points(self, designed):
+        ds, an = designed
+        points = ablation_sampling.data(ds, an, sizes=(16, 96), trials=1)
+        assert [p.n_configs for p in points] == [16, 96]
+        assert points[-1].mean_agreement == 1.0
+
+    def test_run_renders(self, designed):
+        ds, an = designed
+        out = ablation_sampling.run(ds, an)
+        assert "agreement" in out.lower()
+        assert "96" in out
+
+
+class TestAblationMethodology:
+    def test_data_shapes(self, designed):
+        ds, an = designed
+        comparisons, confidences = ablation_methodology.data(ds, an)
+        assert len(comparisons) == len(ds.chips) * 7
+        assert {p.confidence for p in confidences} == {0.80, 0.90, 0.95, 0.99}
+
+    def test_run_renders(self, designed):
+        ds, an = designed
+        out = ablation_methodology.run(ds, an)
+        assert "Rank" in out and "CI confidence" in out
+
+    def test_designed_effects_agree_across_rules(self, designed):
+        """Clean effects leave few rank/magnitude divergences."""
+        ds, an = designed
+        comparisons, _ = ablation_methodology.data(ds, an)
+        divergent = [c for c in comparisons if c.diverges]
+        assert len(divergent) <= len(comparisons) // 4
+
+
+class TestReportUsesEnvDataset:
+    def test_dataset_experiment_via_cli(self, monkeypatch, tmp_path, capsys):
+        """The report CLI must run dataset experiments against
+        $REPRO_DATASET without triggering a full study."""
+        from repro.__main__ import main
+        from repro.experiments import common
+
+        common.reset_cache()
+        ds = build_synthetic_dataset(apps=("a1",), graphs=("g1",))
+        path = str(tmp_path / "ds.json.gz")
+        ds.save(path)
+        monkeypatch.setenv("REPRO_DATASET", path)
+        try:
+            assert main(["report", "fig1"]) == 0
+            out = capsys.readouterr().out
+            assert "C1" in out and "C2" in out
+        finally:
+            common.reset_cache()

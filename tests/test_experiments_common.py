@@ -1,0 +1,59 @@
+"""Tests for the experiments' dataset cache plumbing."""
+
+import os
+
+import pytest
+
+from repro.experiments import common
+from repro.study import PerfDataset
+
+from .synthetic import build_synthetic_dataset
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    common.reset_cache()
+    yield
+    common.reset_cache()
+
+
+class TestCachePath:
+    def test_env_override(self, monkeypatch, tmp_path):
+        target = str(tmp_path / "custom.json.gz")
+        monkeypatch.setenv("REPRO_DATASET", target)
+        assert common.cache_path() == target
+
+    def test_default_under_repo(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATASET", raising=False)
+        path = common.cache_path()
+        assert path.endswith(os.path.join(".cache", "dataset-default.json.gz"))
+
+
+class TestDefaultDataset:
+    def test_loads_from_env_path(self, monkeypatch, tmp_path):
+        ds = build_synthetic_dataset(apps=("a1",), graphs=("g1",))
+        path = str(tmp_path / "ds.json.gz")
+        ds.save(path)
+        monkeypatch.setenv("REPRO_DATASET", path)
+        loaded = common.default_dataset()
+        assert isinstance(loaded, PerfDataset)
+        assert loaded.n_measurements == ds.n_measurements
+
+    def test_process_cache_hits(self, monkeypatch, tmp_path):
+        ds = build_synthetic_dataset(apps=("a1",), graphs=("g1",))
+        path = str(tmp_path / "ds.json.gz")
+        ds.save(path)
+        monkeypatch.setenv("REPRO_DATASET", path)
+        first = common.default_dataset()
+        os.remove(path)  # the second call must not re-read the file
+        assert common.default_dataset() is first
+
+    def test_analysis_and_strategies_cached(self, monkeypatch, tmp_path):
+        ds = build_synthetic_dataset(apps=("a1",), graphs=("g1",))
+        path = str(tmp_path / "ds.json.gz")
+        ds.save(path)
+        monkeypatch.setenv("REPRO_DATASET", path)
+        assert common.default_analysis() is common.default_analysis()
+        strategies = common.default_strategies()
+        assert strategies is common.default_strategies()
+        assert "oracle" in strategies

@@ -1,0 +1,152 @@
+"""Tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import CSRGraph
+
+
+def edges_strategy(max_nodes=30, max_edges=80):
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=max_edges,
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.n_nodes == 3
+        assert g.n_edges == 3
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(1).tolist() == [2]
+        assert g.neighbors(2).tolist() == []
+
+    def test_from_edges_empty(self):
+        g = CSRGraph.from_edges(4, [])
+        assert g.n_nodes == 4
+        assert g.n_edges == 0
+
+    def test_weights_follow_edges(self):
+        g = CSRGraph.from_edges(3, [(1, 2), (0, 1)], [9.0, 5.0])
+        assert g.edge_weights_of(0).tolist() == [5.0]
+        assert g.edge_weights_of(1).tolist() == [9.0]
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(0, 5)])
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(-1, 0)])
+
+    def test_rejects_bad_row_ptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2]), np.array([0]))
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 0, 0]))
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(0, 1)], [1.0, 2.0])
+
+    def test_arrays_read_only(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.col_idx[0] = 0
+
+    @given(edges_strategy())
+    def test_from_edges_preserves_multiset(self, data):
+        n, edges = data
+        g = CSRGraph.from_edges(n, edges)
+        rebuilt = sorted(zip(g.edge_sources().tolist(), g.col_idx.tolist()))
+        assert rebuilt == sorted(edges)
+
+
+class TestTransforms:
+    def test_deduplicated_drops_self_loops_and_dups(self):
+        g = CSRGraph.from_edges(3, [(0, 0), (0, 1), (0, 1), (1, 2)])
+        d = g.deduplicated()
+        assert sorted(d.edges()) == [(0, 1), (1, 2)]
+
+    def test_deduplicated_keeps_min_weight(self):
+        g = CSRGraph.from_edges(2, [(0, 1), (0, 1)], [7.0, 3.0])
+        d = g.deduplicated()
+        assert d.n_edges == 1
+        assert d.weights[0] == 3.0
+
+    def test_symmetrized_mirrors_edges(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], [4.0, 5.0])
+        s = g.symmetrized()
+        assert s.is_symmetric()
+        assert sorted(s.edges()) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+    def test_reversed_flips_all_edges(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)], [1.0, 2.0])
+        r = g.reversed()
+        assert sorted(r.edges()) == [(1, 0), (2, 0)]
+        assert r.n_edges == g.n_edges
+
+    def test_with_unit_weights(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        w = g.with_unit_weights()
+        assert w.has_weights
+        assert w.weights.tolist() == [1.0]
+
+    @given(edges_strategy())
+    def test_double_reverse_preserves_edges(self, data):
+        n, edges = data
+        g = CSRGraph.from_edges(n, edges)
+        # Adjacency-list order may differ; the edge multiset must not.
+        assert sorted(g.reversed().reversed().edges()) == sorted(g.edges())
+
+    @given(edges_strategy())
+    def test_symmetrized_is_symmetric(self, data):
+        n, edges = data
+        assert CSRGraph.from_edges(n, edges).symmetrized().is_symmetric()
+
+    @given(edges_strategy())
+    def test_deduplicated_has_no_duplicates(self, data):
+        n, edges = data
+        d = CSRGraph.from_edges(n, edges).deduplicated()
+        pairs = list(d.edges())
+        assert len(pairs) == len(set(pairs))
+        assert all(s != t for s, t in pairs)
+
+
+class TestAccessors:
+    def test_out_degrees(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2), (2, 0)])
+        assert g.out_degrees().tolist() == [2, 0, 1]
+        assert g.out_degree(0) == 2
+
+    def test_node_range_checked(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.neighbors(2)
+        with pytest.raises(GraphError):
+            g.out_degree(-1)
+
+    def test_edge_weights_requires_weights(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.edge_weights_of(0)
+
+    def test_equality_considers_weights(self):
+        a = CSRGraph.from_edges(2, [(0, 1)], [1.0])
+        b = CSRGraph.from_edges(2, [(0, 1)], [2.0])
+        c = CSRGraph.from_edges(2, [(0, 1)])
+        assert a != b
+        assert a != c
+        assert a == CSRGraph.from_edges(2, [(0, 1)], [1.0])

@@ -1,0 +1,123 @@
+"""Tests for the study input generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import (
+    analyze,
+    rmat_graph,
+    road_network,
+    uniform_random_graph,
+)
+
+
+class TestRoadNetwork:
+    def test_deterministic(self):
+        a = road_network(10, 10, seed=1)
+        b = road_network(10, 10, seed=1)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        assert road_network(10, 10, seed=1) != road_network(10, 10, seed=2)
+
+    def test_size(self):
+        g = road_network(8, 6, seed=0)
+        assert g.n_nodes == 48
+
+    def test_symmetric_and_weighted(self):
+        g = road_network(8, 8, seed=0)
+        assert g.is_symmetric()
+        assert g.has_weights
+        assert g.weights.min() >= 1
+
+    def test_road_signature(self):
+        p = analyze(road_network(40, 40, seed=0))
+        assert p.avg_degree < 5.0
+        assert p.degree_cv < 0.5
+        assert p.est_diameter > 40  # Theta(width + height)
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(GraphError):
+            road_network(1, 5)
+
+    def test_rejects_bad_drop_fraction(self):
+        with pytest.raises(GraphError):
+            road_network(5, 5, drop_fraction=1.0)
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_degrees_bounded_by_lattice(self, w, h):
+        g = road_network(w, h, seed=0, shortcut_fraction=0.0)
+        assert g.out_degrees().max() <= 4
+
+
+class TestRmat:
+    def test_deterministic(self):
+        assert rmat_graph(7, seed=4) == rmat_graph(7, seed=4)
+
+    def test_size(self):
+        g = rmat_graph(8, edge_factor=4, seed=0)
+        assert g.n_nodes == 256
+        # Dedup removes some of the nominal 1024 edges.
+        assert 256 < g.n_edges <= 1024
+
+    def test_power_law_signature(self):
+        p = analyze(rmat_graph(11, seed=0))
+        assert p.degree_cv > 1.0
+        assert p.max_degree > 20 * p.avg_degree
+        assert p.est_diameter < 12
+
+    def test_unweighted_option(self):
+        assert not rmat_graph(6, seed=0, weighted=False).has_weights
+
+    def test_no_self_loops_or_duplicates(self):
+        g = rmat_graph(7, seed=2)
+        pairs = list(g.edges())
+        assert len(pairs) == len(set(pairs))
+        assert all(s != d for s, d in pairs)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_graph(5, a=0.9, b=0.9, c=0.9)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(GraphError):
+            rmat_graph(0)
+
+
+class TestUniformRandom:
+    def test_deterministic(self):
+        assert uniform_random_graph(100, 4, seed=9) == uniform_random_graph(
+            100, 4, seed=9
+        )
+
+    def test_narrow_degree_distribution(self):
+        p = analyze(uniform_random_graph(2000, 8.0, seed=0))
+        assert p.degree_cv < 0.6
+        assert p.est_diameter < 12
+
+    def test_avg_degree_approximate(self):
+        g = uniform_random_graph(1000, 6.0, seed=0)
+        # Dedup loses a few edges; stay within 15%.
+        assert 5.0 <= g.n_edges / g.n_nodes <= 6.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(GraphError):
+            uniform_random_graph(1, 4.0)
+        with pytest.raises(GraphError):
+            uniform_random_graph(10, 0.0)
+
+
+class TestClassification:
+    """The generators must land in their paper input classes."""
+
+    def test_three_classes_distinct(self):
+        road = analyze(road_network(40, 40, seed=1))
+        social = analyze(rmat_graph(11, seed=1))
+        rand = analyze(uniform_random_graph(2000, 8.0, seed=1))
+        assert road.classify() == "road"
+        assert social.classify() == "social"
+        assert rand.classify() == "random"

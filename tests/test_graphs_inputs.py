@@ -1,0 +1,56 @@
+"""Tests for the study inputs (Table VIII)."""
+
+import pytest
+
+from repro.graphs import INPUT_NAMES, analyze, get_input, study_inputs
+
+
+class TestStudyInputs:
+    def test_three_inputs(self):
+        inputs = study_inputs(scale=0.1)
+        assert set(inputs) == set(INPUT_NAMES)
+
+    def test_classes_cover_paper_taxonomy(self):
+        inputs = study_inputs(scale=0.1)
+        assert {i.input_class for i in inputs.values()} == {
+            "road",
+            "social",
+            "random",
+        }
+
+    def test_lazy_and_cached(self):
+        inputs = study_inputs(scale=0.1)
+        inp = inputs["rmat-sim"]
+        assert inp._graph is None  # not built yet
+        g1 = inp.graph
+        assert inp.graph is g1  # cached
+
+    def test_scale_grows_graphs(self):
+        small = study_inputs(scale=0.05)["uniform-sim"].graph
+        large = study_inputs(scale=0.2)["uniform-sim"].graph
+        assert large.n_nodes > 2 * small.n_nodes
+
+    def test_inputs_weighted(self):
+        for inp in study_inputs(scale=0.05).values():
+            assert inp.graph.has_weights
+
+    def test_default_scale_signatures(self):
+        """At study scale the inputs must classify into their classes."""
+        inputs = study_inputs()
+        assert analyze(inputs["usa-ny-sim"].graph).classify() == "road"
+        assert analyze(inputs["rmat-sim"].graph).classify() == "social"
+        assert analyze(inputs["uniform-sim"].graph).classify() == "random"
+
+    def test_get_input_cached_registry(self):
+        a = get_input("rmat-sim")
+        b = get_input("rmat-sim")
+        assert a is b
+
+    def test_get_input_unknown(self):
+        with pytest.raises(KeyError):
+            get_input("facebook")
+
+    def test_deterministic_given_seed(self):
+        a = study_inputs(scale=0.05, seed=3)["usa-ny-sim"].graph
+        b = study_inputs(scale=0.05, seed=3)["usa-ny-sim"].graph
+        assert a == b

@@ -1,0 +1,114 @@
+"""Tests for graph file I/O."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import (
+    CSRGraph,
+    load_dimacs,
+    load_edge_list,
+    load_graph,
+    save_dimacs,
+    save_edge_list,
+)
+
+
+class TestDimacs:
+    def test_roundtrip(self, tmp_path, small_road):
+        path = str(tmp_path / "g.gr")
+        save_dimacs(small_road, path)
+        loaded = load_dimacs(path)
+        assert loaded.n_nodes == small_road.n_nodes
+        assert sorted(loaded.edges()) == sorted(small_road.edges())
+
+    def test_parses_reference_format(self, tmp_path):
+        path = tmp_path / "t.gr"
+        path.write_text(
+            "c sample\n"
+            "p sp 3 2\n"
+            "a 1 2 10\n"
+            "a 2 3 20\n"
+        )
+        g = load_dimacs(str(path))
+        assert g.n_nodes == 3
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+        assert sorted(g.weights.tolist()) == [10.0, 20.0]
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("a 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            load_dimacs(str(path))
+
+    def test_malformed_arc(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\na 1 2\n")
+        with pytest.raises(GraphFormatError):
+            load_dimacs(str(path))
+
+    def test_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\nq 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            load_dimacs(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.gr"
+        path.write_text("c only comments\n")
+        with pytest.raises(GraphFormatError):
+            load_dimacs(str(path))
+
+
+class TestEdgeList:
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3), (3, 0)])
+        path = str(tmp_path / "g.txt")
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], [1.5, 2.5])
+        path = str(tmp_path / "g.txt")
+        save_edge_list(g, path)
+        loaded = load_edge_list(path, weighted=True)
+        assert loaded.weights is not None
+        assert sorted(loaded.weights.tolist()) == [1.5, 2.5]
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# snap comment\n% konect comment\n0 1\n1 2\n")
+        g = load_edge_list(str(path))
+        assert g.n_edges == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(str(path))
+
+    def test_weighted_requires_third_column(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(str(path), weighted=True)
+
+    def test_empty_edge_list(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        g = load_edge_list(str(path))
+        assert g.n_nodes == 0
+        assert g.n_edges == 0
+
+
+class TestDispatch:
+    def test_gr_extension_uses_dimacs(self, tmp_path, small_road):
+        path = str(tmp_path / "g.gr")
+        save_dimacs(small_road, path)
+        assert load_graph(path).n_nodes == small_road.n_nodes
+
+    def test_other_extension_uses_edge_list(self, tmp_path):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        path = str(tmp_path / "g.edges")
+        save_edge_list(g, path)
+        assert load_graph(path).n_edges == 1

@@ -1,0 +1,98 @@
+"""Tests for structural property analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRGraph,
+    analyze,
+    bfs_levels,
+    degree_cv,
+    degree_gini,
+    estimate_diameter,
+)
+
+
+class TestBFSLevels:
+    def test_line(self, line_graph):
+        assert bfs_levels(line_graph, 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self, line_graph):
+        levels = bfs_levels(line_graph, 2)
+        assert levels.tolist() == [-1, -1, 0, 1, 2]
+
+    def test_star(self, star_graph):
+        levels = bfs_levels(star_graph, 0)
+        assert levels[0] == 0
+        assert all(levels[1:] == 1)
+
+    def test_matches_reference_on_random(self, small_uniform):
+        import collections
+
+        levels = bfs_levels(small_uniform, 0)
+        # Plain BFS reference.
+        ref = {0: 0}
+        queue = collections.deque([0])
+        while queue:
+            u = queue.popleft()
+            for v in small_uniform.neighbors(u):
+                if int(v) not in ref:
+                    ref[int(v)] = ref[u] + 1
+                    queue.append(int(v))
+        for v in range(small_uniform.n_nodes):
+            assert levels[v] == ref.get(v, -1)
+
+
+class TestDiameter:
+    def test_line_exact(self, line_graph):
+        assert estimate_diameter(line_graph.symmetrized()) == 4
+
+    def test_star_is_two(self, star_graph):
+        assert estimate_diameter(star_graph.symmetrized()) == 2
+
+    def test_single_node(self):
+        g = CSRGraph.from_edges(1, [])
+        assert estimate_diameter(g) == 0
+
+    def test_grid_scales_with_side(self):
+        from repro.graphs import road_network
+
+        small = estimate_diameter(road_network(10, 10, seed=0, drop_fraction=0.0))
+        big = estimate_diameter(road_network(30, 30, seed=0, drop_fraction=0.0))
+        assert big > 2 * small
+
+
+class TestDegreeStats:
+    def test_cv_zero_for_regular(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert degree_cv(g) == 0.0
+
+    def test_cv_positive_for_star(self, star_graph):
+        assert degree_cv(star_graph) > 1.0
+
+    def test_gini_zero_for_regular(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert degree_gini(g) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gini_high_for_star(self, star_graph):
+        assert degree_gini(star_graph) > 0.8
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(3, [])
+        assert degree_cv(g) == 0.0
+        assert degree_gini(g) == 0.0
+
+
+class TestAnalyze:
+    def test_fields_consistent(self, small_rmat):
+        p = analyze(small_rmat)
+        assert p.n_nodes == small_rmat.n_nodes
+        assert p.n_edges == small_rmat.n_edges
+        assert p.max_degree == int(small_rmat.out_degrees().max())
+        assert p.avg_degree == pytest.approx(p.n_edges / p.n_nodes)
+
+    def test_classify_exhaustive(self, small_road, small_rmat):
+        assert analyze(small_rmat).classify() == "social"
+        # A 12x12 road grid is too small to be "high diameter" but must
+        # never be classified social.
+        assert analyze(small_road).classify() in ("road", "random")

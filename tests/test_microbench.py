@@ -1,0 +1,100 @@
+"""Tests for the explanatory microbenchmarks (Fig 5, Table X)."""
+
+import pytest
+
+from repro.chips import CHIP_NAMES, get_chip
+from repro.microbench import (
+    launch_overhead_sweep,
+    m_divg_speedup,
+    m_divg_table,
+    sg_cmb_speedup,
+    sg_cmb_table,
+)
+
+
+class TestLaunchOverhead:
+    def test_covers_all_chips(self):
+        sweep = launch_overhead_sweep(noisy=False)
+        assert set(sweep) == set(CHIP_NAMES)
+
+    def test_utilisation_in_unit_interval(self):
+        for points in launch_overhead_sweep(noisy=True).values():
+            assert all(0.0 <= p.utilisation <= 1.0 for p in points)
+
+    def test_monotone_in_kernel_time_without_noise(self):
+        for points in launch_overhead_sweep(noisy=False).values():
+            utils = [p.utilisation for p in points]
+            assert utils == sorted(utils)
+
+    def test_nvidia_highest_utilisation(self):
+        """Fig 5: Nvidia utilisation dominates at small kernel times."""
+        sweep = launch_overhead_sweep(noisy=False)
+        for idx in range(4):  # the small-kernel-time regime
+            nvidia = min(
+                sweep["M4000"][idx].utilisation, sweep["GTX1080"][idx].utilisation
+            )
+            others = max(
+                sweep[c][idx].utilisation
+                for c in CHIP_NAMES
+                if c not in ("M4000", "GTX1080")
+            )
+            assert nvidia > others
+
+    def test_mali_lowest_utilisation(self):
+        sweep = launch_overhead_sweep(noisy=False)
+        for idx in range(4):
+            assert sweep["MALI"][idx].utilisation == min(
+                sweep[c][idx].utilisation for c in CHIP_NAMES
+            )
+
+    def test_noise_deterministic(self):
+        a = launch_overhead_sweep(noisy=True)
+        b = launch_overhead_sweep(noisy=True)
+        assert a == b
+
+
+class TestSgCmb:
+    def test_r9_largest_win(self):
+        """Paper: ~22x on R9, a fraction of the subgroup size of 64."""
+        table = sg_cmb_table()
+        r9 = table["R9"].speedup
+        assert 15 <= r9 <= 30
+        assert r9 == max(r.speedup for r in table.values())
+
+    def test_iris_wins_about_half_its_subgroup(self):
+        iris = sg_cmb_table()["IRIS"].speedup
+        assert 5 <= iris <= 10  # paper: ~8 of a possible 16
+
+    def test_jit_chips_see_no_benefit(self):
+        """Nvidia and HD5500 JITs already combine (paper VIII-b)."""
+        table = sg_cmb_table()
+        for chip in ("M4000", "GTX1080", "HD5500"):
+            assert table[chip].speedup <= 1.0
+
+    def test_mali_trivial_subgroup_no_effect(self):
+        assert sg_cmb_table()["MALI"].speedup == pytest.approx(1.0, abs=0.1)
+
+    def test_speedup_consistent_with_times(self):
+        r = sg_cmb_speedup(get_chip("R9"))
+        assert r.speedup == pytest.approx(
+            r.time_original_us / r.time_combined_us
+        )
+
+
+class TestMDivg:
+    def test_mali_extreme_outlier(self):
+        """Paper: ~6.45x on MALI vs 1.1-1.5x elsewhere."""
+        table = m_divg_table()
+        assert 5.0 <= table["MALI"].speedup <= 8.0
+        for chip in CHIP_NAMES:
+            if chip != "MALI":
+                assert 1.0 <= table[chip].speedup <= 1.6
+
+    def test_all_chips_benefit(self):
+        """The gratuitous barrier helps (or at worst is neutral) everywhere."""
+        for r in m_divg_table().values():
+            assert r.speedup >= 1.0
+
+    def test_speedup_consistent_with_times(self):
+        r = m_divg_speedup(get_chip("MALI"))
+        assert r.speedup == pytest.approx(r.time_plain_us / r.time_barrier_us)

@@ -1,0 +1,102 @@
+"""Tests for the OpenCL machine-model abstractions."""
+
+import pytest
+
+from repro.errors import DSLError, ForwardProgressError
+from repro.ocl import (
+    BarrierScope,
+    CUResources,
+    LaunchGeometry,
+    discover_occupancy,
+    occupant_workgroups,
+    validate_global_barrier,
+)
+
+
+class TestLaunchGeometry:
+    def test_basic_decomposition(self):
+        geo = LaunchGeometry(n_workgroups=4, workgroup_size=128, subgroup_size=32)
+        assert geo.global_size == 512
+        assert geo.subgroups_per_workgroup == 4
+        assert geo.n_subgroups == 16
+
+    def test_thread_mapping(self):
+        geo = LaunchGeometry(n_workgroups=2, workgroup_size=64, subgroup_size=16)
+        assert geo.workgroup_of(70) == 1
+        assert geo.local_id_of(70) == 6
+        assert geo.subgroup_of(70) == 4
+        assert geo.subgroup_lane_of(70) == 6
+
+    def test_partial_subgroup(self):
+        geo = LaunchGeometry(n_workgroups=1, workgroup_size=100, subgroup_size=32)
+        assert geo.subgroups_per_workgroup == 4
+
+    def test_subgroup_never_spans_workgroups(self):
+        geo = LaunchGeometry(n_workgroups=3, workgroup_size=48, subgroup_size=32)
+        for tid in range(geo.global_size):
+            wg = geo.workgroup_of(tid)
+            sg = geo.subgroup_of(tid)
+            assert sg // geo.subgroups_per_workgroup == wg
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(DSLError):
+            LaunchGeometry(0, 128, 32)
+        with pytest.raises(DSLError):
+            LaunchGeometry(1, 0, 32)
+        with pytest.raises(DSLError):
+            LaunchGeometry(1, 128, 0)
+
+    def test_rejects_out_of_range_thread(self):
+        geo = LaunchGeometry(1, 32, 8)
+        with pytest.raises(DSLError):
+            geo.workgroup_of(32)
+
+
+class TestOccupancy:
+    RES = CUResources(max_workgroups=16, max_threads=1024, local_mem_bytes=32768)
+
+    def test_limited_by_slots(self):
+        assert occupant_workgroups(self.RES, workgroup_size=32) == 16
+
+    def test_limited_by_threads(self):
+        assert occupant_workgroups(self.RES, workgroup_size=256) == 4
+
+    def test_limited_by_local_memory(self):
+        assert occupant_workgroups(self.RES, 64, local_mem_per_wg=8192) == 4
+
+    def test_zero_when_kernel_cannot_fit(self):
+        assert occupant_workgroups(self.RES, 64, local_mem_per_wg=65536) == 0
+
+    def test_device_wide(self):
+        assert discover_occupancy(self.RES, n_cus=4, workgroup_size=256) == 16
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            occupant_workgroups(self.RES, 0)
+        with pytest.raises(ValueError):
+            occupant_workgroups(self.RES, 64, local_mem_per_wg=-1)
+        with pytest.raises(ValueError):
+            discover_occupancy(self.RES, 0, 64)
+        with pytest.raises(ValueError):
+            CUResources(max_workgroups=0, max_threads=1, local_mem_bytes=0)
+
+
+class TestGlobalBarrierSafety:
+    def test_safe_launch(self):
+        validate_global_barrier(8, 8)
+        validate_global_barrier(4, 8)
+
+    def test_oversubscribed_launch_hangs(self):
+        with pytest.raises(ForwardProgressError):
+            validate_global_barrier(9, 8)
+
+    def test_unschedulable_kernel(self):
+        with pytest.raises(ForwardProgressError):
+            validate_global_barrier(1, 0)
+
+
+class TestBarrierScope:
+    def test_portability_flags(self):
+        assert BarrierScope.SUBGROUP.is_portable
+        assert BarrierScope.WORKGROUP.is_portable
+        assert not BarrierScope.GLOBAL.is_portable

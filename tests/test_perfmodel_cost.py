@@ -1,0 +1,162 @@
+"""Tests for the per-launch cost model and end-to-end simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_application
+from repro.chips import all_chips, get_chip
+from repro.compiler import BASELINE, OptConfig, compile_program, enumerate_configs
+from repro.dsl import fixpoint_program, relax_kernel
+from repro.errors import ExecutionError
+from repro.perfmodel import (
+    estimate_runtime_us,
+    kernel_time_us,
+    launch_cost,
+    measure_repeats_us,
+    measure_us,
+)
+from repro.runtime.trace import LaunchRecord, Trace
+
+
+@pytest.fixture(scope="module")
+def bfs_trace(small_road_module):
+    app = get_application("bfs-wl")
+    return app.program(), app.run(small_road_module).trace
+
+
+@pytest.fixture(scope="module")
+def small_road_module():
+    from repro.graphs import road_network
+
+    return road_network(12, 12, seed=3)
+
+
+def record(**kwargs):
+    base = dict(
+        kernel="bfs_wl_step", iteration=0, in_fixpoint=True,
+        active_items=500, expanded_items=500, edges=2500,
+        deg_hist=(100, 200, 150, 50), irregularity=0.5, pushes=300,
+    )
+    base.update(kwargs)
+    return LaunchRecord(**base)
+
+
+class TestLaunchCost:
+    def test_components_non_negative(self, bfs_trace):
+        program, trace = bfs_trace
+        for chip in all_chips():
+            for config in (BASELINE, OptConfig(sg=True, fg=8, coop_cv=True)):
+                plan = compile_program(program, chip, config)
+                for rec in trace.launches:
+                    cost = launch_cost(plan, plan.kernel_plan(rec.kernel), rec)
+                    assert cost.scan_us >= 0
+                    assert cost.edge_us >= 0
+                    assert cost.barrier_us >= 0
+                    assert cost.local_us >= 0
+                    assert cost.atomic_us >= 0
+                    assert cost.total_us > 0
+
+    def test_more_edges_cost_more(self, bfs_trace):
+        # Inner-loop work is derived from the degree histogram; more
+        # nodes per bucket means more edges, which must cost more.
+        program, _ = bfs_trace
+        plan = compile_program(program, get_chip("R9"), BASELINE)
+        kp = plan.kernel_plan("bfs_wl_step")
+        small = kernel_time_us(plan, kp, record(deg_hist=(100, 200, 150, 50)))
+        large = kernel_time_us(
+            plan, kp, record(deg_hist=(1000, 2000, 1500, 500))
+        )
+        assert large > small
+
+    def test_divergent_launch_slower_on_mali(self, bfs_trace):
+        program, _ = bfs_trace
+        plan = compile_program(program, get_chip("MALI"), BASELINE)
+        kp = plan.kernel_plan("bfs_wl_step")
+        smooth = kernel_time_us(plan, kp, record(irregularity=0.0))
+        divergent = kernel_time_us(plan, kp, record(irregularity=1.0))
+        assert divergent > 3 * smooth
+
+    def test_np_overhead_on_balanced_work(self, bfs_trace):
+        """On uniform degrees the schemes only add overhead (V-B)."""
+        program, _ = bfs_trace
+        chip = get_chip("GTX1080")
+        rec = record(deg_hist=(0, 0, 500), irregularity=0.0, edges=3000)
+        base = compile_program(program, chip, BASELINE)
+        np_cfg = compile_program(program, chip, OptConfig(wg=True, sg=True))
+        t_base = kernel_time_us(base, base.kernel_plan(rec.kernel), rec)
+        t_np = kernel_time_us(np_cfg, np_cfg.kernel_plan(rec.kernel), rec)
+        assert t_np > t_base
+
+    def test_fg8_helps_on_skewed_work(self, bfs_trace):
+        program, _ = bfs_trace
+        chip = get_chip("GTX1080")
+        skewed = record(
+            deg_hist=(400, 50, 20, 10, 5, 5, 4, 3, 2, 1, 1),
+            edges=int(
+                sum(c * 1.5 * 2 ** b for b, c in enumerate(
+                    (400, 50, 20, 10, 5, 5, 4, 3, 2, 1, 1)))
+            ),
+        )
+        base = compile_program(program, chip, BASELINE)
+        fg8 = compile_program(program, chip, OptConfig(fg=8))
+        t_base = kernel_time_us(base, base.kernel_plan(skewed.kernel), skewed)
+        t_fg8 = kernel_time_us(fg8, fg8.kernel_plan(skewed.kernel), skewed)
+        assert t_fg8 < t_base
+
+    def test_empty_launch_costs_only_fixed(self, bfs_trace):
+        program, _ = bfs_trace
+        plan = compile_program(program, get_chip("R9"), BASELINE)
+        kp = plan.kernel_plan("bfs_wl_step")
+        rec = record(
+            active_items=0, expanded_items=0, edges=0, deg_hist=(),
+            pushes=0, irregularity=0.0,
+        )
+        cost = launch_cost(plan, kp, rec)
+        assert cost.total_us == pytest.approx(cost.fixed_us)
+
+
+class TestSimulate:
+    def test_estimate_deterministic(self, bfs_trace):
+        program, trace = bfs_trace
+        plan = compile_program(program, get_chip("IRIS"), BASELINE)
+        assert estimate_runtime_us(plan, trace) == estimate_runtime_us(plan, trace)
+
+    def test_trace_program_mismatch_rejected(self, bfs_trace):
+        program, trace = bfs_trace
+        other = fixpoint_program("other", [relax_kernel("k", "x")])
+        plan = compile_program(other, get_chip("IRIS"), BASELINE)
+        with pytest.raises(ExecutionError):
+            estimate_runtime_us(plan, trace)
+
+    def test_measurements_cluster_around_estimate(self, bfs_trace):
+        program, trace = bfs_trace
+        plan = compile_program(program, get_chip("GTX1080"), BASELINE)
+        true = estimate_runtime_us(plan, trace)
+        reps = measure_repeats_us(plan, trace, repetitions=20)
+        assert np.median(reps) == pytest.approx(true, rel=0.10)
+
+    def test_repeat_list_matches_individual_measures(self, bfs_trace):
+        program, trace = bfs_trace
+        plan = compile_program(program, get_chip("R9"), BASELINE)
+        reps = measure_repeats_us(plan, trace, repetitions=3)
+        assert reps == [measure_us(plan, trace, rep=r) for r in range(3)]
+
+    def test_rejects_zero_repetitions(self, bfs_trace):
+        program, trace = bfs_trace
+        plan = compile_program(program, get_chip("R9"), BASELINE)
+        with pytest.raises(ValueError):
+            measure_repeats_us(plan, trace, repetitions=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=95))
+    def test_all_configs_price_positively(self, idx):
+        from repro.graphs import road_network
+
+        app = get_application("bfs-wl")
+        trace = app.run(road_network(8, 8, seed=1)).trace
+        config = enumerate_configs()[idx]
+        for chip in (get_chip("GTX1080"), get_chip("MALI")):
+            plan = compile_program(app.program(), chip, config)
+            assert estimate_runtime_us(plan, trace) > 0

@@ -1,0 +1,131 @@
+"""Tests for the load-imbalance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chips import get_chip
+from repro.compiler.plan import KernelPlan
+from repro.dsl import relax_kernel
+from repro.perfmodel import (
+    bucket_degree,
+    expected_max_degree,
+    imbalance_factor,
+    partition_work,
+)
+from repro.perfmodel.cost import effective_imbalance
+
+
+def hist_strategy():
+    return st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=14)
+
+
+def make_plan(wg=False, sg=False, fg=None, sg_size=32, wg_size=128):
+    plan = KernelPlan(
+        kernel=relax_kernel("k", "x"), wg_size=wg_size, sg_size=sg_size
+    )
+    return plan.with_(
+        wg_scheme=wg,
+        sg_scheme=sg,
+        fg_edges=fg,
+        wg_threshold=wg_size if wg else 0,
+        sg_threshold=sg_size if sg else 0,
+    )
+
+
+class TestExpectedMax:
+    def test_single_bucket_equals_its_degree(self):
+        hist = (0, 0, 5)  # five nodes of degree ~6
+        assert expected_max_degree(hist, 8) == pytest.approx(bucket_degree(2))
+
+    def test_group_of_one_is_mean(self):
+        hist = (4, 0, 4)
+        mean = (4 * bucket_degree(0) + 4 * bucket_degree(2)) / 8
+        assert expected_max_degree(hist, 1) == pytest.approx(mean)
+
+    def test_monotone_in_group_size(self):
+        hist = (10, 5, 3, 1)
+        values = [expected_max_degree(hist, s) for s in (1, 2, 4, 8, 16, 64)]
+        assert values == sorted(values)
+
+    def test_converges_to_max_bucket(self):
+        hist = (100, 0, 0, 0, 1)
+        assert expected_max_degree(hist, 10_000) == pytest.approx(
+            bucket_degree(4), rel=0.01
+        )
+
+    def test_empty_hist(self):
+        assert expected_max_degree((), 32) == 0.0
+
+
+class TestImbalanceFactor:
+    def test_uniform_degrees_balanced(self):
+        assert imbalance_factor((0, 0, 0, 20), 32) == pytest.approx(1.0)
+
+    def test_skew_increases_factor(self):
+        skewed = imbalance_factor((50, 0, 0, 0, 0, 0, 2), 32)
+        mild = imbalance_factor((50, 2), 32)
+        assert skewed > mild > 1.0
+
+    def test_group_one_is_one(self):
+        assert imbalance_factor((5, 5, 5), 1) == 1.0
+
+    @given(hist_strategy(), st.integers(min_value=1, max_value=128))
+    def test_at_least_one(self, hist, group):
+        assert imbalance_factor(tuple(hist), group) >= 1.0
+
+    def test_effective_imbalance_softens_and_caps(self):
+        assert effective_imbalance(1.0) == 1.0
+        assert 1.0 < effective_imbalance(2.0) < 2.0
+        assert effective_imbalance(1000.0) == 3.5  # the cap
+
+
+class TestPartitionWork:
+    HIST = (10, 10, 0, 0, 0, 4, 0, 2, 1)  # degrees ~1.5,3,48,192,384
+
+    def test_no_schemes_all_serial(self):
+        work = partition_work(self.HIST, make_plan())
+        assert work.sg_edges == work.wg_edges == work.fg_edges == 0
+        assert work.serial_edges == pytest.approx(work.total_edges)
+
+    def test_wg_takes_heavy_nodes(self):
+        work = partition_work(self.HIST, make_plan(wg=True))
+        assert work.n_wg_nodes == 3  # degree >= 128: buckets 7 and 8
+        # Lane waste makes cooperative edges >= raw edges.
+        raw = 2 * bucket_degree(7) + 1 * bucket_degree(8)
+        assert work.wg_edges >= raw
+
+    def test_sg_takes_middle_band(self):
+        work = partition_work(self.HIST, make_plan(wg=True, sg=True))
+        assert work.n_sg_nodes == 4  # degree ~48 bucket
+        assert work.n_wg_nodes == 3
+
+    def test_sg_trivial_subgroup_is_noop(self):
+        work = partition_work(self.HIST, make_plan(sg=True, sg_size=1))
+        assert work.sg_edges == 0
+        assert work.serial_edges == pytest.approx(work.total_edges)
+
+    def test_fg_takes_remainder(self):
+        work = partition_work(self.HIST, make_plan(wg=True, sg=True, fg=8))
+        assert work.serial_edges == 0
+        assert work.fg_edges == pytest.approx(
+            10 * bucket_degree(0) + 10 * bucket_degree(1)
+        )
+
+    def test_residual_histogram_matches_serial(self):
+        work = partition_work(self.HIST, make_plan(wg=True))
+        assert sum(work.serial_hist) == 24  # all but the 3 heavy nodes
+
+    @given(hist_strategy())
+    def test_every_edge_assigned_exactly_once(self, hist):
+        """Scheme partitioning conserves edges (up to lane waste)."""
+        hist = tuple(hist)
+        plan = make_plan(wg=True, sg=True, fg=8)
+        work = partition_work(hist, plan)
+        raw_edges = sum(c * bucket_degree(b) for b, c in enumerate(hist))
+        assigned_floor = (
+            work.serial_edges + work.sg_edges / 2 + work.wg_edges / 2 + work.fg_edges
+        )
+        assert work.total_edges >= raw_edges - 1e-9
+        assert assigned_floor <= raw_edges + 1e-9 or raw_edges == 0

@@ -1,0 +1,159 @@
+"""Property-based tests on performance-model invariants.
+
+These pin down the monotonicity and scaling properties the study's
+conclusions rest on: more work never costs less, divergence and noise
+behave as declared, and pricing is a pure function of its inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chips import all_chips, get_chip
+from repro.compiler import BASELINE, OptConfig, compile_program
+from repro.dsl import fixpoint_program, relax_kernel
+from repro.perfmodel import kernel_time_us, launch_cost, noisy_measurement_us
+from repro.runtime.trace import LaunchRecord
+
+CHIP_NAMES = [c.short_name for c in all_chips()]
+
+
+def _plan(chip_name, config=BASELINE):
+    program = fixpoint_program("prop", [relax_kernel("k", "x")])
+    return compile_program(program, get_chip(chip_name), config)
+
+
+def record_strategy():
+    return st.builds(
+        lambda active, hist, pushes, irr: LaunchRecord(
+            kernel="k",
+            iteration=0,
+            in_fixpoint=True,
+            active_items=active,
+            expanded_items=min(active, max(1, sum(hist))),
+            edges=int(sum(c * 1.5 * 2 ** b for b, c in enumerate(hist))),
+            deg_hist=tuple(hist),
+            pushes=pushes,
+            irregularity=irr,
+        ),
+        active=st.integers(min_value=1, max_value=100_000),
+        hist=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=10),
+        pushes=st.integers(min_value=0, max_value=50_000),
+        irr=st.floats(min_value=0.0, max_value=1.0),
+    )
+
+
+class TestCostProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(record_strategy(), st.sampled_from(CHIP_NAMES))
+    def test_cost_positive_and_finite(self, record, chip_name):
+        plan = _plan(chip_name)
+        t = kernel_time_us(plan, plan.kernel_plan("k"), record)
+        assert np.isfinite(t)
+        assert t > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(record_strategy(), st.sampled_from(CHIP_NAMES))
+    def test_pricing_is_pure(self, record, chip_name):
+        plan = _plan(chip_name)
+        kp = plan.kernel_plan("k")
+        assert kernel_time_us(plan, kp, record) == kernel_time_us(plan, kp, record)
+
+    @settings(max_examples=30, deadline=None)
+    @given(record_strategy(), st.sampled_from(CHIP_NAMES))
+    def test_monotone_in_degree_counts(self, record, chip_name):
+        """Doubling every degree-bucket count never reduces cost."""
+        plan = _plan(chip_name)
+        kp = plan.kernel_plan("k")
+        bigger = LaunchRecord(
+            kernel=record.kernel,
+            iteration=record.iteration,
+            in_fixpoint=record.in_fixpoint,
+            active_items=record.active_items,
+            expanded_items=record.expanded_items,
+            edges=record.edges * 2,
+            deg_hist=tuple(2 * c for c in record.deg_hist),
+            pushes=record.pushes,
+            irregularity=record.irregularity,
+        )
+        assert kernel_time_us(plan, kp, bigger) >= kernel_time_us(
+            plan, kp, record
+        ) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(record_strategy(), st.sampled_from(CHIP_NAMES))
+    def test_monotone_in_irregularity(self, record, chip_name):
+        plan = _plan(chip_name)
+        kp = plan.kernel_plan("k")
+        smooth = LaunchRecord(
+            **{**record.__dict__, "irregularity": 0.0}
+        )
+        assert kernel_time_us(plan, kp, record) >= kernel_time_us(
+            plan, kp, smooth
+        ) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(record_strategy(), st.sampled_from(CHIP_NAMES))
+    def test_monotone_in_pushes(self, record, chip_name):
+        plan = _plan(chip_name)
+        kp = plan.kernel_plan("k")
+        quiet = LaunchRecord(**{**record.__dict__, "pushes": 0})
+        assert kernel_time_us(plan, kp, record) >= kernel_time_us(
+            plan, kp, quiet
+        ) - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(record_strategy())
+    def test_components_sum_to_total(self, record):
+        plan = _plan("R9")
+        cost = launch_cost(plan, plan.kernel_plan("k"), record)
+        assert cost.total_us == pytest.approx(
+            cost.scan_us
+            + cost.edge_us
+            + cost.barrier_us
+            + cost.local_us
+            + cost.atomic_us
+            + cost.fixed_us
+        )
+
+
+class TestNoiseProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=1.0, max_value=1e7),
+        st.sampled_from(CHIP_NAMES),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_noise_positive_and_bounded(self, true_us, chip_name, rep):
+        chip = get_chip(chip_name)
+        measured = noisy_measurement_us(true_us, chip, "p", "g", "c", rep)
+        assert measured > 0
+        # Log-normal noise with sigma <= 0.12 stays within ~5 sigma.
+        assert measured < true_us * 2.5 + 10.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=100.0, max_value=1e6), st.sampled_from(CHIP_NAMES))
+    def test_noise_centres_on_truth(self, true_us, chip_name):
+        chip = get_chip(chip_name)
+        samples = [
+            noisy_measurement_us(true_us, chip, "p", "g", "c", rep)
+            for rep in range(60)
+        ]
+        assert np.median(samples) == pytest.approx(true_us, rel=0.12)
+
+
+class TestConfigProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        record_strategy(),
+        st.sampled_from(CHIP_NAMES),
+        st.booleans(),
+        st.booleans(),
+        st.sampled_from([None, 1, 8]),
+    )
+    def test_all_plans_price_all_records(self, record, chip_name, wg, sg, fg):
+        config = OptConfig(wg=wg, sg=sg, fg=fg)
+        plan = _plan(chip_name, config)
+        t = kernel_time_us(plan, plan.kernel_plan("k"), record)
+        assert np.isfinite(t) and t > 0

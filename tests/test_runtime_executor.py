@@ -1,0 +1,109 @@
+"""Tests for the functional executor and trace collection."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.dsl import Invoke, IterationSpace, Kernel, Program, Store, fixpoint_program, topology_kernel
+from repro.errors import ExecutionError
+from repro.runtime import LaunchRecord, StepResult, Trace, execute
+
+
+class CountingApp:
+    """Minimal Application-protocol object for executor tests."""
+
+    def __init__(self, iterations=3):
+        self.iterations = iterations
+
+    def program(self):
+        return fixpoint_program(
+            "counter",
+            [topology_kernel("tick", "x", "x")],
+            convergence="flag",
+        )
+
+    def init_state(self, graph, source):
+        return {"count": 0}
+
+    def kernel_step(self, kernel, state, graph):
+        state["count"] += 1
+        return StepResult(
+            active_items=graph.n_nodes,
+            more_work=state["count"] < self.iterations,
+        )
+
+    def extract_result(self, state, graph):
+        return np.array([state["count"]], dtype=np.float64)
+
+
+class TestExecutor:
+    def test_fixpoint_runs_until_convergence(self, line_graph):
+        result = execute(CountingApp(iterations=5), line_graph)
+        assert result.state["count"] == 5
+        assert result.trace.n_fixpoint_iterations == 5
+        assert result.trace.converged
+
+    def test_nonconvergence_raises(self, line_graph):
+        class Forever(CountingApp):
+            def kernel_step(self, kernel, state, graph):
+                return StepResult(active_items=1, more_work=True)
+
+        with pytest.raises(ExecutionError):
+            execute(Forever(), line_graph, max_iterations=10)
+
+    def test_trace_records_every_launch(self, line_graph):
+        result = execute(CountingApp(iterations=4), line_graph)
+        assert result.trace.n_launches == 4
+        assert all(r.kernel == "tick" for r in result.trace.launches)
+        assert all(r.in_fixpoint for r in result.trace.launches)
+        assert [r.iteration for r in result.trace.launches] == [0, 1, 2, 3]
+
+    def test_checksum_recorded(self, line_graph):
+        result = execute(CountingApp(), line_graph)
+        assert result.trace.result_checksum == pytest.approx(3.0)
+
+    def test_real_app_trace_shape(self, small_road):
+        app = get_application("bfs-wl")
+        result = app.run(small_road)
+        trace = result.trace
+        # init launch outside the fixpoint, steps inside.
+        outside = [r for r in trace.launches if not r.in_fixpoint]
+        inside = [r for r in trace.launches if r.in_fixpoint]
+        assert len(outside) == 1
+        assert len(inside) == trace.n_fixpoint_iterations
+        assert trace.total_edges > 0
+        assert trace.total_pushes > 0
+
+
+class TestTraceSerialisation:
+    def test_roundtrip(self, small_road):
+        app = get_application("bfs-wl")
+        trace = app.run(small_road).trace
+        rebuilt = Trace.from_json(trace.to_json())
+        assert rebuilt.program == trace.program
+        assert rebuilt.n_launches == trace.n_launches
+        assert rebuilt.launches == trace.launches
+        assert rebuilt.result_checksum == trace.result_checksum
+
+    def test_launch_record_validation(self):
+        with pytest.raises(ValueError):
+            LaunchRecord(
+                kernel="k", iteration=0, in_fixpoint=True,
+                active_items=-1, expanded_items=0, edges=0,
+            )
+        with pytest.raises(ValueError):
+            LaunchRecord(
+                kernel="k", iteration=0, in_fixpoint=True,
+                active_items=0, expanded_items=0, edges=0, irregularity=2.0,
+            )
+
+    def test_summary_properties(self):
+        trace = Trace(program="p", graph="g")
+        trace.add(LaunchRecord("a", -1, False, 10, 5, 20, pushes=2))
+        trace.add(LaunchRecord("b", 0, True, 10, 5, 30, pushes=3))
+        trace.add(LaunchRecord("b", 1, True, 10, 5, 40, pushes=4))
+        assert trace.n_launches == 3
+        assert trace.n_fixpoint_iterations == 2
+        assert trace.total_edges == 90
+        assert trace.total_pushes == 9
+        assert len(list(trace.launches_of("b"))) == 2

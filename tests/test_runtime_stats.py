@@ -1,0 +1,96 @@
+"""Tests for workload-statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import CSRGraph
+from repro.runtime import (
+    access_irregularity,
+    frontier_degree_stats,
+    frontier_step_result,
+)
+from repro.runtime.stats import degree_histogram
+
+
+class TestDegreeHistogram:
+    def test_buckets_powers_of_two(self):
+        hist = degree_histogram(np.array([1, 2, 3, 4, 7, 8]))
+        # deg 1 -> bucket 0; 2,3 -> 1; 4,7 -> 2; 8 -> 3
+        assert hist == (1, 2, 2, 1)
+
+    def test_drops_zero_degrees(self):
+        assert degree_histogram(np.array([0, 0, 1])) == (1,)
+
+    def test_empty(self):
+        assert degree_histogram(np.array([], dtype=np.int64)) == ()
+        assert degree_histogram(np.array([0])) == ()
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+    def test_counts_preserved(self, degrees):
+        hist = degree_histogram(np.array(degrees, dtype=np.int64))
+        assert sum(hist) == sum(1 for d in degrees if d > 0)
+
+
+class TestIrregularity:
+    def test_sequential_access_is_low(self):
+        assert access_irregularity(np.arange(1000)) == pytest.approx(1 / 16, abs=0.01)
+
+    def test_scattered_access_is_high(self):
+        rng = np.random.default_rng(0)
+        dsts = rng.integers(0, 1_000_000, size=1000)
+        assert access_irregularity(dsts) > 0.9
+
+    def test_constant_access_is_zero(self):
+        assert access_irregularity(np.zeros(100, dtype=np.int64)) == 0.0
+
+    def test_degenerate_sizes(self):
+        assert access_irregularity(np.array([], dtype=np.int64)) == 0.0
+        assert 0.0 <= access_irregularity(np.array([5])) <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=100))
+    def test_bounded(self, dsts):
+        irr = access_irregularity(np.array(dsts, dtype=np.int64))
+        assert 0.0 <= irr <= 1.0
+
+
+class TestFrontierStats:
+    def test_degree_stats(self, star_graph):
+        mean, std, dmax, total = frontier_degree_stats(
+            star_graph, np.array([0, 1])
+        )
+        assert mean == pytest.approx(4.0)
+        assert dmax == 8
+        assert total == 8
+
+    def test_empty_frontier(self, star_graph):
+        assert frontier_degree_stats(star_graph, np.empty(0, dtype=np.int64)) == (
+            0.0,
+            0.0,
+            0,
+            0,
+        )
+
+    def test_step_result_consistency(self, star_graph):
+        res = frontier_step_result(
+            star_graph,
+            np.array([0]),
+            destinations=star_graph.neighbors(0),
+            pushes=3,
+            more_work=True,
+        )
+        assert res.active_items == 1
+        assert res.expanded_items == 1
+        assert res.edges == 8
+        assert res.deg_max == 8
+        assert sum(res.deg_hist) == 1
+        assert res.pushes == 3
+        assert res.more_work
+
+    def test_topology_driven_active_items(self, star_graph):
+        res = frontier_step_result(
+            star_graph, np.array([0]), active_items=star_graph.n_nodes
+        )
+        assert res.active_items == 9
+        assert res.expanded_items == 1

@@ -1,0 +1,118 @@
+"""Tests for the performance dataset."""
+
+import pytest
+
+from repro.compiler import BASELINE, OptConfig
+from repro.errors import DatasetError
+from repro.study import PerfDataset, TestCase
+
+
+@pytest.fixture
+def dataset():
+    ds = PerfDataset()
+    cfg_a = OptConfig(sg=True)
+    cfg_b = OptConfig(fg=8)
+    for chip in ("C1", "C2"):
+        for app in ("a1", "a2"):
+            base_time = 100.0 if chip == "C1" else 200.0
+            ds.add(TestCase(app, "g1", chip), BASELINE, [base_time] * 3)
+            ds.add(TestCase(app, "g1", chip), cfg_a, [base_time * 0.5] * 3)
+            ds.add(TestCase(app, "g1", chip), cfg_b, [base_time * 2.0] * 3)
+    return ds
+
+
+class TestPopulation:
+    def test_axes(self, dataset):
+        assert dataset.apps == ["a1", "a2"]
+        assert dataset.graphs == ["g1"]
+        assert dataset.chips == ["C1", "C2"]
+        assert len(dataset) == 4
+        assert dataset.n_measurements == 12
+
+    def test_rejects_empty_times(self):
+        ds = PerfDataset()
+        with pytest.raises(DatasetError):
+            ds.add(TestCase("a", "g", "c"), BASELINE, [])
+
+    def test_rejects_non_positive_times(self):
+        ds = PerfDataset()
+        with pytest.raises(DatasetError):
+            ds.add(TestCase("a", "g", "c"), BASELINE, [1.0, -2.0])
+
+    def test_overwrite_replaces(self, dataset):
+        test = TestCase("a1", "g1", "C1")
+        dataset.add(test, BASELINE, [7.0, 7.0, 7.0])
+        assert dataset.median(test, BASELINE) == 7.0
+        assert dataset.n_measurements == 12
+
+
+class TestQueries:
+    def test_times_and_median(self, dataset):
+        test = TestCase("a1", "g1", "C1")
+        assert dataset.times(test, BASELINE) == (100.0, 100.0, 100.0)
+        assert dataset.median(test, OptConfig(sg=True)) == 50.0
+
+    def test_missing_measurement(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.times(TestCase("zz", "g1", "C1"), BASELINE)
+        with pytest.raises(DatasetError):
+            dataset.times(TestCase("a1", "g1", "C1"), OptConfig(wg=True))
+
+    def test_has(self, dataset):
+        assert dataset.has(TestCase("a1", "g1", "C1"), BASELINE)
+        assert not dataset.has(TestCase("a1", "g1", "C1"), OptConfig(wg=True))
+
+    def test_best_config(self, dataset):
+        best = dataset.best_config(TestCase("a1", "g1", "C1"))
+        assert best == OptConfig(sg=True)
+
+    def test_best_config_restricted(self, dataset):
+        best = dataset.best_config(
+            TestCase("a1", "g1", "C1"), configs=[BASELINE, OptConfig(fg=8)]
+        )
+        assert best == BASELINE
+
+    def test_tests_where(self, dataset):
+        assert len(dataset.tests_where(chip="C1")) == 2
+        assert len(dataset.tests_where(app="a1")) == 2
+        assert len(dataset.tests_where(app="a1", chip="C2")) == 1
+        assert dataset.tests_where(graph="nope") == []
+
+    def test_subset(self, dataset):
+        sub = dataset.subset(dataset.tests_where(chip="C1"))
+        assert sub.chips == ["C1"]
+        assert sub.n_measurements == 6
+
+    def test_iter_measurements(self, dataset):
+        seen = list(dataset.iter_measurements())
+        assert len(seen) == 12
+        test, config, times = seen[0]
+        assert isinstance(test, TestCase)
+        assert isinstance(config, OptConfig)
+        assert len(times) == 3
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, dataset, tmp_path):
+        path = str(tmp_path / "ds.json")
+        dataset.save(path)
+        loaded = PerfDataset.load(path)
+        assert loaded.n_measurements == dataset.n_measurements
+        test = TestCase("a2", "g1", "C2")
+        assert loaded.times(test, OptConfig(sg=True)) == dataset.times(
+            test, OptConfig(sg=True)
+        )
+
+    def test_gzip_roundtrip(self, dataset, tmp_path):
+        path = str(tmp_path / "ds.json.gz")
+        dataset.save(path)
+        loaded = PerfDataset.load(path)
+        assert loaded.n_measurements == dataset.n_measurements
+
+    def test_config_keys_survive_roundtrip(self, dataset, tmp_path):
+        path = str(tmp_path / "ds.json")
+        dataset.save(path)
+        loaded = PerfDataset.load(path)
+        assert {c.key() for c in loaded.configs} == {
+            c.key() for c in dataset.configs
+        }

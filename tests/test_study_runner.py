@@ -1,0 +1,99 @@
+"""Tests for the study sweep runner (uses the mini study fixture)."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.compiler import BASELINE, OptConfig
+from repro.study import StudyConfig, TestCase, collect_traces, run_study
+
+
+class TestMiniStudy:
+    def test_factorial_coverage(self, mini_dataset, mini_study_config):
+        cfg = mini_study_config
+        expected_tests = len(cfg.apps) * len(cfg.inputs) * len(cfg.chips)
+        assert len(mini_dataset) == expected_tests
+        assert mini_dataset.n_measurements == expected_tests * len(cfg.configs)
+
+    def test_three_repetitions(self, mini_dataset):
+        for test, config, times in mini_dataset.iter_measurements():
+            assert len(times) == 3
+            assert all(t > 0 for t in times)
+
+    def test_axes_populated(self, mini_dataset):
+        assert set(mini_dataset.chips) == {"GTX1080", "R9", "MALI"}
+        assert set(mini_dataset.apps) == {"bfs-wl", "sssp-nf", "pr-topo"}
+        assert set(mini_dataset.graphs) == {"tiny-road", "tiny-rmat"}
+
+    def test_deterministic(self, mini_dataset, mini_study_config):
+        again = run_study(mini_study_config)
+        test = TestCase("bfs-wl", "tiny-road", "R9")
+        for config in (BASELINE, OptConfig(sg=True, fg=8)):
+            assert again.times(test, config) == mini_dataset.times(test, config)
+
+    def test_progress_callback_invoked(self, mini_study_config):
+        messages = []
+        collect_traces(mini_study_config, progress=messages.append)
+        assert len(messages) == 6  # 3 apps x 2 inputs
+        assert all("tracing" in m for m in messages)
+
+
+class TestStudyConfig:
+    def test_defaults_match_paper_scope(self):
+        cfg = StudyConfig()
+        assert len(cfg.apps) == 17
+        assert len(cfg.inputs) == 3
+        assert len(cfg.chips) == 6
+        assert len(cfg.configs) == 96
+        assert cfg.repetitions == 3
+
+    def test_weighted_apps_skipped_on_unweighted_input(self):
+        from repro.graphs import CSRGraph
+        from repro.graphs.inputs import StudyInput
+
+        unweighted = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        cfg = StudyConfig(
+            apps=[get_application("sssp-nf"), get_application("bfs-wl")],
+            inputs={
+                "uw": StudyInput(
+                    name="uw",
+                    input_class="random",
+                    description="unweighted",
+                    _builder=lambda: unweighted,
+                )
+            },
+            chips=[get_chip("R9")],
+            configs=[BASELINE],
+        )
+        traces = collect_traces(cfg)
+        assert ("bfs-wl", "uw") in traces
+        assert ("sssp-nf", "uw") not in traces
+
+
+class TestPlausiblePhysics:
+    """Sanity constraints tying the dataset to the chip models."""
+
+    def test_mali_slowest_chip(self, mini_dataset):
+        test_fast = TestCase("bfs-wl", "tiny-road", "GTX1080")
+        test_slow = TestCase("bfs-wl", "tiny-road", "MALI")
+        assert mini_dataset.median(test_slow, BASELINE) > mini_dataset.median(
+            test_fast, BASELINE
+        )
+
+    def test_oitergb_helps_mali_road(self, mini_dataset):
+        test = TestCase("sssp-nf", "tiny-road", "MALI")
+        base = mini_dataset.median(test, BASELINE)
+        outlined = mini_dataset.median(test, OptConfig(oitergb=True))
+        assert outlined < base
+
+    def test_oitergb_hurts_nvidia_road(self, mini_dataset):
+        test = TestCase("sssp-nf", "tiny-road", "GTX1080")
+        base = mini_dataset.median(test, BASELINE)
+        outlined = mini_dataset.median(test, OptConfig(oitergb=True))
+        assert outlined > base
+
+    def test_fg8_helps_rmat(self, mini_dataset):
+        test = TestCase("bfs-wl", "tiny-rmat", "GTX1080")
+        base = mini_dataset.median(test, BASELINE)
+        fg8 = mini_dataset.median(test, OptConfig(fg=8))
+        assert fg8 < base

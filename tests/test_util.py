@@ -1,0 +1,89 @@
+"""Tests for the shared numeric helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import expand_segments, geomean, stable_hash
+
+
+class TestExpandSegments:
+    def test_single_segment(self):
+        out = expand_segments(np.array([3]), np.array([4]))
+        assert out.tolist() == [3, 4, 5, 6]
+
+    def test_multiple_segments(self):
+        out = expand_segments(np.array([0, 10]), np.array([2, 3]))
+        assert out.tolist() == [0, 1, 10, 11, 12]
+
+    def test_empty_counts(self):
+        out = expand_segments(np.array([5, 7]), np.array([0, 0]))
+        assert out.size == 0
+
+    def test_mixed_empty_segments(self):
+        out = expand_segments(np.array([5, 100, 7]), np.array([1, 0, 2]))
+        assert out.tolist() == [5, 7, 8]
+
+    def test_no_segments(self):
+        out = expand_segments(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert out.size == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=30,
+        )
+    )
+    def test_matches_python_loop(self, segments):
+        starts = np.array([s for s, _ in segments], dtype=np.int64)
+        counts = np.array([c for _, c in segments], dtype=np.int64)
+        expected = [s + i for s, c in segments for i in range(c)]
+        assert expand_segments(starts, counts).tolist() == expected
+
+
+class TestGeomean:
+    def test_identity_on_empty(self):
+        assert geomean([]) == 1.0
+
+    def test_single_value(self):
+        assert geomean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([-1.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    def test_bounded_by_min_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=10))
+    def test_scale_invariance(self, values):
+        g1 = geomean(values)
+        g2 = geomean([v * 2.0 for v in values])
+        assert g2 == pytest.approx(2.0 * g1, rel=1e-9)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_distinguishes_parts(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_nonnegative_63bit(self):
+        for parts in [("x",), ("y", 123), ("z", "w", 9.9)]:
+            h = stable_hash(*parts)
+            assert 0 <= h < (1 << 63)
