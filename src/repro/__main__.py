@@ -2,8 +2,11 @@
 
 Subcommands:
 
-* ``study OUTPUT [--scale S] [--repetitions N]`` — run the full study
-  and save the dataset (delegates to :mod:`repro.study.runner`);
+* ``study OUTPUT [--scale S] [--repetitions N] [--jobs N] [--engine E]``
+  — run the full study and save the dataset (delegates to
+  :mod:`repro.study.runner`; ``--jobs`` shards the pricing sweep over
+  worker processes, ``--engine`` picks the vectorized ``batch`` path or
+  the ``scalar`` reference — both produce the identical dataset);
 * ``report [EXPERIMENT ...]`` — regenerate paper tables/figures
   (delegates to :mod:`repro.experiments.report`);
 * ``validate`` — run every application against its oracle on small
@@ -19,7 +22,8 @@ __all__ = ["main"]
 _USAGE = """usage: python -m repro <command> [args]
 
 commands:
-  study OUTPUT [--scale S] [--repetitions N]   run the full study
+  study OUTPUT [--scale S] [--repetitions N] [--jobs N] [--engine E]
+                                               run the full study
   report [EXPERIMENT ...]                      regenerate tables/figures
   validate                                     oracle-check all applications
 """

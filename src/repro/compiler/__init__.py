@@ -9,7 +9,7 @@ from .options import (
     disable_opt,
     enumerate_configs,
 )
-from .pipeline import compile_program
+from .pipeline import PlanCache, compile_cached, compile_program, plan_cache
 from .plan import ExecutablePlan, KernelPlan
 
 __all__ = [
@@ -20,7 +20,10 @@ __all__ = [
     "describe_optimisation",
     "disable_opt",
     "enumerate_configs",
+    "PlanCache",
+    "compile_cached",
     "compile_program",
+    "plan_cache",
     "ExecutablePlan",
     "KernelPlan",
 ]

@@ -10,7 +10,8 @@ discover a safe global-barrier occupancy).
 
 from __future__ import annotations
 
-from typing import Dict
+from collections import OrderedDict
+from typing import Dict, Tuple
 
 from ..chips.model import ChipModel
 from ..dsl.ast import Program
@@ -23,7 +24,7 @@ from .passes.nested_parallelism import apply_nested_parallelism
 from .passes.workgroup_size import apply_workgroup_size
 from .plan import ExecutablePlan, KernelPlan
 
-__all__ = ["compile_program"]
+__all__ = ["PlanCache", "compile_cached", "compile_program", "plan_cache"]
 
 
 def compile_program(
@@ -61,3 +62,64 @@ def compile_program(
     )
     plan = apply_iteration_outlining(plan, chip, config)
     return plan
+
+
+class PlanCache:
+    """LRU of compiled plans keyed by (program, chip, configuration).
+
+    A study sweep compiles every program once per (chip, configuration)
+    point; the plan depends only on that triple, so hoisting the
+    compilation behind a cache removes it from the sweep's inner loop.
+    Keys use ``program.name`` / ``chip.short_name`` /
+    ``config.key()`` — the cached program object is re-verified by
+    identity on hit, so two distinct programs sharing a name can never
+    alias.  Only successful compilations are cached; illegal
+    configurations raise afresh on every call.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._plans: "OrderedDict[Tuple[str, str, str], Tuple[Program, ExecutablePlan]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self, program: Program, chip: ChipModel, config: OptConfig
+    ) -> ExecutablePlan:
+        key = (program.name, chip.short_name, config.key())
+        entry = self._plans.get(key)
+        if entry is not None and entry[0] is program:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return entry[1]
+        self.misses += 1
+        plan = compile_program(program, chip, config)
+        self._plans[key] = (program, plan)
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+        return plan
+
+
+#: Process-wide cache used by the study sweep (each worker process of a
+#: parallel sweep gets its own copy on fork).
+plan_cache = PlanCache()
+
+
+def compile_cached(
+    program: Program, chip: ChipModel, config: OptConfig
+) -> ExecutablePlan:
+    """:func:`compile_program` through the process-wide :data:`plan_cache`."""
+    return plan_cache.get(program, chip, config)

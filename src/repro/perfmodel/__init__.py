@@ -5,10 +5,18 @@ load imbalance (:mod:`.imbalance`), memory divergence
 (:mod:`.divergence`), atomic RMW throughput with cooperative/JIT
 combining (:mod:`.atomics`), host-side overheads and the portable
 global barrier (:mod:`.launch`), per-launch composition (:mod:`.cost`)
-and the deterministic noise model (:mod:`.noise`).
+and the deterministic noise model (:mod:`.noise`).  The vectorized
+batch engine (:mod:`.batch`) prices all launches of a trace at once,
+bit-identical to the scalar path.
 """
 
 from .atomics import achieved_combine_factor, atomic_time_us
+from .batch import (
+    BatchLaunchCosts,
+    estimate_runtime_us_batch,
+    measure_repeats_us_batch,
+    price_trace_batch,
+)
 from .cost import LaunchCost, kernel_time_us, launch_cost
 from .divergence import divergence_factor, workgroup_pressure
 from .imbalance import (
@@ -19,12 +27,22 @@ from .imbalance import (
     partition_work,
 )
 from .launch import global_barrier_us, host_overhead_us
-from .noise import measurement_rng, noisy_measurement_us
+from .noise import (
+    measurement_prefix,
+    measurement_rng,
+    measurement_seeds,
+    noise_from_seed,
+    noisy_measurement_us,
+)
 from .simulate import estimate_runtime_us, measure_repeats_us, measure_us
 
 __all__ = [
     "achieved_combine_factor",
     "atomic_time_us",
+    "BatchLaunchCosts",
+    "estimate_runtime_us_batch",
+    "measure_repeats_us_batch",
+    "price_trace_batch",
     "LaunchCost",
     "kernel_time_us",
     "launch_cost",
@@ -37,7 +55,10 @@ __all__ = [
     "partition_work",
     "global_barrier_us",
     "host_overhead_us",
+    "measurement_prefix",
     "measurement_rng",
+    "measurement_seeds",
+    "noise_from_seed",
     "noisy_measurement_us",
     "estimate_runtime_us",
     "measure_repeats_us",

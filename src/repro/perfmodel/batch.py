@@ -1,0 +1,479 @@
+"""Vectorized batch-pricing engine: all launches of a trace at once.
+
+The scalar model (:mod:`.cost`, :mod:`.simulate`) walks one
+:class:`~repro.runtime.trace.LaunchRecord` at a time through Python
+arithmetic; a study sweep prices every trace under hundreds of (chip,
+configuration) plans, so that walk is the dominant cost of the
+data-collection phase.  This module prices *all* launch records of a
+trace in whole-array NumPy operations over the structure-of-arrays
+:class:`~repro.runtime.trace.TraceArrays` view (built once per trace,
+cached on it).
+
+Bit-identical by construction: every expression below mirrors the
+scalar model's operation order (floating-point addition is not
+associative, so the order matters), accumulations over degree buckets
+run in the same bucket order, and reductions over the bucket axis see
+exactly the scalar operand lengths because launches are grouped by
+(kernel, histogram width) and never padded.  The total of a trace is
+accumulated launch-by-launch in trace order, exactly like
+:func:`~repro.perfmodel.simulate.estimate_runtime_us`.  The scalar
+path remains the reference oracle; the golden equivalence tests
+(``tests/test_perfmodel_batch.py``) assert exact float equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..chips.model import ChipModel
+from ..compiler.plan import ExecutablePlan, KernelPlan
+from ..errors import ExecutionError
+from ..runtime.trace import Trace, TraceArrays, TraceGroup
+from .atomics import _JIT_COMBINE_EFFICIENCY, _SW_COMBINE_EFFICIENCY
+from .cost import (
+    _BARRIER_SIZE_EXP,
+    _FG_EDGE_FACTOR,
+    _IMBALANCE_CAP,
+    _IMBALANCE_COUPLING,
+    _KERNEL_FIXED_US,
+    _NP_INSPECTOR_UNITS_PER_ITEM,
+    _NP_INSPECTOR_UNITS_PER_SCAN,
+    _SCAN_UNITS_PER_ITEM,
+    _SG_EDGE_FACTOR,
+    _WG_EDGE_FACTOR,
+)
+from .divergence import workgroup_pressure
+from .imbalance import bucket_degree
+from .launch import _FIXED_COPIES, global_barrier_us
+from .noise import measurement_seeds, noise_from_seed
+
+__all__ = [
+    "BatchLaunchCosts",
+    "estimate_runtime_us_batch",
+    "measure_repeats_us_batch",
+    "price_trace_batch",
+]
+
+
+@dataclass(frozen=True)
+class BatchLaunchCosts:
+    """Cost breakdown of every launch of a trace (microseconds).
+
+    Arrays are aligned with ``Trace.launches`` order; ``total_us[i]``
+    equals ``launch_cost(plan, kplan, trace.launches[i]).total_us``
+    exactly.
+    """
+
+    scan_us: np.ndarray
+    edge_us: np.ndarray
+    barrier_us: np.ndarray
+    local_us: np.ndarray
+    atomic_us: np.ndarray
+    fixed_us: float
+    total_us: np.ndarray
+
+
+def _combine_factor_batch(
+    sg_size: int,
+    contended: np.ndarray,
+    expanded: np.ndarray,
+    efficiency: float,
+) -> np.ndarray:
+    """Vector form of :func:`~repro.perfmodel.atomics.achieved_combine_factor`."""
+    if sg_size <= 1:
+        return np.ones(contended.shape[0], dtype=np.float64)
+    efficiency = efficiency * (16.0 / sg_size) ** 0.28
+    per_sg = sg_size * contended / np.maximum(1, expanded)
+    achieved = np.maximum(
+        1.0, np.minimum(sg_size * efficiency, per_sg * efficiency)
+    )
+    return np.where(contended == 0, 1.0, achieved)
+
+
+def _imbalance_factor_batch(
+    serial_counts: np.ndarray, degrees: np.ndarray, group_size: int
+) -> np.ndarray:
+    """Vector form of :func:`~repro.perfmodel.imbalance.imbalance_factor`.
+
+    ``serial_counts`` holds one residual histogram per row; rows are
+    reduced over the bucket axis, which NumPy evaluates with the same
+    pairwise summation as the scalar 1-D reductions of equal length.
+    """
+    n = serial_counts.shape[0]
+    if group_size <= 1 or serial_counts.shape[1] == 0:
+        return np.ones(n, dtype=np.float64)
+    total = serial_counts.sum(axis=1)
+    weighted = (serial_counts * degrees).sum(axis=1)
+    safe_total = np.where(total == 0.0, 1.0, total)
+    mean = weighted / safe_total
+    safe_mean = np.where(mean == 0.0, 1.0, mean)
+    cdf = np.cumsum(serial_counts, axis=1) / safe_total[:, None]
+    cdf_prev = np.concatenate(
+        [np.zeros((n, 1), dtype=np.float64), cdf[:, :-1]], axis=1
+    )
+    weights = cdf ** group_size - cdf_prev ** group_size
+    emax = (weights * degrees).sum(axis=1)
+    raw = np.maximum(1.0, emax / safe_mean)
+    return np.where((total == 0.0) | (mean == 0.0), 1.0, raw)
+
+
+def _partition_batch(group: TraceGroup, kplan: KernelPlan, degrees: np.ndarray):
+    """Vector form of :func:`~repro.perfmodel.imbalance.partition_work`.
+
+    The branch a bucket takes depends only on its representative degree
+    and the plan, never on the record — so each bucket column is
+    processed with one vector operation per record, accumulated in the
+    scalar model's bucket order.
+    """
+    counts = group.deg_hist
+    n = counts.shape[0]
+    serial = counts.copy()
+    sg_e = np.zeros(n, dtype=np.float64)
+    wg_e = np.zeros(n, dtype=np.float64)
+    fg_e = np.zeros(n, dtype=np.float64)
+    n_sg = np.zeros(n, dtype=np.float64)
+    n_wg = np.zeros(n, dtype=np.float64)
+
+    for b in range(group.width):
+        d = degrees[b]
+        c = counts[:, b]
+        edges_b = c * d
+        if kplan.wg_scheme and d >= kplan.wg_threshold:
+            waste = np.ceil(d / kplan.wg_size) * kplan.wg_size / d
+            wg_e = wg_e + edges_b * waste
+            n_wg = n_wg + c
+            serial[:, b] = 0.0
+        elif kplan.sg_scheme and kplan.sg_size > 1 and d >= kplan.sg_threshold:
+            waste = np.ceil(d / kplan.sg_size) * kplan.sg_size / d
+            sg_e = sg_e + edges_b * waste
+            n_sg = n_sg + c
+            serial[:, b] = 0.0
+        elif kplan.fg_edges is not None:
+            fg_e = fg_e + edges_b
+            serial[:, b] = 0.0
+
+    serial_edges = (serial * degrees).sum(axis=1)
+    return serial, serial_edges, sg_e, wg_e, fg_e, n_sg, n_wg
+
+
+def _geometry_scan(
+    plan: ExecutablePlan, kplan: KernelPlan, group: TraceGroup, np_active: bool
+):
+    """Launch geometry, achievable throughput and outer-loop scan cost."""
+    chip: ChipModel = plan.chip
+    wg_size = kplan.wg_size
+    active = group.active_items
+    expanded = group.expanded_items
+    edges = group.edges
+
+    from_items = np.maximum(1, np.ceil(active / wg_size).astype(np.int64))
+    if plan.outlined:
+        launched = np.where(
+            group.in_fixpoint, max(1, plan.outlined_workgroups), from_items
+        )
+    else:
+        launched = from_items
+
+    work_width = np.maximum(active, expanded).astype(np.float64)
+    if kplan.fg_edges is not None:
+        widened = np.maximum(work_width, edges / kplan.fg_edges)
+        work_width = np.where(edges > 0, widened, work_width)
+
+    resident = chip.occupancy(wg_size, kplan.local_mem_bytes)
+    concurrent = np.maximum(1, np.minimum(resident, launched))
+    live_threads = np.minimum(concurrent * wg_size, np.maximum(1.0, work_width))
+    occupancy_frac = np.minimum(
+        1.0, live_threads / (chip.n_cus * chip.threads_for_peak)
+    )
+    latency_hiding = 1.0 if resident / chip.n_cus >= 2 else 0.8
+    throughput = np.maximum(
+        1e-9, chip.peak_edges_per_us * occupancy_frac * latency_hiding
+    )
+
+    scan_units = active * _SCAN_UNITS_PER_ITEM * chip.node_cost_factor
+    if np_active:
+        scan_units = scan_units + (
+            active * _NP_INSPECTOR_UNITS_PER_SCAN
+            + expanded * _NP_INSPECTOR_UNITS_PER_ITEM
+        )
+    scan_us = scan_units / throughput
+    return throughput, concurrent, scan_us
+
+
+def _edge_units(kplan: KernelPlan, group: TraceGroup, has_loop: bool):
+    """Scheme-partitioned inner-loop work, imbalance-inflated."""
+    n = group.n
+    wg_size = kplan.wg_size
+    if has_loop and group.width > 0:
+        degrees = np.array([bucket_degree(b) for b in range(group.width)])
+        serial, serial_edges, sg_e, wg_e, fg_e, n_sg, n_wg = _partition_batch(
+            group, kplan, degrees
+        )
+        raw = _imbalance_factor_batch(serial, degrees, kplan.sg_size)
+        serial_units = serial_edges * np.minimum(
+            _IMBALANCE_CAP, 1.0 + (raw - 1.0) * _IMBALANCE_COUPLING
+        )
+        fg_factor = _FG_EDGE_FACTOR.get(kplan.fg_edges or 0, 1.0)
+        edge_units = (
+            serial_units
+            + sg_e * _SG_EDGE_FACTOR
+            + wg_e * _WG_EDGE_FACTOR
+            + fg_e * fg_factor
+        )
+        if kplan.fg_edges:
+            fg_rounds = fg_e / (wg_size * kplan.fg_edges)
+        else:
+            fg_rounds = np.zeros(n, dtype=np.float64)
+    else:
+        edge_units = group.edges.astype(np.float64)
+        n_sg = n_wg = fg_rounds = np.zeros(n, dtype=np.float64)
+    return edge_units, fg_rounds, n_sg, n_wg
+
+
+def _divergence(chip: ChipModel, kplan: KernelPlan, group: TraceGroup):
+    """Per-launch memory-divergence multiplier."""
+    penalty = (
+        chip.divergence_sensitivity
+        * np.minimum(1.0, group.irregularity)
+        * workgroup_pressure(kplan.wg_size)
+    )
+    if kplan.inserts_inner_barriers:
+        penalty = penalty * (1.0 - chip.barrier_divergence_relief)
+    return np.where(group.irregularity <= 0.0, 1.0, 1.0 + penalty)
+
+
+def _barrier_events(
+    kplan: KernelPlan,
+    group: TraceGroup,
+    has_loop: bool,
+    fg_rounds: np.ndarray,
+    n_sg: np.ndarray,
+    n_wg: np.ndarray,
+):
+    """Workgroup/subgroup barrier event counts per launch."""
+    n = group.n
+    outer_chunks = group.expanded_items / kplan.wg_size  # 0.0 where X == 0
+    wg_events = 2.0 * fg_rounds
+    sg_events = np.zeros(n, dtype=np.float64)
+    if has_loop and kplan.wg_scheme:
+        wg_events = wg_events + (2.0 * n_wg + 2.0 * outer_chunks)
+    if has_loop and kplan.sg_scheme:
+        wg_events = wg_events + 1.0 * outer_chunks
+        sg_events = sg_events + 2.0 * n_sg
+    if kplan.coop_scope is not None:
+        needs_combine = (group.pushes > 0) | (group.contended_rmws > 0)
+        sg_events = sg_events + np.where(needs_combine, 2.0 * outer_chunks, 0.0)
+    return wg_events, sg_events
+
+
+def _atomic_us(chip: ChipModel, kplan: KernelPlan, group: TraceGroup):
+    """Per-launch atomic RMW cost."""
+    n = group.n
+    expanded = group.expanded_items
+    atomic_ns = chip.effective_atomic_rmw_ns()
+    contended = group.pushes + group.contended_rmws
+    if chip.jit_coop_cv:
+        factor = _combine_factor_batch(
+            chip.sg_size, contended, expanded, _JIT_COMBINE_EFFICIENCY
+        )
+    else:
+        factor = np.ones(n, dtype=np.float64)
+    if kplan.coop_scope is not None:
+        sw_factor = _combine_factor_batch(
+            kplan.sg_size, contended, expanded, _SW_COMBINE_EFFICIENCY
+        )
+        factor = np.maximum(factor, sw_factor)
+        orchestration_us = (
+            contended * chip.local_traffic_ns / 1000.0 / max(1, 2 * chip.n_cus)
+        )
+    else:
+        orchestration_us = np.zeros(n, dtype=np.float64)
+    contended_us = contended / factor * atomic_ns / 1000.0
+    uncontended_us = (
+        group.uncontended_rmws * atomic_ns / 1000.0 / max(1, 4 * chip.n_cus)
+    )
+    return contended_us + uncontended_us + orchestration_us
+
+
+def _group_costs(plan: ExecutablePlan, kplan: KernelPlan, group: TraceGroup):
+    """Cost components of every launch in one (kernel, width) group.
+
+    Intermediates are memoised on the group keyed by exactly the plan
+    facts they depend on: the 96 study configurations share most of
+    those facts, so e.g. the scheme partition is computed once per
+    distinct (schemes, thresholds, sizes) combination and the atomics
+    once per (chip, coop scope) — identical inputs, identical floats.
+    """
+    chip: ChipModel = plan.chip
+    wg_size = kplan.wg_size
+    has_loop = kplan.kernel.has_neighbor_loop
+    np_active = has_loop and (
+        kplan.wg_scheme or kplan.sg_scheme or kplan.fg_edges is not None
+    )
+
+    geom_key = (
+        "geom",
+        chip.short_name,
+        plan.outlined,
+        plan.outlined_workgroups,
+        wg_size,
+        kplan.fg_edges,
+        kplan.local_mem_bytes,
+        np_active,
+    )
+    throughput, concurrent, scan_us = group.memo(
+        geom_key, lambda: _geometry_scan(plan, kplan, group, np_active)
+    )
+
+    part_key = (
+        "edge",
+        has_loop,
+        kplan.wg_scheme,
+        kplan.wg_threshold,
+        kplan.sg_scheme,
+        kplan.sg_threshold,
+        kplan.sg_size,
+        kplan.fg_edges,
+        wg_size,
+    )
+    edge_units, fg_rounds, n_sg, n_wg = group.memo(
+        part_key, lambda: _edge_units(kplan, group, has_loop)
+    )
+
+    div = group.memo(
+        ("div", chip.short_name, wg_size, kplan.inserts_inner_barriers),
+        lambda: _divergence(chip, kplan, group),
+    )
+    edge_us = (
+        edge_units * div * (1.0 + kplan.predication_overhead) / throughput
+    )
+
+    wg_events, sg_events = group.memo(
+        ("events", part_key, kplan.coop_scope is not None),
+        lambda: _barrier_events(kplan, group, has_loop, fg_rounds, n_sg, n_wg),
+    )
+    size_scale = (wg_size / 128.0) ** _BARRIER_SIZE_EXP
+    barrier_us = (
+        wg_events * chip.wg_barrier_ns * size_scale
+        + sg_events * chip.effective_sg_barrier_ns()
+    ) / 1000.0 / concurrent
+
+    local_us = fg_rounds * wg_size * chip.local_traffic_ns / 1000.0 / concurrent
+
+    atomic_us = group.memo(
+        ("atomic", chip.short_name, kplan.coop_scope, kplan.sg_size),
+        lambda: _atomic_us(chip, kplan, group),
+    )
+
+    return scan_us, edge_us, barrier_us, local_us, atomic_us
+
+
+def _as_arrays(trace: Union[Trace, TraceArrays]) -> TraceArrays:
+    if isinstance(trace, TraceArrays):
+        return trace
+    return trace.arrays()
+
+
+def price_trace_batch(
+    plan: ExecutablePlan, trace: Union[Trace, TraceArrays]
+) -> BatchLaunchCosts:
+    """Cost every launch record of a trace in whole-array NumPy ops."""
+    arrays = _as_arrays(trace)
+    n = arrays.n_launches
+    scan = np.zeros(n, dtype=np.float64)
+    edge = np.zeros(n, dtype=np.float64)
+    barrier = np.zeros(n, dtype=np.float64)
+    local = np.zeros(n, dtype=np.float64)
+    atomic = np.zeros(n, dtype=np.float64)
+    for group in arrays.groups:
+        kplan = plan.kernel_plan(group.kernel)
+        s, e, b, l, a = _group_costs(plan, kplan, group)
+        idx = group.indices
+        scan[idx] = s
+        edge[idx] = e
+        barrier[idx] = b
+        local[idx] = l
+        atomic[idx] = a
+    # Same left-associated chain as LaunchCost.total_us.
+    total = scan + edge + barrier + local + atomic + _KERNEL_FIXED_US
+    return BatchLaunchCosts(
+        scan_us=scan,
+        edge_us=edge,
+        barrier_us=barrier,
+        local_us=local,
+        atomic_us=atomic,
+        fixed_us=_KERNEL_FIXED_US,
+        total_us=total,
+    )
+
+
+def _host_overhead_us(plan: ExecutablePlan, arrays: TraceArrays) -> float:
+    """:func:`~repro.perfmodel.launch.host_overhead_us` from cached counts."""
+    chip = plan.chip
+    outside = arrays.n_outside_fixpoint
+    inside = arrays.n_inside_fixpoint
+    iterations = arrays.n_fixpoint_iterations
+
+    total = _FIXED_COPIES * chip.copy_overhead_us
+    if plan.outlined and inside:
+        total += (outside + 1) * chip.launch_overhead_us
+        total += iterations * global_barrier_us(chip, plan.outlined_workgroups)
+    else:
+        total += (outside + inside) * chip.launch_overhead_us
+        total += iterations * chip.copy_overhead_us
+    return total
+
+
+def estimate_runtime_us_batch(
+    plan: ExecutablePlan, trace: Union[Trace, TraceArrays]
+) -> float:
+    """Batch equivalent of :func:`~repro.perfmodel.simulate.estimate_runtime_us`."""
+    arrays = _as_arrays(trace)
+    if arrays.program != plan.program.name:
+        raise ExecutionError(
+            f"trace is for program {arrays.program!r} but plan compiles "
+            f"{plan.program.name!r}"
+        )
+    costs = price_trace_batch(plan, arrays)
+    # Accumulate in trace order: bit-identical to the scalar loop.
+    total = _host_overhead_us(plan, arrays)
+    for launch_us in costs.total_us.tolist():
+        total += launch_us
+    return total
+
+
+def measure_repeats_us_batch(
+    plan: ExecutablePlan,
+    trace: Union[Trace, TraceArrays],
+    repetitions: int = 3,
+    true_us: Optional[float] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[float]:
+    """Batch equivalent of :func:`~repro.perfmodel.simulate.measure_repeats_us`.
+
+    ``seeds`` (one per repetition, from
+    :func:`~repro.perfmodel.noise.measurement_seeds`) lets a sweep
+    derive all (configuration × repetition) seeds up front instead of
+    re-hashing per call.
+    """
+    if repetitions < 1:
+        raise ValueError("at least one repetition is required")
+    arrays = _as_arrays(trace)
+    if true_us is None:
+        true_us = estimate_runtime_us_batch(plan, arrays)
+    if seeds is None:
+        seeds = measurement_seeds(
+            plan.chip,
+            arrays.program,
+            arrays.graph,
+            plan.config.key(),
+            repetitions,
+        )
+    elif len(seeds) != repetitions:
+        raise ValueError(
+            f"{len(seeds)} seeds provided for {repetitions} repetitions"
+        )
+    return [noise_from_seed(true_us, plan.chip, seed) for seed in seeds]

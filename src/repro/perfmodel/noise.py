@@ -10,17 +10,30 @@ timed via a calibration loop because OpenCL exposes no device timers,
 is by far the noisiest), plus a small additive timer-granularity term.
 
 All noise is deterministic given (chip, program, graph, configuration,
-repetition): re-running the study bit-reproduces the dataset.
+repetition): re-running the study bit-reproduces the dataset.  The
+seed of one measurement is ``stable_hash`` of that tuple; for batch
+sweeps the (chip, program, graph) prefix of the FNV-1a stream is
+hashed once (:func:`measurement_prefix`) and every (configuration,
+repetition) seed is derived from it (:func:`measurement_seeds`) —
+identical seeds, without re-hashing the prefix per call.
 """
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 import numpy as np
 
 from ..chips.model import ChipModel
-from ..util import stable_hash
+from ..util import fnv1a_extend, fnv1a_state, stable_hash
 
-__all__ = ["noisy_measurement_us", "measurement_rng"]
+__all__ = [
+    "measurement_prefix",
+    "measurement_rng",
+    "measurement_seeds",
+    "noise_from_seed",
+    "noisy_measurement_us",
+]
 
 #: Additive timer granularity / scheduling jitter bound (microseconds).
 _TIMER_JITTER_US = 1.5
@@ -34,6 +47,44 @@ def measurement_rng(
     return np.random.default_rng(seed)
 
 
+def measurement_prefix(chip: ChipModel, program: str, graph: str) -> int:
+    """FNV-1a state over the configuration-independent seed prefix."""
+    return fnv1a_state(chip.short_name, program, graph)
+
+
+def measurement_seeds(
+    chip: ChipModel,
+    program: str,
+    graph: str,
+    config_key: str,
+    repetitions: int,
+    prefix: Optional[int] = None,
+) -> List[int]:
+    """All repetition seeds of one (chip, program, graph, config) point.
+
+    Identical to ``[stable_hash(chip.short_name, program, graph,
+    config_key, rep) for rep in range(repetitions)]``, but the shared
+    prefix is hashed once (or passed in precomputed from
+    :func:`measurement_prefix`).
+    """
+    if prefix is None:
+        prefix = measurement_prefix(chip, program, graph)
+    return [fnv1a_extend(prefix, config_key, rep) for rep in range(repetitions)]
+
+
+def noise_from_seed(true_us: float, chip: ChipModel, seed: int) -> float:
+    """One simulated timing measurement drawn from an explicit seed."""
+    if true_us < 0:
+        raise ValueError("true runtime must be non-negative")
+    # Generator(PCG64(seed)) is default_rng(seed) without the seed-type
+    # dispatch — same PCG64 stream, measurably cheaper to construct,
+    # which matters at one generator per (config, repetition).
+    rng = np.random.Generator(np.random.PCG64(seed))
+    multiplicative = float(np.exp(rng.normal(0.0, chip.noise_sigma)))
+    jitter = float(rng.uniform(0.0, _TIMER_JITTER_US))
+    return true_us * multiplicative + jitter
+
+
 def noisy_measurement_us(
     true_us: float,
     chip: ChipModel,
@@ -43,9 +94,5 @@ def noisy_measurement_us(
     rep: int,
 ) -> float:
     """One simulated timing measurement of a run with true cost ``true_us``."""
-    if true_us < 0:
-        raise ValueError("true runtime must be non-negative")
-    rng = measurement_rng(chip, program, graph, config_key, rep)
-    multiplicative = float(np.exp(rng.normal(0.0, chip.noise_sigma)))
-    jitter = float(rng.uniform(0.0, _TIMER_JITTER_US))
-    return true_us * multiplicative + jitter
+    seed = stable_hash(chip.short_name, program, graph, config_key, rep)
+    return noise_from_seed(true_us, chip, seed)

@@ -3,12 +3,19 @@
 The public entry points of the performance model: price a traced
 execution under a compiled plan (:func:`estimate_runtime_us`), or
 produce the study's three noisy repetitions
-(:func:`measure_repeats_us`).
+(:func:`measure_repeats_us`).  Both measurement helpers accept a
+precomputed ``true_us`` so call sites that already priced the (plan,
+trace) pair never re-price it; within :func:`measure_repeats_us` the
+estimate is always computed once and shared across repetitions.
+
+This is the scalar reference path; :mod:`repro.perfmodel.batch` is the
+vectorized engine, bit-identical by construction and verified against
+this module by the golden equivalence tests.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..compiler.plan import ExecutablePlan
 from ..errors import ExecutionError
@@ -34,9 +41,19 @@ def estimate_runtime_us(plan: ExecutablePlan, trace: Trace) -> float:
     return total
 
 
-def measure_us(plan: ExecutablePlan, trace: Trace, rep: int = 0) -> float:
-    """One simulated timing measurement (deterministic per ``rep``)."""
-    true_us = estimate_runtime_us(plan, trace)
+def measure_us(
+    plan: ExecutablePlan,
+    trace: Trace,
+    rep: int = 0,
+    true_us: Optional[float] = None,
+) -> float:
+    """One simulated timing measurement (deterministic per ``rep``).
+
+    Pass ``true_us`` (from a prior :func:`estimate_runtime_us` of the
+    same (plan, trace) pair) to avoid re-pricing the trace.
+    """
+    if true_us is None:
+        true_us = estimate_runtime_us(plan, trace)
     return noisy_measurement_us(
         true_us,
         plan.chip,
@@ -48,12 +65,21 @@ def measure_us(plan: ExecutablePlan, trace: Trace, rep: int = 0) -> float:
 
 
 def measure_repeats_us(
-    plan: ExecutablePlan, trace: Trace, repetitions: int = 3
+    plan: ExecutablePlan,
+    trace: Trace,
+    repetitions: int = 3,
+    true_us: Optional[float] = None,
 ) -> List[float]:
-    """The study's repeated timings (paper: three per test)."""
+    """The study's repeated timings (paper: three per test).
+
+    The noise-free estimate is computed once and shared across all
+    repetitions; pass ``true_us`` to reuse an estimate computed
+    elsewhere.
+    """
     if repetitions < 1:
         raise ValueError("at least one repetition is required")
-    true_us = estimate_runtime_us(plan, trace)
+    if true_us is None:
+        true_us = estimate_runtime_us(plan, trace)
     return [
         noisy_measurement_us(
             true_us,

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["LaunchRecord", "Trace"]
+import numpy as np
+
+__all__ = ["LaunchRecord", "Trace", "TraceArrays", "TraceGroup"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,19 @@ class Trace:
     def launches_of(self, kernel: str) -> Iterator[LaunchRecord]:
         return (r for r in self.launches if r.kernel == kernel)
 
+    def arrays(self) -> "TraceArrays":
+        """Structure-of-arrays view of the launches, cached on the trace.
+
+        The conversion is paid once; every subsequent (chip,
+        configuration) batch pricing reuses it.  The cache is
+        invalidated when launches are appended.
+        """
+        cached = getattr(self, "_arrays_cache", None)
+        if cached is None or cached.n_launches != len(self.launches):
+            cached = TraceArrays.from_trace(self)
+            self._arrays_cache = cached
+        return cached
+
     # -- (de)serialisation ----------------------------------------------
 
     def to_dict(self) -> Dict:
@@ -117,3 +132,127 @@ class Trace:
     @classmethod
     def from_json(cls, text: str) -> "Trace":
         return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class TraceGroup:
+    """Launches of one kernel sharing one degree-histogram width.
+
+    Grouping by (kernel, width) serves two purposes: every launch in a
+    group is priced under the same :class:`~repro.compiler.plan.KernelPlan`,
+    and the degree histograms stack into one rectangular array without
+    padding — reductions over the bucket axis therefore see exactly the
+    same operand lengths as the scalar model, which keeps the batch
+    path bit-identical (padding with zeros would change NumPy's
+    pairwise summation trees).
+    """
+
+    kernel: str
+    width: int  # number of degree-histogram buckets
+    indices: np.ndarray  # positions in Trace.launches (int64)
+    active_items: np.ndarray  # int64
+    expanded_items: np.ndarray  # int64
+    edges: np.ndarray  # int64
+    pushes: np.ndarray  # int64
+    contended_rmws: np.ndarray  # int64
+    uncontended_rmws: np.ndarray  # int64
+    irregularity: np.ndarray  # float64
+    in_fixpoint: np.ndarray  # bool
+    deg_hist: np.ndarray  # float64, shape (n, width), C-contiguous
+
+    #: Memo for plan-keyed intermediate cost arrays.  Many of the 96
+    #: study configurations share cost-structure facts (same schemes,
+    #: same workgroup size, …); pricing caches those intermediates here
+    #: keyed by the facts they depend on, so they are computed once per
+    #: distinct key and reused bit-identically.  Not part of equality
+    #: or serialisation.
+    _cache: Dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def n(self) -> int:
+        return int(self.indices.size)
+
+    def memo(self, key, builder):
+        """Return the cached value for ``key``, building it on miss."""
+        value = self._cache.get(key)
+        if value is None:
+            value = builder()
+            self._cache[key] = value
+        return value
+
+    def __getstate__(self):
+        # Drop the memo when pickling (e.g. shipping traces to sweep
+        # workers): entries are plan-derived and cheap to rebuild.
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
+
+@dataclass(frozen=True)
+class TraceArrays:
+    """Structure-of-arrays form of a :class:`Trace` for batch pricing.
+
+    One-time conversion of the launch records into NumPy arrays (see
+    :meth:`Trace.arrays` for the cached accessor), plus the host-side
+    launch counts the overhead model needs.
+    """
+
+    program: str
+    graph: str
+    n_launches: int
+    groups: Tuple[TraceGroup, ...]
+    n_outside_fixpoint: int
+    n_inside_fixpoint: int
+    n_fixpoint_iterations: int
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceArrays":
+        by_shape: Dict[Tuple[str, int], List[int]] = {}
+        for i, rec in enumerate(trace.launches):
+            by_shape.setdefault((rec.kernel, len(rec.deg_hist)), []).append(i)
+
+        groups = []
+        for (kernel, width), idxs in by_shape.items():
+            recs = [trace.launches[i] for i in idxs]
+            hist = np.array(
+                [r.deg_hist for r in recs], dtype=np.float64
+            ).reshape(len(recs), width)
+            groups.append(
+                TraceGroup(
+                    kernel=kernel,
+                    width=width,
+                    indices=np.asarray(idxs, dtype=np.int64),
+                    active_items=np.array(
+                        [r.active_items for r in recs], dtype=np.int64
+                    ),
+                    expanded_items=np.array(
+                        [r.expanded_items for r in recs], dtype=np.int64
+                    ),
+                    edges=np.array([r.edges for r in recs], dtype=np.int64),
+                    pushes=np.array([r.pushes for r in recs], dtype=np.int64),
+                    contended_rmws=np.array(
+                        [r.contended_rmws for r in recs], dtype=np.int64
+                    ),
+                    uncontended_rmws=np.array(
+                        [r.uncontended_rmws for r in recs], dtype=np.int64
+                    ),
+                    irregularity=np.array(
+                        [r.irregularity for r in recs], dtype=np.float64
+                    ),
+                    in_fixpoint=np.array(
+                        [r.in_fixpoint for r in recs], dtype=bool
+                    ),
+                    deg_hist=np.ascontiguousarray(hist),
+                )
+            )
+
+        inside = sum(1 for r in trace.launches if r.in_fixpoint)
+        return cls(
+            program=trace.program,
+            graph=trace.graph,
+            n_launches=len(trace.launches),
+            groups=tuple(groups),
+            n_outside_fixpoint=len(trace.launches) - inside,
+            n_inside_fixpoint=inside,
+            n_fixpoint_iterations=trace.n_fixpoint_iterations,
+        )

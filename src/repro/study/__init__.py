@@ -1,6 +1,16 @@
 """Study harness: full-factorial sweep runner and performance dataset."""
 
 from .dataset import PerfDataset, TestCase
-from .runner import StudyConfig, collect_traces, run_study
+from .progress import PhaseTimer, format_duration
+from .runner import ENGINES, StudyConfig, collect_traces, run_study
 
-__all__ = ["PerfDataset", "TestCase", "StudyConfig", "collect_traces", "run_study"]
+__all__ = [
+    "ENGINES",
+    "PerfDataset",
+    "TestCase",
+    "PhaseTimer",
+    "format_duration",
+    "StudyConfig",
+    "collect_traces",
+    "run_study",
+]

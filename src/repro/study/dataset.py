@@ -65,6 +65,47 @@ class PerfDataset:
         self._configs.setdefault(key, config)
         self._tests.setdefault(test, None)
 
+    def update(self, other: "PerfDataset") -> None:
+        """Merge ``other``'s measurements into this dataset.
+
+        Used to combine the partial datasets of a sharded (parallel)
+        sweep.  A (test, configuration) present in both datasets must
+        carry identical timings — anything else means two shards priced
+        the same point differently, which a deterministic sweep can
+        never do — otherwise :class:`~repro.errors.DatasetError` is
+        raised.
+        """
+        for (test, key), times in other._times.items():
+            existing = self._times.get((test, key))
+            if existing is not None and existing != times:
+                config = other._configs[key]
+                raise DatasetError(
+                    f"conflicting timings for {test} [{config.label()}]: "
+                    f"{existing} vs {times}"
+                )
+            self._times[(test, key)] = times
+            self._configs.setdefault(key, other._configs[key])
+            self._tests.setdefault(test, None)
+
+    @classmethod
+    def merged(cls, parts: Iterable["PerfDataset"]) -> "PerfDataset":
+        """One dataset from the partial datasets of a sharded sweep."""
+        ds = cls()
+        for part in parts:
+            ds.update(part)
+        return ds
+
+    def __eq__(self, other: object) -> bool:
+        """Datasets are equal iff they hold the same timing table.
+
+        Insertion order is deliberately ignored: a parallel sweep may
+        merge shards in a different order than the serial sweep visits
+        points, but the measurements themselves must match exactly.
+        """
+        if not isinstance(other, PerfDataset):
+            return NotImplemented
+        return self._times == other._times
+
     # -- axes ---------------------------------------------------------------
 
     @property

@@ -1,0 +1,77 @@
+"""Per-phase progress timing for long study sweeps.
+
+The full study traces 51 (application, input) pairs and prices
+~29 000 (test, configuration) points; a sweep on laptop hardware runs
+for minutes.  :class:`PhaseTimer` decorates the runner's progress
+messages with phase-relative counters, elapsed time and a simple
+rate-based ETA, so the CLI's stderr reporter (and any user-supplied
+callback) can show where a sweep is without the runner knowing how the
+messages are displayed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["PhaseTimer", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human-readable duration: ``0.4s``, ``12.3s``, ``2m05s``."""
+    if seconds < 0:
+        seconds = 0.0
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    return f"{minutes}m{secs:02d}s"
+
+
+class PhaseTimer:
+    """Decorates progress messages with per-phase counters and ETA.
+
+    A phase is opened with :meth:`start` (optionally with a known total
+    number of steps), annotated with :meth:`note`, advanced with
+    :meth:`tick` and closed with :meth:`finish`.  All output goes
+    through the ``emit`` callback; a ``None`` callback silences the
+    timer without changing the caller's control flow.
+    """
+
+    def __init__(self, emit: Optional[Callable[[str], None]]) -> None:
+        self._emit = emit
+        self._phase: Optional[str] = None
+        self._started = 0.0
+        self._done = 0
+        self._total: Optional[int] = None
+
+    def start(self, phase: str, total: Optional[int] = None) -> None:
+        """Open a phase of ``total`` steps (``None`` when unknown)."""
+        self._phase = phase
+        self._started = time.perf_counter()
+        self._done = 0
+        self._total = total
+
+    def tick(self, steps: int = 1) -> None:
+        """Advance the phase counter without emitting anything."""
+        self._done += steps
+
+    def note(self, message: str) -> None:
+        """Emit ``message`` decorated with progress, elapsed and ETA."""
+        if self._emit is None:
+            return
+        elapsed = time.perf_counter() - self._started
+        parts = []
+        if self._total:
+            parts.append(f"{self._done}/{self._total}")
+        parts.append(f"elapsed {format_duration(elapsed)}")
+        if self._total and 0 < self._done < self._total:
+            eta = elapsed / self._done * (self._total - self._done)
+            parts.append(f"eta {format_duration(eta)}")
+        self._emit(f"{message} [{', '.join(parts)}]")
+
+    def finish(self, message: str) -> None:
+        """Close the phase, emitting ``message`` with the phase's time."""
+        if self._emit is not None:
+            elapsed = time.perf_counter() - self._started
+            self._emit(f"{message} in {format_duration(elapsed)}")
+        self._phase = None

@@ -7,29 +7,49 @@ full factorial — 17 applications × 3 inputs × 6 chips × 96
 configurations × 3 repetitions — matches the paper's experimental
 scope.
 
+Two pricing engines produce bit-identical datasets: the scalar
+reference path (:mod:`repro.perfmodel.simulate`, one launch record at
+a time) and the vectorized batch engine
+(:mod:`repro.perfmodel.batch`, all launches of a trace in whole-array
+NumPy ops with plan-keyed intermediate reuse).  The sweep can further
+be sharded over worker processes (``jobs``): the chip × configuration
+grid is split into tasks, each worker prices its share against the
+same traces, and the partial datasets merge into the same table as a
+serial run.
+
 Everything is deterministic: graph generation, functional execution
-and the noise model are all seeded, so two invocations produce
-identical datasets.
+and the noise model are all seeded — each measurement's seed depends
+only on (chip, program, graph, configuration, repetition) — so two
+invocations produce identical datasets regardless of engine or job
+count.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..apps.base import Application
 from ..apps.registry import all_applications
 from ..chips.database import all_chips
 from ..chips.model import ChipModel
 from ..compiler.options import OptConfig, enumerate_configs
-from ..compiler.pipeline import compile_program
+from ..compiler.pipeline import compile_cached
+from ..dsl.ast import Program
 from ..graphs.inputs import StudyInput, study_inputs
+from ..perfmodel.batch import estimate_runtime_us_batch, measure_repeats_us_batch
+from ..perfmodel.noise import measurement_prefix, measurement_seeds
 from ..perfmodel.simulate import measure_repeats_us
 from ..runtime.trace import Trace
 from .dataset import PerfDataset, TestCase
+from .progress import PhaseTimer
 
-__all__ = ["run_study", "collect_traces", "StudyConfig"]
+__all__ = ["ENGINES", "run_study", "collect_traces", "StudyConfig"]
+
+#: Pricing engines: the vectorized default and the scalar reference.
+ENGINES = ("batch", "scalar")
 
 
 class StudyConfig:
@@ -59,12 +79,23 @@ class StudyConfig:
 def collect_traces(
     config: StudyConfig, progress: Optional[Callable[[str], None]] = None
 ) -> Dict[tuple, Trace]:
-    """Phase 1: run every (application, input) pair functionally."""
+    """Phase 1: run every (application, input) pair functionally.
+
+    Pairs that cannot run — a weight-requiring application on an
+    unweighted graph — are skipped, and each skip is reported through
+    ``progress`` so a sweep's log accounts for every pair of the
+    factorial.
+    """
     traces: Dict[tuple, Trace] = {}
     for inp in config.inputs.values():
         graph = inp.graph
         for app in config.apps:
             if app.requires_weights and not graph.has_weights:
+                if progress:
+                    progress(
+                        f"skipping {app.name} on {inp.name}: requires edge "
+                        f"weights but graph is unweighted"
+                    )
                 continue
             if progress:
                 progress(f"tracing {app.name} on {inp.name}")
@@ -73,32 +104,196 @@ def collect_traces(
     return traces
 
 
-def run_study(
-    config: Optional[StudyConfig] = None,
-    progress: Optional[Callable[[str], None]] = None,
-) -> PerfDataset:
-    """Run the full study and return the performance dataset."""
-    if config is None:
-        config = StudyConfig()
-    traces = collect_traces(config, progress)
+def _measure_point(
+    plan, trace: Trace, repetitions: int, engine: str, prefix: Optional[int]
+) -> List[float]:
+    """Price one (plan, trace) point with the selected engine."""
+    if engine == "scalar":
+        return measure_repeats_us(plan, trace, repetitions)
+    true_us = estimate_runtime_us_batch(plan, trace.arrays())
+    seeds = measurement_seeds(
+        plan.chip,
+        trace.program,
+        trace.graph,
+        plan.config.key(),
+        repetitions,
+        prefix=prefix,
+    )
+    return measure_repeats_us_batch(
+        plan, trace, repetitions, true_us=true_us, seeds=seeds
+    )
 
+
+# -- parallel sweep workers --------------------------------------------------
+#
+# Tasks are (chip index, configuration index) cells of the pricing
+# grid.  Worker state is installed once per process by the pool
+# initializer rather than shipped with every task; a StudyConfig is
+# never pickled (its StudyInput builders are closures).
+
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _init_worker(
+    programs: Dict[str, Program],
+    traces: Dict[tuple, Trace],
+    chips: List[ChipModel],
+    configs: List[OptConfig],
+    repetitions: int,
+    engine: str,
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (programs, traces, chips, configs, repetitions, engine)
+
+
+def _price_cell(task: Tuple[int, int]):
+    """Price every trace under one (chip, configuration) grid cell."""
+    chip_idx, cfg_idx = task
+    programs, traces, chips, configs, repetitions, engine = _WORKER_STATE
+    chip, opt = chips[chip_idx], configs[cfg_idx]
+    prefixes: Dict[tuple, int] = {}
+    rows = []
+    for (app_name, input_name), trace in traces.items():
+        plan = compile_cached(programs[app_name], chip, opt)
+        prefix = None
+        if engine == "batch":
+            pkey = (trace.program, trace.graph)
+            prefix = prefixes.get(pkey)
+            if prefix is None:
+                prefix = measurement_prefix(chip, trace.program, trace.graph)
+                prefixes[pkey] = prefix
+        times = _measure_point(plan, trace, repetitions, engine, prefix)
+        rows.append((app_name, input_name, times))
+    return chip_idx, cfg_idx, rows
+
+
+def _run_serial(
+    config: StudyConfig,
+    traces: Dict[tuple, Trace],
+    programs: Dict[str, Program],
+    engine: str,
+    timer: PhaseTimer,
+) -> PerfDataset:
     dataset = PerfDataset()
-    programs = {app.name: app.program() for app in config.apps}
     for chip in config.chips:
-        if progress:
-            progress(f"pricing on {chip.short_name}")
+        timer.note(f"pricing on {chip.short_name}")
+        prefixes: Dict[tuple, int] = {}
+        if engine == "batch":
+            for trace in traces.values():
+                key = (trace.program, trace.graph)
+                if key not in prefixes:
+                    prefixes[key] = measurement_prefix(
+                        chip, trace.program, trace.graph
+                    )
         for opt in config.configs:
-            plans = {
-                name: compile_program(program, chip, opt)
-                for name, program in programs.items()
-            }
             for (app_name, input_name), trace in traces.items():
-                times = measure_repeats_us(
-                    plans[app_name], trace, config.repetitions
+                plan = compile_cached(programs[app_name], chip, opt)
+                times = _measure_point(
+                    plan,
+                    trace,
+                    config.repetitions,
+                    engine,
+                    prefixes.get((trace.program, trace.graph)),
                 )
                 dataset.add(
                     TestCase(app_name, input_name, chip.short_name), opt, times
                 )
+        timer.tick()
+    return dataset
+
+
+def _run_parallel(
+    config: StudyConfig,
+    traces: Dict[tuple, Trace],
+    programs: Dict[str, Program],
+    engine: str,
+    jobs: int,
+    timer: PhaseTimer,
+) -> PerfDataset:
+    tasks = [
+        (chip_idx, cfg_idx)
+        for chip_idx in range(len(config.chips))
+        for cfg_idx in range(len(config.configs))
+    ]
+    dataset = PerfDataset()
+    current_chip = -1
+    initargs = (
+        programs,
+        traces,
+        config.chips,
+        config.configs,
+        config.repetitions,
+        engine,
+    )
+    chunksize = max(1, len(tasks) // (jobs * 8))
+    with multiprocessing.Pool(
+        jobs, initializer=_init_worker, initargs=initargs
+    ) as pool:
+        # imap preserves task order, so the merged dataset's insertion
+        # order matches the serial sweep's chip -> config -> test order.
+        for chip_idx, cfg_idx, rows in pool.imap(
+            _price_cell, tasks, chunksize=chunksize
+        ):
+            if chip_idx != current_chip:
+                if current_chip >= 0:
+                    timer.tick()
+                timer.note(f"pricing on {config.chips[chip_idx].short_name}")
+                current_chip = chip_idx
+            chip = config.chips[chip_idx]
+            opt = config.configs[cfg_idx]
+            for app_name, input_name, times in rows:
+                dataset.add(
+                    TestCase(app_name, input_name, chip.short_name), opt, times
+                )
+    if current_chip >= 0:
+        timer.tick()
+    return dataset
+
+
+def run_study(
+    config: Optional[StudyConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    *,
+    jobs: int = 1,
+    engine: str = "batch",
+    traces: Optional[Dict[tuple, Trace]] = None,
+) -> PerfDataset:
+    """Run the full study and return the performance dataset.
+
+    ``engine`` selects the pricing path (``"batch"``, the vectorized
+    default, or ``"scalar"``, the reference) and ``jobs`` the number of
+    worker processes sharding the chip × configuration grid; every
+    combination produces the identical dataset.  Precollected
+    ``traces`` (from :func:`collect_traces`) skip phase 1.
+    """
+    if config is None:
+        config = StudyConfig()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if jobs < 1:
+        raise ValueError("jobs must be positive")
+
+    timer = PhaseTimer(progress)
+    if traces is None:
+        timer.start("tracing", total=len(config.apps) * len(config.inputs))
+
+        def _note_trace(message: str) -> None:
+            timer.note(message)
+            timer.tick()
+
+        traces = collect_traces(config, _note_trace if progress else None)
+        timer.finish(f"collected {len(traces)} traces")
+
+    programs = {app.name: app.program() for app in config.apps}
+    timer.start("pricing", total=len(config.chips))
+    if jobs == 1:
+        dataset = _run_serial(config, traces, programs, engine, timer)
+    else:
+        dataset = _run_parallel(config, traces, programs, engine, jobs, timer)
+    timer.finish(
+        f"priced {dataset.n_measurements} measurements "
+        f"({len(dataset)} tests, engine={engine}, jobs={jobs})"
+    )
     return dataset
 
 
@@ -114,12 +309,26 @@ def main() -> None:  # pragma: no cover - CLI entry point
     parser.add_argument("output", help="path for the dataset JSON (.gz ok)")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the pricing sweep (default: 1)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="batch",
+        help="pricing engine (default: batch; scalar is the reference path)",
+    )
     args = parser.parse_args()
 
     started = time.time()
     dataset = run_study(
         StudyConfig(scale=args.scale, repetitions=args.repetitions),
         progress=_stderr_progress,
+        jobs=args.jobs,
+        engine=args.engine,
     )
     dataset.save(args.output)
     print(

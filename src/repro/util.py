@@ -6,7 +6,13 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["expand_segments", "geomean", "stable_hash"]
+__all__ = [
+    "expand_segments",
+    "fnv1a_extend",
+    "fnv1a_state",
+    "geomean",
+    "stable_hash",
+]
 
 
 def expand_segments(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -40,6 +46,38 @@ def geomean(values: Iterable[float]) -> float:
     return float(np.exp(np.log(arr).mean()))
 
 
+_FNV_OFFSET = 14695981039346656037
+_FNV_PRIME = 1099511628211
+_MASK64 = (1 << 64) - 1
+_MASK63 = (1 << 63) - 1
+
+
+def fnv1a_state(*parts: object) -> int:
+    """Raw (unmasked) FNV-1a state after hashing the joined parts.
+
+    The state can be extended with more parts via :func:`fnv1a_extend`;
+    splitting a :func:`stable_hash` computation this way lets a fixed
+    prefix (e.g. chip/program/graph) be hashed once and reused for many
+    suffixes (e.g. configuration × repetition seeds).
+    """
+    h = _FNV_OFFSET
+    for ch in "\x1f".join(str(p) for p in parts).encode("utf-8"):
+        h = ((h ^ ch) * _FNV_PRIME) & _MASK64
+    return h
+
+
+def fnv1a_extend(state: int, *parts: object) -> int:
+    """Finish a :func:`fnv1a_state` prefix with more parts.
+
+    ``fnv1a_extend(fnv1a_state(*a), *b) == stable_hash(*a, *b)`` for
+    any non-empty ``a`` and ``b``.
+    """
+    h = state
+    for ch in ("\x1f" + "\x1f".join(str(p) for p in parts)).encode("utf-8"):
+        h = ((h ^ ch) * _FNV_PRIME) & _MASK64
+    return h & _MASK63
+
+
 def stable_hash(*parts: object) -> int:
     """A deterministic 63-bit hash of string-convertible parts.
 
@@ -47,9 +85,4 @@ def stable_hash(*parts: object) -> int:
     must be reproducible across runs, so we use FNV-1a over the joined
     string representation.
     """
-    h = np.uint64(14695981039346656037)
-    prime = np.uint64(1099511628211)
-    with np.errstate(over="ignore"):
-        for ch in "\x1f".join(str(p) for p in parts).encode("utf-8"):
-            h = (h ^ np.uint64(ch)) * prime
-    return int(h & np.uint64((1 << 63) - 1))
+    return fnv1a_state(*parts) & _MASK63

@@ -1,0 +1,202 @@
+"""Golden equivalence tests: the batch engine vs. the scalar oracle.
+
+The vectorized pricing path must be *bit-identical* to the scalar
+reference — every comparison here is exact float equality, never
+approximate.  The scalar path (:mod:`repro.perfmodel.simulate` /
+:mod:`repro.perfmodel.cost`) stays the oracle; any future change that
+breaks these tests is a change to the model, not an allowed
+"tolerance" of the batch engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.compiler import compile_program, enumerate_configs
+from repro.errors import ExecutionError
+from repro.graphs import rmat_graph, road_network
+from repro.perfmodel import (
+    estimate_runtime_us,
+    estimate_runtime_us_batch,
+    launch_cost,
+    measure_repeats_us,
+    measure_repeats_us_batch,
+    measurement_prefix,
+    measurement_seeds,
+    noise_from_seed,
+    noisy_measurement_us,
+    price_trace_batch,
+)
+from repro.runtime.trace import TraceArrays
+from repro.util import fnv1a_extend, fnv1a_state, stable_hash
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    """(app, trace) pairs covering worklist, frontier and topology apps."""
+    road = road_network(14, 14, seed=11, name="eq-road")
+    rmat = rmat_graph(8, edge_factor=8, seed=11, name="eq-rmat")
+    pairs = []
+    for app_name in ("bfs-wl", "sssp-nf", "pr-topo"):
+        app = get_application(app_name)
+        for graph in (road, rmat):
+            pairs.append((app, app.run(graph, source=0).trace))
+    return pairs
+
+
+class TestTraceArrays:
+    def test_cached_on_trace(self, traced_runs):
+        _, trace = traced_runs[0]
+        assert trace.arrays() is trace.arrays()
+
+    def test_cache_invalidated_by_append(self, traced_runs):
+        _, trace = traced_runs[0]
+        first = trace.arrays()
+        record = trace.launches[-1]
+        trace.add(record)
+        try:
+            second = trace.arrays()
+            assert second is not first
+            assert second.n_launches == first.n_launches + 1
+        finally:
+            trace.launches.pop()
+            del trace._arrays_cache
+
+    def test_groups_partition_the_launches(self, traced_runs):
+        for _, trace in traced_runs:
+            arrays = trace.arrays()
+            seen = np.concatenate([g.indices for g in arrays.groups])
+            assert sorted(seen.tolist()) == list(range(trace.n_launches))
+            for group in arrays.groups:
+                assert group.deg_hist.shape == (group.n, group.width)
+                assert group.deg_hist.flags["C_CONTIGUOUS"]
+
+    def test_summary_counts_match_trace(self, traced_runs):
+        for _, trace in traced_runs:
+            arrays = trace.arrays()
+            inside = sum(1 for r in trace.launches if r.in_fixpoint)
+            assert arrays.n_inside_fixpoint == inside
+            assert arrays.n_outside_fixpoint == trace.n_launches - inside
+            assert arrays.n_fixpoint_iterations == trace.n_fixpoint_iterations
+
+
+class TestSeedScheme:
+    """The FNV-1a prefix/extend split must reproduce stable_hash."""
+
+    def test_split_equals_stable_hash(self):
+        assert (
+            fnv1a_extend(fnv1a_state("a", "b"), "c", 2)
+            == stable_hash("a", "b", "c", 2)
+        )
+
+    def test_measurement_seeds_match_scalar_hash(self):
+        chip = get_chip("MALI")
+        prefix = measurement_prefix(chip, "bfs-wl", "eq-road")
+        seeds = measurement_seeds(
+            chip, "bfs-wl", "eq-road", "sg+fg8", 3, prefix=prefix
+        )
+        assert seeds == [
+            stable_hash(chip.short_name, "bfs-wl", "eq-road", "sg+fg8", rep)
+            for rep in range(3)
+        ]
+
+    def test_noise_from_seed_matches_noisy_measurement(self):
+        chip = get_chip("GTX1080")
+        seed = stable_hash(chip.short_name, "p", "g", "baseline", 1)
+        assert noise_from_seed(123.5, chip, seed) == noisy_measurement_us(
+            123.5, chip, "p", "g", "baseline", 1
+        )
+
+
+class TestGoldenEquivalence:
+    """Exact equality of the batch engine against the scalar oracle."""
+
+    CHIPS = ("GTX1080", "R9", "MALI", "M4000", "HD5500", "IRIS")
+
+    def _plans(self, app, chips, configs):
+        program = app.program()
+        return [
+            compile_program(program, get_chip(c), cfg)
+            for c in chips
+            for cfg in configs
+        ]
+
+    def test_per_launch_components_identical(self, traced_runs):
+        configs = enumerate_configs()[::7]  # a spread of the 96
+        for app, trace in traced_runs:
+            arrays = trace.arrays()
+            for plan in self._plans(app, self.CHIPS[:3], configs):
+                costs = price_trace_batch(plan, arrays)
+                for i, record in enumerate(trace.launches):
+                    kplan = plan.kernel_plan(record.kernel)
+                    scalar = launch_cost(plan, kplan, record)
+                    assert costs.scan_us[i] == scalar.scan_us
+                    assert costs.edge_us[i] == scalar.edge_us
+                    assert costs.barrier_us[i] == scalar.barrier_us
+                    assert costs.local_us[i] == scalar.local_us
+                    assert costs.atomic_us[i] == scalar.atomic_us
+                    assert costs.total_us[i] == scalar.total_us
+
+    def test_estimates_identical_all_configs(self, traced_runs):
+        for app, trace in traced_runs:
+            for plan in self._plans(app, self.CHIPS, enumerate_configs()[::5]):
+                assert estimate_runtime_us_batch(
+                    plan, trace.arrays()
+                ) == estimate_runtime_us(plan, trace)
+
+    def test_measurements_identical(self, traced_runs):
+        for app, trace in traced_runs:
+            for plan in self._plans(app, self.CHIPS[:3], enumerate_configs()[::9]):
+                chip = plan.chip
+                prefix = measurement_prefix(chip, trace.program, trace.graph)
+                seeds = measurement_seeds(
+                    chip, trace.program, trace.graph, plan.config.key(), 3,
+                    prefix=prefix,
+                )
+                assert measure_repeats_us_batch(
+                    plan, trace, 3, seeds=seeds
+                ) == measure_repeats_us(plan, trace, 3)
+
+    def test_program_mismatch_raises(self, traced_runs):
+        app, _ = traced_runs[0]
+        _, other_trace = traced_runs[-1]
+        plan = self._plans(app, ("R9",), enumerate_configs()[:1])[0]
+        with pytest.raises(ExecutionError):
+            estimate_runtime_us_batch(plan, other_trace.arrays())
+
+    def test_seed_count_mismatch_raises(self, traced_runs):
+        app, trace = traced_runs[0]
+        plan = self._plans(app, ("R9",), enumerate_configs()[:1])[0]
+        with pytest.raises(ValueError):
+            measure_repeats_us_batch(plan, trace, 3, seeds=[1, 2])
+
+    def test_precomputed_true_us_shared(self, traced_runs):
+        """Satellite: the estimate is priced once and reused verbatim."""
+        app, trace = traced_runs[0]
+        plan = self._plans(app, ("MALI",), enumerate_configs()[:1])[0]
+        true_us = estimate_runtime_us(plan, trace)
+        assert measure_repeats_us(
+            plan, trace, 3, true_us=true_us
+        ) == measure_repeats_us(plan, trace, 3)
+
+
+class TestGroupMemo:
+    def test_memo_reuses_intermediates(self, traced_runs):
+        _, trace = traced_runs[0]
+        arrays = TraceArrays.from_trace(trace)
+        group = arrays.groups[0]
+        calls = []
+        a = group.memo("k", lambda: calls.append(1) or np.ones(3))
+        b = group.memo("k", lambda: calls.append(1) or np.ones(3))
+        assert a is b and calls == [1]
+
+    def test_memo_dropped_on_pickle(self, traced_runs):
+        import pickle
+
+        _, trace = traced_runs[0]
+        group = TraceArrays.from_trace(trace).groups[0]
+        group.memo("k", lambda: np.ones(3))
+        clone = pickle.loads(pickle.dumps(group))
+        assert clone._cache == {}
+        assert np.array_equal(clone.edges, group.edges)

@@ -92,6 +92,53 @@ class TestQueries:
         assert len(times) == 3
 
 
+class TestMerging:
+    """Merging partial datasets of a sharded sweep."""
+
+    def _part(self, chip, value=100.0):
+        ds = PerfDataset()
+        ds.add(TestCase("a1", "g1", chip), BASELINE, [value] * 3)
+        ds.add(TestCase("a1", "g1", chip), OptConfig(sg=True), [value / 2] * 3)
+        return ds
+
+    def test_update_disjoint(self):
+        ds = self._part("C1")
+        ds.update(self._part("C2", 200.0))
+        assert ds.chips == ["C1", "C2"]
+        assert ds.n_measurements == 4
+        assert ds.times(TestCase("a1", "g1", "C2"), BASELINE) == (200.0,) * 3
+
+    def test_update_identical_overlap_ok(self):
+        ds = self._part("C1")
+        ds.update(self._part("C1"))
+        assert ds.n_measurements == 2
+
+    def test_update_conflicting_overlap_raises(self):
+        ds = self._part("C1")
+        with pytest.raises(DatasetError):
+            ds.update(self._part("C1", 999.0))
+
+    def test_merged_classmethod(self):
+        merged = PerfDataset.merged(
+            [self._part("C1"), self._part("C2", 200.0), self._part("C3", 300.0)]
+        )
+        assert merged.chips == ["C1", "C2", "C3"]
+        assert merged.n_measurements == 6
+
+    def test_equality_ignores_insertion_order(self):
+        a = PerfDataset.merged([self._part("C1"), self._part("C2", 200.0)])
+        b = PerfDataset.merged([self._part("C2", 200.0), self._part("C1")])
+        assert a == b
+        assert a.tests != b.tests  # order differs, table does not
+
+    def test_equality_detects_differences(self, dataset):
+        other = PerfDataset.merged([dataset])
+        assert other == dataset
+        other.add(TestCase("a1", "g1", "C1"), BASELINE, [1.0, 1.0, 1.0])
+        assert other != dataset
+        assert dataset != object()
+
+
 class TestPersistence:
     def test_json_roundtrip(self, dataset, tmp_path):
         path = str(tmp_path / "ds.json")
