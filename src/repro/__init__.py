@@ -29,6 +29,7 @@ from .apps import all_applications, get_application
 from .chips import CHIPS, all_chips, get_chip
 from .compiler import BASELINE, OptConfig, compile_program, enumerate_configs
 from .core import Analysis, build_strategies
+from .faults import FaultPlan
 from .graphs import CSRGraph, get_input, study_inputs
 from .study import PerfDataset, StudyConfig, TestCase, run_study
 
@@ -47,6 +48,7 @@ __all__ = [
     "Analysis",
     "build_strategies",
     "CSRGraph",
+    "FaultPlan",
     "get_input",
     "study_inputs",
     "PerfDataset",

@@ -2,11 +2,15 @@
 
 Subcommands:
 
-* ``study OUTPUT [--scale S] [--repetitions N] [--jobs N] [--engine E]``
+* ``study OUTPUT [--scale S] [--repetitions N] [--jobs N] [--engine E]
+  [--resume] [--checkpoint DIR] [--no-checkpoint] [--retries N]``
   — run the full study and save the dataset (delegates to
   :mod:`repro.study.runner`; ``--jobs`` shards the pricing sweep over
   worker processes, ``--engine`` picks the vectorized ``batch`` path or
-  the ``scalar`` reference — both produce the identical dataset);
+  the ``scalar`` reference — both produce the identical dataset).
+  Completed shards are checkpointed to ``OUTPUT.ckpt`` as the sweep
+  runs; an interrupted run resumes with ``--resume``, skipping
+  already-priced shards;
 * ``report [EXPERIMENT ...]`` — regenerate paper tables/figures
   (delegates to :mod:`repro.experiments.report`);
 * ``validate`` — run every application against its oracle on small
@@ -23,7 +27,9 @@ _USAGE = """usage: python -m repro <command> [args]
 
 commands:
   study OUTPUT [--scale S] [--repetitions N] [--jobs N] [--engine E]
+               [--resume] [--checkpoint DIR] [--retries N]
                                                run the full study
+                                               (checkpointed; resumable)
   report [EXPERIMENT ...]                      regenerate tables/figures
   validate                                     oracle-check all applications
 """

@@ -56,7 +56,26 @@ class ChipError(ReproError):
 
 
 class DatasetError(ReproError):
-    """A performance dataset is missing required measurements."""
+    """A performance dataset is missing, malformed or inconsistent."""
+
+
+class CheckpointError(DatasetError):
+    """A study checkpoint cannot be resumed.
+
+    Raised when ``--resume`` finds a checkpoint directory whose
+    manifest fingerprint does not match the requested study — merging
+    shards priced under a different configuration, seed or engine would
+    silently corrupt the dataset, so stale checkpoints are rejected.
+    """
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected fault (testing only).
+
+    Raised by :class:`repro.faults.FaultPlan` at armed fault points to
+    drive the study pipeline's recovery paths deterministically.  Never
+    raised in production runs (a ``None`` fault plan injects nothing).
+    """
 
 
 class AnalysisError(ReproError):

@@ -1,0 +1,173 @@
+"""Deterministic fault injection for the study pipeline.
+
+The fault-tolerant sweep (:mod:`repro.study.runner`) has recovery
+paths — worker-death requeue, bounded retries, in-process fallback,
+checkpoint resume, corrupted-write detection — that only execute when
+something goes wrong.  :class:`FaultPlan` makes "something goes wrong"
+a deterministic, test-drivable event: faults are *armed* at named
+points and *fire* exactly as many times as they were armed, no matter
+how many processes race to trigger them.
+
+A plan is backed by a spool directory of token files; arming a fault
+creates tokens, firing one atomically consumes a token (``os.unlink``
+— only one process can win the race) before the fault acts.  The plan
+object itself holds nothing but the directory path, so it pickles
+cheaply into worker processes and can be handed to a subprocess via
+``python -m repro study --faults DIR``.
+
+Fault kinds:
+
+``crash``
+    Hard worker death (``os._exit``) — the process disappears without
+    unwinding, exactly like an OOM kill or segfault.
+``error``
+    Raises :class:`~repro.errors.InjectedFault` — an exception that
+    propagates out of the shard like any pricing bug would.
+``interrupt``
+    Raises :class:`KeyboardInterrupt` — models ``^C`` in the parent's
+    merge loop, the canonical way to kill a sweep partway.
+``slow``
+    Sleeps for the armed delay — a straggling shard.
+``corrupt``
+    Performs nothing itself; :meth:`FaultPlan.fire` returns ``True``
+    and the caller (``PerfDataset.save``) garbles its own write,
+    modelling a disk/filesystem failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Iterable, List, Optional, Tuple
+from urllib.parse import quote, unquote
+
+from .errors import InjectedFault
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "InjectedFault"]
+
+#: The fault vocabulary, in severity order.
+FAULT_KINDS = ("crash", "error", "interrupt", "slow", "corrupt")
+
+#: Exit status of a ``crash``-faulted worker (distinctive in waitpid logs).
+CRASH_EXIT_CODE = 86
+
+
+class FaultPlan:
+    """A spool directory of armed faults, fired at named points.
+
+    ``FaultPlan(directory)`` attaches to (and creates) the spool;
+    :meth:`arm` plants ``count`` tokens for a ``(kind, key)`` point and
+    :meth:`fire` consumes one and performs the fault.  A point with no
+    remaining tokens is a no-op, so production code can call ``fire``
+    unconditionally when handed a plan — and skips even that when the
+    plan is ``None``.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- token bookkeeping -------------------------------------------------
+
+    def _token_prefix(self, kind: str, key: str) -> str:
+        return f"{kind}@{quote(str(key), safe='')}#"
+
+    def arm(
+        self, kind: str, key: str, count: int = 1, param: float = 0.0
+    ) -> None:
+        """Plant ``count`` tokens for the fault ``kind`` at point ``key``."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if count < 1:
+            raise ValueError("count must be positive")
+        prefix = self._token_prefix(kind, key)
+        existing = sum(
+            1 for name in os.listdir(self.directory) if name.startswith(prefix)
+        )
+        for i in range(existing, existing + count):
+            path = os.path.join(self.directory, f"{prefix}{i:04d}")
+            with open(path, "w") as f:
+                json.dump({"param": param}, f)
+
+    def _consume(self, kind: str, key: str) -> Optional[dict]:
+        """Atomically claim one token, or ``None`` if none remain."""
+        prefix = self._token_prefix(kind, key)
+        try:
+            names = sorted(
+                n for n in os.listdir(self.directory) if n.startswith(prefix)
+            )
+        except FileNotFoundError:  # pragma: no cover - spool removed
+            return None
+        for name in names:
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path) as f:
+                    payload = json.load(f)
+                os.unlink(path)  # atomic claim: one process wins
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue  # lost the race (or mid-write token): try next
+            return payload
+        return None
+
+    def armed(self) -> List[Tuple[str, str]]:
+        """The ``(kind, key)`` of every remaining token, sorted."""
+        out = []
+        for name in sorted(os.listdir(self.directory)):
+            kind, _, rest = name.partition("@")
+            key, _, _ = rest.rpartition("#")
+            out.append((kind, unquote(key)))
+        return out
+
+    # -- firing ------------------------------------------------------------
+
+    def fire(self, kind: str, key: str) -> bool:
+        """Fire the fault ``kind`` at point ``key`` if a token remains.
+
+        Returns whether a token was consumed; for ``crash``, ``error``
+        and ``interrupt`` control does not return when it was.
+        """
+        token = self._consume(kind, key)
+        if token is None:
+            return False
+        if kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if kind == "error":
+            raise InjectedFault(f"injected error at {key}")
+        if kind == "interrupt":
+            raise KeyboardInterrupt(f"injected interrupt at {key}")
+        if kind == "slow":
+            time.sleep(float(token.get("param", 0.0)))
+        return True  # "slow" (already slept) and "corrupt" (caller acts)
+
+    # -- seeded construction -----------------------------------------------
+
+    @classmethod
+    def seeded(
+        cls,
+        directory: str,
+        seed: int,
+        keys: Iterable[str],
+        kind: str = "error",
+        rate: float = 0.1,
+        count: int = 1,
+        param: float = 0.0,
+    ) -> "FaultPlan":
+        """Arm ``kind`` at a pseudo-random ``rate`` fraction of ``keys``.
+
+        The selection depends only on ``seed`` and the key order, so a
+        test (or a soak harness) can reproduce an exact fault schedule
+        from one integer.
+        """
+        plan = cls(directory)
+        rng = random.Random(seed)
+        for key in keys:
+            if rng.random() < rate:
+                plan.arm(kind, key, count=count, param=param)
+        return plan
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({self.directory!r}, armed={len(self.armed())})"

@@ -1,5 +1,6 @@
 """Study harness: full-factorial sweep runner and performance dataset."""
 
+from .checkpoint import StudyCheckpoint, study_fingerprint
 from .dataset import PerfDataset, TestCase
 from .progress import PhaseTimer, format_duration
 from .runner import ENGINES, StudyConfig, collect_traces, run_study
@@ -10,7 +11,9 @@ __all__ = [
     "TestCase",
     "PhaseTimer",
     "format_duration",
+    "StudyCheckpoint",
     "StudyConfig",
     "collect_traces",
     "run_study",
+    "study_fingerprint",
 ]

@@ -1,0 +1,236 @@
+"""Shard-level checkpointing for the study sweep.
+
+The pricing phase of a full study is a grid of (chip × configuration)
+*shards*; each shard prices every trace and is independent of every
+other.  :class:`StudyCheckpoint` persists completed shards to a
+directory as they finish, so an interrupted sweep — ``^C``, a machine
+reboot, a dead worker pool — resumes from the last completed shard
+instead of repeating hours of pricing.
+
+Layout of a checkpoint directory::
+
+    <dir>/
+      manifest.json              {"format", "fingerprint", "n_chips",
+                                  "n_configs"}
+      shard-<chip>-<config>.json {"task", "rows", "checksum"}
+
+Every file is written atomically (temp + rename) with a SHA-256
+checksum, so a crash can at worst lose the shard being written, never
+corrupt one already recorded; invalid shards found on resume are
+dropped and simply re-priced.
+
+The manifest carries the study's *fingerprint* — a stable hash over
+the chips, configurations, repetitions, engine, inputs and collected
+traces (see :func:`study_fingerprint`).  Resuming against a checkpoint
+whose fingerprint differs raises
+:class:`~repro.errors.CheckpointError`: shards priced under a
+different study must be rejected, not silently merged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Tuple
+
+from ..errors import CheckpointError
+from ..util import atomic_write_text, sha256_hex, stable_hash
+
+__all__ = ["StudyCheckpoint", "study_fingerprint"]
+
+#: Format tag of checkpoint manifests and shards.
+CHECKPOINT_FORMAT = "study-checkpoint-v1"
+
+#: A shard's rows: (application, input, timings) per priced trace.
+ShardRows = List[Tuple[str, str, List[float]]]
+
+_SHARD_RE = re.compile(r"^shard-(\d+)-(\d+)\.json$")
+
+
+def study_fingerprint(config, engine: str, traces: Dict[tuple, object]) -> str:
+    """A stable identity for one study's pricing grid.
+
+    Covers everything that determines a shard's timings: the chip and
+    configuration axes, repetition count, pricing engine, source
+    vertex, the input graphs (name and size) and the collected traces
+    (program, graph, launch count).  Two runs with the same fingerprint
+    price bit-identical shards, so their checkpoints are interchangeable;
+    any drift — a different scale, seed, graph or app set — changes the
+    fingerprint and invalidates the checkpoint.
+    """
+    parts: List[object] = [
+        CHECKPOINT_FORMAT,
+        engine,
+        config.repetitions,
+        config.source,
+        "|".join(chip.short_name for chip in config.chips),
+        "|".join(cfg.key() for cfg in config.configs),
+    ]
+    for name in sorted(config.inputs):
+        graph = config.inputs[name].graph
+        parts.append(f"{name}:{graph.n_nodes}:{graph.n_edges}")
+    for app_name, input_name in sorted(traces):
+        trace = traces[(app_name, input_name)]
+        parts.append(f"{app_name}/{input_name}:{trace.n_launches}")
+    return f"{stable_hash(*parts):016x}"
+
+
+class StudyCheckpoint:
+    """A directory of completed pricing shards, written as they finish."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self._skipped = 0  # invalid shards dropped by the last open()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, self.MANIFEST)
+
+    def _shard_path(self, task: Tuple[int, int]) -> str:
+        return os.path.join(
+            self.directory, f"shard-{task[0]:04d}-{task[1]:04d}.json"
+        )
+
+    def _read_manifest(self):
+        try:
+            with open(self._manifest_path()) as f:
+                manifest = json.load(f)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest in {self.directory!r}: {exc}"
+            ) from exc
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != CHECKPOINT_FORMAT
+        ):
+            raise CheckpointError(
+                f"checkpoint {self.directory!r} has an unrecognised manifest "
+                f"format (expected {CHECKPOINT_FORMAT!r})"
+            )
+        return manifest
+
+    def open(
+        self,
+        fingerprint: str,
+        n_chips: int,
+        n_configs: int,
+        resume: bool,
+    ) -> Dict[Tuple[int, int], ShardRows]:
+        """Attach to the directory; return already-completed shards.
+
+        A fresh (or non-``resume``) open clears any prior contents and
+        starts an empty checkpoint.  A ``resume`` open verifies the
+        manifest fingerprint — raising
+        :class:`~repro.errors.CheckpointError` on mismatch — and loads
+        every valid shard; shards that fail validation (truncation,
+        checksum mismatch, out-of-range task) are dropped for
+        re-pricing, never merged.
+        """
+        manifest = self._read_manifest() if resume else None
+        if resume and manifest is not None:
+            if manifest.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    f"stale checkpoint {self.directory!r}: its fingerprint "
+                    f"{manifest.get('fingerprint')!r} does not match this "
+                    f"study's {fingerprint!r} (different scale, seed, apps, "
+                    f"chips, configs, repetitions or engine); delete the "
+                    f"directory or re-run without --resume"
+                )
+            return self._load_shards(n_chips, n_configs)
+        # Fresh start: drop any stale contents, write a new manifest.
+        self._clear_files()
+        os.makedirs(self.directory, exist_ok=True)
+        atomic_write_text(
+            self._manifest_path(),
+            json.dumps(
+                {
+                    "format": CHECKPOINT_FORMAT,
+                    "fingerprint": fingerprint,
+                    "n_chips": n_chips,
+                    "n_configs": n_configs,
+                }
+            ),
+        )
+        return {}
+
+    def _clear_files(self) -> None:
+        if not os.path.isdir(self.directory):
+            return
+        for name in os.listdir(self.directory):
+            if name == self.MANIFEST or _SHARD_RE.match(name):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+    def clear(self) -> None:
+        """Delete the checkpoint's files (after a successful save)."""
+        self._clear_files()
+        try:
+            os.rmdir(self.directory)
+        except OSError:  # non-empty (foreign files) or already gone
+            pass
+
+    # -- shards ------------------------------------------------------------
+
+    def record(self, task: Tuple[int, int], rows: ShardRows) -> None:
+        """Atomically persist one completed shard."""
+        body = json.dumps(
+            [[app, inp, list(times)] for app, inp, times in rows],
+            separators=(",", ":"),
+        )
+        payload = (
+            f'{{"task": [{task[0]}, {task[1]}], '
+            f'"checksum": "{sha256_hex(body)}", '
+            f'"rows": {body}}}'
+        )
+        atomic_write_text(self._shard_path(task), payload)
+
+    def _load_shards(
+        self, n_chips: int, n_configs: int
+    ) -> Dict[Tuple[int, int], ShardRows]:
+        shards: Dict[Tuple[int, int], ShardRows] = {}
+        self._skipped = 0
+        for name in sorted(os.listdir(self.directory)):
+            match = _SHARD_RE.match(name)
+            if not match:
+                continue
+            task = (int(match.group(1)), int(match.group(2)))
+            rows = self._read_shard(name, task, n_chips, n_configs)
+            if rows is None:
+                self._skipped += 1
+            else:
+                shards[task] = rows
+        return shards
+
+    def _read_shard(self, name, task, n_chips, n_configs):
+        if not (0 <= task[0] < n_chips and 0 <= task[1] < n_configs):
+            return None
+        try:
+            with open(os.path.join(self.directory, name)) as f:
+                payload = json.load(f)
+            if payload["task"] != [task[0], task[1]]:
+                return None
+            body = json.dumps(payload["rows"], separators=(",", ":"))
+            if sha256_hex(body) != payload["checksum"]:
+                return None
+            return [
+                (str(app), str(inp), [float(t) for t in times])
+                for app, inp, times in payload["rows"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    @property
+    def skipped_shards(self) -> int:
+        """Invalid shards dropped (and re-priced) by the last resume."""
+        return self._skipped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StudyCheckpoint({self.directory!r})"

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -19,8 +21,12 @@ import numpy as np
 
 from ..compiler.options import OptConfig
 from ..errors import DatasetError
+from ..util import atomic_write_bytes, sha256_hex
 
-__all__ = ["TestCase", "PerfDataset"]
+__all__ = ["TestCase", "PerfDataset", "DATASET_FORMAT"]
+
+#: Format tag of checksummed dataset files (legacy untagged files load too).
+DATASET_FORMAT = "perf-dataset-v2"
 
 
 @dataclass(frozen=True, order=True)
@@ -78,11 +84,15 @@ class PerfDataset:
         for (test, key), times in other._times.items():
             existing = self._times.get((test, key))
             if existing is not None and existing != times:
-                config = other._configs[key]
-                raise DatasetError(
-                    f"conflicting timings for {test} [{config.label()}]: "
-                    f"{existing} vs {times}"
+                err = DatasetError(
+                    f"conflicting timings for test {test} under config "
+                    f"{key!r}: {existing} vs {times}"
                 )
+                # Structured coordinates of the conflicting cell, for
+                # callers that want to locate the bad shard.
+                err.test = test
+                err.config_key = key
+                raise err
             self._times[(test, key)] = times
             self._configs.setdefault(key, other._configs[key])
             self._tests.setdefault(test, None)
@@ -209,39 +219,96 @@ class PerfDataset:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "PerfDataset":
+        if not isinstance(data, dict) or not isinstance(
+            data.get("measurements"), list
+        ):
+            raise DatasetError(
+                "malformed dataset payload: expected an object with a "
+                "'measurements' list"
+            )
         ds = cls()
-        for rec in data["measurements"]:
-            config = (
-                OptConfig()
-                if rec["config"] == "baseline"
-                else OptConfig.from_names(rec["config"].split("+"))
-            )
-            ds.add(
-                TestCase(rec["app"], rec["graph"], rec["chip"]),
-                config,
-                rec["times"],
-            )
+        try:
+            for rec in data["measurements"]:
+                config = (
+                    OptConfig()
+                    if rec["config"] == "baseline"
+                    else OptConfig.from_names(rec["config"].split("+"))
+                )
+                ds.add(
+                    TestCase(rec["app"], rec["graph"], rec["chip"]),
+                    config,
+                    rec["times"],
+                )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise DatasetError(
+                f"malformed measurement record: {exc!r}"
+            ) from exc
         return ds
 
-    def save(self, path: str) -> None:
-        """Write the dataset as (optionally gzipped) JSON."""
-        payload = json.dumps(self.to_dict())
+    def save(self, path: str, faults=None) -> None:
+        """Write the dataset as (optionally gzipped) checksummed JSON.
+
+        The file is written atomically (temp file + rename), so an
+        interrupted save leaves the previous complete file — never a
+        truncated one — in place.  The header carries a SHA-256 of the
+        serialised measurements, which :meth:`load` verifies, so silent
+        on-disk corruption is detected instead of analysed.
+
+        ``faults`` (a :class:`repro.faults.FaultPlan`, testing only)
+        garbles the payload when a ``corrupt`` fault is armed for this
+        file's basename, simulating a disk failure past the atomicity
+        guarantee.
+        """
+        body = json.dumps(self.to_dict()["measurements"], separators=(",", ":"))
+        payload = (
+            f'{{"format": "{DATASET_FORMAT}", '
+            f'"checksum": "{sha256_hex(body)}", '
+            f'"measurements": {body}}}'
+        )
+        data = payload.encode("utf-8")
+        if faults is not None and faults.fire("corrupt", os.path.basename(path)):
+            data = data[: max(1, len(data) // 2)]  # simulated disk failure
         if path.endswith(".gz"):
-            with gzip.open(path, "wt") as f:
-                f.write(payload)
-        else:
-            with open(path, "w") as f:
-                f.write(payload)
+            data = gzip.compress(data, mtime=0)
+        atomic_write_bytes(path, data)
 
     @classmethod
     def load(cls, path: str) -> "PerfDataset":
-        if path.endswith(".gz"):
-            with gzip.open(path, "rt") as f:
-                data = json.load(f)
-        else:
-            with open(path) as f:
-                data = json.load(f)
-        return cls.from_dict(data)
+        """Load a dataset, raising :class:`DatasetError` on corruption.
+
+        Truncated files, invalid JSON, bad gzip streams and checksum
+        mismatches all raise a ``DatasetError`` naming the file and the
+        reason; legacy files without a checksum header still load.
+        """
+        try:
+            with open(path, "rb") as f:
+                data = f.read()
+            if path.endswith(".gz"):
+                data = gzip.decompress(data)
+            parsed = json.loads(data.decode("utf-8"))
+        except (gzip.BadGzipFile, EOFError, zlib.error) as exc:
+            raise DatasetError(
+                f"corrupt dataset {path!r}: bad gzip stream ({exc})"
+            ) from exc
+        except OSError as exc:
+            raise DatasetError(f"cannot read dataset {path!r}: {exc}") from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise DatasetError(
+                f"corrupt dataset {path!r}: truncated or invalid JSON ({exc})"
+            ) from exc
+        if isinstance(parsed, dict) and "checksum" in parsed:
+            body = json.dumps(
+                parsed.get("measurements", []), separators=(",", ":")
+            )
+            if sha256_hex(body) != parsed["checksum"]:
+                raise DatasetError(
+                    f"corrupt dataset {path!r}: checksum mismatch (the file "
+                    f"was modified or partially written)"
+                )
+        try:
+            return cls.from_dict(parsed)
+        except DatasetError as exc:
+            raise DatasetError(f"corrupt dataset {path!r}: {exc}") from exc
 
     def __len__(self) -> int:
         return len(self._tests)

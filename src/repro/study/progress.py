@@ -37,8 +37,13 @@ class PhaseTimer:
     timer without changing the caller's control flow.
     """
 
-    def __init__(self, emit: Optional[Callable[[str], None]]) -> None:
+    def __init__(
+        self,
+        emit: Optional[Callable[[str], None]],
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self._emit = emit
+        self._clock = clock
         self._phase: Optional[str] = None
         self._started = 0.0
         self._done = 0
@@ -47,7 +52,7 @@ class PhaseTimer:
     def start(self, phase: str, total: Optional[int] = None) -> None:
         """Open a phase of ``total`` steps (``None`` when unknown)."""
         self._phase = phase
-        self._started = time.perf_counter()
+        self._started = self._clock()
         self._done = 0
         self._total = total
 
@@ -59,7 +64,7 @@ class PhaseTimer:
         """Emit ``message`` decorated with progress, elapsed and ETA."""
         if self._emit is None:
             return
-        elapsed = time.perf_counter() - self._started
+        elapsed = self._clock() - self._started
         parts = []
         if self._total:
             parts.append(f"{self._done}/{self._total}")
@@ -72,6 +77,6 @@ class PhaseTimer:
     def finish(self, message: str) -> None:
         """Close the phase, emitting ``message`` with the phase's time."""
         if self._emit is not None:
-            elapsed = time.perf_counter() - self._started
+            elapsed = self._clock() - self._started
             self._emit(f"{message} in {format_duration(elapsed)}")
         self._phase = None

@@ -13,22 +13,36 @@ a time) and the vectorized batch engine
 (:mod:`repro.perfmodel.batch`, all launches of a trace in whole-array
 NumPy ops with plan-keyed intermediate reuse).  The sweep can further
 be sharded over worker processes (``jobs``): the chip × configuration
-grid is split into tasks, each worker prices its share against the
+grid is split into *shards*, each worker prices its share against the
 same traces, and the partial datasets merge into the same table as a
 serial run.
+
+The sweep is fault tolerant.  Completed shards can be checkpointed to
+disk as they finish (:mod:`repro.study.checkpoint`) so an interrupted
+run resumes where it stopped; a dead worker pool is rebuilt and its
+unfinished shards re-queued (bounded retries with exponential backoff,
+falling back to in-process pricing when the pool keeps dying); and a
+:class:`repro.faults.FaultPlan` can inject worker crashes, errors,
+interrupts and stragglers at chosen shards to drive every one of those
+recovery paths deterministically in tests.
 
 Everything is deterministic: graph generation, functional execution
 and the noise model are all seeded — each measurement's seed depends
 only on (chip, program, graph, configuration, repetition) — so two
-invocations produce identical datasets regardless of engine or job
-count.
+invocations produce identical datasets regardless of engine, job
+count, failures or resumption.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import sys
 import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..apps.base import Application
@@ -38,11 +52,14 @@ from ..chips.model import ChipModel
 from ..compiler.options import OptConfig, enumerate_configs
 from ..compiler.pipeline import compile_cached
 from ..dsl.ast import Program
+from ..errors import CheckpointError
+from ..faults import FaultPlan
 from ..graphs.inputs import StudyInput, study_inputs
 from ..perfmodel.batch import estimate_runtime_us_batch, measure_repeats_us_batch
 from ..perfmodel.noise import measurement_prefix, measurement_seeds
 from ..perfmodel.simulate import measure_repeats_us
 from ..runtime.trace import Trace
+from .checkpoint import StudyCheckpoint, study_fingerprint
 from .dataset import PerfDataset, TestCase
 from .progress import PhaseTimer
 
@@ -50,6 +67,12 @@ __all__ = ["ENGINES", "run_study", "collect_traces", "StudyConfig"]
 
 #: Pricing engines: the vectorized default and the scalar reference.
 ENGINES = ("batch", "scalar")
+
+#: Default bounded-retry budget for failed shards / dead worker pools.
+DEFAULT_RETRIES = 2
+
+#: Base of the exponential retry backoff, in seconds.
+DEFAULT_BACKOFF = 0.05
 
 
 class StudyConfig:
@@ -124,32 +147,40 @@ def _measure_point(
     )
 
 
-# -- parallel sweep workers --------------------------------------------------
+# -- pricing shards ----------------------------------------------------------
 #
-# Tasks are (chip index, configuration index) cells of the pricing
-# grid.  Worker state is installed once per process by the pool
-# initializer rather than shipped with every task; a StudyConfig is
-# never pickled (its StudyInput builders are closures).
+# A shard is one (chip index, configuration index) cell of the pricing
+# grid: every trace priced under that chip and configuration.  Shards
+# are the unit of parallel distribution, of checkpointing and of retry.
 
-_WORKER_STATE: Optional[tuple] = None
-
-
-def _init_worker(
-    programs: Dict[str, Program],
-    traces: Dict[tuple, Trace],
-    chips: List[ChipModel],
-    configs: List[OptConfig],
-    repetitions: int,
-    engine: str,
-) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (programs, traces, chips, configs, repetitions, engine)
+#: One shard's task key, and the pricing state every shard needs.
+Task = Tuple[int, int]
+_State = Tuple[
+    Dict[str, Program],
+    Dict[tuple, Trace],
+    List[ChipModel],
+    List[OptConfig],
+    int,
+    str,
+]
 
 
-def _price_cell(task: Tuple[int, int]):
-    """Price every trace under one (chip, configuration) grid cell."""
+def _shard_key(task: Task) -> str:
+    """The fault-injection / logging name of one shard."""
+    return f"shard-{task[0]}-{task[1]}"
+
+
+def _price_cell_impl(
+    task: Task, state: _State, faults: Optional[FaultPlan] = None
+):
+    """Price every trace under one (chip, configuration) shard."""
     chip_idx, cfg_idx = task
-    programs, traces, chips, configs, repetitions, engine = _WORKER_STATE
+    programs, traces, chips, configs, repetitions, engine = state
+    if faults is not None:
+        key = _shard_key(task)
+        faults.fire("slow", key)
+        faults.fire("error", key)
+        faults.fire("crash", key)
     chip, opt = chips[chip_idx], configs[cfg_idx]
     prefixes: Dict[tuple, int] = {}
     rows = []
@@ -167,34 +198,66 @@ def _price_cell(task: Tuple[int, int]):
     return chip_idx, cfg_idx, rows
 
 
+# Worker state is installed once per process by the pool initializer
+# rather than shipped with every task; a StudyConfig is never pickled
+# (its StudyInput builders are closures).
+
+_WORKER_STATE: Optional[_State] = None
+_WORKER_FAULTS: Optional[FaultPlan] = None
+
+
+def _init_worker(
+    programs: Dict[str, Program],
+    traces: Dict[tuple, Trace],
+    chips: List[ChipModel],
+    configs: List[OptConfig],
+    repetitions: int,
+    engine: str,
+    faults: Optional[FaultPlan],
+) -> None:
+    global _WORKER_STATE, _WORKER_FAULTS
+    _WORKER_STATE = (programs, traces, chips, configs, repetitions, engine)
+    _WORKER_FAULTS = faults
+
+
+def _price_cell(task: Task):
+    """Worker entry point: price one shard from the installed state."""
+    return _price_cell_impl(task, _WORKER_STATE, _WORKER_FAULTS)
+
+
 def _run_serial(
     config: StudyConfig,
     traces: Dict[tuple, Trace],
     programs: Dict[str, Program],
     engine: str,
     timer: PhaseTimer,
+    *,
+    faults: Optional[FaultPlan] = None,
+    checkpoint: Optional[StudyCheckpoint] = None,
+    done: Optional[Dict[Task, list]] = None,
 ) -> PerfDataset:
+    state: _State = (
+        programs,
+        traces,
+        config.chips,
+        config.configs,
+        config.repetitions,
+        engine,
+    )
+    results: Dict[Task, list] = dict(done or {})
     dataset = PerfDataset()
-    for chip in config.chips:
+    for chip_idx, chip in enumerate(config.chips):
         timer.note(f"pricing on {chip.short_name}")
-        prefixes: Dict[tuple, int] = {}
-        if engine == "batch":
-            for trace in traces.values():
-                key = (trace.program, trace.graph)
-                if key not in prefixes:
-                    prefixes[key] = measurement_prefix(
-                        chip, trace.program, trace.graph
-                    )
-        for opt in config.configs:
-            for (app_name, input_name), trace in traces.items():
-                plan = compile_cached(programs[app_name], chip, opt)
-                times = _measure_point(
-                    plan,
-                    trace,
-                    config.repetitions,
-                    engine,
-                    prefixes.get((trace.program, trace.graph)),
-                )
+        for cfg_idx, opt in enumerate(config.configs):
+            task = (chip_idx, cfg_idx)
+            rows = results.get(task)
+            if rows is None:
+                _, _, rows = _price_cell_impl(task, state, faults)
+                if checkpoint is not None:
+                    checkpoint.record(task, rows)
+                if faults is not None:
+                    faults.fire("interrupt", _shard_key(task))
+            for app_name, input_name, times in rows:
                 dataset.add(
                     TestCase(app_name, input_name, chip.short_name), opt, times
                 )
@@ -209,15 +272,28 @@ def _run_parallel(
     engine: str,
     jobs: int,
     timer: PhaseTimer,
+    *,
+    faults: Optional[FaultPlan] = None,
+    checkpoint: Optional[StudyCheckpoint] = None,
+    done: Optional[Dict[Task, list]] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
 ) -> PerfDataset:
-    tasks = [
+    """Shard the pricing grid over a worker pool, surviving failures.
+
+    A shard whose worker raises is re-queued up to ``retries`` times
+    (exponential backoff) and then priced in-process; a dead pool
+    (worker killed mid-task) is rebuilt up to ``retries`` times, after
+    which every unfinished shard is priced in-process.  The in-process
+    fallback runs without fault injection — it is the recovery of last
+    resort, not a fault site.
+    """
+    tasks: List[Task] = [
         (chip_idx, cfg_idx)
         for chip_idx in range(len(config.chips))
         for cfg_idx in range(len(config.configs))
     ]
-    dataset = PerfDataset()
-    current_chip = -1
-    initargs = (
+    state: _State = (
         programs,
         traces,
         config.chips,
@@ -225,27 +301,94 @@ def _run_parallel(
         config.repetitions,
         engine,
     )
-    chunksize = max(1, len(tasks) // (jobs * 8))
-    with multiprocessing.Pool(
-        jobs, initializer=_init_worker, initargs=initargs
-    ) as pool:
-        # imap preserves task order, so the merged dataset's insertion
-        # order matches the serial sweep's chip -> config -> test order.
-        for chip_idx, cfg_idx, rows in pool.imap(
-            _price_cell, tasks, chunksize=chunksize
-        ):
-            if chip_idx != current_chip:
-                if current_chip >= 0:
-                    timer.tick()
-                timer.note(f"pricing on {config.chips[chip_idx].short_name}")
-                current_chip = chip_idx
-            chip = config.chips[chip_idx]
-            opt = config.configs[cfg_idx]
-            for app_name, input_name, times in rows:
+    results: Dict[Task, list] = dict(done or {})
+    pending = [t for t in tasks if t not in results]
+    note_every = max(1, len(tasks) // 10)
+
+    def complete(task: Task, rows: list) -> None:
+        results[task] = rows
+        if checkpoint is not None:
+            checkpoint.record(task, rows)
+        if len(results) % note_every == 0:
+            timer.note(f"priced {len(results)}/{len(tasks)} shards")
+        if faults is not None:
+            faults.fire("interrupt", _shard_key(task))
+
+    pool_failures = 0
+    while pending:
+        if pool_failures > retries:
+            timer.note(
+                f"worker pool died {pool_failures} times; pricing the "
+                f"remaining {len(pending)} shards in-process"
+            )
+            for task in list(pending):
+                _, _, rows = _price_cell_impl(task, state)
+                complete(task, rows)
+                pending.remove(task)
+            break
+        pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=state + (faults,),
+        )
+        try:
+            futures = {pool.submit(_price_cell, t): t for t in pending}
+            failures: Dict[Task, int] = {}
+            while futures:
+                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    task = futures.pop(fut)
+                    try:
+                        _, _, rows = fut.result()
+                    except BrokenExecutor:
+                        raise
+                    except Exception as exc:
+                        n = failures.get(task, 0) + 1
+                        failures[task] = n
+                        if n > retries:
+                            timer.note(
+                                f"{_shard_key(task)} failed {n} times "
+                                f"({exc}); pricing in-process"
+                            )
+                            _, _, rows = _price_cell_impl(task, state)
+                        else:
+                            timer.note(
+                                f"{_shard_key(task)} failed ({exc}); "
+                                f"re-queued (retry {n}/{retries})"
+                            )
+                            time.sleep(backoff * (2 ** (n - 1)))
+                            futures[pool.submit(_price_cell, task)] = task
+                            continue
+                    complete(task, rows)
+                    pending.remove(task)
+            pool.shutdown()
+        except BrokenExecutor:
+            # A worker died without unwinding (crash/OOM/kill): the
+            # pool is unusable.  Rebuild it and re-queue every shard
+            # that had not completed.
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool_failures += 1
+            if pool_failures <= retries:
+                timer.note(
+                    f"worker pool died; re-queuing {len(pending)} shards "
+                    f"(restart {pool_failures}/{retries})"
+                )
+                time.sleep(backoff * (2 ** (pool_failures - 1)))
+        except BaseException:
+            # Interrupt or unexpected error: don't wait for the queue.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+
+    # Merge in the serial sweep's chip -> config -> test order so the
+    # dataset's insertion order is independent of completion order.
+    dataset = PerfDataset()
+    for chip_idx, chip in enumerate(config.chips):
+        timer.note(f"pricing on {chip.short_name}")
+        for cfg_idx, opt in enumerate(config.configs):
+            for app_name, input_name, times in results[(chip_idx, cfg_idx)]:
                 dataset.add(
                     TestCase(app_name, input_name, chip.short_name), opt, times
                 )
-    if current_chip >= 0:
         timer.tick()
     return dataset
 
@@ -257,6 +400,11 @@ def run_study(
     jobs: int = 1,
     engine: str = "batch",
     traces: Optional[Dict[tuple, Trace]] = None,
+    checkpoint=None,
+    resume: bool = False,
+    faults: Optional[FaultPlan] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
 ) -> PerfDataset:
     """Run the full study and return the performance dataset.
 
@@ -265,6 +413,15 @@ def run_study(
     worker processes sharding the chip × configuration grid; every
     combination produces the identical dataset.  Precollected
     ``traces`` (from :func:`collect_traces`) skip phase 1.
+
+    ``checkpoint`` (a directory path or
+    :class:`~repro.study.checkpoint.StudyCheckpoint`) persists each
+    completed shard; with ``resume=True`` a matching checkpoint's
+    shards are loaded and skipped instead of re-priced, and a stale
+    checkpoint (different study fingerprint) raises
+    :class:`~repro.errors.CheckpointError`.  ``faults`` injects
+    deterministic failures for testing; ``retries``/``backoff`` bound
+    the parallel sweep's recovery from failed shards and dead pools.
     """
     if config is None:
         config = StudyConfig()
@@ -272,6 +429,10 @@ def run_study(
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if jobs < 1:
         raise ValueError("jobs must be positive")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint directory")
 
     timer = PhaseTimer(progress)
     if traces is None:
@@ -285,11 +446,56 @@ def run_study(
         timer.finish(f"collected {len(traces)} traces")
 
     programs = {app.name: app.program() for app in config.apps}
+
+    done: Optional[Dict[Task, list]] = None
+    ckpt: Optional[StudyCheckpoint] = None
+    if checkpoint is not None:
+        ckpt = (
+            checkpoint
+            if isinstance(checkpoint, StudyCheckpoint)
+            else StudyCheckpoint(str(checkpoint))
+        )
+        fingerprint = study_fingerprint(config, engine, traces)
+        done = ckpt.open(
+            fingerprint, len(config.chips), len(config.configs), resume=resume
+        )
+        if progress and (done or ckpt.skipped_shards):
+            total = len(config.chips) * len(config.configs)
+            dropped = (
+                f" ({ckpt.skipped_shards} invalid shards re-priced)"
+                if ckpt.skipped_shards
+                else ""
+            )
+            progress(
+                f"resuming: {len(done)}/{total} shards already priced{dropped}"
+            )
+
     timer.start("pricing", total=len(config.chips))
     if jobs == 1:
-        dataset = _run_serial(config, traces, programs, engine, timer)
+        dataset = _run_serial(
+            config,
+            traces,
+            programs,
+            engine,
+            timer,
+            faults=faults,
+            checkpoint=ckpt,
+            done=done,
+        )
     else:
-        dataset = _run_parallel(config, traces, programs, engine, jobs, timer)
+        dataset = _run_parallel(
+            config,
+            traces,
+            programs,
+            engine,
+            jobs,
+            timer,
+            faults=faults,
+            checkpoint=ckpt,
+            done=done,
+            retries=retries,
+            backoff=backoff,
+        )
     timer.finish(
         f"priced {dataset.n_measurements} measurements "
         f"({len(dataset)} tests, engine={engine}, jobs={jobs})"
@@ -321,16 +527,72 @@ def main() -> None:  # pragma: no cover - CLI entry point
         default="batch",
         help="pricing engine (default: batch; scalar is the reference path)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory for completed shards "
+        "(default: OUTPUT.ckpt)",
+    )
+    parser.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="disable shard checkpointing",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint directory, skipping already-"
+        "priced shards (rejects checkpoints of a different study)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=DEFAULT_RETRIES,
+        help="bounded retries for failed shards / dead worker pools "
+        f"(default: {DEFAULT_RETRIES})",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="DIR",
+        default=None,
+        help="fault-injection spool directory (testing only; see "
+        "repro.faults.FaultPlan)",
+    )
     args = parser.parse_args()
 
-    started = time.time()
-    dataset = run_study(
-        StudyConfig(scale=args.scale, repetitions=args.repetitions),
-        progress=_stderr_progress,
-        jobs=args.jobs,
-        engine=args.engine,
+    ckpt_dir = None if args.no_checkpoint else (
+        args.checkpoint or args.output + ".ckpt"
     )
-    dataset.save(args.output)
+    ckpt = StudyCheckpoint(ckpt_dir) if ckpt_dir else None
+    faults = FaultPlan(args.faults) if args.faults else None
+
+    started = time.time()
+    try:
+        dataset = run_study(
+            StudyConfig(scale=args.scale, repetitions=args.repetitions),
+            progress=_stderr_progress,
+            jobs=args.jobs,
+            engine=args.engine,
+            checkpoint=ckpt,
+            resume=args.resume,
+            faults=faults,
+            retries=args.retries,
+        )
+    except KeyboardInterrupt:
+        where = f" in {ckpt.directory}" if ckpt else ""
+        print(
+            f"[study] interrupted; completed shards are checkpointed{where} "
+            f"— re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        raise SystemExit(130)
+    except CheckpointError as exc:
+        print(f"[study] {exc}", file=sys.stderr)
+        raise SystemExit(3)
+    dataset.save(args.output, faults=faults)
+    if ckpt is not None:
+        ckpt.clear()  # the dataset is safely on disk; drop the shards
     print(
         f"wrote {dataset.n_measurements} measurements "
         f"({len(dataset)} tests) in {time.time() - started:.1f}s to {args.output}"

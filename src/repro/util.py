@@ -1,18 +1,58 @@
-"""Small shared numeric helpers."""
+"""Small shared numeric and filesystem helpers."""
 
 from __future__ import annotations
 
-from typing import Iterable
+import hashlib
+import os
+from typing import Iterable, Union
 
 import numpy as np
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
     "expand_segments",
     "fnv1a_extend",
     "fnv1a_state",
     "geomean",
+    "sha256_hex",
     "stable_hash",
 ]
+
+
+def sha256_hex(data: Union[bytes, str]) -> str:
+    """Hex SHA-256 digest of ``data`` (strings are UTF-8 encoded)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (write-temp-then-rename).
+
+    The bytes are flushed and fsynced to a sibling temporary file which
+    is then renamed over ``path``; a crash mid-write can leave a stale
+    temporary behind but never a truncated ``path``.  Readers always
+    observe either the previous complete file or the new complete file.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - crash-path cleanup
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """UTF-8 variant of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def expand_segments(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:

@@ -10,6 +10,8 @@ breaks these tests is a change to the model, not an allowed
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.apps import get_application
 from repro.chips import get_chip
@@ -200,3 +202,62 @@ class TestGroupMemo:
         clone = pickle.loads(pickle.dumps(group))
         assert clone._cache == {}
         assert np.array_equal(clone.edges, group.edges)
+
+
+# -- differential fuzzing ----------------------------------------------------
+
+from repro.graphs.inputs import StudyInput  # noqa: E402
+from repro.study import StudyConfig, run_study  # noqa: E402
+
+_FUZZ_APPS = ("bfs-wl", "pr-topo", "sssp-nf")
+_FUZZ_CHIPS = ("GTX1080", "MALI", "R9", "HD5500")
+
+
+@st.composite
+def small_studies(draw) -> StudyConfig:
+    """A random tiny StudyConfig (1-2 apps x 1 input x 1-2 chips)."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    app_names = draw(
+        st.lists(
+            st.sampled_from(_FUZZ_APPS), min_size=1, max_size=2, unique=True
+        )
+    )
+    chip_names = draw(
+        st.lists(
+            st.sampled_from(_FUZZ_CHIPS), min_size=1, max_size=2, unique=True
+        )
+    )
+    log_nodes = draw(st.integers(min_value=4, max_value=6))
+    offset = draw(st.integers(min_value=0, max_value=10))
+    stride = draw(st.integers(min_value=17, max_value=48))
+    repetitions = draw(st.integers(min_value=1, max_value=3))
+    graph = rmat_graph(log_nodes, edge_factor=6, seed=seed, name=f"fz-{seed}")
+    return StudyConfig(
+        apps=[get_application(name) for name in app_names],
+        inputs={
+            graph.name: StudyInput(
+                name=graph.name,
+                input_class="social",
+                description="fuzzed rmat",
+                _builder=lambda: graph,
+            )
+        },
+        chips=[get_chip(name) for name in chip_names],
+        configs=enumerate_configs()[offset::stride],
+        repetitions=repetitions,
+    )
+
+
+class TestEngineFuzz:
+    """Differential fuzzing: both engines price any study identically."""
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(config=small_studies())
+    def test_batch_equals_scalar_on_random_studies(self, config):
+        assert run_study(config, engine="batch") == run_study(
+            config, engine="scalar"
+        )

@@ -1,0 +1,250 @@
+"""Shard checkpointing and kill-and-resume recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.compiler import enumerate_configs
+from repro.errors import CheckpointError
+from repro.faults import FaultPlan
+from repro.graphs import rmat_graph
+from repro.graphs.inputs import StudyInput
+from repro.study import (
+    StudyCheckpoint,
+    StudyConfig,
+    collect_traces,
+    run_study,
+    study_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> StudyConfig:
+    """1 app x 1 input x 2 chips x 4 configurations: 8 shards."""
+    graph = rmat_graph(6, edge_factor=6, seed=5, name="c-rmat")
+    return StudyConfig(
+        apps=[get_application("bfs-wl")],
+        inputs={
+            "c-rmat": StudyInput(
+                name="c-rmat",
+                input_class="social",
+                description="checkpoint test rmat",
+                _builder=lambda: graph,
+            )
+        },
+        chips=[get_chip("GTX1080"), get_chip("MALI")],
+        configs=enumerate_configs()[::24],
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_config):
+    return run_study(tiny_config, jobs=1)
+
+
+ROWS = [("bfs-wl", "c-rmat", [1.5, 2.5, 3.5])]
+
+
+class TestStudyCheckpoint:
+    def test_fresh_open_is_empty(self, tmp_path):
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        assert ckpt.open("f" * 16, 2, 4, resume=False) == {}
+        assert os.path.exists(os.path.join(ckpt.directory, "manifest.json"))
+
+    def test_record_and_resume_roundtrip(self, tmp_path):
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        ckpt.open("f" * 16, 2, 4, resume=False)
+        ckpt.record((0, 1), ROWS)
+        ckpt.record((1, 3), ROWS)
+        loaded = StudyCheckpoint(ckpt.directory).open("f" * 16, 2, 4, resume=True)
+        assert set(loaded) == {(0, 1), (1, 3)}
+        assert loaded[(0, 1)] == [("bfs-wl", "c-rmat", [1.5, 2.5, 3.5])]
+
+    def test_resume_on_empty_directory_is_fresh(self, tmp_path):
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        assert ckpt.open("f" * 16, 2, 4, resume=True) == {}
+
+    def test_stale_fingerprint_rejected_on_resume(self, tmp_path):
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        ckpt.open("a" * 16, 2, 4, resume=False)
+        ckpt.record((0, 0), ROWS)
+        with pytest.raises(CheckpointError, match="stale checkpoint"):
+            ckpt.open("b" * 16, 2, 4, resume=True)
+        # ... and the shards were not touched by the rejection.
+        assert ckpt.open("a" * 16, 2, 4, resume=True) != {}
+
+    def test_non_resume_open_clears_stale_contents(self, tmp_path):
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        ckpt.open("a" * 16, 2, 4, resume=False)
+        ckpt.record((0, 0), ROWS)
+        assert ckpt.open("b" * 16, 2, 4, resume=False) == {}
+        assert ckpt.open("b" * 16, 2, 4, resume=True) == {}
+
+    def test_corrupt_shard_dropped_not_merged(self, tmp_path):
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        ckpt.open("f" * 16, 2, 4, resume=False)
+        ckpt.record((0, 0), ROWS)
+        ckpt.record((0, 1), ROWS)
+        shard = os.path.join(ckpt.directory, "shard-0000-0001.json")
+        with open(shard) as f:
+            payload = f.read()
+        with open(shard, "w") as f:
+            f.write(payload[: len(payload) // 2])  # truncation
+        loaded = ckpt.open("f" * 16, 2, 4, resume=True)
+        assert set(loaded) == {(0, 0)}
+        assert ckpt.skipped_shards == 1
+
+    def test_tampered_shard_fails_checksum(self, tmp_path):
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        ckpt.open("f" * 16, 2, 4, resume=False)
+        ckpt.record((0, 0), ROWS)
+        shard = os.path.join(ckpt.directory, "shard-0000-0000.json")
+        with open(shard) as f:
+            payload = json.load(f)
+        payload["rows"][0][2][0] = 99.0  # silently altered timing
+        with open(shard, "w") as f:
+            json.dump(payload, f)
+        assert ckpt.open("f" * 16, 2, 4, resume=True) == {}
+        assert ckpt.skipped_shards == 1
+
+    def test_out_of_range_shard_dropped(self, tmp_path):
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        ckpt.open("f" * 16, 2, 4, resume=False)
+        ckpt.record((1, 3), ROWS)
+        # The same checkpoint against a smaller grid: the shard no
+        # longer fits and must be re-priced, not merged out of range.
+        assert ckpt.open("f" * 16, 1, 2, resume=True) == {}
+
+    def test_unrecognised_manifest_rejected(self, tmp_path):
+        directory = tmp_path / "ck"
+        directory.mkdir()
+        (directory / "manifest.json").write_text('{"format": "other"}')
+        with pytest.raises(CheckpointError, match="unrecognised"):
+            StudyCheckpoint(str(directory)).open("f" * 16, 2, 4, resume=True)
+
+    def test_clear_removes_directory(self, tmp_path):
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        ckpt.open("f" * 16, 2, 4, resume=False)
+        ckpt.record((0, 0), ROWS)
+        ckpt.clear()
+        assert not os.path.exists(ckpt.directory)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self, tiny_config):
+        traces = collect_traces(tiny_config)
+        assert study_fingerprint(
+            tiny_config, "batch", traces
+        ) == study_fingerprint(tiny_config, "batch", traces)
+
+    def test_sensitive_to_engine_and_repetitions(self, tiny_config):
+        traces = collect_traces(tiny_config)
+        base = study_fingerprint(tiny_config, "batch", traces)
+        assert study_fingerprint(tiny_config, "scalar", traces) != base
+        other = StudyConfig(
+            apps=tiny_config.apps,
+            inputs=tiny_config.inputs,
+            chips=tiny_config.chips,
+            configs=tiny_config.configs,
+            repetitions=tiny_config.repetitions + 1,
+        )
+        assert study_fingerprint(other, "batch", traces) != base
+
+    def test_sensitive_to_axes(self, tiny_config):
+        traces = collect_traces(tiny_config)
+        base = study_fingerprint(tiny_config, "batch", traces)
+        fewer_chips = StudyConfig(
+            apps=tiny_config.apps,
+            inputs=tiny_config.inputs,
+            chips=tiny_config.chips[:1],
+            configs=tiny_config.configs,
+        )
+        fewer_configs = StudyConfig(
+            apps=tiny_config.apps,
+            inputs=tiny_config.inputs,
+            chips=tiny_config.chips,
+            configs=tiny_config.configs[:2],
+        )
+        assert study_fingerprint(fewer_chips, "batch", traces) != base
+        assert study_fingerprint(fewer_configs, "batch", traces) != base
+
+
+class TestKillAndResume:
+    """Interrupted sweeps resume to the bit-identical dataset."""
+
+    def _interrupt(self, tiny_config, tmp_path, jobs, expect_partial=True):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("interrupt", "shard-0-2")
+        ckpt_dir = str(tmp_path / "ck")
+        with pytest.raises(KeyboardInterrupt):
+            run_study(tiny_config, jobs=jobs, faults=plan, checkpoint=ckpt_dir)
+        shards = [
+            n
+            for n in os.listdir(ckpt_dir)
+            if n.startswith("shard-") and n.endswith(".json")
+        ]
+        assert shards, "interrupted run checkpointed nothing"
+        if expect_partial:  # parallel completion order is nondeterministic
+            assert len(shards) < 8, "interrupt fired after the whole sweep"
+        return ckpt_dir
+
+    def test_serial_interrupt_then_resume(self, tiny_config, baseline, tmp_path):
+        ckpt_dir = self._interrupt(tiny_config, tmp_path, jobs=1)
+        messages = []
+        resumed = run_study(
+            tiny_config,
+            progress=messages.append,
+            jobs=1,
+            checkpoint=ckpt_dir,
+            resume=True,
+        )
+        assert resumed == baseline
+        assert any(m.startswith("resuming:") for m in messages)
+
+    def test_parallel_interrupt_then_resume(
+        self, tiny_config, baseline, tmp_path
+    ):
+        ckpt_dir = self._interrupt(
+            tiny_config, tmp_path, jobs=2, expect_partial=False
+        )
+        resumed = run_study(
+            tiny_config, jobs=2, checkpoint=ckpt_dir, resume=True
+        )
+        assert resumed == baseline
+
+    def test_resume_across_job_counts(self, tiny_config, baseline, tmp_path):
+        """A serial run's checkpoint resumes under a parallel run."""
+        ckpt_dir = self._interrupt(tiny_config, tmp_path, jobs=1)
+        resumed = run_study(
+            tiny_config, jobs=2, checkpoint=ckpt_dir, resume=True
+        )
+        assert resumed == baseline
+
+    def test_stale_checkpoint_rejected_by_run_study(
+        self, tiny_config, tmp_path
+    ):
+        ckpt_dir = self._interrupt(tiny_config, tmp_path, jobs=1)
+        different = StudyConfig(
+            apps=tiny_config.apps,
+            inputs=tiny_config.inputs,
+            chips=tiny_config.chips,
+            configs=tiny_config.configs,
+            repetitions=2,
+        )
+        with pytest.raises(CheckpointError):
+            run_study(different, jobs=1, checkpoint=ckpt_dir, resume=True)
+
+    def test_resume_without_checkpoint_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            run_study(tiny_config, resume=True)
+
+    def test_checkpointed_run_without_resume_matches(
+        self, tiny_config, baseline, tmp_path
+    ):
+        dataset = run_study(
+            tiny_config, jobs=1, checkpoint=str(tmp_path / "ck")
+        )
+        assert dataset == baseline

@@ -1,9 +1,13 @@
 """Tests for the performance dataset."""
 
+import json
+import os
+
 import pytest
 
 from repro.compiler import BASELINE, OptConfig
 from repro.errors import DatasetError
+from repro.faults import FaultPlan
 from repro.study import PerfDataset, TestCase
 
 
@@ -118,6 +122,19 @@ class TestMerging:
         with pytest.raises(DatasetError):
             ds.update(self._part("C1", 999.0))
 
+    def test_update_conflict_names_the_offending_cell(self):
+        """The error must say *which* (test, config) conflicted."""
+        ds = self._part("C1")
+        with pytest.raises(DatasetError) as excinfo:
+            ds.update(self._part("C1", 999.0))
+        err = excinfo.value
+        assert err.test == TestCase("a1", "g1", "C1")
+        assert err.config_key == BASELINE.key()
+        message = str(err)
+        assert "a1/g1/C1" in message
+        assert f"{BASELINE.key()!r}" in message
+        assert "100.0" in message and "999.0" in message
+
     def test_merged_classmethod(self):
         merged = PerfDataset.merged(
             [self._part("C1"), self._part("C2", 200.0), self._part("C3", 300.0)]
@@ -163,3 +180,100 @@ class TestPersistence:
         assert {c.key() for c in loaded.configs} == {
             c.key() for c in dataset.configs
         }
+
+    def test_save_is_atomic_no_temp_left_behind(self, dataset, tmp_path):
+        path = str(tmp_path / "ds.json")
+        dataset.save(path)
+        dataset.save(path)  # overwrite in place
+        assert os.listdir(tmp_path) == ["ds.json"]
+
+    def test_legacy_uncheck_summed_payload_loads(self, dataset, tmp_path):
+        """Files from before the checksum header still load."""
+        path = str(tmp_path / "legacy.json")
+        with open(path, "w") as f:
+            json.dump(dataset.to_dict(), f)
+        assert PerfDataset.load(path) == dataset
+
+
+class TestCorruptionDetection:
+    """Truncated or tampered dataset files raise a clear DatasetError."""
+
+    def _saved(self, dataset, tmp_path, name="ds.json"):
+        path = str(tmp_path / name)
+        dataset.save(path)
+        return path
+
+    def test_truncated_json_raises_with_path_and_reason(
+        self, dataset, tmp_path
+    ):
+        path = self._saved(dataset, tmp_path)
+        with open(path, "r+") as f:
+            f.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(DatasetError) as excinfo:
+            PerfDataset.load(path)
+        assert path in str(excinfo.value)
+        assert "truncated or invalid JSON" in str(excinfo.value)
+
+    def test_truncated_gzip_raises(self, dataset, tmp_path):
+        path = self._saved(dataset, tmp_path, "ds.json.gz")
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(DatasetError) as excinfo:
+            PerfDataset.load(path)
+        assert path in str(excinfo.value)
+
+    def test_garbage_gzip_raises(self, dataset, tmp_path):
+        path = str(tmp_path / "ds.json.gz")
+        with open(path, "wb") as f:
+            f.write(b"this is not gzip")
+        with pytest.raises(DatasetError, match="bad gzip"):
+            PerfDataset.load(path)
+
+    def test_tampered_timing_fails_checksum(self, dataset, tmp_path):
+        path = self._saved(dataset, tmp_path)
+        with open(path) as f:
+            payload = json.load(f)
+        payload["measurements"][0]["times"][0] += 1.0
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        with pytest.raises(DatasetError, match="checksum mismatch"):
+            PerfDataset.load(path)
+
+    def test_missing_file_raises_dataset_error(self, tmp_path):
+        with pytest.raises(DatasetError, match="cannot read"):
+            PerfDataset.load(str(tmp_path / "nope.json"))
+
+    def test_wrong_shape_payload_raises(self, tmp_path):
+        path = str(tmp_path / "ds.json")
+        with open(path, "w") as f:
+            json.dump([1, 2, 3], f)
+        with pytest.raises(DatasetError, match="measurements"):
+            PerfDataset.load(path)
+
+    def test_malformed_record_raises(self, tmp_path):
+        path = str(tmp_path / "ds.json")
+        with open(path, "w") as f:
+            json.dump({"measurements": [{"app": "a"}]}, f)
+        with pytest.raises(DatasetError, match="malformed measurement"):
+            PerfDataset.load(path)
+
+    def test_injected_corrupt_write_detected_on_load(self, dataset, tmp_path):
+        """The corrupted-write fault class: save garbles, load rejects."""
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("corrupt", "ds.json")
+        path = str(tmp_path / "ds.json")
+        dataset.save(path, faults=plan)
+        with pytest.raises(DatasetError) as excinfo:
+            PerfDataset.load(path)
+        assert path in str(excinfo.value)
+        # With no fault armed the same save/load roundtrips cleanly.
+        dataset.save(path, faults=plan)
+        assert PerfDataset.load(path) == dataset
+
+    def test_injected_corrupt_write_on_gzip(self, dataset, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("corrupt", "ds.json.gz")
+        path = str(tmp_path / "ds.json.gz")
+        dataset.save(path, faults=plan)
+        with pytest.raises(DatasetError):
+            PerfDataset.load(path)

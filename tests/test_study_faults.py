@@ -1,0 +1,201 @@
+"""Fault injection (repro.faults) and the sweep's recovery paths.
+
+Every fault class the :class:`~repro.faults.FaultPlan` can inject —
+worker crash, worker exception, straggler, parent interrupt, corrupted
+write — has a test here (or in ``test_study_checkpoint.py`` /
+``test_study_dataset.py``) driving the corresponding recovery or
+rejection path, per the issue's acceptance criteria.
+"""
+
+import os
+
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.compiler import enumerate_configs
+from repro.errors import InjectedFault
+from repro.faults import FAULT_KINDS, FaultPlan
+from repro.graphs import rmat_graph
+from repro.graphs.inputs import StudyInput
+from repro.study import StudyConfig, run_study
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> StudyConfig:
+    """1 app x 1 input x 2 chips x 4 configurations: 8 shards."""
+    graph = rmat_graph(6, edge_factor=6, seed=3, name="f-rmat")
+    return StudyConfig(
+        apps=[get_application("bfs-wl")],
+        inputs={
+            "f-rmat": StudyInput(
+                name="f-rmat",
+                input_class="social",
+                description="fault test rmat",
+                _builder=lambda: graph,
+            )
+        },
+        chips=[get_chip("GTX1080"), get_chip("MALI")],
+        configs=enumerate_configs()[::24],
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_config):
+    return run_study(tiny_config, jobs=1)
+
+
+class TestFaultPlanTokens:
+    def test_unarmed_fire_is_noop(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        assert plan.fire("error", "anywhere") is False
+
+    def test_tokens_consumed_exactly_once(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("slow", "here", count=2, param=0.0)
+        assert plan.fire("slow", "here") is True
+        assert plan.fire("slow", "here") is True
+        assert plan.fire("slow", "here") is False
+
+    def test_arm_accumulates(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("slow", "k")
+        plan.arm("slow", "k")
+        assert plan.armed() == [("slow", "k"), ("slow", "k")]
+
+    def test_keys_are_isolated(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("error", "shard-0-1")
+        assert plan.fire("error", "shard-0-10") is False
+        with pytest.raises(InjectedFault):
+            plan.fire("error", "shard-0-1")
+
+    def test_error_raises_injected_fault(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("error", "k")
+        with pytest.raises(InjectedFault, match="injected error at k"):
+            plan.fire("error", "k")
+
+    def test_interrupt_raises_keyboard_interrupt(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("interrupt", "k")
+        with pytest.raises(KeyboardInterrupt):
+            plan.fire("interrupt", "k")
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        with pytest.raises(ValueError):
+            plan.arm("meteor", "k")
+        with pytest.raises(ValueError):
+            plan.arm("error", "k", count=0)
+
+    def test_plan_survives_pickling(self, tmp_path):
+        import pickle
+
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("slow", "k")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.fire("slow", "k") is True
+        assert plan.fire("slow", "k") is False  # same spool, shared tokens
+
+    def test_seeded_plan_is_deterministic(self, tmp_path):
+        keys = [f"shard-0-{i}" for i in range(50)]
+        a = FaultPlan.seeded(str(tmp_path / "a"), 42, keys, rate=0.2)
+        b = FaultPlan.seeded(str(tmp_path / "b"), 42, keys, rate=0.2)
+        c = FaultPlan.seeded(str(tmp_path / "c"), 43, keys, rate=0.2)
+        assert a.armed() == b.armed()
+        assert 0 < len(a.armed()) < len(keys)
+        assert a.armed() != c.armed()
+
+    def test_kind_vocabulary(self):
+        assert set(FAULT_KINDS) == {
+            "crash",
+            "error",
+            "interrupt",
+            "slow",
+            "corrupt",
+        }
+
+
+class TestRecoveryPaths:
+    """Injected faults in a parallel sweep must not change the dataset."""
+
+    def test_worker_crash_requeues_shard(self, tiny_config, baseline, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("crash", "shard-1-2")
+        messages = []
+        dataset = run_study(
+            tiny_config,
+            progress=messages.append,
+            jobs=2,
+            faults=plan,
+            backoff=0.01,
+        )
+        assert dataset == baseline
+        assert any("pool died" in m and "re-queuing" in m for m in messages)
+        assert plan.armed() == []  # the crash actually fired
+
+    def test_worker_error_requeues_shard(self, tiny_config, baseline, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("error", "shard-0-1")
+        messages = []
+        dataset = run_study(
+            tiny_config,
+            progress=messages.append,
+            jobs=2,
+            faults=plan,
+            backoff=0.01,
+        )
+        assert dataset == baseline
+        assert any("re-queued (retry 1/" in m for m in messages)
+
+    def test_repeated_pool_death_falls_back_in_process(
+        self, tiny_config, baseline, tmp_path
+    ):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("crash", "shard-0-0", count=5)
+        messages = []
+        dataset = run_study(
+            tiny_config,
+            progress=messages.append,
+            jobs=2,
+            faults=plan,
+            retries=1,
+            backoff=0.01,
+        )
+        assert dataset == baseline
+        assert any("in-process" in m for m in messages)
+
+    def test_repeated_shard_error_falls_back_in_process(
+        self, tiny_config, baseline, tmp_path
+    ):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("error", "shard-0-1", count=5)
+        messages = []
+        dataset = run_study(
+            tiny_config,
+            progress=messages.append,
+            jobs=2,
+            faults=plan,
+            retries=1,
+            backoff=0.01,
+        )
+        assert dataset == baseline
+        assert any("failed 2 times" in m and "in-process" in m for m in messages)
+
+    def test_slow_shard_changes_nothing(self, tiny_config, baseline, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("slow", "shard-0-0", param=0.05)
+        dataset = run_study(tiny_config, jobs=2, faults=plan, backoff=0.01)
+        assert dataset == baseline
+        assert plan.armed() == []
+
+    def test_negative_retries_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            run_study(tiny_config, jobs=2, retries=-1)
+
+    def test_serial_sweep_fires_faults_too(self, tiny_config, tmp_path):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("error", "shard-0-0")
+        with pytest.raises(InjectedFault):
+            run_study(tiny_config, jobs=1, faults=plan)

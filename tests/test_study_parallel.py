@@ -1,6 +1,8 @@
 """Tests for the parallel sweep, engines, plan cache and progress."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.apps import get_application
 from repro.chips import get_chip
@@ -76,6 +78,59 @@ class TestParallelDeterminism:
     def test_non_positive_jobs_rejected(self, tiny_config):
         with pytest.raises(ValueError):
             run_study(tiny_config, jobs=0)
+
+
+@st.composite
+def fuzzed_studies(draw) -> StudyConfig:
+    """A random tiny StudyConfig for differential jobs fuzzing."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    app_names = draw(
+        st.lists(
+            st.sampled_from(("bfs-wl", "pr-topo", "sssp-nf")),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        )
+    )
+    chip_names = draw(
+        st.lists(
+            st.sampled_from(("GTX1080", "MALI", "R9")),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        )
+    )
+    log_nodes = draw(st.integers(min_value=4, max_value=6))
+    stride = draw(st.integers(min_value=19, max_value=48))
+    repetitions = draw(st.integers(min_value=1, max_value=3))
+    graph = rmat_graph(log_nodes, edge_factor=6, seed=seed, name=f"fj-{seed}")
+    return StudyConfig(
+        apps=[get_application(name) for name in app_names],
+        inputs={
+            graph.name: StudyInput(
+                name=graph.name,
+                input_class="social",
+                description="fuzzed rmat",
+                _builder=lambda: graph,
+            )
+        },
+        chips=[get_chip(name) for name in chip_names],
+        configs=enumerate_configs()[::stride],
+        repetitions=repetitions,
+    )
+
+
+class TestJobsFuzz:
+    """Differential fuzzing: sharding never changes the dataset."""
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(config=fuzzed_studies())
+    def test_jobs2_equals_jobs1_on_random_studies(self, config):
+        assert run_study(config, jobs=2) == run_study(config, jobs=1)
 
 
 class TestPlanCache:

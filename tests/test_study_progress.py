@@ -1,0 +1,145 @@
+"""PhaseTimer ETA math and skip-logging, under a fake clock."""
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.compiler import BASELINE
+from repro.graphs import CSRGraph
+from repro.graphs.inputs import StudyInput
+from repro.study import PhaseTimer, StudyConfig, format_duration, run_study
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestEtaMath:
+    def _timer(self):
+        out = []
+        clock = FakeClock()
+        return PhaseTimer(out.append, clock=clock), clock, out
+
+    def test_eta_is_rate_extrapolation(self):
+        timer, clock, out = self._timer()
+        timer.start("work", total=5)
+        timer.tick(2)
+        clock.advance(10.0)
+        timer.note("step")
+        # 2 steps in 10s -> 5s/step -> 3 remaining -> 15s ETA, exactly.
+        assert out == ["step [2/5, elapsed 10.0s, eta 15.0s]"]
+
+    def test_no_eta_before_first_tick(self):
+        timer, clock, out = self._timer()
+        timer.start("work", total=5)
+        clock.advance(3.0)
+        timer.note("starting")
+        assert out == ["starting [0/5, elapsed 3.0s]"]
+
+    def test_no_eta_when_done(self):
+        timer, clock, out = self._timer()
+        timer.start("work", total=2)
+        timer.tick(2)
+        clock.advance(8.0)
+        timer.note("last")
+        assert out == ["last [2/2, elapsed 8.0s]"]
+
+    def test_no_counters_without_total(self):
+        timer, clock, out = self._timer()
+        timer.start("work")
+        clock.advance(1.5)
+        timer.note("step")
+        assert out == ["step [elapsed 1.5s]"]
+
+    def test_eta_shrinks_as_rate_holds(self):
+        timer, clock, out = self._timer()
+        timer.start("work", total=4)
+        for elapsed, expect in ((2.0, "eta 6.0s"), (2.0, "eta 4.0s")):
+            timer.tick()
+            clock.advance(elapsed)
+            timer.note("step")
+            assert expect in out[-1]
+
+    def test_finish_reports_phase_duration(self):
+        timer, clock, out = self._timer()
+        timer.start("work", total=1)
+        clock.advance(125.0)
+        timer.finish("done")
+        assert out == ["done in 2m05s"]
+
+    def test_restart_resets_counters(self):
+        timer, clock, out = self._timer()
+        timer.start("one", total=2)
+        timer.tick(2)
+        clock.advance(50.0)
+        timer.start("two", total=3)
+        timer.tick()
+        clock.advance(6.0)
+        timer.note("fresh")
+        assert out == ["fresh [1/3, elapsed 6.0s, eta 12.0s]"]
+
+    def test_silent_timer_never_reads_the_clock_output(self):
+        timer = PhaseTimer(None, clock=FakeClock())
+        timer.start("work", total=1)
+        timer.note("ignored")
+        timer.finish("ignored")  # must not raise, must emit nothing
+
+
+class TestFormatDuration:
+    def test_sub_minute(self):
+        assert format_duration(0.0) == "0.0s"
+        assert format_duration(9.96) == "10.0s"
+        assert format_duration(59.9) == "59.9s"
+
+    def test_minutes(self):
+        assert format_duration(60.0) == "1m00s"
+        assert format_duration(61.0) == "1m01s"
+        assert format_duration(3599.0) == "59m59s"
+        assert format_duration(7265.0) == "121m05s"
+
+    def test_negative_clamped(self):
+        assert format_duration(-5.0) == "0.0s"
+
+
+class TestSkipLogging:
+    """The tracing phase reports skipped pairs with phase counters."""
+
+    def _config(self):
+        unweighted = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        return StudyConfig(
+            apps=[get_application("sssp-nf"), get_application("bfs-wl")],
+            inputs={
+                "uw": StudyInput(
+                    name="uw",
+                    input_class="random",
+                    description="unweighted",
+                    _builder=lambda: unweighted,
+                )
+            },
+            chips=[get_chip("R9")],
+            configs=[BASELINE],
+        )
+
+    def test_run_study_decorates_skip_messages(self):
+        messages = []
+        run_study(self._config(), progress=messages.append)
+        skips = [m for m in messages if m.startswith("skipping sssp-nf")]
+        assert len(skips) == 1
+        # Skips tick the tracing phase like traced pairs do, so the
+        # counter accounts for every pair of the factorial.
+        assert "[0/2, elapsed " in skips[0]
+        traced = [m for m in messages if m.startswith("tracing bfs-wl")]
+        assert len(traced) == 1 and "[1/2, elapsed " in traced[0]
+
+    def test_skip_reason_names_app_input_and_cause(self):
+        messages = []
+        run_study(self._config(), progress=messages.append)
+        skip = next(m for m in messages if m.startswith("skipping"))
+        assert "sssp-nf" in skip and "uw" in skip and "edge weights" in skip

@@ -1,0 +1,135 @@
+"""End-to-end kill-and-resume through the real CLI.
+
+Runs ``python -m repro study --scale 0.05 --jobs 2`` in a subprocess,
+interrupts it partway via an injected KeyboardInterrupt, re-runs with
+``--resume``, and checks the final dataset equals an uninterrupted
+run's — the issue's acceptance scenario, exercised exactly as a user
+would hit it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.study import PerfDataset
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run_study_cli(args, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "study", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("resume-e2e")
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(workdir):
+    """The oracle: one clean run of the same study."""
+    out = str(workdir / "base.json")
+    result = _run_study_cli(
+        [out, "--scale", "0.05", "--jobs", "2", "--no-checkpoint"]
+    )
+    assert result.returncode == 0, result.stderr
+    return PerfDataset.load(out)
+
+
+class TestKillAndResumeE2E:
+    def test_interrupt_then_resume_matches_uninterrupted(
+        self, workdir, uninterrupted
+    ):
+        out = str(workdir / "out.json")
+        ckpt = str(workdir / "out.ckpt")
+        spool = str(workdir / "faults")
+        FaultPlan(spool).arm("interrupt", "shard-0-20")
+
+        interrupted = _run_study_cli(
+            [
+                out,
+                "--scale",
+                "0.05",
+                "--jobs",
+                "2",
+                "--checkpoint",
+                ckpt,
+                "--faults",
+                spool,
+            ]
+        )
+        assert interrupted.returncode == 130, interrupted.stderr
+        assert "re-run with --resume" in interrupted.stderr
+        assert not os.path.exists(out), "interrupted run must not write output"
+        shards = [n for n in os.listdir(ckpt) if n.startswith("shard-")]
+        assert shards, "interrupted run checkpointed nothing"
+
+        resumed = _run_study_cli(
+            [
+                out,
+                "--scale",
+                "0.05",
+                "--jobs",
+                "2",
+                "--checkpoint",
+                ckpt,
+                "--resume",
+            ]
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resuming:" in resumed.stderr
+        assert PerfDataset.load(out) == uninterrupted
+        # The checkpoint is redundant once the dataset is saved.
+        assert not os.path.exists(ckpt)
+
+    def test_resume_against_different_scale_is_rejected(self, workdir):
+        out = str(workdir / "stale.json")
+        ckpt = str(workdir / "stale.ckpt")
+        spool = str(workdir / "stale-faults")
+        FaultPlan(spool).arm("interrupt", "shard-0-5")
+        interrupted = _run_study_cli(
+            [
+                out,
+                "--scale",
+                "0.05",
+                "--jobs",
+                "2",
+                "--repetitions",
+                "1",
+                "--checkpoint",
+                ckpt,
+                "--faults",
+                spool,
+            ]
+        )
+        assert interrupted.returncode == 130, interrupted.stderr
+        mismatched = _run_study_cli(
+            [
+                out,
+                "--scale",
+                "0.05",
+                "--jobs",
+                "2",
+                "--repetitions",
+                "2",
+                "--checkpoint",
+                ckpt,
+                "--resume",
+            ]
+        )
+        assert mismatched.returncode != 0
+        assert "stale checkpoint" in mismatched.stderr
