@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard for the study sweep.
+
+Compares the batch-vs-scalar speedup recorded in ``BENCH_study.json``
+(written by ``bench_study.py``) against the committed floor in
+``benchmarks/bench_floor.json`` and fails when the vectorized engine
+has regressed below it.  The floors are set far under locally measured
+speedups so ordinary CI-runner noise passes; a breach indicates a
+structural regression (e.g. the batch engine silently falling back to
+per-launch pricing, or new per-launch overhead in the hot loop).
+
+Run:  PYTHONPATH=src python benchmarks/bench_guard.py [BENCH_study.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+_DEFAULT_RESULTS = os.path.join(_ROOT, "BENCH_study.json")
+_FLOOR_FILE = os.path.join(_HERE, "bench_floor.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "results",
+        nargs="?",
+        default=_DEFAULT_RESULTS,
+        help="bench_study.py output (default: BENCH_study.json)",
+    )
+    parser.add_argument(
+        "--floor-file",
+        default=_FLOOR_FILE,
+        help="committed speedup floors (default: benchmarks/bench_floor.json)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.results) as f:
+            results = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[bench-guard] cannot read {args.results}: {exc}")
+        return 2
+    with open(args.floor_file) as f:
+        floors = json.load(f)["speedup_vs_scalar"]
+
+    mode = "quick" if results.get("quick") else "full"
+    floor = floors[mode]
+    speedup = results["sweeps"]["batch"]["speedup_vs_scalar"]
+
+    print(
+        f"[bench-guard] mode={mode}: batch speedup {speedup:.2f}x "
+        f"(floor {floor:.2f}x)"
+    )
+    if not results.get("identical_datasets"):
+        print("[bench-guard] FAIL: engines no longer produce identical datasets")
+        return 1
+    if speedup < floor:
+        print(
+            f"[bench-guard] FAIL: batch-vs-scalar speedup {speedup:.2f}x "
+            f"fell below the committed floor {floor:.2f}x — the vectorized "
+            f"engine has regressed (or new overhead entered the pricing "
+            f"loop); investigate before raising the floor"
+        )
+        return 1
+    print("[bench-guard] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from .compiler import BASELINE, OptConfig, compile_program, enumerate_configs
 from .core import Analysis, build_strategies
 from .faults import FaultPlan
 from .graphs import CSRGraph, get_input, study_inputs
+from .obs import Recorder, RunReport
 from .study import PerfDataset, StudyConfig, TestCase, run_study
 
 __version__ = "1.0.0"
@@ -52,6 +53,8 @@ __all__ = [
     "get_input",
     "study_inputs",
     "PerfDataset",
+    "Recorder",
+    "RunReport",
     "StudyConfig",
     "TestCase",
     "run_study",

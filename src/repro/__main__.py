@@ -13,6 +13,9 @@ Subcommands:
   already-priced shards;
 * ``report [EXPERIMENT ...]`` — regenerate paper tables/figures
   (delegates to :mod:`repro.experiments.report`);
+* ``profile REPORT.json [--spans N]`` — render a study RunReport
+  (written by ``study --metrics PATH``) as a human-readable summary
+  (delegates to :mod:`repro.obs.report`);
 * ``validate`` — run every application against its oracle on small
   instances of the three input classes.
 """
@@ -28,9 +31,11 @@ _USAGE = """usage: python -m repro <command> [args]
 commands:
   study OUTPUT [--scale S] [--repetitions N] [--jobs N] [--engine E]
                [--resume] [--checkpoint DIR] [--retries N]
+               [--metrics PATH]
                                                run the full study
                                                (checkpointed; resumable)
   report [EXPERIMENT ...]                      regenerate tables/figures
+  profile REPORT.json [--spans N]              render a study run report
   validate                                     oracle-check all applications
 """
 
@@ -68,6 +73,10 @@ def main(argv=None) -> int:
         from .experiments.report import main as report_main
 
         return report_main(rest)
+    if command == "profile":
+        from .obs.report import main as profile_main
+
+        return profile_main(rest)
     if command == "validate":
         return _validate()
     print(f"unknown command {command!r}", file=sys.stderr)

@@ -95,6 +95,14 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
 
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size tally, in run-report counter naming."""
+        return {
+            "compiler.plan_cache.hits": self.hits,
+            "compiler.plan_cache.misses": self.misses,
+            "compiler.plan_cache.size": len(self._plans),
+        }
+
     def get(
         self, program: Program, chip: ChipModel, config: OptConfig
     ) -> ExecutablePlan:

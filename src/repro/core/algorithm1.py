@@ -21,11 +21,13 @@ gets exactly the same vote as one with 1.05× swings.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..compiler.options import OPT_NAMES, OptConfig, configs_with, disable_opt
 from ..errors import InsufficientDataError
+from ..obs import get_recorder
 from ..study.dataset import PerfDataset, TestCase
 from .significance import significant_difference
 from .stats.effect import cl_effect_size
@@ -67,12 +69,19 @@ class Analysis:
         confidence: float = 0.95,
         alpha: float = 0.05,
         min_samples: int = 3,
+        recorder=None,
     ) -> None:
         self.dataset = dataset
         self.confidence = confidence
         self.alpha = alpha
         self.min_samples = min_samples
         self._sig_cache: Dict[Tuple[TestCase, str, str], Optional[float]] = {}
+        # None defers to the process-wide current recorder at call time,
+        # so ``with obs.recording(rec):`` captures analyses transparently.
+        self._recorder = recorder
+
+    def _rec(self):
+        return self._recorder if self._recorder is not None else get_recorder()
 
     # -- the inner comparison (lines 11-16) -----------------------------
 
@@ -86,8 +95,10 @@ class Analysis:
             times_off = self.dataset.times(test, disabled_cfg)
             if significant_difference(times_on, times_off, self.confidence):
                 ratio = median(times_on) / median(times_off)
+                self._rec().count("analysis.filter.significant")
             else:
                 ratio = None
+                self._rec().count("analysis.filter.insignificant")
             self._sig_cache[key] = ratio
         return self._sig_cache[key]
 
@@ -117,7 +128,9 @@ class Analysis:
         med = median(a) if a else float("nan")
         try:
             result = mann_whitney_u(a, b, min_samples=self.min_samples)
+            self._rec().count("analysis.mwu.tests")
         except InsufficientDataError:
+            self._rec().count("analysis.mwu.insufficient")
             return OptDecision(
                 opt=opt,
                 enabled=False,
@@ -211,17 +224,55 @@ class Analysis:
         ``SPECIALISE_FOR_CHIP``; multi-dimension tuples give the
         semi-specialised strategies of Section VII.
         """
-        return {
-            key: self.config_for_partition(tests)
-            for key, tests in self.partitions(dims).items()
-        }
+        with self._specialise_span(dims) as finish:
+            result = {
+                key: self.config_for_partition(tests)
+                for key, tests in self.partitions(dims).items()
+            }
+            finish(len(result))
+        return result
 
     def specialise_decisions(
         self, dims: Sequence[str]
     ) -> Dict[Tuple, Dict[str, OptDecision]]:
         """Like :meth:`specialise` but keeping full decision detail
         (needed for Table IX's effect sizes and ? entries)."""
-        return {
-            key: self.opts_for_partition(tests)
-            for key, tests in self.partitions(dims).items()
+        with self._specialise_span(dims) as finish:
+            result = {
+                key: self.opts_for_partition(tests)
+                for key, tests in self.partitions(dims).items()
+            }
+            finish(len(result))
+        return result
+
+    @contextmanager
+    def _specialise_span(self, dims: Sequence[str]):
+        """An ``analysis.specialise`` span carrying per-level counts.
+
+        The yielded callable closes the bookkeeping: called with the
+        partition count, it attaches the number of MWU tests run and
+        comparisons filtered *at this specialisation level* (deltas of
+        the analysis counters, so memoised comparisons from earlier
+        levels are not re-counted)."""
+        rec = self._rec()
+        level = "+".join(dims) if dims else "global"
+        before = {
+            name: rec.counter_value(name)
+            for name in (
+                "analysis.mwu.tests",
+                "analysis.mwu.insufficient",
+                "analysis.filter.significant",
+                "analysis.filter.insignificant",
+            )
         }
+        with rec.span("analysis.specialise", level=level) as span:
+
+            def finish(n_partitions: int) -> None:
+                span.set("partitions", n_partitions)
+                for name, start in before.items():
+                    span.set(
+                        name.split("analysis.", 1)[1].replace(".", "_"),
+                        rec.counter_value(name) - start,
+                    )
+
+            yield finish

@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from .stats.summary import median
 from .stats.tdist import t_ppf
 
@@ -35,6 +36,7 @@ def welch_interval(
     interval stays well-defined (timing data is never exactly
     constant, but simulated data can be).
     """
+    obs.count("analysis.welch_intervals")
     a = np.asarray(list(a), dtype=np.float64)
     b = np.asarray(list(b), dtype=np.float64)
     if a.size < 2 or b.size < 2:

@@ -69,6 +69,16 @@ class CheckpointError(DatasetError):
     """
 
 
+class ReportError(DatasetError):
+    """A run-report artifact is missing, malformed or corrupt.
+
+    Raised by :class:`repro.obs.report.RunReport` when loading a
+    metrics artifact whose JSON is truncated or whose checksum does not
+    match — an observability report that cannot be trusted must be
+    rejected, not summarised.
+    """
+
+
 class InjectedFault(ReproError):
     """A deliberately injected fault (testing only).
 

@@ -1,0 +1,81 @@
+"""Observability: tracing spans, metrics and run reports.
+
+A lightweight, dependency-free instrumentation layer for the study
+pipeline (and any future serving stack): hierarchical *spans* with an
+injectable clock, named *counters*/*gauges*/*histograms*, and a
+per-run :class:`~repro.obs.report.RunReport` that serialises to a
+checksummed JSON artifact and renders as a summary table.
+
+Design rules (see ``docs/observability.md`` for naming conventions):
+
+* **Zero overhead when disabled.**  The process-wide current recorder
+  defaults to :data:`~repro.obs.recorder.NULL_RECORDER`, whose methods
+  are no-ops; hot paths either take an explicit recorder or call the
+  module-level helpers below, and never instrument per-launch inner
+  loops.
+* **Deterministic when clocked.**  A :class:`Recorder` built with a
+  fake clock produces byte-for-byte reproducible reports, so report
+  serialisation is golden-testable.
+* **Mergeable.**  Worker processes run their own recorders and ship
+  per-shard :meth:`~repro.obs.recorder.Recorder.drain` deltas that
+  :meth:`~repro.obs.recorder.Recorder.merge` folds into the parent.
+
+Usage::
+
+    from repro.obs import Recorder, recording
+
+    rec = Recorder()
+    with recording(rec):                    # route module-level helpers
+        dataset = run_study(cfg, recorder=rec)
+    RunReport.from_recorder(rec).save("run-report.json")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .recorder import NULL_RECORDER, NullRecorder, Recorder, Span
+from .report import REPORT_FORMAT, RunReport
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "REPORT_FORMAT",
+    "Recorder",
+    "RunReport",
+    "Span",
+    "count",
+    "get_recorder",
+    "recording",
+    "set_recorder",
+]
+
+_current = NULL_RECORDER
+
+
+def get_recorder():
+    """The process-wide current recorder (the no-op one by default)."""
+    return _current
+
+
+def set_recorder(recorder) -> None:
+    """Install ``recorder`` as the process-wide current recorder."""
+    global _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+
+
+@contextmanager
+def recording(recorder):
+    """Scope ``recorder`` as the current recorder, restoring on exit."""
+    global _current
+    previous = _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+    try:
+        yield _current
+    finally:
+        _current = previous
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment a counter on the current recorder (no-op by default)."""
+    _current.count(name, n)

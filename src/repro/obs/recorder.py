@@ -1,0 +1,212 @@
+"""Recorders: where spans, counters, gauges and histograms accumulate.
+
+Two implementations share one interface.  :class:`Recorder` records
+everything it is given — hierarchical spans with durations from an
+injectable clock, named counters, gauges and histograms — and can
+merge the drained snapshots of other recorders (the study sweep's
+worker processes each run their own recorder and ship per-shard deltas
+back to the parent).  :class:`NullRecorder` is the default: every
+method is a no-op and :meth:`~NullRecorder.span` returns a shared
+reusable context manager, so instrumented code pays one cheap call per
+*shard-level* event and nothing per inner-loop iteration when metrics
+are off.
+
+All timing goes through the recorder's ``clock`` (default
+:func:`time.perf_counter`); tests inject a fake clock so serialised
+reports are byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["NULL_RECORDER", "NullRecorder", "Recorder", "Span"]
+
+
+class Span:
+    """One finished (or open) span: a named, attributed time interval."""
+
+    __slots__ = ("name", "attrs", "depth", "start_s", "duration_s")
+
+    def __init__(self, name: str, attrs: Dict[str, object], depth: int, start_s: float):
+        self.name = name
+        self.attrs = attrs
+        self.depth = depth
+        self.start_s = start_s
+        self.duration_s: Optional[float] = None
+
+    def set(self, key: str, value: object) -> None:
+        """Attach (or overwrite) one attribute on the span."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+
+
+class _NullSpan:
+    """Reusable no-op stand-in for :class:`Span` under :class:`NullRecorder`."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The zero-overhead default: records nothing, allocates nothing."""
+
+    enabled = False
+    prior_segments: List[dict] = []
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def counter_value(self, name: str) -> int:
+        return 0
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def merge(self, snapshot: dict) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "spans": []}
+
+    def drain(self) -> dict:
+        return self.snapshot()
+
+
+#: The shared process-wide no-op recorder.
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder:
+    """Accumulates spans, counters, gauges and histograms for one run.
+
+    * ``count(name, n)``   — monotonically increasing integer counters;
+    * ``gauge(name, v)``   — last-value-wins point samples;
+    * ``observe(name, v)`` — histograms kept as (count, sum, min, max);
+    * ``span(name, **a)``  — a context manager timing a hierarchical
+      region; nesting depth is tracked via an explicit stack, and the
+      yielded :class:`Span` accepts late attributes via :meth:`Span.set`.
+
+    :meth:`snapshot` returns the state as plain JSON-serialisable data;
+    :meth:`drain` snapshots *and resets* (the per-shard delta workers
+    ship home); :meth:`merge` folds such a snapshot back in — counters
+    and histograms add, gauges overwrite, spans append.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, List[float]] = {}  # [count, sum, min, max]
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        #: Snapshots of prior (interrupted) run segments, loaded from a
+        #: checkpoint on ``--resume``; kept separate from this run's own
+        #: data so per-run invariants are never double counted.
+        self.prior_segments: List[dict] = []
+
+    # -- instruments -------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter_value(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        h = self.histograms.get(name)
+        if h is None:
+            self.histograms[name] = [1, value, value, value]
+        else:
+            h[0] += 1
+            h[1] += value
+            h[2] = min(h[2], value)
+            h[3] = max(h[3], value)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object):
+        sp = Span(name, attrs, depth=len(self._stack), start_s=self._clock())
+        self.spans.append(sp)  # open order, so parents precede children
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            self._stack.pop()
+            sp.duration_s = self._clock() - sp.start_s
+
+    # -- snapshots and merging ---------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The recorder's state as plain JSON-serialisable data."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: list(v) for k, v in self.histograms.items()},
+            "spans": [sp.to_dict() for sp in self.spans],
+        }
+
+    def drain(self) -> dict:
+        """Snapshot and reset — the per-shard delta a worker ships home."""
+        snap = self.snapshot()
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+        self.spans = []
+        return snap
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a drained snapshot in: add counters/histograms, append spans."""
+        for name, n in snapshot.get("counters", {}).items():
+            self.count(name, n)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, h in snapshot.get("histograms", {}).items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = list(h)
+            else:
+                mine[0] += h[0]
+                mine[1] += h[1]
+                mine[2] = min(mine[2], h[2])
+                mine[3] = max(mine[3], h[3])
+        for rec in snapshot.get("spans", []):
+            sp = Span(
+                rec["name"],
+                dict(rec.get("attrs", {})),
+                depth=rec.get("depth", 0),
+                start_s=rec.get("start_s", 0.0),
+            )
+            sp.duration_s = rec.get("duration_s")
+            self.spans.append(sp)

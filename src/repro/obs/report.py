@@ -1,0 +1,243 @@
+"""RunReport: the per-run metrics artifact and its renderer.
+
+A :class:`RunReport` captures one run's recorder state (counters,
+gauges, histograms, spans) plus free-form ``meta`` facts (engine, job
+count, scale, …) and the ``prior`` segments of interrupted runs merged
+across ``--resume``.  It serialises to a checksummed JSON file next to
+the dataset — the same atomic-write + SHA-256 discipline as
+:meth:`repro.study.dataset.PerfDataset.save` — and renders as a
+human-readable summary (``python -m repro profile REPORT.json``).
+
+The report is deliberately plain data: byte-for-byte reproducible when
+the recorder ran under an injectable clock, and safe to diff, archive
+or upload as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..errors import ReportError
+from ..util import atomic_write_text, sha256_hex
+
+__all__ = ["REPORT_FORMAT", "RunReport", "main"]
+
+#: Format tag of checksummed run-report files.
+REPORT_FORMAT = "run-report-v1"
+
+
+class RunReport:
+    """One run's observability data, serialisable and renderable."""
+
+    def __init__(
+        self,
+        counters: Optional[Dict[str, int]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+        histograms: Optional[Dict[str, List[float]]] = None,
+        spans: Optional[List[dict]] = None,
+        meta: Optional[Dict[str, object]] = None,
+        prior: Optional[List[dict]] = None,
+    ) -> None:
+        self.counters = dict(counters or {})
+        self.gauges = dict(gauges or {})
+        self.histograms = {k: list(v) for k, v in (histograms or {}).items()}
+        self.spans = list(spans or [])
+        self.meta = dict(meta or {})
+        self.prior = list(prior or [])
+
+    @classmethod
+    def from_recorder(cls, recorder, meta: Optional[dict] = None) -> "RunReport":
+        """Build a report from a recorder (including its prior segments)."""
+        snap = recorder.snapshot()
+        return cls(
+            counters=snap["counters"],
+            gauges=snap["gauges"],
+            histograms=snap["histograms"],
+            spans=snap["spans"],
+            meta=meta,
+            prior=list(getattr(recorder, "prior_segments", [])),
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """This run's value of one counter."""
+        return self.counters.get(name, default)
+
+    def total_counter(self, name: str) -> int:
+        """A counter summed over this run *and* all prior segments."""
+        total = self.counters.get(name, 0)
+        for segment in self.prior:
+            total += segment.get("counters", {}).get(name, 0)
+        return total
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": self.meta,
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": self.histograms,
+            "spans": self.spans,
+            "prior": self.prior,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        if not isinstance(data, dict):
+            raise ReportError("malformed run report: expected an object")
+        return cls(
+            counters=data.get("counters", {}),
+            gauges=data.get("gauges", {}),
+            histograms=data.get("histograms", {}),
+            spans=data.get("spans", []),
+            meta=data.get("meta", {}),
+            prior=data.get("prior", []),
+        )
+
+    def save(self, path: str) -> None:
+        """Atomically write the report as checksummed JSON."""
+        body = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        payload = (
+            f'{{"format": "{REPORT_FORMAT}", '
+            f'"checksum": "{sha256_hex(body)}", '
+            f'"report": {body}}}'
+        )
+        atomic_write_text(path, payload)
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        """Load a report, raising :class:`~repro.errors.ReportError` on
+        truncation, corruption or a checksum mismatch."""
+        try:
+            with open(path, encoding="utf-8") as f:
+                parsed = json.load(f)
+        except OSError as exc:
+            raise ReportError(f"cannot read run report {path!r}: {exc}") from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ReportError(
+                f"corrupt run report {path!r}: truncated or invalid JSON ({exc})"
+            ) from exc
+        if not isinstance(parsed, dict) or parsed.get("format") != REPORT_FORMAT:
+            raise ReportError(
+                f"unrecognised run report {path!r} "
+                f"(expected format {REPORT_FORMAT!r})"
+            )
+        body = json.dumps(
+            parsed.get("report", {}), sort_keys=True, separators=(",", ":")
+        )
+        if sha256_hex(body) != parsed.get("checksum"):
+            raise ReportError(
+                f"corrupt run report {path!r}: checksum mismatch (the file "
+                f"was modified or partially written)"
+            )
+        return cls.from_dict(parsed["report"])
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, max_spans: int = 15) -> str:
+        """A human-readable multi-section summary of the report."""
+        # Imported lazily: repro.core's analysis modules import repro.obs
+        # for instrumentation, so a module-level import here would cycle.
+        from ..core.reporting import render_table
+
+        sections: List[str] = []
+        if self.meta:
+            sections.append(
+                render_table(
+                    ["Meta", "Value"],
+                    [[k, self.meta[k]] for k in sorted(self.meta)],
+                    title="Run report",
+                )
+            )
+        if self.counters:
+            if self.prior:
+                rows = [
+                    [k, self.counters[k], self.total_counter(k)]
+                    for k in sorted(self.counters)
+                ]
+                headers = ["Counter", "This run", "Incl. prior runs"]
+            else:
+                rows = [[k, self.counters[k]] for k in sorted(self.counters)]
+                headers = ["Counter", "Value"]
+            sections.append(render_table(headers, rows, title="Counters"))
+        if self.gauges:
+            sections.append(
+                render_table(
+                    ["Gauge", "Value"],
+                    [[k, self.gauges[k]] for k in sorted(self.gauges)],
+                    title="Gauges",
+                )
+            )
+        if self.histograms:
+            rows = []
+            for name in sorted(self.histograms):
+                count, total, lo, hi = self.histograms[name]
+                mean = total / count if count else float("nan")
+                rows.append([name, int(count), mean, lo, hi])
+            sections.append(
+                render_table(
+                    ["Histogram", "Count", "Mean", "Min", "Max"],
+                    rows,
+                    title="Histograms",
+                )
+            )
+        if self.spans:
+            closed = [s for s in self.spans if s.get("duration_s") is not None]
+            slowest = sorted(
+                closed, key=lambda s: s["duration_s"], reverse=True
+            )[:max_spans]
+            rows = [
+                [
+                    "  " * int(s.get("depth", 0)) + s["name"],
+                    f"{s['duration_s'] * 1e3:.2f}ms",
+                    ", ".join(
+                        f"{k}={v}" for k, v in sorted(s.get("attrs", {}).items())
+                    ),
+                ]
+                for s in slowest
+            ]
+            sections.append(
+                render_table(
+                    ["Span", "Duration", "Attributes"],
+                    rows,
+                    title=(
+                        f"Slowest spans ({len(slowest)} of {len(self.spans)})"
+                    ),
+                )
+            )
+        if self.prior:
+            sections.append(
+                f"Merged from {len(self.prior)} prior interrupted run "
+                f"segment(s) via --resume."
+            )
+        return "\n\n".join(sections) if sections else "empty run report"
+
+
+def main(argv=None) -> int:
+    """CLI: ``python -m repro profile REPORT.json [--spans N]``."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Render a study RunReport as a human-readable summary.",
+    )
+    parser.add_argument("report", help="path to a RunReport JSON artifact")
+    parser.add_argument(
+        "--spans",
+        type=int,
+        default=15,
+        metavar="N",
+        help="show the N slowest spans (default: 15)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = RunReport.load(args.report)
+    except ReportError as exc:
+        print(f"[profile] {exc}", file=sys.stderr)
+        return 1
+    print(report.render(max_spans=args.spans))
+    return 0

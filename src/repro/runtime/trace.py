@@ -19,7 +19,34 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["LaunchRecord", "Trace", "TraceArrays", "TraceGroup"]
+__all__ = ["LaunchRecord", "MemoStats", "Trace", "TraceArrays", "TraceGroup", "memo_stats"]
+
+
+class MemoStats:
+    """Process-wide hit/miss tally of the batch engine's plan-keyed memo.
+
+    Plain attribute increments keep the memo's hot path free of any
+    recorder indirection; the study runner reads (and differences) the
+    tally around each shard to surface ``perfmodel.memo.*`` counters in
+    its :class:`~repro.obs.report.RunReport`.  Note that *hit* rates
+    depend on which shards a worker process happens to price (memo
+    entries persist across shards within a process), so only the
+    hit+miss lookup total is placement-independent.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+#: Tally incremented by every :meth:`TraceGroup.memo` lookup.
+memo_stats = MemoStats()
 
 
 @dataclass(frozen=True)
@@ -176,8 +203,11 @@ class TraceGroup:
         """Return the cached value for ``key``, building it on miss."""
         value = self._cache.get(key)
         if value is None:
+            memo_stats.misses += 1
             value = builder()
             self._cache[key] = value
+        else:
+            memo_stats.hits += 1
         return value
 
     def __getstate__(self):

@@ -13,6 +13,7 @@ Layout of a checkpoint directory::
       manifest.json              {"format", "fingerprint", "n_chips",
                                   "n_configs"}
       shard-<chip>-<config>.json {"task", "rows", "checksum"}
+      metrics.json               {"segments", "checksum"} (optional)
 
 Every file is written atomically (temp + rename) with a SHA-256
 checksum, so a crash can at worst lose the shard being written, never
@@ -80,6 +81,7 @@ class StudyCheckpoint:
     """A directory of completed pricing shards, written as they finish."""
 
     MANIFEST = "manifest.json"
+    METRICS = "metrics.json"
 
     def __init__(self, directory: str) -> None:
         self.directory = str(directory)
@@ -163,7 +165,11 @@ class StudyCheckpoint:
         if not os.path.isdir(self.directory):
             return
         for name in os.listdir(self.directory):
-            if name == self.MANIFEST or _SHARD_RE.match(name):
+            if (
+                name == self.MANIFEST
+                or name == self.METRICS
+                or _SHARD_RE.match(name)
+            ):
                 try:
                     os.unlink(os.path.join(self.directory, name))
                 except OSError:  # pragma: no cover - concurrent cleanup
@@ -226,6 +232,47 @@ class StudyCheckpoint:
             ]
         except (OSError, ValueError, KeyError, TypeError):
             return None
+
+    # -- metrics -----------------------------------------------------------
+
+    def _metrics_path(self) -> str:
+        return os.path.join(self.directory, self.METRICS)
+
+    def save_metrics(self, segments: List[dict]) -> None:
+        """Atomically persist the run's observability segments.
+
+        ``segments`` are recorder snapshots (prior interrupted runs
+        plus the current run so far); a resumed run loads them back so
+        its RunReport can account for work done before the interrupt.
+        """
+        body = json.dumps(segments, sort_keys=True, separators=(",", ":"))
+        payload = (
+            f'{{"checksum": "{sha256_hex(body)}", "segments": {body}}}'
+        )
+        atomic_write_text(self._metrics_path(), payload)
+
+    def load_metrics(self) -> List[dict]:
+        """The persisted observability segments, or ``[]``.
+
+        Metrics are best-effort telemetry: a missing, truncated or
+        checksum-mismatched file yields an empty list rather than an
+        error — resuming the pricing itself must never be blocked by a
+        damaged metrics sidecar.
+        """
+        try:
+            with open(self._metrics_path()) as f:
+                payload = json.load(f)
+            body = json.dumps(
+                payload["segments"], sort_keys=True, separators=(",", ":")
+            )
+            if sha256_hex(body) != payload["checksum"]:
+                return []
+            segments = payload["segments"]
+            if not isinstance(segments, list):
+                return []
+            return [s for s in segments if isinstance(s, dict)]
+        except (OSError, ValueError, KeyError, TypeError):
+            return []
 
     @property
     def skipped_shards(self) -> int:

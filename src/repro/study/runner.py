@@ -50,15 +50,16 @@ from ..apps.registry import all_applications
 from ..chips.database import all_chips
 from ..chips.model import ChipModel
 from ..compiler.options import OptConfig, enumerate_configs
-from ..compiler.pipeline import compile_cached
+from ..compiler.pipeline import compile_cached, plan_cache
 from ..dsl.ast import Program
 from ..errors import CheckpointError
 from ..faults import FaultPlan
 from ..graphs.inputs import StudyInput, study_inputs
+from ..obs import NULL_RECORDER, Recorder, RunReport
 from ..perfmodel.batch import estimate_runtime_us_batch, measure_repeats_us_batch
 from ..perfmodel.noise import measurement_prefix, measurement_seeds
 from ..perfmodel.simulate import measure_repeats_us
-from ..runtime.trace import Trace
+from ..runtime.trace import Trace, memo_stats
 from .checkpoint import StudyCheckpoint, study_fingerprint
 from .dataset import PerfDataset, TestCase
 from .progress import PhaseTimer
@@ -100,20 +101,25 @@ class StudyConfig:
 
 
 def collect_traces(
-    config: StudyConfig, progress: Optional[Callable[[str], None]] = None
+    config: StudyConfig,
+    progress: Optional[Callable[[str], None]] = None,
+    recorder=None,
 ) -> Dict[tuple, Trace]:
     """Phase 1: run every (application, input) pair functionally.
 
     Pairs that cannot run — a weight-requiring application on an
     unweighted graph — are skipped, and each skip is reported through
     ``progress`` so a sweep's log accounts for every pair of the
-    factorial.
+    factorial.  ``recorder`` (a :class:`~repro.obs.Recorder`) counts
+    ``study.traces.collected`` / ``study.traces.skipped``.
     """
+    rec = recorder if recorder is not None else NULL_RECORDER
     traces: Dict[tuple, Trace] = {}
     for inp in config.inputs.values():
         graph = inp.graph
         for app in config.apps:
             if app.requires_weights and not graph.has_weights:
+                rec.count("study.traces.skipped")
                 if progress:
                     progress(
                         f"skipping {app.name} on {inp.name}: requires edge "
@@ -122,7 +128,9 @@ def collect_traces(
                 continue
             if progress:
                 progress(f"tracing {app.name} on {inp.name}")
-            result = app.run(graph, source=config.source)
+            with rec.span("study.trace", app=app.name, input=inp.name):
+                result = app.run(graph, source=config.source)
+            rec.count("study.traces.collected")
             traces[(app.name, inp.name)] = result.trace
     return traces
 
@@ -170,18 +178,8 @@ def _shard_key(task: Task) -> str:
     return f"shard-{task[0]}-{task[1]}"
 
 
-def _price_cell_impl(
-    task: Task, state: _State, faults: Optional[FaultPlan] = None
-):
-    """Price every trace under one (chip, configuration) shard."""
-    chip_idx, cfg_idx = task
-    programs, traces, chips, configs, repetitions, engine = state
-    if faults is not None:
-        key = _shard_key(task)
-        faults.fire("slow", key)
-        faults.fire("error", key)
-        faults.fire("crash", key)
-    chip, opt = chips[chip_idx], configs[cfg_idx]
+def _price_rows(chip, opt, programs, traces, repetitions, engine):
+    """The pricing inner loop of one (chip, configuration) shard."""
     prefixes: Dict[tuple, int] = {}
     rows = []
     for (app_name, input_name), trace in traces.items():
@@ -195,6 +193,45 @@ def _price_cell_impl(
                 prefixes[pkey] = prefix
         times = _measure_point(plan, trace, repetitions, engine, prefix)
         rows.append((app_name, input_name, times))
+    return rows
+
+
+def _price_cell_impl(
+    task: Task,
+    state: _State,
+    faults: Optional[FaultPlan] = None,
+    recorder=None,
+):
+    """Price every trace under one (chip, configuration) shard.
+
+    With an enabled ``recorder`` the shard is wrapped in a
+    ``study.price_shard`` span and the plan-cache / batch-memoiser
+    hit/miss deltas accrued by the shard are counted; the default
+    no-op recorder skips all of that bookkeeping.
+    """
+    chip_idx, cfg_idx = task
+    programs, traces, chips, configs, repetitions, engine = state
+    if faults is not None:
+        key = _shard_key(task)
+        faults.fire("slow", key)
+        faults.fire("error", key)
+        faults.fire("crash", key)
+    chip, opt = chips[chip_idx], configs[cfg_idx]
+    rec = recorder if recorder is not None else NULL_RECORDER
+    if not rec.enabled:
+        rows = _price_rows(chip, opt, programs, traces, repetitions, engine)
+        return chip_idx, cfg_idx, rows
+    plan_hits, plan_misses = plan_cache.hits, plan_cache.misses
+    memo_hits, memo_misses = memo_stats.hits, memo_stats.misses
+    with rec.span(
+        "study.price_shard", chip=chip.short_name, config=opt.label()
+    ) as span:
+        rows = _price_rows(chip, opt, programs, traces, repetitions, engine)
+        span.set("traces", len(rows))
+    rec.count("compiler.plan_cache.hits", plan_cache.hits - plan_hits)
+    rec.count("compiler.plan_cache.misses", plan_cache.misses - plan_misses)
+    rec.count("perfmodel.memo.hits", memo_stats.hits - memo_hits)
+    rec.count("perfmodel.memo.misses", memo_stats.misses - memo_misses)
     return chip_idx, cfg_idx, rows
 
 
@@ -204,6 +241,7 @@ def _price_cell_impl(
 
 _WORKER_STATE: Optional[_State] = None
 _WORKER_FAULTS: Optional[FaultPlan] = None
+_WORKER_RECORDER = NULL_RECORDER
 
 
 def _init_worker(
@@ -214,15 +252,41 @@ def _init_worker(
     repetitions: int,
     engine: str,
     faults: Optional[FaultPlan],
+    metrics: bool = False,
 ) -> None:
-    global _WORKER_STATE, _WORKER_FAULTS
+    global _WORKER_STATE, _WORKER_FAULTS, _WORKER_RECORDER
     _WORKER_STATE = (programs, traces, chips, configs, repetitions, engine)
     _WORKER_FAULTS = faults
+    # Each worker runs its own recorder; per-shard deltas are drained
+    # into the result tuple and merged by the parent on collection.
+    _WORKER_RECORDER = Recorder() if metrics else NULL_RECORDER
 
 
 def _price_cell(task: Task):
-    """Worker entry point: price one shard from the installed state."""
-    return _price_cell_impl(task, _WORKER_STATE, _WORKER_FAULTS)
+    """Worker entry point: price one shard from the installed state.
+
+    Returns ``(chip_idx, cfg_idx, rows, obs_delta)`` where
+    ``obs_delta`` is the worker recorder's drained snapshot for this
+    shard (``None`` when metrics are disabled)."""
+    chip_idx, cfg_idx, rows = _price_cell_impl(
+        task, _WORKER_STATE, _WORKER_FAULTS, recorder=_WORKER_RECORDER
+    )
+    delta = _WORKER_RECORDER.drain() if _WORKER_RECORDER.enabled else None
+    return chip_idx, cfg_idx, rows, delta
+
+
+def _save_metrics(checkpoint: Optional[StudyCheckpoint], recorder) -> None:
+    """Persist the recorder's segments to the checkpoint (if both exist).
+
+    Written after every recorded shard so an interrupt at any point
+    leaves the metrics sidecar consistent with the shard files: a
+    resumed run's ``skipped_checkpoint`` count equals the persisted
+    segments' ``priced`` total.
+    """
+    if checkpoint is not None and recorder.enabled:
+        checkpoint.save_metrics(
+            list(recorder.prior_segments) + [recorder.snapshot()]
+        )
 
 
 def _run_serial(
@@ -235,6 +299,7 @@ def _run_serial(
     faults: Optional[FaultPlan] = None,
     checkpoint: Optional[StudyCheckpoint] = None,
     done: Optional[Dict[Task, list]] = None,
+    recorder=NULL_RECORDER,
 ) -> PerfDataset:
     state: _State = (
         programs,
@@ -252,9 +317,13 @@ def _run_serial(
             task = (chip_idx, cfg_idx)
             rows = results.get(task)
             if rows is None:
-                _, _, rows = _price_cell_impl(task, state, faults)
+                _, _, rows = _price_cell_impl(
+                    task, state, faults, recorder=recorder
+                )
+                recorder.count("study.shards.priced")
                 if checkpoint is not None:
                     checkpoint.record(task, rows)
+                    _save_metrics(checkpoint, recorder)
                 if faults is not None:
                     faults.fire("interrupt", _shard_key(task))
             for app_name, input_name, times in rows:
@@ -278,6 +347,7 @@ def _run_parallel(
     done: Optional[Dict[Task, list]] = None,
     retries: int = DEFAULT_RETRIES,
     backoff: float = DEFAULT_BACKOFF,
+    recorder=NULL_RECORDER,
 ) -> PerfDataset:
     """Shard the pricing grid over a worker pool, surviving failures.
 
@@ -305,10 +375,14 @@ def _run_parallel(
     pending = [t for t in tasks if t not in results]
     note_every = max(1, len(tasks) // 10)
 
-    def complete(task: Task, rows: list) -> None:
+    def complete(task: Task, rows: list, delta: Optional[dict] = None) -> None:
+        if delta is not None:
+            recorder.merge(delta)
+        recorder.count("study.shards.priced")
         results[task] = rows
         if checkpoint is not None:
             checkpoint.record(task, rows)
+            _save_metrics(checkpoint, recorder)
         if len(results) % note_every == 0:
             timer.note(f"priced {len(results)}/{len(tasks)} shards")
         if faults is not None:
@@ -322,14 +396,15 @@ def _run_parallel(
                 f"remaining {len(pending)} shards in-process"
             )
             for task in list(pending):
-                _, _, rows = _price_cell_impl(task, state)
+                recorder.count("study.shards.fallback_inprocess")
+                _, _, rows = _price_cell_impl(task, state, recorder=recorder)
                 complete(task, rows)
                 pending.remove(task)
             break
         pool = ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_worker,
-            initargs=state + (faults,),
+            initargs=state + (faults, recorder.enabled),
         )
         try:
             futures = {pool.submit(_price_cell, t): t for t in pending}
@@ -338,8 +413,9 @@ def _run_parallel(
                 finished, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for fut in finished:
                     task = futures.pop(fut)
+                    delta: Optional[dict] = None
                     try:
-                        _, _, rows = fut.result()
+                        _, _, rows, delta = fut.result()
                     except BrokenExecutor:
                         raise
                     except Exception as exc:
@@ -350,16 +426,20 @@ def _run_parallel(
                                 f"{_shard_key(task)} failed {n} times "
                                 f"({exc}); pricing in-process"
                             )
-                            _, _, rows = _price_cell_impl(task, state)
+                            recorder.count("study.shards.fallback_inprocess")
+                            _, _, rows = _price_cell_impl(
+                                task, state, recorder=recorder
+                            )
                         else:
                             timer.note(
                                 f"{_shard_key(task)} failed ({exc}); "
                                 f"re-queued (retry {n}/{retries})"
                             )
+                            recorder.count("study.shards.retried")
                             time.sleep(backoff * (2 ** (n - 1)))
                             futures[pool.submit(_price_cell, task)] = task
                             continue
-                    complete(task, rows)
+                    complete(task, rows, delta)
                     pending.remove(task)
             pool.shutdown()
         except BrokenExecutor:
@@ -368,6 +448,7 @@ def _run_parallel(
             # that had not completed.
             pool.shutdown(wait=False, cancel_futures=True)
             pool_failures += 1
+            recorder.count("study.pool.rebuilds")
             if pool_failures <= retries:
                 timer.note(
                     f"worker pool died; re-queuing {len(pending)} shards "
@@ -405,6 +486,7 @@ def run_study(
     faults: Optional[FaultPlan] = None,
     retries: int = DEFAULT_RETRIES,
     backoff: float = DEFAULT_BACKOFF,
+    recorder=None,
 ) -> PerfDataset:
     """Run the full study and return the performance dataset.
 
@@ -422,6 +504,14 @@ def run_study(
     :class:`~repro.errors.CheckpointError`.  ``faults`` injects
     deterministic failures for testing; ``retries``/``backoff`` bound
     the parallel sweep's recovery from failed shards and dead pools.
+
+    ``recorder`` (a :class:`~repro.obs.Recorder`) collects the run's
+    metrics: per-shard spans, ``study.shards.*`` counters whose
+    ``priced + skipped_checkpoint`` always equals the grid size, cache
+    hit/miss deltas, and — on ``resume`` — the metrics segments the
+    interrupted run persisted to the checkpoint, loaded into
+    ``recorder.prior_segments``.  The default ``None`` uses the no-op
+    recorder: no bookkeeping at all.
     """
     if config is None:
         config = StudyConfig()
@@ -433,6 +523,7 @@ def run_study(
         raise ValueError("retries must be non-negative")
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint directory")
+    rec = recorder if recorder is not None else NULL_RECORDER
 
     timer = PhaseTimer(progress)
     if traces is None:
@@ -442,7 +533,9 @@ def run_study(
             timer.note(message)
             timer.tick()
 
-        traces = collect_traces(config, _note_trace if progress else None)
+        traces = collect_traces(
+            config, _note_trace if progress else None, recorder=rec
+        )
         timer.finish(f"collected {len(traces)} traces")
 
     programs = {app.name: app.program() for app in config.apps}
@@ -459,6 +552,19 @@ def run_study(
         done = ckpt.open(
             fingerprint, len(config.chips), len(config.configs), resume=resume
         )
+        if rec.enabled:
+            if resume:
+                # The interrupted run's metrics segments: kept apart
+                # from this run's counters so priced/skipped totals
+                # reconcile per run, while the RunReport's
+                # total_counter() still sees the whole study.
+                rec.prior_segments = ckpt.load_metrics()
+            if done:
+                rec.count("study.shards.skipped_checkpoint", len(done))
+            if ckpt.skipped_shards:
+                rec.count(
+                    "study.checkpoint.invalid_shards", ckpt.skipped_shards
+                )
         if progress and (done or ckpt.skipped_shards):
             total = len(config.chips) * len(config.configs)
             dropped = (
@@ -470,6 +576,9 @@ def run_study(
                 f"resuming: {len(done)}/{total} shards already priced{dropped}"
             )
 
+    rec.gauge(
+        "study.shards.total", len(config.chips) * len(config.configs)
+    )
     timer.start("pricing", total=len(config.chips))
     if jobs == 1:
         dataset = _run_serial(
@@ -481,6 +590,7 @@ def run_study(
             faults=faults,
             checkpoint=ckpt,
             done=done,
+            recorder=rec,
         )
     else:
         dataset = _run_parallel(
@@ -495,6 +605,7 @@ def run_study(
             done=done,
             retries=retries,
             backoff=backoff,
+            recorder=rec,
         )
     timer.finish(
         f"priced {dataset.n_measurements} measurements "
@@ -559,6 +670,13 @@ def main() -> None:  # pragma: no cover - CLI entry point
         help="fault-injection spool directory (testing only; see "
         "repro.faults.FaultPlan)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a RunReport JSON artifact (counters, spans, cache "
+        "stats) to PATH; render it with `python -m repro profile PATH`",
+    )
     args = parser.parse_args()
 
     ckpt_dir = None if args.no_checkpoint else (
@@ -566,6 +684,7 @@ def main() -> None:  # pragma: no cover - CLI entry point
     )
     ckpt = StudyCheckpoint(ckpt_dir) if ckpt_dir else None
     faults = FaultPlan(args.faults) if args.faults else None
+    rec = Recorder() if args.metrics else None
 
     started = time.time()
     try:
@@ -578,6 +697,7 @@ def main() -> None:  # pragma: no cover - CLI entry point
             resume=args.resume,
             faults=faults,
             retries=args.retries,
+            recorder=rec,
         )
     except KeyboardInterrupt:
         where = f" in {ckpt.directory}" if ckpt else ""
@@ -591,6 +711,21 @@ def main() -> None:  # pragma: no cover - CLI entry point
         print(f"[study] {exc}", file=sys.stderr)
         raise SystemExit(3)
     dataset.save(args.output, faults=faults)
+    if rec is not None:
+        report = RunReport.from_recorder(
+            rec,
+            meta={
+                "engine": args.engine,
+                "jobs": args.jobs,
+                "scale": args.scale,
+                "repetitions": args.repetitions,
+                "resumed": args.resume,
+                "dataset": args.output,
+            },
+        )
+        report.save(args.metrics)
+        print(f"[study] wrote run report to {args.metrics}", file=sys.stderr)
+        print(report.render(), file=sys.stderr)
     if ckpt is not None:
         ckpt.clear()  # the dataset is safely on disk; drop the shards
     print(

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -109,6 +111,30 @@ def mini_study_config() -> StudyConfig:
 def mini_dataset(mini_study_config):
     """A real (small) study dataset shared across analysis tests."""
     return run_study(mini_study_config)
+
+
+# -- golden regression files ---------------------------------------------------
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression files under tests/goldens/ "
+        "from the current outputs instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    """Whether this run rewrites goldens rather than asserting them."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
+@pytest.fixture(scope="session")
+def goldens_dir() -> str:
+    return os.path.join(os.path.dirname(__file__), "goldens")
 
 
 # -- helpers -------------------------------------------------------------------

@@ -1,0 +1,178 @@
+"""Unit tests for the recorder layer: spans, metrics, drain/merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_RECORDER, NullRecorder, Recorder
+
+
+class FakeClock:
+    """A deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, start: float = 100.0, step: float = 0.25) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += self.step
+        return t
+
+
+# -- counters / gauges / histograms ------------------------------------------
+
+
+def test_counters_accumulate():
+    rec = Recorder()
+    rec.count("a")
+    rec.count("a", 4)
+    rec.count("b", 0)
+    assert rec.counter_value("a") == 5
+    assert rec.counter_value("b") == 0
+    assert rec.counter_value("missing") == 0
+
+
+def test_gauges_last_value_wins():
+    rec = Recorder()
+    rec.gauge("g", 1.0)
+    rec.gauge("g", 7.5)
+    assert rec.gauges["g"] == 7.5
+
+
+def test_histograms_track_count_sum_min_max():
+    rec = Recorder()
+    for v in (3.0, 1.0, 2.0):
+        rec.observe("h", v)
+    assert rec.histograms["h"] == [3, 6.0, 1.0, 3.0]
+
+
+# -- spans -------------------------------------------------------------------
+
+
+def test_spans_time_with_injected_clock():
+    clock = FakeClock(start=10.0, step=1.0)
+    rec = Recorder(clock=clock)
+    with rec.span("outer", kind="test") as sp:
+        sp.set("late", 42)
+    (span,) = rec.spans
+    assert span.name == "outer"
+    assert span.start_s == 10.0
+    assert span.duration_s == 1.0
+    assert span.attrs == {"kind": "test", "late": 42}
+
+
+def test_spans_nest_with_depth():
+    rec = Recorder(clock=FakeClock())
+    with rec.span("parent"):
+        with rec.span("child"):
+            pass
+        with rec.span("sibling"):
+            pass
+    names = [(s.name, s.depth) for s in rec.spans]
+    assert names == [("parent", 0), ("child", 1), ("sibling", 1)]
+
+
+def test_span_closes_on_exception():
+    rec = Recorder(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with rec.span("doomed"):
+            raise RuntimeError("boom")
+    assert rec.spans[0].duration_s is not None
+    assert not rec._stack
+
+
+# -- drain / merge -----------------------------------------------------------
+
+
+def test_drain_resets_and_merge_restores():
+    clock = FakeClock()
+    worker = Recorder(clock=clock)
+    worker.count("shards", 3)
+    worker.observe("lat", 2.0)
+    worker.gauge("g", 1.0)
+    with worker.span("work"):
+        pass
+    delta = worker.drain()
+    assert worker.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "spans": [],
+    }
+
+    parent = Recorder(clock=clock)
+    parent.count("shards", 1)
+    parent.observe("lat", 4.0)
+    parent.merge(delta)
+    assert parent.counter_value("shards") == 4
+    assert parent.histograms["lat"] == [2, 6.0, 2.0, 4.0]
+    assert parent.gauges["g"] == 1.0
+    assert [s.name for s in parent.spans] == ["work"]
+
+
+def test_merge_is_additive_and_order_independent_for_counters():
+    deltas = []
+    for n in (1, 2, 3):
+        w = Recorder()
+        w.count("c", n)
+        deltas.append(w.drain())
+    fwd, rev = Recorder(), Recorder()
+    for d in deltas:
+        fwd.merge(d)
+    for d in reversed(deltas):
+        rev.merge(d)
+    assert fwd.counters == rev.counters == {"c": 6}
+
+
+# -- the null recorder -------------------------------------------------------
+
+
+def test_null_recorder_is_inert():
+    rec = NullRecorder()
+    rec.count("x", 5)
+    rec.gauge("g", 1.0)
+    rec.observe("h", 2.0)
+    with rec.span("s", a=1) as sp:
+        sp.set("b", 2)
+    rec.merge({"counters": {"x": 1}})
+    assert rec.counter_value("x") == 0
+    assert rec.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "spans": [],
+    }
+    assert not rec.enabled
+
+
+def test_null_recorder_span_is_shared():
+    # The zero-overhead contract: no allocation per disabled span.
+    assert NULL_RECORDER.span("a") is NULL_RECORDER.span("b")
+
+
+# -- the process-wide current recorder ---------------------------------------
+
+
+def test_recording_scopes_the_current_recorder():
+    assert obs.get_recorder() is NULL_RECORDER
+    rec = Recorder()
+    with obs.recording(rec) as active:
+        assert active is rec
+        assert obs.get_recorder() is rec
+        obs.count("scoped")
+    assert obs.get_recorder() is NULL_RECORDER
+    assert rec.counter_value("scoped") == 1
+    obs.count("unscoped")  # swallowed by the null recorder
+    assert rec.counter_value("unscoped") == 0
+
+
+def test_set_recorder_none_restores_null():
+    rec = Recorder()
+    obs.set_recorder(rec)
+    try:
+        assert obs.get_recorder() is rec
+    finally:
+        obs.set_recorder(None)
+    assert obs.get_recorder() is NULL_RECORDER

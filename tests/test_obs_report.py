@@ -1,0 +1,120 @@
+"""Unit tests for RunReport: persistence, checksums, rendering, CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReportError
+from repro.obs import Recorder, RunReport
+from repro.obs.report import REPORT_FORMAT, main as profile_main
+
+
+class StepClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.5
+        return self.now
+
+
+def _sample_recorder() -> Recorder:
+    rec = Recorder(clock=StepClock())
+    rec.count("study.shards.priced", 8)
+    rec.gauge("study.shards.total", 8)
+    rec.observe("shard_s", 1.5)
+    with rec.span("study.price_shard", chip="GTX1080", config="baseline"):
+        pass
+    return rec
+
+
+def test_from_recorder_captures_everything(tmp_path):
+    rec = _sample_recorder()
+    rec.prior_segments = [{"counters": {"study.shards.priced": 3}}]
+    report = RunReport.from_recorder(rec, meta={"engine": "batch"})
+    assert report.counter("study.shards.priced") == 8
+    assert report.total_counter("study.shards.priced") == 11
+    assert report.meta == {"engine": "batch"}
+    assert report.gauges["study.shards.total"] == 8
+    assert report.spans[0]["name"] == "study.price_shard"
+
+
+def test_save_load_roundtrip(tmp_path):
+    report = RunReport.from_recorder(_sample_recorder(), meta={"jobs": 2})
+    path = str(tmp_path / "report.json")
+    report.save(path)
+    loaded = RunReport.load(path)
+    assert loaded.to_dict() == report.to_dict()
+
+
+def test_save_is_deterministic_under_fake_clock(tmp_path):
+    """Two identically-clocked runs serialise byte-for-byte equal."""
+    paths = []
+    for i in range(2):
+        path = str(tmp_path / f"r{i}.json")
+        RunReport.from_recorder(_sample_recorder(), meta={"k": "v"}).save(path)
+        paths.append(path)
+    with open(paths[0], "rb") as f0, open(paths[1], "rb") as f1:
+        assert f0.read() == f1.read()
+
+
+def test_load_rejects_corruption(tmp_path):
+    path = str(tmp_path / "report.json")
+    RunReport.from_recorder(_sample_recorder()).save(path)
+    with open(path) as f:
+        payload = json.load(f)
+    payload["report"]["counters"]["study.shards.priced"] = 999
+    with open(path, "w") as f:
+        json.dump(payload, f)
+    with pytest.raises(ReportError, match="checksum"):
+        RunReport.load(path)
+
+
+def test_load_rejects_truncation_and_wrong_format(tmp_path):
+    path = str(tmp_path / "trunc.json")
+    RunReport.from_recorder(_sample_recorder()).save(path)
+    with open(path) as f:
+        content = f.read()
+    with open(path, "w") as f:
+        f.write(content[: len(content) // 2])
+    with pytest.raises(ReportError):
+        RunReport.load(path)
+
+    other = str(tmp_path / "other.json")
+    with open(other, "w") as f:
+        json.dump({"format": "something-else", "report": {}}, f)
+    with pytest.raises(ReportError, match=REPORT_FORMAT):
+        RunReport.load(other)
+
+    with pytest.raises(ReportError):
+        RunReport.load(str(tmp_path / "missing.json"))
+
+
+def test_render_mentions_every_section():
+    rec = _sample_recorder()
+    rec.prior_segments = [{"counters": {"study.shards.priced": 2}}]
+    text = RunReport.from_recorder(rec, meta={"engine": "batch"}).render()
+    assert "engine" in text
+    assert "study.shards.priced" in text
+    assert "Incl. prior runs" in text  # merged-total column under resume
+    assert "study.price_shard" in text
+    assert "chip=GTX1080" in text
+    assert "prior interrupted run" in text
+
+
+def test_render_empty_report():
+    assert RunReport().render() == "empty run report"
+
+
+def test_profile_cli(tmp_path, capsys):
+    path = str(tmp_path / "report.json")
+    RunReport.from_recorder(_sample_recorder(), meta={"jobs": 1}).save(path)
+    assert profile_main([path]) == 0
+    out = capsys.readouterr().out
+    assert "study.shards.priced" in out
+
+    assert profile_main([str(tmp_path / "nope.json")]) == 1
+    assert "profile" in capsys.readouterr().err
