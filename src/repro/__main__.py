@@ -16,6 +16,11 @@ Subcommands:
 * ``profile REPORT.json [--spans N]`` — render a study RunReport
   (written by ``study --metrics PATH``) as a human-readable summary
   (delegates to :mod:`repro.obs.report`);
+* ``doctor PATH [--fingerprint HEX] [--export DATASET]`` — diagnose a
+  dataset file or checkpoint directory: damaged shards, stale
+  fingerprints, quarantinable cells, and the ``--resume`` repair plan
+  (delegates to :mod:`repro.study.doctor`; exits non-zero on unusable
+  state);
 * ``validate`` — run every application against its oracle on small
   instances of the three input classes.
 """
@@ -34,8 +39,11 @@ commands:
                [--metrics PATH]
                                                run the full study
                                                (checkpointed; resumable)
-  report [EXPERIMENT ...]                      regenerate tables/figures
+  report [EXPERIMENT ...] [--min-coverage F]   regenerate tables/figures
   profile REPORT.json [--spans N]              render a study run report
+  doctor PATH [--fingerprint HEX]
+              [--export DATASET]               diagnose a dataset or
+                                               checkpoint directory
   validate                                     oracle-check all applications
 """
 
@@ -77,6 +85,10 @@ def main(argv=None) -> int:
         from .obs.report import main as profile_main
 
         return profile_main(rest)
+    if command == "doctor":
+        from .study.doctor import main as doctor_main
+
+        return doctor_main(rest)
     if command == "validate":
         return _validate()
     print(f"unknown command {command!r}", file=sys.stderr)

@@ -75,6 +75,9 @@ class Analysis:
         self.confidence = confidence
         self.alpha = alpha
         self.min_samples = min_samples
+        #: Cell coverage of the analysed dataset; attached to derived
+        #: strategies so reports can footnote degraded runs.
+        self.coverage = dataset.coverage()
         self._sig_cache: Dict[Tuple[TestCase, str, str], Optional[float]] = {}
         # None defers to the process-wide current recorder at call time,
         # so ``with obs.recording(rec):`` captures analyses transparently.
@@ -113,6 +116,10 @@ class Analysis:
                 if not (
                     self.dataset.has(test, cfg) and self.dataset.has(test, mirror)
                 ):
+                    # Degraded dataset: one side of the mirror pair was
+                    # never measured (or was quarantined), so the pair
+                    # contributes no sample rather than crashing.
+                    self._rec().count("analysis.pairs.missing")
                     continue
                 ratio = self._normalised_ratio(test, cfg, mirror)
                 if ratio is not None:
@@ -263,6 +270,7 @@ class Analysis:
                 "analysis.mwu.insufficient",
                 "analysis.filter.significant",
                 "analysis.filter.insignificant",
+                "analysis.pairs.missing",
             )
         }
         with rec.span("analysis.specialise", level=level) as span:

@@ -67,8 +67,12 @@ def optimisable_tests(
     """
     kept = []
     for test in dataset.tests:
-        base = dataset.times(test, BASELINE)
-        best = dataset.times(test, oracle.config_for(test))
+        base = dataset.times_or_none(test, BASELINE)
+        if base is None:
+            continue
+        best = dataset.times_or_none(test, oracle.config_for(test))
+        if best is None:
+            continue
         if classify_outcome(base, best) == "speedup":
             kept.append(test)
     return kept
@@ -82,8 +86,13 @@ def strategy_outcomes(
     """Classify every test's outcome under a strategy (vs. baseline)."""
     counts = {"speedup": 0, "slowdown": 0, "no-change": 0}
     for test in tests:
-        base = dataset.times(test, BASELINE)
-        times = dataset.times(test, strategy.config_for(test))
+        base = dataset.times_or_none(test, BASELINE)
+        times = dataset.times_or_none(test, strategy.config_for(test))
+        if base is None or times is None:
+            # The strategy deploys a configuration that was never
+            # measured for this test; a degraded dataset cannot
+            # classify the outcome, so the test is excluded.
+            continue
         counts[classify_outcome(base, times)] += 1
     return StrategyOutcomes(
         strategy=strategy.name,
@@ -103,9 +112,11 @@ def strategy_slowdown_vs_oracle(
     tests = list(tests) if tests is not None else dataset.tests
     ratios = []
     for test in tests:
-        t_strategy = median(dataset.times(test, strategy.config_for(test)))
-        t_oracle = median(dataset.times(test, oracle.config_for(test)))
-        ratios.append(t_strategy / t_oracle)
+        t_strategy = dataset.times_or_none(test, strategy.config_for(test))
+        t_oracle = dataset.times_or_none(test, oracle.config_for(test))
+        if t_strategy is None or t_oracle is None:
+            continue
+        ratios.append(median(t_strategy) / median(t_oracle))
     return geomean(ratios)
 
 

@@ -58,8 +58,10 @@ def _outcomes(
     best = 1.0
     worst = 1.0
     for test in tests:
-        base_times = dataset.times(test, BASELINE)
-        times = dataset.times(test, config)
+        base_times = dataset.times_or_none(test, BASELINE)
+        times = dataset.times_or_none(test, config)
+        if base_times is None or times is None:
+            continue
         outcome = classify_outcome(base_times, times)
         speedup = median(base_times) / median(times)
         ratios.append(speedup)

@@ -52,10 +52,21 @@ def cross_chip_heatmap(
             ratios = []
             for app, graph in pairs:
                 test = TestCase(app, graph, run_chip)
-                own = median(dataset.times(test, best[(app, graph, run_chip)]))
-                ported = median(dataset.times(test, best[(app, graph, opt_chip)]))
-                ratios.append(ported / own)
-            heat[(run_chip, opt_chip)] = geomean(ratios)
+                own_cfg = best.get((app, graph, run_chip))
+                opt_cfg = best.get((app, graph, opt_chip))
+                if own_cfg is None or opt_cfg is None:
+                    continue
+                own_times = dataset.times_or_none(test, own_cfg)
+                ported_times = dataset.times_or_none(test, opt_cfg)
+                if own_times is None or ported_times is None:
+                    # Degraded dataset: the ported configuration was
+                    # never measured on this chip; the geomean is over
+                    # the pairs that were.
+                    continue
+                ratios.append(median(ported_times) / median(own_times))
+            heat[(run_chip, opt_chip)] = (
+                geomean(ratios) if ratios else float("nan")
+            )
     return chips, heat
 
 
@@ -83,12 +94,16 @@ def performance_envelope(
         best_entry: Optional[EnvelopeEntry] = None
         worst_entry: Optional[EnvelopeEntry] = None
         for test in dataset.tests_where(chip=chip):
-            base = dataset.times(test, BASELINE)
+            base = dataset.times_or_none(test, BASELINE)
+            if base is None:
+                continue
             base_med = median(base)
             for config in dataset.configs:
                 if config.is_baseline:
                     continue
-                times = dataset.times(test, config)
+                times = dataset.times_or_none(test, config)
+                if times is None:
+                    continue
                 outcome = classify_outcome(base, times)
                 if outcome == "no-change":
                     continue
@@ -123,9 +138,11 @@ def top_speedup_opts(
         chip: {opt: 0 for opt in OPT_NAMES} for chip in dataset.chips
     }
     for test in dataset.tests:
+        base = dataset.times_or_none(test, BASELINE)
+        if base is None:
+            continue
         best = dataset.best_config(test)
-        base_med = median(dataset.times(test, BASELINE))
-        if base_med / median(dataset.times(test, best)) <= 1.0 + threshold:
+        if median(base) / median(dataset.times(test, best)) <= 1.0 + threshold:
             continue
         for opt in best.enabled_names():
             counts[test.chip][opt] += 1
@@ -139,7 +156,9 @@ def max_geomean_speedup(
     tests = list(tests) if tests is not None else dataset.tests
     ratios = []
     for test in tests:
-        base = median(dataset.times(test, BASELINE))
+        base = dataset.times_or_none(test, BASELINE)
+        if base is None:
+            continue
         best = median(dataset.times(test, dataset.best_config(test)))
-        ratios.append(base / best)
+        ratios.append(median(base) / best)
     return geomean(ratios)

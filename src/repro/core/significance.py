@@ -57,7 +57,17 @@ def welch_interval(
 def significant_difference(
     a: Sequence[float], b: Sequence[float], confidence: float = 0.95
 ) -> bool:
-    """Whether two timing samples differ at the given confidence."""
+    """Whether two timing samples differ at the given confidence.
+
+    A side with fewer than two repetitions carries no variance
+    information, so no confidence interval — and hence no significant
+    difference — can be established: single-repetition (degraded)
+    data classifies as no-change instead of crashing the analysis.
+    """
+    a, b = list(a), list(b)
+    if len(a) < 2 or len(b) < 2:
+        obs.count("analysis.pairs.single_sample")
+        return False
     low, high = welch_interval(a, b, confidence)
     return low > 0.0 or high < 0.0
 

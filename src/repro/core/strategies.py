@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.options import BASELINE, OptConfig
 from ..errors import AnalysisError
-from ..study.dataset import PerfDataset, TestCase
+from ..study.dataset import Coverage, PerfDataset, TestCase
 from .algorithm1 import Analysis
 
 __all__ = [
@@ -65,6 +65,9 @@ class Strategy:
     name: str
     dims: Tuple[str, ...]
     assignment: Dict[Tuple, OptConfig] = field(default_factory=dict)
+    #: Cell coverage of the dataset the strategy was derived from;
+    #: ``None`` for strategies built before coverage tracking existed.
+    coverage: Optional[Coverage] = None
 
     def key_for(self, test: TestCase) -> Tuple:
         values = []
@@ -100,7 +103,7 @@ class Strategy:
     # -- persistence ---------------------------------------------------
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "name": self.name,
             "dims": list(self.dims),
             "assignment": [
@@ -108,6 +111,13 @@ class Strategy:
                 for key, cfg in self.assignment.items()
             ],
         }
+        if self.coverage is not None:
+            data["coverage"] = {
+                "present": self.coverage.present,
+                "expected": self.coverage.expected,
+                "quarantined": self.coverage.quarantined,
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "Strategy":
@@ -119,8 +129,18 @@ class Strategy:
             )
             for entry in data["assignment"]
         }
+        coverage = None
+        if "coverage" in data:
+            coverage = Coverage(
+                present=data["coverage"]["present"],
+                expected=data["coverage"]["expected"],
+                quarantined=data["coverage"].get("quarantined", 0),
+            )
         return cls(
-            name=data["name"], dims=tuple(data["dims"]), assignment=assignment
+            name=data["name"],
+            dims=tuple(data["dims"]),
+            assignment=assignment,
+            coverage=coverage,
         )
 
 
@@ -158,12 +178,18 @@ def build_strategies(
     if analysis is None:
         analysis = Analysis(dataset)
 
+    cov = analysis.coverage
     strategies: Dict[str, Strategy] = {
-        "baseline": Strategy("baseline", (), {(): BASELINE})
+        "baseline": Strategy("baseline", (), {(): BASELINE}, coverage=cov)
     }
     for name, dims in STRATEGY_DIMS.items():
-        strategies[name] = Strategy(name, dims, analysis.specialise(dims))
+        strategies[name] = Strategy(
+            name, dims, analysis.specialise(dims), coverage=cov
+        )
     strategies["oracle"] = Strategy(
-        "oracle", ("app", "input", "chip"), oracle_assignment(dataset)
+        "oracle",
+        ("app", "input", "chip"),
+        oracle_assignment(dataset),
+        coverage=cov,
     )
     return strategies

@@ -59,6 +59,18 @@ class DatasetError(ReproError):
     """A performance dataset is missing, malformed or inconsistent."""
 
 
+class AuditError(DatasetError):
+    """A dataset failed its audit in ``strict`` mode.
+
+    Raised by :func:`repro.study.audit.audit_dataset` when
+    ``strict=True`` and any cell would be quarantined (non-finite or
+    non-positive timings, wrong repetition count), and when an
+    ``audit-v1`` artifact is truncated or fails its checksum.  The
+    default (non-strict) audit quarantines bad cells instead of
+    raising, so degraded datasets still analyse.
+    """
+
+
 class CheckpointError(DatasetError):
     """A study checkpoint cannot be resumed.
 
@@ -97,4 +109,16 @@ class InsufficientDataError(AnalysisError):
 
     Mirrors the paper's Table IX case where ``fg8`` on MALI has too few
     statistically-significant measurements to make a recommendation.
+    """
+
+
+class InsufficientCoverageError(AnalysisError):
+    """A dataset's cell coverage is below the requested floor.
+
+    Raised by :func:`repro.study.audit.require_coverage` (and the
+    ``report --min-coverage`` CLI) when the fraction of present
+    (test, configuration) cells falls below the floor — the message
+    names the worst holes so the user knows which shards to re-price
+    with ``--resume``.  Above the floor, degraded datasets analyse
+    normally with coverage footnotes instead of refusing.
     """

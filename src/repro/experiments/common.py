@@ -17,17 +17,21 @@ Resolution order for :func:`default_dataset`:
 from __future__ import annotations
 
 import os
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core.algorithm1 import Analysis
 from ..core.strategies import Strategy, build_strategies
-from ..study.dataset import PerfDataset
+from ..errors import DatasetError
+from ..study.audit import DatasetAudit, audit_dataset
+from ..study.dataset import DATASET_FORMAT, PerfDataset, peek_format
 from ..study.runner import StudyConfig, run_study
 
 __all__ = [
     "default_dataset",
     "default_analysis",
     "default_strategies",
+    "default_audit",
+    "coverage_footnote",
     "cache_path",
     "reset_cache",
 ]
@@ -53,19 +57,77 @@ def cache_path() -> str:
     return os.path.join(os.getcwd(), _DEFAULT_RELATIVE)
 
 
+def _load_audited(path: str, rebuildable: bool) -> Optional[DatasetAudit]:
+    """Load and audit the artifact at ``path``; ``None`` forces a rebuild.
+
+    ``rebuildable`` marks artifacts this module owns (the on-disk
+    cache): those are rebuilt when they predate ``perf-dataset-v2``,
+    fail to load, or contain quarantined cells.  An explicit
+    ``$REPRO_DATASET`` is never silently replaced — a degraded dataset
+    there is the point (partial analysis), so bad cells are quarantined
+    and the cleaned dataset is used; only an unloadable file raises.
+    """
+    if rebuildable and peek_format(path) != DATASET_FORMAT:
+        return None
+    try:
+        dataset = PerfDataset.load(path)
+    except DatasetError:
+        if rebuildable:
+            return None
+        raise
+    audit = audit_dataset(dataset)
+    if rebuildable and audit.quarantined:
+        return None
+    return audit
+
+
 def default_dataset(rebuild: bool = False) -> PerfDataset:
-    """The full-factorial study dataset (cached in process and on disk)."""
+    """The full-factorial study dataset (cached in process and on disk).
+
+    Loaded artifacts are audited: bad cells are quarantined, and a
+    cache artifact that fails the audit (or predates the current
+    ``perf-dataset-v2`` format) is rebuilt rather than crashing a later
+    analysis.  The audit is cached alongside the dataset — see
+    :func:`default_audit` and :func:`coverage_footnote`.
+    """
     if not rebuild and "dataset" in _CACHE:
         return _CACHE["dataset"]  # type: ignore[return-value]
     path = cache_path()
+    explicit = bool(os.environ.get(_DATASET_ENV))
+    audit = None
     if not rebuild and os.path.exists(path):
-        dataset = PerfDataset.load(path)
-    else:
+        audit = _load_audited(path, rebuildable=not explicit)
+    if audit is None:
         dataset = run_study(StudyConfig())
         os.makedirs(os.path.dirname(path), exist_ok=True)
         dataset.save(path)
-    _CACHE["dataset"] = dataset
-    return dataset
+        audit = audit_dataset(dataset)
+    _CACHE["dataset"] = audit.dataset
+    _CACHE["audit"] = audit
+    return audit.dataset
+
+
+def default_audit() -> DatasetAudit:
+    """The audit of the default dataset (cached with it)."""
+    if "audit" not in _CACHE:
+        default_dataset()
+    return _CACHE["audit"]  # type: ignore[return-value]
+
+
+def coverage_footnote(dataset: Optional[PerfDataset] = None) -> str:
+    """A table/figure footnote for degraded datasets, else ``""``.
+
+    With no argument, describes the default dataset's audit coverage.
+    Given a dataset, computes its own-grid coverage.  Complete coverage
+    yields the empty string, so full runs render byte-identically to
+    the committed goldens.
+    """
+    coverage = (
+        dataset.coverage() if dataset is not None else default_audit().coverage
+    )
+    if coverage.complete:
+        return ""
+    return f"\nnote: derived from {coverage.describe()}"
 
 
 def default_analysis() -> Analysis:

@@ -14,7 +14,7 @@ from ..core.portability import cross_chip_heatmap
 from ..core.reporting import render_heatmap
 from ..study.dataset import PerfDataset
 from ..util import geomean
-from .common import default_dataset
+from .common import coverage_footnote, default_dataset
 
 __all__ = ["data", "run"]
 
@@ -49,4 +49,4 @@ def run(dataset: Optional[PerfDataset] = None) -> str:
             "optimal optimisations of another chip (columns); higher is worse"
         ),
         corner="run\\opt",
-    )
+    ) + coverage_footnote(dataset)

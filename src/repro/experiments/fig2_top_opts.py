@@ -14,7 +14,7 @@ from ..compiler.options import OPT_NAMES
 from ..core.portability import top_speedup_opts
 from ..core.reporting import render_table
 from ..study.dataset import PerfDataset
-from .common import default_dataset
+from .common import coverage_footnote, default_dataset
 
 __all__ = ["data", "run"]
 
@@ -39,4 +39,4 @@ def run(dataset: Optional[PerfDataset] = None) -> str:
             "Fig 2: how often each optimisation appears in a chip's "
             "oracle (top-speedup) configurations"
         ),
-    )
+    ) + coverage_footnote(dataset)

@@ -15,7 +15,7 @@ from ..core.evaluation import StrategyOutcomes, optimisable_tests, strategy_outc
 from ..core.reporting import render_table
 from ..core.strategies import STRATEGY_ORDER, Strategy
 from ..study.dataset import PerfDataset
-from .common import default_dataset, default_strategies
+from .common import coverage_footnote, default_dataset, default_strategies
 
 __all__ = ["data", "run"]
 
@@ -64,4 +64,4 @@ def run(
             "Fig 3: test outcomes vs baseline per strategy "
             "(tests the oracle cannot speed up are excluded)"
         ),
-    )
+    ) + coverage_footnote(dataset)

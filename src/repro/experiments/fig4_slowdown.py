@@ -15,7 +15,7 @@ from ..core.evaluation import strategy_slowdown_vs_oracle
 from ..core.reporting import render_bar_series
 from ..core.strategies import STRATEGY_ORDER, Strategy
 from ..study.dataset import PerfDataset
-from .common import default_dataset, default_strategies
+from .common import coverage_footnote, default_dataset, default_strategies
 
 __all__ = ["data", "run"]
 
@@ -48,4 +48,4 @@ def run(
         labels,
         {"geomean slowdown vs oracle": [series[n] for n in labels]},
         title="Fig 4: geomean slowdown vs the oracle, per strategy",
-    )
+    ) + coverage_footnote(dataset)

@@ -14,7 +14,7 @@ from typing import Dict, Optional, Tuple
 from ..core.portability import performance_envelope
 from ..core.reporting import render_table
 from ..study.dataset import PerfDataset
-from .common import default_dataset
+from .common import coverage_footnote, default_dataset
 
 __all__ = ["data", "run", "NVIDIA_CHIPS"]
 
@@ -60,4 +60,4 @@ def run(dataset: Optional[PerfDataset] = None) -> str:
             "Nvidia-only study vs the cross-vendor study\n(paper: 5x/10x "
             "vs 16x/22x — vendor diversity reveals the true spread)"
         ),
-    )
+    ) + coverage_footnote(dataset)

@@ -4,21 +4,68 @@ Usage::
 
     python -m repro.experiments.report            # all experiments
     python -m repro.experiments.report fig1 table9
+    python -m repro.experiments.report --min-coverage 0.8 table2
+
+Dataset-driven experiments refuse to run when the default dataset's
+cell coverage is below ``--min-coverage`` (default 0.5); above the
+floor, degraded datasets render with coverage footnotes.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
-from . import ALL_EXPERIMENTS
+from ..errors import InsufficientCoverageError
+from ..study.audit import DEFAULT_COVERAGE_FLOOR, require_coverage
+from . import ALL_EXPERIMENTS, common
 
 __all__ = ["main"]
 
+#: Experiments that consume the performance dataset (the rest are
+#: definitional and render regardless of coverage).
+DATASET_DRIVEN = frozenset(
+    {
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table9",
+        "nvidia-only",
+        "ablation-sampling",
+        "ablation-methodology",
+    }
+)
+
 
 def main(argv=None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    wanted = set(argv)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.report",
+        description="regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="NAME",
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=DEFAULT_COVERAGE_FLOOR,
+        metavar="FRACTION",
+        help=(
+            "refuse dataset-driven experiments below this cell-coverage "
+            f"fraction (default {DEFAULT_COVERAGE_FLOOR})"
+        ),
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else list(argv))
+    wanted = set(args.experiments)
     unknown = wanted - {name for name, _ in ALL_EXPERIMENTS}
     if unknown:
         print(f"unknown experiments: {', '.join(sorted(unknown))}", file=sys.stderr)
@@ -27,9 +74,18 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    for name, module in ALL_EXPERIMENTS:
-        if wanted and name not in wanted:
-            continue
+    selected = [
+        (name, module)
+        for name, module in ALL_EXPERIMENTS
+        if not wanted or name in wanted
+    ]
+    if any(name in DATASET_DRIVEN for name, _ in selected):
+        try:
+            require_coverage(common.default_audit().coverage, args.min_coverage)
+        except InsufficientCoverageError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    for name, module in selected:
         started = time.time()
         output = module.run()
         elapsed = time.time() - started

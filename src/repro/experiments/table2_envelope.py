@@ -14,7 +14,7 @@ from typing import Dict, Optional, Tuple
 from ..core.portability import EnvelopeEntry, performance_envelope
 from ..core.reporting import render_table
 from ..study.dataset import PerfDataset
-from .common import default_dataset
+from .common import coverage_footnote, default_dataset
 
 __all__ = ["data", "run"]
 
@@ -54,4 +54,4 @@ def run(dataset: Optional[PerfDataset] = None) -> str:
         ],
         rows,
         title="Table II: extreme speedups and slowdowns vs baseline, per chip",
-    )
+    ) + coverage_footnote(dataset)

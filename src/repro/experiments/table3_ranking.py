@@ -15,7 +15,7 @@ from typing import List, Optional
 from ..core.naive import ConfigRanking, rank_configurations
 from ..core.reporting import render_table
 from ..study.dataset import PerfDataset
-from .common import default_dataset
+from .common import coverage_footnote, default_dataset
 
 __all__ = ["data", "run"]
 
@@ -50,4 +50,4 @@ def run(dataset: Optional[PerfDataset] = None, full: bool = False) -> str:
             "Table III: optimisation combinations applied globally, ranked "
             "by #slowdowns\n(top five, two middle, bottom five)"
         ),
-    )
+    ) + coverage_footnote(dataset)

@@ -16,7 +16,7 @@ from ..core.algorithm1 import Analysis
 from ..core.naive import ConfigRanking, max_geomean, per_chip_breakdown
 from ..core.reporting import render_table
 from ..study.dataset import PerfDataset
-from .common import default_analysis, default_dataset
+from .common import coverage_footnote, default_analysis, default_dataset
 
 __all__ = ["data", "run"]
 
@@ -82,4 +82,4 @@ def run(
             f"[{geo_pick.label()}]\nvs the rank-based MWU pick "
             f"[{mwu_pick.label()}]"
         ),
-    )
+    ) + coverage_footnote(dataset)

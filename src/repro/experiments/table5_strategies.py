@@ -57,11 +57,17 @@ def data(
 
 
 def run(strategies: Optional[Dict[str, Strategy]] = None) -> str:
+    strategies = strategies or default_strategies()
     table5 = render_table(
         ["Strategy", "Specialised over", "#Configs", "Description"],
         data(strategies),
         title="Table V: optimisation strategy functions",
     )
+    # Strategies carry the coverage of the dataset they were derived
+    # from; footnote degraded derivations (empty at full coverage).
+    coverage = strategies["global"].coverage
+    if coverage is not None and not coverage.complete:
+        table5 += f"\nnote: derived from {coverage.describe()}"
     table6 = render_table(
         ["Optimisation", "Performance parameters"],
         [(name, describe_optimisation(name)) for name in OPT_NAMES],

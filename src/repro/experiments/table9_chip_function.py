@@ -16,7 +16,7 @@ from ..compiler.options import OPT_NAMES
 from ..core.algorithm1 import Analysis, OptDecision
 from ..core.reporting import render_table
 from ..study.dataset import PerfDataset
-from .common import default_analysis, default_dataset
+from .common import coverage_footnote, default_analysis, default_dataset
 
 __all__ = ["data", "run"]
 
@@ -57,4 +57,4 @@ def run(
             "effect sizes\n(+ enable, - disable, ? insufficient significant "
             "samples)"
         ),
-    )
+    ) + coverage_footnote(dataset)

@@ -4,16 +4,24 @@ The study's real-world counterpart input (``usa.ny``) ships in the 9th
 DIMACS Implementation Challenge ``.gr`` format; supporting it lets the
 library run on the authors' actual inputs when they are available,
 while the synthetic generators stand in offline.
+
+Parsing is defensive: every malformed input — non-numeric tokens,
+negative or implausibly large vertex ids, endpoints outside the
+declared node range, truncated files (mid-line or missing arcs),
+binary garbage, empty graphs — raises
+:class:`~repro.errors.GraphFormatError` naming the offending path and
+line, never a bare ``ValueError``/``IndexError``/``OverflowError``.
 """
 
 from __future__ import annotations
 
+import math
 import os
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import GraphFormatError
+from ..errors import GraphError, GraphFormatError
 from .csr import CSRGraph
 
 __all__ = [
@@ -24,52 +32,128 @@ __all__ = [
     "load_graph",
 ]
 
+#: Vertex ids at or above this bound are rejected as overflow: they
+#: cannot index a real CSR array and almost certainly indicate a
+#: corrupt file (the largest public graphs have ~10^11 vertices).
+MAX_VERTEX_ID = 2**48
+
+
+def _parse_id(token: str, path: str, lineno: int, what: str) -> int:
+    """A non-negative, bounded vertex id, or GraphFormatError."""
+    try:
+        value = int(token)
+    except ValueError:
+        raise GraphFormatError(
+            f"{path}:{lineno}: {what} {token!r} is not an integer"
+        ) from None
+    if value < 0:
+        raise GraphFormatError(
+            f"{path}:{lineno}: negative {what} {value}"
+        )
+    if value >= MAX_VERTEX_ID:
+        raise GraphFormatError(
+            f"{path}:{lineno}: {what} {value} overflows the vertex index "
+            f"(>= {MAX_VERTEX_ID})"
+        )
+    return value
+
+
+def _parse_weight(token: str, path: str, lineno: int) -> float:
+    """A finite edge weight, or GraphFormatError."""
+    try:
+        value = float(token)
+    except ValueError:
+        raise GraphFormatError(
+            f"{path}:{lineno}: weight {token!r} is not a number"
+        ) from None
+    if not math.isfinite(value):
+        raise GraphFormatError(
+            f"{path}:{lineno}: non-finite weight {token!r}"
+        )
+    return value
+
+
+def _read_lines(path: str):
+    """Yield (lineno, stripped line), wrapping I/O and decode errors."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                yield lineno, line.strip()
+    except UnicodeDecodeError as exc:
+        raise GraphFormatError(
+            f"{path}: not a text file (binary or truncated data: {exc})"
+        ) from exc
+    except OSError as exc:
+        raise GraphFormatError(f"{path}: unreadable ({exc})") from exc
+
 
 def load_dimacs(path: str, name: Optional[str] = None) -> CSRGraph:
     """Load a DIMACS ``.gr`` weighted directed graph.
 
     Format: comment lines start with ``c``; one problem line
     ``p sp <nodes> <edges>``; arc lines ``a <src> <dst> <weight>`` with
-    1-based node ids.
+    1-based node ids.  A file whose arc count disagrees with the
+    problem line is reported as truncated.
     """
     n_nodes = None
+    n_declared = None
     edges: List[Tuple[int, int]] = []
     weights: List[float] = []
-    with open(path) as f:
-        for lineno, line in enumerate(f, start=1):
-            line = line.strip()
-            if not line or line.startswith("c"):
-                continue
-            parts = line.split()
-            if parts[0] == "p":
-                if len(parts) != 4 or parts[1] != "sp":
-                    raise GraphFormatError(
-                        f"{path}:{lineno}: malformed problem line {line!r}"
-                    )
-                n_nodes = int(parts[2])
-            elif parts[0] == "a":
-                if n_nodes is None:
-                    raise GraphFormatError(
-                        f"{path}:{lineno}: arc line before problem line"
-                    )
-                if len(parts) != 4:
-                    raise GraphFormatError(
-                        f"{path}:{lineno}: malformed arc line {line!r}"
-                    )
-                edges.append((int(parts[1]) - 1, int(parts[2]) - 1))
-                weights.append(float(parts[3]))
-            else:
+    for lineno, line in _read_lines(path):
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if len(parts) != 4 or parts[1] != "sp":
                 raise GraphFormatError(
-                    f"{path}:{lineno}: unknown record type {parts[0]!r}"
+                    f"{path}:{lineno}: malformed problem line {line!r}"
                 )
+            if n_nodes is not None:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: duplicate problem line"
+                )
+            n_nodes = _parse_id(parts[2], path, lineno, "node count")
+            n_declared = _parse_id(parts[3], path, lineno, "edge count")
+        elif parts[0] == "a":
+            if n_nodes is None:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: arc line before problem line"
+                )
+            if len(parts) != 4:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: malformed arc line {line!r}"
+                )
+            src = _parse_id(parts[1], path, lineno, "source id")
+            dst = _parse_id(parts[2], path, lineno, "target id")
+            if not (1 <= src <= n_nodes and 1 <= dst <= n_nodes):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: arc ({src}, {dst}) outside the "
+                    f"declared 1..{n_nodes} node range"
+                )
+            edges.append((src - 1, dst - 1))
+            weights.append(_parse_weight(parts[3], path, lineno))
+        else:
+            raise GraphFormatError(
+                f"{path}:{lineno}: unknown record type {parts[0]!r}"
+            )
     if n_nodes is None:
         raise GraphFormatError(f"{path}: missing problem line")
-    return CSRGraph.from_edges(
-        n_nodes,
-        np.asarray(edges, dtype=np.int64).reshape(len(edges), 2),
-        np.asarray(weights),
-        name=name or os.path.splitext(os.path.basename(path))[0],
-    )
+    if n_nodes == 0:
+        raise GraphFormatError(f"{path}: declares an empty graph (0 nodes)")
+    if n_declared is not None and len(edges) != n_declared:
+        raise GraphFormatError(
+            f"{path}: truncated or padded: problem line declares "
+            f"{n_declared} arcs but {len(edges)} were read"
+        )
+    try:
+        return CSRGraph.from_edges(
+            n_nodes,
+            np.asarray(edges, dtype=np.int64).reshape(len(edges), 2),
+            np.asarray(weights),
+            name=name or os.path.splitext(os.path.basename(path))[0],
+        )
+    except GraphError as exc:  # pragma: no cover - ids pre-validated
+        raise GraphFormatError(f"{path}: {exc}") from exc
 
 
 def save_dimacs(graph: CSRGraph, path: str) -> None:
@@ -90,29 +174,37 @@ def load_edge_list(
 
     Lines starting with ``#`` or ``%`` are comments (SNAP/KONECT
     conventions).  Node count is one more than the maximum id seen.
+    A file with no edges at all raises
+    :class:`~repro.errors.GraphFormatError` — an empty graph is far
+    more likely a truncated download than a deliberate input.
     """
     srcs: List[int] = []
     dsts: List[int] = []
     wts: List[float] = []
-    with open(path) as f:
-        for lineno, line in enumerate(f, start=1):
-            line = line.strip()
-            if not line or line[0] in "#%":
-                continue
-            parts = line.split()
-            if len(parts) < 2 or (weighted and len(parts) < 3):
-                raise GraphFormatError(f"{path}:{lineno}: malformed edge {line!r}")
-            srcs.append(int(parts[0]))
-            dsts.append(int(parts[1]))
-            if weighted:
-                wts.append(float(parts[2]))
-    n = (max(max(srcs), max(dsts)) + 1) if srcs else 0
-    return CSRGraph.from_edges(
-        n,
-        np.column_stack([srcs, dsts]) if srcs else np.empty((0, 2), dtype=np.int64),
-        np.asarray(wts) if weighted else None,
-        name=name or os.path.splitext(os.path.basename(path))[0],
-    )
+    for lineno, line in _read_lines(path):
+        if not line or line[0] in "#%":
+            continue
+        parts = line.split()
+        if len(parts) < 2 or (weighted and len(parts) < 3):
+            raise GraphFormatError(f"{path}:{lineno}: malformed edge {line!r}")
+        srcs.append(_parse_id(parts[0], path, lineno, "source id"))
+        dsts.append(_parse_id(parts[1], path, lineno, "target id"))
+        if weighted:
+            wts.append(_parse_weight(parts[2], path, lineno))
+    if not srcs:
+        raise GraphFormatError(
+            f"{path}: no edges (empty or fully commented file)"
+        )
+    n = max(max(srcs), max(dsts)) + 1
+    try:
+        return CSRGraph.from_edges(
+            n,
+            np.column_stack([srcs, dsts]),
+            np.asarray(wts) if weighted else None,
+            name=name or os.path.splitext(os.path.basename(path))[0],
+        )
+    except GraphError as exc:  # pragma: no cover - ids pre-validated
+        raise GraphFormatError(f"{path}: {exc}") from exc
 
 
 def save_edge_list(graph: CSRGraph, path: str) -> None:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import json
 import os
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import CheckpointError
 from ..util import atomic_write_text, sha256_hex, stable_hash
@@ -86,6 +86,9 @@ class StudyCheckpoint:
     def __init__(self, directory: str) -> None:
         self.directory = str(directory)
         self._skipped = 0  # invalid shards dropped by the last open()
+        #: Tasks the runner quarantined after repeated timeouts; they
+        #: have no shard files, so a later ``--resume`` re-prices them.
+        self.quarantined_tasks: List[Tuple[int, int]] = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -123,6 +126,8 @@ class StudyCheckpoint:
         n_chips: int,
         n_configs: int,
         resume: bool,
+        chips: Optional[List[str]] = None,
+        configs: Optional[List[str]] = None,
     ) -> Dict[Tuple[int, int], ShardRows]:
         """Attach to the directory; return already-completed shards.
 
@@ -133,6 +138,11 @@ class StudyCheckpoint:
         every valid shard; shards that fail validation (truncation,
         checksum mismatch, out-of-range task) are dropped for
         re-pricing, never merged.
+
+        ``chips``/``configs`` optionally record the axis names (chip
+        short names and configuration keys) in the manifest; ``repro
+        doctor`` uses them to map shards back to grid cells and to
+        export a partial dataset from an interrupted run.
         """
         manifest = self._read_manifest() if resume else None
         if resume and manifest is not None:
@@ -148,17 +158,17 @@ class StudyCheckpoint:
         # Fresh start: drop any stale contents, write a new manifest.
         self._clear_files()
         os.makedirs(self.directory, exist_ok=True)
-        atomic_write_text(
-            self._manifest_path(),
-            json.dumps(
-                {
-                    "format": CHECKPOINT_FORMAT,
-                    "fingerprint": fingerprint,
-                    "n_chips": n_chips,
-                    "n_configs": n_configs,
-                }
-            ),
-        )
+        manifest_data = {
+            "format": CHECKPOINT_FORMAT,
+            "fingerprint": fingerprint,
+            "n_chips": n_chips,
+            "n_configs": n_configs,
+        }
+        if chips is not None:
+            manifest_data["chips"] = list(chips)
+        if configs is not None:
+            manifest_data["configs"] = list(configs)
+        atomic_write_text(self._manifest_path(), json.dumps(manifest_data))
         return {}
 
     def _clear_files(self) -> None:

@@ -23,10 +23,56 @@ from ..compiler.options import OptConfig
 from ..errors import DatasetError
 from ..util import atomic_write_bytes, sha256_hex
 
-__all__ = ["TestCase", "PerfDataset", "DATASET_FORMAT"]
+__all__ = [
+    "TestCase",
+    "PerfDataset",
+    "Coverage",
+    "DATASET_FORMAT",
+    "peek_format",
+]
 
 #: Format tag of checksummed dataset files (legacy untagged files load too).
 DATASET_FORMAT = "perf-dataset-v2"
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """How much of a dataset's (test × configuration) grid is present.
+
+    ``expected`` counts the full cross product of the dataset's tests
+    and configurations (or of an explicitly supplied grid, see
+    :meth:`PerfDataset.coverage`); ``present`` the cells holding
+    timings; ``quarantined`` cells an audit dropped for bad data.
+    ``holes`` names the axis values with the largest gaps, so an
+    operator knows which shards to re-price.
+    """
+
+    present: int
+    expected: int
+    quarantined: int = 0
+    holes: Tuple[str, ...] = ()
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of expected cells present (1.0 for an empty grid)."""
+        return self.present / self.expected if self.expected else 1.0
+
+    @property
+    def complete(self) -> bool:
+        return self.present >= self.expected and self.quarantined == 0
+
+    def describe(self) -> str:
+        """One-line human summary, e.g. for table footnotes."""
+        parts = [
+            f"{100.0 * self.fraction:.0f}% of expected cells "
+            f"({self.present}/{self.expected})"
+        ]
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        text = ", ".join(parts)
+        if self.holes:
+            text += "; worst holes: " + "; ".join(self.holes)
+        return text
 
 
 @dataclass(frozen=True, order=True)
@@ -156,17 +202,35 @@ class PerfDataset:
                 f"no measurement for {test} under [{config.label()}]"
             ) from None
 
+    def times_or_none(
+        self, test: TestCase, config: OptConfig
+    ) -> Optional[Tuple[float, ...]]:
+        """Like :meth:`times`, but ``None`` for an absent cell.
+
+        The degraded-mode query primitive: coverage-aware analyses use
+        it to skip holes in a partial dataset instead of crashing.
+        """
+        return self._times.get((test, config.key()))
+
     def median(self, test: TestCase, config: OptConfig) -> float:
         return float(np.median(self.times(test, config)))
 
     def best_config(
         self, test: TestCase, configs: Optional[Iterable[OptConfig]] = None
     ) -> OptConfig:
-        """The oracle configuration: lowest median time for this test."""
+        """The oracle configuration: lowest median time for this test.
+
+        Only configurations actually measured for this test compete, so
+        the oracle is well-defined on a partial dataset; a test with no
+        measurements at all raises :class:`~repro.errors.DatasetError`.
+        """
         candidates = list(configs) if configs is not None else self.configs
         if not candidates:
             raise DatasetError("no configurations to choose from")
-        return min(candidates, key=lambda c: self.median(test, c))
+        measured = [c for c in candidates if self.has(test, c)]
+        if not measured:
+            raise DatasetError(f"no measurements at all for {test}")
+        return min(measured, key=lambda c: self.median(test, c))
 
     def tests_where(
         self,
@@ -183,6 +247,37 @@ class PerfDataset:
             and (graph is None or t.graph == graph)
             and (chip is None or t.chip == chip)
         ]
+
+    # -- coverage -----------------------------------------------------------
+
+    def missing_cells(self) -> List[Tuple[TestCase, OptConfig]]:
+        """Every (test, configuration) cell of the grid with no timings."""
+        return [
+            (test, config)
+            for test in self._tests
+            for key, config in self._configs.items()
+            if (test, key) not in self._times
+        ]
+
+    def coverage(self, quarantined: int = 0) -> "Coverage":
+        """Coverage of this dataset's own (test × configuration) grid.
+
+        ``quarantined`` lets an audit fold the cells it dropped into the
+        record.  The worst holes are named per axis (chip, app, input,
+        configuration), largest missing fraction first.
+        """
+        expected = len(self._tests) * len(self._configs)
+        present = len(self._times)
+        holes: Tuple[str, ...] = ()
+        if present < expected:
+            missing = self.missing_cells()
+            holes = tuple(_worst_holes(missing, self._tests, self._configs))
+        return Coverage(
+            present=present,
+            expected=expected,
+            quarantined=quarantined,
+            holes=holes,
+        )
 
     def subset(self, tests: Iterable[TestCase]) -> "PerfDataset":
         """A dataset restricted to the given tests (shared timing data)."""
@@ -318,3 +413,65 @@ class PerfDataset:
             f"PerfDataset(tests={len(self._tests)}, "
             f"configs={len(self._configs)}, measurements={len(self._times)})"
         )
+
+
+def _worst_holes(missing, tests, configs, top: int = 3) -> List[str]:
+    """Name the axis values with the largest missing fractions.
+
+    For each axis (chip, app, input, config) count missing cells per
+    value; report the ``top`` values with the most missing cells as
+    ``"chip MALI: 96/576 cells missing"`` strings, worst first.
+    """
+    n_configs = max(1, len(configs))
+    expected_per_test = n_configs
+    per_axis: Dict[Tuple[str, str], int] = {}
+    for test, config in missing:
+        for axis, value in (
+            ("chip", test.chip),
+            ("app", test.app),
+            ("input", test.graph),
+            ("config", config.label()),
+        ):
+            per_axis[(axis, value)] = per_axis.get((axis, value), 0) + 1
+    expected: Dict[Tuple[str, str], int] = {}
+    for test in tests:
+        for axis, value in (
+            ("chip", test.chip),
+            ("app", test.app),
+            ("input", test.graph),
+        ):
+            expected[(axis, value)] = (
+                expected.get((axis, value), 0) + expected_per_test
+            )
+    n_tests = max(1, len(tests))
+    ranked = sorted(
+        per_axis.items(), key=lambda kv: (-kv[1], kv[0][0], kv[0][1])
+    )
+    out = []
+    for (axis, value), count in ranked[:top]:
+        total = expected.get((axis, value), n_tests)
+        out.append(f"{axis} {value}: {count}/{total} cells missing")
+    return out
+
+
+def peek_format(path: str) -> Optional[str]:
+    """The format tag of a dataset file, or ``None``.
+
+    ``None`` means the file is a legacy (pre-``perf-dataset-v2``)
+    artifact *or* is unreadable/corrupt — in either case a cache owner
+    should rebuild rather than trust it.  This never raises: it exists
+    so cache-validation paths can decide cheaply without committing to
+    a full load.
+    """
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+        if path.endswith(".gz"):
+            data = gzip.decompress(data)
+        parsed = json.loads(data.decode("utf-8"))
+    except (OSError, EOFError, zlib.error, gzip.BadGzipFile, ValueError):
+        return None
+    if isinstance(parsed, dict):
+        fmt = parsed.get("format")
+        return fmt if isinstance(fmt, str) else None
+    return None

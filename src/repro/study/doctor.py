@@ -1,0 +1,497 @@
+"""``repro doctor``: diagnose datasets and checkpoint directories.
+
+An interrupted or faulted study leaves state on disk — a checkpoint
+directory of priced shards, a partially-written dataset — whose health
+determines what the operator can do next: resume, analyse degraded, or
+start over.  The doctor examines that state and reports:
+
+* **checkpoints** — manifest damage (missing, unreadable, unrecognised
+  format, malformed or stale fingerprint), shard damage (truncation,
+  checksum mismatch, task/name disagreement, out-of-grid orphans), a
+  damaged or inconsistent metrics sidecar, and the *repair plan*: which
+  shards a ``--resume`` run will re-price;
+* **datasets** — unreadable/corrupt files, legacy pre-``perf-dataset-v2``
+  artifacts, quarantinable cells (NaN/inf, non-positive timings) and
+  grid coverage, via :mod:`repro.study.audit`.
+
+Severity decides the exit code: ``error`` findings mean the state is
+unusable as-is (exit 1); ``warning``/``info`` findings describe a
+degraded but workable state (exit 0) — a killed-mid-study checkpoint
+with intact shards is *healthy partial*, not broken.
+
+``--export PATH`` additionally assembles the valid shards of a
+checkpoint into a partial dataset (the manifest must carry the axis
+names newer runs record), so degraded analysis can start before the
+missing shards are re-priced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.options import OptConfig
+from ..errors import DatasetError, InvalidConfigError
+from ..util import sha256_hex
+from .audit import audit_dataset
+from .checkpoint import CHECKPOINT_FORMAT, StudyCheckpoint
+from .dataset import DATASET_FORMAT, PerfDataset, TestCase, peek_format
+
+__all__ = [
+    "Finding",
+    "Diagnosis",
+    "diagnose",
+    "diagnose_checkpoint",
+    "diagnose_dataset",
+    "export_partial_dataset",
+    "main",
+]
+
+_SHARD_RE = re.compile(r"^shard-(\d+)-(\d+)\.json$")
+
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{16}$")
+
+#: Severity vocabulary, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed condition."""
+
+    severity: str  # "error" | "warning" | "info"
+    code: str  # stable machine-readable tag, e.g. "shard-checksum"
+    message: str
+
+
+class Diagnosis:
+    """All findings for one path, plus the repair plan."""
+
+    def __init__(self, path: str, kind: str) -> None:
+        self.path = path
+        self.kind = kind  # "checkpoint" | "dataset"
+        self.findings: List[Finding] = []
+        #: Steps that bring the state back to full health.
+        self.repair_plan: List[str] = []
+
+    def add(self, severity: str, code: str, message: str) -> None:
+        self.findings.append(Finding(severity, code, message))
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings/info allowed)."""
+        return not self.errors
+
+    def render(self) -> str:
+        lines = [f"doctor: {self.kind} {self.path}"]
+        if not self.findings:
+            lines.append("  healthy: no issues found")
+        for f in self.findings:
+            lines.append(f"  [{f.severity}] {f.code}: {f.message}")
+        if self.repair_plan:
+            lines.append("repair plan:")
+            for step in self.repair_plan:
+                lines.append(f"  - {step}")
+        verdict = "USABLE" if self.ok else "UNUSABLE"
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+# -- checkpoint diagnosis ----------------------------------------------------
+
+
+def _shard_ranges(tasks: List[Tuple[int, int]]) -> List[str]:
+    """Compress tasks into per-chip config ranges for the repair plan."""
+    by_chip: Dict[int, List[int]] = {}
+    for chip_idx, cfg_idx in tasks:
+        by_chip.setdefault(chip_idx, []).append(cfg_idx)
+    out = []
+    for chip_idx in sorted(by_chip):
+        cfgs = sorted(by_chip[chip_idx])
+        spans = []
+        start = prev = cfgs[0]
+        for c in cfgs[1:]:
+            if c == prev + 1:
+                prev = c
+                continue
+            spans.append((start, prev))
+            start = prev = c
+        spans.append((start, prev))
+        text = ", ".join(
+            f"{a:04d}" if a == b else f"{a:04d}-{b:04d}" for a, b in spans
+        )
+        out.append(f"chip {chip_idx}: configs {text}")
+    return out
+
+
+def _check_shard(
+    path: str, task: Tuple[int, int]
+) -> Tuple[Optional[list], Optional[str]]:
+    """(rows, None) for a valid shard file, else (None, reason)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+    except OSError as exc:
+        return None, f"unreadable ({exc})"
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None, "truncated or invalid JSON"
+    if not isinstance(payload, dict):
+        return None, "not a shard object"
+    if payload.get("task") != [task[0], task[1]]:
+        return None, (
+            f"task field {payload.get('task')!r} disagrees with the "
+            f"file name"
+        )
+    try:
+        body = json.dumps(payload["rows"], separators=(",", ":"))
+    except (KeyError, TypeError, ValueError):
+        return None, "missing or unserialisable rows"
+    if sha256_hex(body) != payload.get("checksum"):
+        return None, "checksum mismatch (modified or partially written)"
+    try:
+        rows = [
+            (str(app), str(inp), [float(t) for t in times])
+            for app, inp, times in payload["rows"]
+        ]
+    except (TypeError, ValueError):
+        return None, "malformed rows"
+    return rows, None
+
+
+def _read_raw_manifest(directory: str):
+    """(manifest dict or None, error message or None)."""
+    path = os.path.join(directory, StudyCheckpoint.MANIFEST)
+    if not os.path.exists(path):
+        return None, "no manifest.json (not a checkpoint, or never opened)"
+    try:
+        with open(path, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return None, f"unreadable manifest.json ({exc})"
+    if not isinstance(manifest, dict):
+        return None, "manifest.json is not an object"
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        return None, (
+            f"unrecognised manifest format {manifest.get('format')!r} "
+            f"(expected {CHECKPOINT_FORMAT!r})"
+        )
+    return manifest, None
+
+
+def diagnose_checkpoint(
+    directory: str, expected_fingerprint: Optional[str] = None
+) -> Diagnosis:
+    """Audit one checkpoint directory."""
+    diag = Diagnosis(directory, "checkpoint")
+    manifest, problem = _read_raw_manifest(directory)
+    if manifest is None:
+        diag.add("error", "manifest", problem)
+        diag.repair_plan.append(
+            "delete the directory and start a fresh run (no shards can be "
+            "trusted without a manifest)"
+        )
+        return diag
+
+    fingerprint = manifest.get("fingerprint")
+    if not isinstance(fingerprint, str) or not _FINGERPRINT_RE.match(
+        fingerprint
+    ):
+        diag.add(
+            "error",
+            "fingerprint-malformed",
+            f"manifest fingerprint {fingerprint!r} is not a 16-hex-digit "
+            f"study fingerprint",
+        )
+    elif (
+        expected_fingerprint is not None
+        and fingerprint != expected_fingerprint
+    ):
+        diag.add(
+            "error",
+            "fingerprint-stale",
+            f"manifest fingerprint {fingerprint!r} does not match the "
+            f"expected study fingerprint {expected_fingerprint!r} "
+            f"(different scale, seed, apps, chips, configs, repetitions "
+            f"or engine)",
+        )
+    n_chips = manifest.get("n_chips")
+    n_configs = manifest.get("n_configs")
+    if not (
+        isinstance(n_chips, int)
+        and isinstance(n_configs, int)
+        and n_chips > 0
+        and n_configs > 0
+    ):
+        diag.add(
+            "error",
+            "grid-shape",
+            f"manifest grid shape n_chips={n_chips!r} "
+            f"n_configs={n_configs!r} is invalid",
+        )
+        return diag
+
+    valid: Dict[Tuple[int, int], list] = {}
+    damaged: List[Tuple[int, int]] = []
+    for name in sorted(os.listdir(directory)):
+        if name in (StudyCheckpoint.MANIFEST, StudyCheckpoint.METRICS):
+            continue
+        match = _SHARD_RE.match(name)
+        if not match:
+            if name.startswith("shard-"):
+                diag.add(
+                    "warning",
+                    "shard-orphan",
+                    f"{name}: unrecognised shard file name (ignored on "
+                    f"resume)",
+                )
+            continue
+        task = (int(match.group(1)), int(match.group(2)))
+        if not (0 <= task[0] < n_chips and 0 <= task[1] < n_configs):
+            diag.add(
+                "warning",
+                "shard-orphan",
+                f"{name}: task outside the {n_chips}x{n_configs} grid "
+                f"(priced under a different study; dropped on resume)",
+            )
+            continue
+        rows, reason = _check_shard(os.path.join(directory, name), task)
+        if rows is None:
+            diag.add("error", "shard-corrupt", f"{name}: {reason}")
+            damaged.append(task)
+        else:
+            valid[task] = rows
+
+    missing = [
+        (chip_idx, cfg_idx)
+        for chip_idx in range(n_chips)
+        for cfg_idx in range(n_configs)
+        if (chip_idx, cfg_idx) not in valid
+    ]
+    total = n_chips * n_configs
+    diag.add(
+        "info",
+        "coverage",
+        f"{len(valid)}/{total} shards valid, {len(damaged)} damaged, "
+        f"{total - len(valid) - len(damaged)} never priced",
+    )
+
+    metrics_path = os.path.join(directory, StudyCheckpoint.METRICS)
+    if os.path.exists(metrics_path):
+        segments = StudyCheckpoint(directory).load_metrics()
+        if not segments:
+            diag.add(
+                "warning",
+                "metrics-damaged",
+                "metrics.json is unreadable or fails its checksum "
+                "(telemetry only; pricing state is unaffected)",
+            )
+        else:
+            priced = sum(
+                seg.get("counters", {}).get("study.shards.priced", 0)
+                for seg in segments
+            )
+            on_disk = len(valid) + len(damaged)
+            if priced != on_disk:
+                diag.add(
+                    "warning",
+                    "metrics-mismatch",
+                    f"metrics sidecar records {priced} priced shards but "
+                    f"{on_disk} shard files exist (telemetry only)",
+                )
+
+    if missing:
+        diag.repair_plan.append(
+            f"re-price {len(missing)} shard(s) with --resume: "
+            + "; ".join(_shard_ranges(missing))
+        )
+        diag.repair_plan.append(
+            "python -m repro study OUTPUT --resume --checkpoint "
+            + directory
+        )
+    if damaged:
+        diag.repair_plan.append(
+            f"{len(damaged)} damaged shard file(s) are dropped and "
+            f"re-priced automatically on --resume"
+        )
+    return diag
+
+
+def export_partial_dataset(directory: str) -> PerfDataset:
+    """Assemble the valid shards of a checkpoint into a dataset.
+
+    Requires the manifest's ``chips``/``configs`` axis names (recorded
+    by newer runs); raises :class:`~repro.errors.DatasetError` when the
+    checkpoint is unusable or predates axis recording.
+    """
+    manifest, problem = _read_raw_manifest(directory)
+    if manifest is None:
+        raise DatasetError(f"cannot export from {directory!r}: {problem}")
+    chips = manifest.get("chips")
+    configs = manifest.get("configs")
+    if not isinstance(chips, list) or not isinstance(configs, list):
+        raise DatasetError(
+            f"checkpoint {directory!r} has no chips/configs axis names in "
+            f"its manifest (written by an older run); re-run the study to "
+            f"record them, or resume it to completion"
+        )
+    dataset = PerfDataset()
+    for name in sorted(os.listdir(directory)):
+        match = _SHARD_RE.match(name)
+        if not match:
+            continue
+        task = (int(match.group(1)), int(match.group(2)))
+        if not (0 <= task[0] < len(chips) and 0 <= task[1] < len(configs)):
+            continue
+        rows, reason = _check_shard(os.path.join(directory, name), task)
+        if rows is None:
+            continue
+        key = configs[task[1]]
+        try:
+            config = (
+                OptConfig()
+                if key == "baseline"
+                else OptConfig.from_names(key.split("+"))
+            )
+        except InvalidConfigError as exc:
+            raise DatasetError(
+                f"checkpoint {directory!r} records config key {key!r} "
+                f"this build does not understand: {exc}"
+            ) from exc
+        for app, inp, times in rows:
+            dataset.add(TestCase(app, inp, chips[task[0]]), config, times)
+    return dataset
+
+
+# -- dataset diagnosis -------------------------------------------------------
+
+
+def diagnose_dataset(path: str) -> Diagnosis:
+    """Audit one dataset artifact."""
+    diag = Diagnosis(path, "dataset")
+    fmt = peek_format(path)
+    if fmt is None:
+        diag.add(
+            "warning",
+            "format-legacy",
+            f"no {DATASET_FORMAT!r} format tag (legacy or damaged file)",
+        )
+    try:
+        dataset = PerfDataset.load(path)
+    except DatasetError as exc:
+        diag.add("error", "unloadable", str(exc))
+        diag.repair_plan.append(
+            "re-run the study (or restore the file from a backup); the "
+            "artifact cannot be trusted"
+        )
+        return diag
+    audit = audit_dataset(dataset)
+    for issue in audit.quarantined:
+        diag.add(
+            "warning",
+            "cell-quarantined",
+            f"{issue.test} [{issue.config_key}]: {issue.reason}",
+        )
+    coverage = audit.coverage
+    diag.add("info", "coverage", coverage.describe())
+    if not coverage.complete:
+        diag.repair_plan.append(
+            "analyse degraded with --min-coverage, or re-price the "
+            "missing cells (python -m repro study OUTPUT --resume)"
+        )
+    return diag
+
+
+def diagnose(
+    path: str, expected_fingerprint: Optional[str] = None
+) -> Diagnosis:
+    """Dispatch: directories are checkpoints, files are datasets."""
+    if os.path.isdir(path):
+        return diagnose_checkpoint(path, expected_fingerprint)
+    return diagnose_dataset(path)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro doctor PATH`` entry point."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro doctor",
+        description=(
+            "diagnose a study dataset or checkpoint directory; exits "
+            "non-zero when the state is unusable"
+        ),
+    )
+    parser.add_argument(
+        "path", help="dataset file or checkpoint directory to examine"
+    )
+    parser.add_argument(
+        "--fingerprint",
+        metavar="HEX",
+        default=None,
+        help="expected study fingerprint; a checkpoint whose manifest "
+        "disagrees is reported stale",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DATASET",
+        default=None,
+        help="assemble a checkpoint's valid shards into a partial dataset "
+        "at DATASET for degraded analysis",
+    )
+    parser.add_argument(
+        "--audit-json",
+        metavar="PATH",
+        default=None,
+        help="write the audit-v1 JSON artifact for a dataset to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.path):
+        print(f"doctor: {args.path}: no such file or directory",
+              file=sys.stderr)
+        return 2
+
+    diag = diagnose(args.path, expected_fingerprint=args.fingerprint)
+    print(diag.render())
+
+    if args.export is not None:
+        if diag.kind != "checkpoint":
+            print("doctor: --export requires a checkpoint directory",
+                  file=sys.stderr)
+            return 2
+        try:
+            dataset = export_partial_dataset(args.path)
+        except DatasetError as exc:
+            print(f"doctor: {exc}", file=sys.stderr)
+            return 1
+        dataset.save(args.export)
+        print(
+            f"exported {dataset.n_measurements} measurements "
+            f"({len(dataset)} tests) to {args.export}"
+        )
+
+    if args.audit_json is not None:
+        if diag.kind != "dataset":
+            print("doctor: --audit-json requires a dataset file",
+                  file=sys.stderr)
+            return 2
+        try:
+            audit = audit_dataset(PerfDataset.load(args.path))
+        except DatasetError as exc:
+            print(f"doctor: {exc}", file=sys.stderr)
+            return 1
+        audit.save(args.audit_json)
+        print(f"wrote audit artifact to {args.audit_json}")
+
+    return 0 if diag.ok else 1

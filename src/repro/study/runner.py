@@ -76,6 +76,19 @@ DEFAULT_RETRIES = 2
 DEFAULT_BACKOFF = 0.05
 
 
+class _ShardTimeout(BaseException):
+    """Internal signal: one or more shards exceeded the deadline.
+
+    Derives from BaseException so the ordinary ``except Exception``
+    retry paths never swallow it; it is raised and caught entirely
+    within :func:`_run_parallel`.
+    """
+
+    def __init__(self, tasks: List["Task"]) -> None:
+        super().__init__(f"{len(tasks)} shard(s) timed out")
+        self.tasks = tasks
+
+
 class StudyConfig:
     """Parameters of a study run (defaults reproduce the paper scope)."""
 
@@ -347,6 +360,7 @@ def _run_parallel(
     done: Optional[Dict[Task, list]] = None,
     retries: int = DEFAULT_RETRIES,
     backoff: float = DEFAULT_BACKOFF,
+    shard_timeout: Optional[float] = None,
     recorder=NULL_RECORDER,
 ) -> PerfDataset:
     """Shard the pricing grid over a worker pool, surviving failures.
@@ -357,6 +371,17 @@ def _run_parallel(
     which every unfinished shard is priced in-process.  The in-process
     fallback runs without fault injection — it is the recovery of last
     resort, not a fault site.
+
+    ``shard_timeout`` arms a deadline watchdog: a shard still running
+    ``shard_timeout`` seconds after it was first observed executing is
+    presumed hung (a straggler, a livelocked worker, the ``slow``
+    fault).  The pool is torn down — hung workers are terminated, since
+    a running future cannot be cancelled — the overdue shard is counted
+    under ``study.shards.timeout`` and re-queued within the ``retries``
+    budget; once the budget is exhausted it is *quarantined*
+    (``study.shards.quarantined``): excluded from the dataset and never
+    checkpointed, so a later ``--resume`` re-prices exactly the
+    quarantined shards.
     """
     tasks: List[Task] = [
         (chip_idx, cfg_idx)
@@ -389,6 +414,12 @@ def _run_parallel(
             faults.fire("interrupt", _shard_key(task))
 
     pool_failures = 0
+    # Timeout counts persist across pool rebuilds (unlike the per-pool
+    # ``failures`` dict): a shard that hangs every pool it runs in must
+    # eventually exhaust its budget and be quarantined.
+    timeouts: Dict[Task, int] = {}
+    quarantined: List[Task] = []
+    poll = max(0.05, shard_timeout / 4) if shard_timeout else None
     while pending:
         if pool_failures > retries:
             timer.note(
@@ -409,8 +440,26 @@ def _run_parallel(
         try:
             futures = {pool.submit(_price_cell, t): t for t in pending}
             failures: Dict[Task, int] = {}
+            started: Dict[object, float] = {}
             while futures:
-                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                finished, _ = wait(
+                    futures, timeout=poll, return_when=FIRST_COMPLETED
+                )
+                if shard_timeout is not None:
+                    now = time.monotonic()
+                    overdue = []
+                    for fut, task in futures.items():
+                        if fut in finished or not fut.running():
+                            continue
+                        # The deadline clock starts when the shard is
+                        # first *observed executing*, not when it was
+                        # submitted — queued shards are not hung.
+                        if fut not in started:
+                            started[fut] = now
+                        elif now - started[fut] > shard_timeout:
+                            overdue.append(task)
+                    if overdue:
+                        raise _ShardTimeout(overdue)
                 for fut in finished:
                     task = futures.pop(fut)
                     delta: Optional[dict] = None
@@ -442,6 +491,33 @@ def _run_parallel(
                     complete(task, rows, delta)
                     pending.remove(task)
             pool.shutdown()
+        except _ShardTimeout as signal:
+            # A running future cannot be cancelled: tear the pool down
+            # and terminate its workers so a hung shard (the ``slow``
+            # fault, a livelock) cannot stall the sweep — or block
+            # interpreter exit — forever.
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                proc.terminate()
+            for task in signal.tasks:
+                n = timeouts.get(task, 0) + 1
+                timeouts[task] = n
+                recorder.count("study.shards.timeout")
+                if n > retries:
+                    timer.note(
+                        f"{_shard_key(task)} exceeded {shard_timeout}s "
+                        f"{n} time(s); quarantined (re-price with --resume)"
+                    )
+                    recorder.count("study.shards.quarantined")
+                    quarantined.append(task)
+                    pending.remove(task)
+                else:
+                    timer.note(
+                        f"{_shard_key(task)} exceeded {shard_timeout}s; "
+                        f"re-queued (timeout {n}/{retries})"
+                    )
+                    time.sleep(backoff * (2 ** (n - 1)))
         except BrokenExecutor:
             # A worker died without unwinding (crash/OOM/kill): the
             # pool is unusable.  Rebuild it and re-queue every shard
@@ -460,13 +536,27 @@ def _run_parallel(
             pool.shutdown(wait=False, cancel_futures=True)
             raise
 
+    if quarantined:
+        timer.note(
+            f"{len(quarantined)} shard(s) quarantined after repeated "
+            f"timeouts: "
+            + ", ".join(_shard_key(t) for t in sorted(quarantined))
+        )
+    if checkpoint is not None:
+        checkpoint.quarantined_tasks = sorted(quarantined)
+
     # Merge in the serial sweep's chip -> config -> test order so the
     # dataset's insertion order is independent of completion order.
+    # Quarantined shards have no rows: their cells stay absent, the
+    # audit reports them as holes, and ``--resume`` re-prices them.
     dataset = PerfDataset()
     for chip_idx, chip in enumerate(config.chips):
         timer.note(f"pricing on {chip.short_name}")
         for cfg_idx, opt in enumerate(config.configs):
-            for app_name, input_name, times in results[(chip_idx, cfg_idx)]:
+            rows = results.get((chip_idx, cfg_idx))
+            if rows is None:
+                continue
+            for app_name, input_name, times in rows:
                 dataset.add(
                     TestCase(app_name, input_name, chip.short_name), opt, times
                 )
@@ -486,9 +576,15 @@ def run_study(
     faults: Optional[FaultPlan] = None,
     retries: int = DEFAULT_RETRIES,
     backoff: float = DEFAULT_BACKOFF,
+    shard_timeout: Optional[float] = None,
     recorder=None,
 ) -> PerfDataset:
     """Run the full study and return the performance dataset.
+
+    ``shard_timeout`` (seconds, parallel mode only) arms the hung-shard
+    watchdog: a shard still executing past the deadline is terminated,
+    re-queued within the ``retries`` budget, and finally quarantined —
+    the sweep completes with that cell absent instead of hanging.
 
     ``engine`` selects the pricing path (``"batch"``, the vectorized
     default, or ``"scalar"``, the reference) and ``jobs`` the number of
@@ -521,6 +617,8 @@ def run_study(
         raise ValueError("jobs must be positive")
     if retries < 0:
         raise ValueError("retries must be non-negative")
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise ValueError("shard_timeout must be positive")
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint directory")
     rec = recorder if recorder is not None else NULL_RECORDER
@@ -550,7 +648,12 @@ def run_study(
         )
         fingerprint = study_fingerprint(config, engine, traces)
         done = ckpt.open(
-            fingerprint, len(config.chips), len(config.configs), resume=resume
+            fingerprint,
+            len(config.chips),
+            len(config.configs),
+            resume=resume,
+            chips=[chip.short_name for chip in config.chips],
+            configs=[cfg.key() for cfg in config.configs],
         )
         if rec.enabled:
             if resume:
@@ -605,6 +708,7 @@ def run_study(
             done=done,
             retries=retries,
             backoff=backoff,
+            shard_timeout=shard_timeout,
             recorder=rec,
         )
     timer.finish(
@@ -664,6 +768,15 @@ def main() -> None:  # pragma: no cover - CLI entry point
         f"(default: {DEFAULT_RETRIES})",
     )
     parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline watchdog for hung shards (parallel mode): a shard "
+        "running longer than SECONDS is terminated and re-queued within "
+        "the --retries budget, then quarantined (default: no deadline)",
+    )
+    parser.add_argument(
         "--faults",
         metavar="DIR",
         default=None,
@@ -697,6 +810,7 @@ def main() -> None:  # pragma: no cover - CLI entry point
             resume=args.resume,
             faults=faults,
             retries=args.retries,
+            shard_timeout=args.shard_timeout,
             recorder=rec,
         )
     except KeyboardInterrupt:
@@ -727,7 +841,17 @@ def main() -> None:  # pragma: no cover - CLI entry point
         print(f"[study] wrote run report to {args.metrics}", file=sys.stderr)
         print(report.render(), file=sys.stderr)
     if ckpt is not None:
-        ckpt.clear()  # the dataset is safely on disk; drop the shards
+        if ckpt.quarantined_tasks:
+            # Quarantined shards are not in the dataset; keep the
+            # checkpoint so --resume can re-price exactly those cells.
+            print(
+                f"[study] {len(ckpt.quarantined_tasks)} quarantined "
+                f"shard(s) kept in {ckpt.directory} — re-run with "
+                f"--resume to re-price them",
+                file=sys.stderr,
+            )
+        else:
+            ckpt.clear()  # the dataset is safely on disk; drop the shards
     print(
         f"wrote {dataset.n_measurements} measurements "
         f"({len(dataset)} tests) in {time.time() - started:.1f}s to {args.output}"

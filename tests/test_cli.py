@@ -1,5 +1,7 @@
 """Tests for the command-line entry points."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -9,7 +11,9 @@ from repro.core.reporting import render_csv
 class TestDispatch:
     def test_help(self, capsys):
         assert main(["--help"]) == 0
-        assert "commands:" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "commands:" in out
+        assert "doctor" in out
 
     def test_no_args_shows_usage(self, capsys):
         assert main([]) == 0
@@ -26,6 +30,38 @@ class TestDispatch:
         assert main(["report", "table1"]) == 0
         out = capsys.readouterr().out
         assert "Quadro M4000" in out
+
+
+class TestProfileChecksums:
+    def _report_file(self, tmp_path):
+        from repro.obs.report import RunReport
+
+        path = str(tmp_path / "run-report.json")
+        RunReport(counters={"study.shards.priced": 4}).save(path)
+        return path
+
+    def test_profile_renders_healthy_report(self, tmp_path, capsys):
+        assert main(["profile", self._report_file(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_profile_rejects_checksum_mismatch(self, tmp_path, capsys):
+        path = self._report_file(tmp_path)
+        with open(path) as f:
+            payload = json.load(f)
+        payload["report"]["counters"]["study.shards.priced"] = 999
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        assert main(["profile", path]) == 1
+        assert "checksum mismatch" in capsys.readouterr().err
+
+    def test_profile_rejects_truncated_report(self, tmp_path, capsys):
+        path = self._report_file(tmp_path)
+        with open(path) as f:
+            text = f.read()
+        with open(path, "w") as f:
+            f.write(text[: len(text) // 2])
+        assert main(["profile", path]) == 1
+        assert "truncated or invalid" in capsys.readouterr().err
 
 
 class TestRenderCsv:

@@ -53,6 +53,16 @@ class TestSignificance:
         b = [105.0, 125.0, 85.0]
         assert not significant_difference(a, b)
 
+    def test_single_repetition_is_never_significant(self):
+        # No variance information → no significance evidence.  A
+        # degraded 1-repetition dataset must classify as no-change,
+        # not crash the analysis (welch_interval itself still raises).
+        assert not significant_difference([5.0], [50.0, 51.0, 49.0])
+        assert not significant_difference([5.0, 5.1, 4.9], [50.0])
+        assert classify_outcome([10.0], [5.0]) == "no-change"
+        with pytest.raises(ValueError):
+            welch_interval([5.0], [50.0, 51.0, 49.0])
+
 
 class TestClassifyOutcome:
     def test_speedup(self):

@@ -1,0 +1,215 @@
+"""Degraded-mode analysis: every experiment renders on partial data.
+
+Parametrized drops — one chip, one app, one configuration, a random
+20 % of cells — are applied to the pinned mini dataset; every
+dataset-driven experiment module must still render, with a coverage
+footnote exactly when the dataset's own grid is incomplete.  The
+end-to-end scenario (kill a study mid-run, ``repro doctor`` the
+checkpoint, export and analyse the partial dataset) drives the real
+CLI in subprocesses.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import Analysis, build_strategies
+from repro.experiments import (
+    fig1_heatmap,
+    fig2_top_opts,
+    fig3_outcomes,
+    fig4_slowdown,
+    nvidia_only,
+    table2_envelope,
+    table3_ranking,
+    table4_bias,
+    table5_strategies,
+    table9_chip_function,
+)
+from repro.study import PerfDataset
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+FOOTNOTE = "note: derived from"
+
+
+def _drop(dataset, predicate):
+    """A copy of ``dataset`` without the cells matching ``predicate``."""
+    out = PerfDataset()
+    for test, config, times in dataset.iter_measurements():
+        if predicate(test, config):
+            continue
+        out.add(test, config, times)
+    return out
+
+
+@pytest.fixture(scope="module")
+def degraded(mini_dataset):
+    """The parametrized drop scenarios, built once per module."""
+    import random
+
+    chips = mini_dataset.chips
+    apps = mini_dataset.apps
+    non_baseline = [c for c in mini_dataset.configs if c.key() != "baseline"]
+    rng = random.Random(1234)
+    cells = [
+        (test, config)
+        for test, config, _ in mini_dataset.iter_measurements()
+    ]
+    dropped_20 = set(rng.sample(range(len(cells)), k=len(cells) // 5))
+    dropped_cells = {
+        (test, config.key())
+        for i, (test, config) in enumerate(cells)
+        if i in dropped_20
+    }
+    return {
+        "drop-chip": _drop(mini_dataset, lambda t, c: t.chip == chips[0]),
+        "drop-app": _drop(mini_dataset, lambda t, c: t.app == apps[0]),
+        "drop-config": _drop(
+            mini_dataset, lambda t, c: c.key() == non_baseline[0].key()
+        ),
+        "drop-20pct": _drop(
+            mini_dataset, lambda t, c: (t, c.key()) in dropped_cells
+        ),
+    }
+
+
+SCENARIOS = ["drop-chip", "drop-app", "drop-config", "drop-20pct"]
+
+
+class TestExperimentsRenderDegraded:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize(
+        "module",
+        [
+            fig1_heatmap,
+            fig2_top_opts,
+            table2_envelope,
+            table3_ranking,
+            table4_bias,
+            table9_chip_function,
+            nvidia_only,
+        ],
+        ids=lambda m: m.__name__.rsplit(".", 1)[-1],
+    )
+    def test_dataset_experiments_render(self, degraded, scenario, module):
+        ds = degraded[scenario]
+        out = module.run(ds)
+        assert out.strip()
+        # Footnote exactly when the dataset's own grid is incomplete.
+        assert (FOOTNOTE in out) == (not ds.coverage().complete)
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize(
+        "module",
+        [fig3_outcomes, fig4_slowdown],
+        ids=["fig3_outcomes", "fig4_slowdown"],
+    )
+    def test_strategy_experiments_render(self, degraded, scenario, module):
+        ds = degraded[scenario]
+        strategies = build_strategies(ds, Analysis(ds))
+        out = module.run(ds, strategies)
+        assert out.strip()
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_table5_footnotes_degraded_strategies(self, degraded, scenario):
+        ds = degraded[scenario]
+        strategies = build_strategies(ds, Analysis(ds))
+        out = table5_strategies.run(strategies)
+        assert "Table V" in out
+        assert (FOOTNOTE in out) == (not ds.coverage().complete)
+
+    def test_full_coverage_has_no_footnote(self, mini_dataset):
+        assert FOOTNOTE not in table2_envelope.run(mini_dataset)
+        assert FOOTNOTE not in fig1_heatmap.run(mini_dataset)
+
+
+class TestAnalysisStability:
+    def test_mwu_pick_unchanged_when_losing_config_dropped(
+        self, mini_dataset
+    ):
+        _, _, mwu_pick, _ = table4_bias.data(mini_dataset)
+        loser = next(
+            c
+            for c in mini_dataset.configs
+            if c.key() not in ("baseline", mwu_pick.key())
+        )
+        degraded = _drop(
+            mini_dataset, lambda t, c: c.key() == loser.key()
+        )
+        _, _, degraded_pick, _ = table4_bias.data(degraded)
+        assert degraded_pick.key() == mwu_pick.key()
+
+    def test_missing_pairs_counted(self, mini_dataset):
+        from repro.obs import Recorder
+
+        ds = _drop(
+            mini_dataset,
+            lambda t, c: t.chip == mini_dataset.chips[0]
+            and c.key() == "baseline",
+        )
+        rec = Recorder()
+        Analysis(ds, recorder=rec).comparison_lists(ds.tests, "wg")
+        assert rec.counter_value("analysis.pairs.missing") > 0
+
+
+def _cli(args, env_extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestKillDoctorAnalyseE2E:
+    def test_kill_doctor_export_analyse(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        out = str(tmp_path / "out.json")
+        ckpt = str(tmp_path / "out.ckpt")
+        spool = str(tmp_path / "faults")
+        FaultPlan(spool).arm("interrupt", "shard-0-20")
+
+        # 1. Kill the study mid-run (injected ^C after 21 shards).
+        killed = _cli(
+            [
+                "study",
+                out,
+                "--scale",
+                "0.05",
+                "--jobs",
+                "2",
+                "--checkpoint",
+                ckpt,
+                "--faults",
+                spool,
+            ]
+        )
+        assert killed.returncode == 130, killed.stderr
+
+        # 2. The doctor finds a healthy-partial checkpoint: exit zero,
+        #    repair plan naming the --resume remedy.
+        exported = str(tmp_path / "partial.json")
+        doctored = _cli(["doctor", ckpt, "--export", exported])
+        assert doctored.returncode == 0, doctored.stderr
+        assert "repair plan" in doctored.stdout
+        assert "--resume" in doctored.stdout
+        assert "exported" in doctored.stdout
+
+        # 3. Partial analysis over the exported dataset via the CLI.
+        report = _cli(
+            ["report", "table2", "--min-coverage", "0.0"],
+            env_extra={"REPRO_DATASET": exported},
+        )
+        assert report.returncode == 0, report.stderr
+        assert "table2" in report.stdout

@@ -1,0 +1,236 @@
+"""``repro doctor``: checkpoint and dataset diagnosis."""
+
+import json
+import os
+
+import pytest
+
+from repro.compiler.options import OptConfig
+from repro.errors import DatasetError
+from repro.study.checkpoint import StudyCheckpoint
+from repro.study.dataset import PerfDataset, TestCase
+from repro.study.doctor import (
+    diagnose_checkpoint,
+    diagnose_dataset,
+    export_partial_dataset,
+    main,
+)
+
+FP = "ab" * 8
+
+
+def _make_checkpoint(directory, missing=(), axes=True):
+    """A 2-chip x 3-config checkpoint with optional holes."""
+    cp = StudyCheckpoint(str(directory))
+    kwargs = (
+        {"chips": ["gtx1080", "mali"], "configs": ["baseline", "wg", "wg+sg"]}
+        if axes
+        else {}
+    )
+    cp.open(FP, 2, 3, resume=False, **kwargs)
+    for chip in range(2):
+        for cfg in range(3):
+            if (chip, cfg) in missing:
+                continue
+            cp.record(
+                (chip, cfg),
+                [("bfs", "road", [1.0, 2.0]), ("sssp", "road", [3.0])],
+            )
+    return cp
+
+
+class TestCheckpointDiagnosis:
+    def test_healthy_full_checkpoint(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck")
+        diag = diagnose_checkpoint(str(tmp_path / "ck"))
+        assert diag.ok
+        assert not diag.repair_plan
+        assert "USABLE" in diag.render()
+
+    def test_healthy_partial_is_usable_with_repair_plan(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck", missing={(1, 2)})
+        diag = diagnose_checkpoint(str(tmp_path / "ck"))
+        assert diag.ok  # partial but intact: exit zero
+        assert any("--resume" in step for step in diag.repair_plan)
+        assert any("chip 1" in step for step in diag.repair_plan)
+
+    def test_stale_fingerprint_detected(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck")
+        diag = diagnose_checkpoint(
+            str(tmp_path / "ck"), expected_fingerprint="cd" * 8
+        )
+        assert not diag.ok
+        assert any(f.code == "fingerprint-stale" for f in diag.findings)
+
+    def test_malformed_fingerprint_detected(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck")
+        manifest_path = tmp_path / "ck" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["fingerprint"] = "not-hex"
+        manifest_path.write_text(json.dumps(manifest))
+        diag = diagnose_checkpoint(str(tmp_path / "ck"))
+        assert any(f.code == "fingerprint-malformed" for f in diag.findings)
+
+    def test_truncated_shard_detected(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck")
+        shard = tmp_path / "ck" / "shard-0000-0001.json"
+        shard.write_text(shard.read_text()[:20])
+        diag = diagnose_checkpoint(str(tmp_path / "ck"))
+        assert not diag.ok
+        assert any(
+            f.code == "shard-corrupt" and "0001" in f.message
+            for f in diag.errors
+        )
+
+    def test_bad_checksum_detected(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck")
+        shard = tmp_path / "ck" / "shard-0001-0000.json"
+        payload = json.loads(shard.read_text())
+        payload["checksum"] = "0" * 64
+        shard.write_text(json.dumps(payload))
+        diag = diagnose_checkpoint(str(tmp_path / "ck"))
+        assert any("checksum mismatch" in f.message for f in diag.errors)
+
+    def test_out_of_grid_shard_is_orphan_warning(self, tmp_path):
+        cp = _make_checkpoint(tmp_path / "ck")
+        cp.record((7, 7), [("bfs", "road", [1.0])])
+        diag = diagnose_checkpoint(str(tmp_path / "ck"))
+        assert diag.ok  # a warning, not an error
+        assert any(f.code == "shard-orphan" for f in diag.findings)
+
+    def test_missing_manifest_is_unusable(self, tmp_path):
+        (tmp_path / "ck").mkdir()
+        diag = diagnose_checkpoint(str(tmp_path / "ck"))
+        assert not diag.ok
+        assert any(f.code == "manifest" for f in diag.errors)
+
+    def test_damaged_metrics_is_warning_only(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck")
+        (tmp_path / "ck" / "metrics.json").write_text("{garbage")
+        diag = diagnose_checkpoint(str(tmp_path / "ck"))
+        assert diag.ok
+        assert any(f.code == "metrics-damaged" for f in diag.findings)
+
+    def test_metrics_shard_count_mismatch_is_warning(self, tmp_path):
+        cp = _make_checkpoint(tmp_path / "ck")
+        cp.save_metrics([{"counters": {"study.shards.priced": 99}}])
+        diag = diagnose_checkpoint(str(tmp_path / "ck"))
+        assert diag.ok
+        assert any(f.code == "metrics-mismatch" for f in diag.findings)
+
+
+class TestPartialExport:
+    def test_export_assembles_valid_shards(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck", missing={(1, 2)})
+        ds = export_partial_dataset(str(tmp_path / "ck"))
+        # 5 shards x 2 traces each.
+        assert ds.n_measurements == 10
+        assert ds.times_or_none(
+            TestCase("bfs", "road", "gtx1080"), OptConfig()
+        ) == (1.0, 2.0)
+        # The missing shard's cell stays a hole.
+        assert (
+            ds.times_or_none(
+                TestCase("bfs", "road", "mali"),
+                OptConfig.from_names(["wg", "sg"]),
+            )
+            is None
+        )
+
+    def test_export_skips_corrupt_shards(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck")
+        (tmp_path / "ck" / "shard-0000-0000.json").write_text("{")
+        ds = export_partial_dataset(str(tmp_path / "ck"))
+        assert ds.n_measurements == 10
+
+    def test_export_requires_axis_names(self, tmp_path):
+        _make_checkpoint(tmp_path / "ck", axes=False)
+        with pytest.raises(DatasetError, match="axis names"):
+            export_partial_dataset(str(tmp_path / "ck"))
+
+
+class TestDatasetDiagnosis:
+    def _dataset_file(self, tmp_path):
+        ds = PerfDataset()
+        ds.add(TestCase("bfs", "road", "c0"), OptConfig(), (1.0, 2.0))
+        path = str(tmp_path / "d.json")
+        ds.save(path)
+        return path
+
+    def test_healthy_dataset(self, tmp_path):
+        diag = diagnose_dataset(self._dataset_file(tmp_path))
+        assert diag.ok
+        assert any(f.code == "coverage" for f in diag.findings)
+
+    def test_corrupt_dataset_is_unusable(self, tmp_path):
+        path = self._dataset_file(tmp_path)
+        with open(path) as f:
+            text = f.read()
+        with open(path, "w") as f:
+            f.write(text[: len(text) // 2])
+        diag = diagnose_dataset(path)
+        assert not diag.ok
+        assert any(f.code == "unloadable" for f in diag.errors)
+
+    def test_legacy_format_is_warning(self, tmp_path):
+        path = str(tmp_path / "legacy.json")
+        with open(path, "w") as f:
+            json.dump({"measurements": []}, f)
+        diag = diagnose_dataset(path)
+        assert any(f.code == "format-legacy" for f in diag.findings)
+
+
+class TestDoctorCLI:
+    def test_healthy_checkpoint_exits_zero(self, tmp_path, capsys):
+        _make_checkpoint(tmp_path / "ck")
+        assert main([str(tmp_path / "ck")]) == 0
+        assert "USABLE" in capsys.readouterr().out
+
+    def test_corrupted_checkpoint_exits_nonzero(self, tmp_path, capsys):
+        _make_checkpoint(tmp_path / "ck")
+        shard = tmp_path / "ck" / "shard-0000-0000.json"
+        shard.write_text(shard.read_text()[:10])
+        assert main([str(tmp_path / "ck")]) == 1
+        assert "UNUSABLE" in capsys.readouterr().out
+
+    def test_stale_fingerprint_exits_nonzero(self, tmp_path, capsys):
+        _make_checkpoint(tmp_path / "ck")
+        assert main([str(tmp_path / "ck"), "--fingerprint", "cd" * 8]) == 1
+        capsys.readouterr()
+
+    def test_export_flag(self, tmp_path, capsys):
+        _make_checkpoint(tmp_path / "ck", missing={(0, 1)})
+        out = str(tmp_path / "part.json")
+        assert main([str(tmp_path / "ck"), "--export", out]) == 0
+        assert "exported" in capsys.readouterr().out
+        assert PerfDataset.load(out).n_measurements == 10
+
+    def test_audit_json_flag(self, tmp_path, capsys):
+        ds = PerfDataset()
+        ds.add(TestCase("bfs", "road", "c0"), OptConfig(), (1.0,))
+        path = str(tmp_path / "d.json")
+        ds.save(path)
+        out = str(tmp_path / "audit.json")
+        assert main([path, "--audit-json", out]) == 0
+        capsys.readouterr()
+        with open(out) as f:
+            assert json.load(f)["format"] == "audit-v1"
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        capsys.readouterr()
+
+    def test_export_requires_checkpoint(self, tmp_path, capsys):
+        path = str(tmp_path / "d.json")
+        ds = PerfDataset()
+        ds.add(TestCase("bfs", "road", "c0"), OptConfig(), (1.0,))
+        ds.save(path)
+        assert main([path, "--export", str(tmp_path / "x.json")]) == 2
+        capsys.readouterr()
+
+    def test_dispatched_from_top_level_cli(self, tmp_path, capsys):
+        from repro.__main__ import main as top_main
+
+        _make_checkpoint(tmp_path / "ck")
+        assert top_main(["doctor", str(tmp_path / "ck")]) == 0
+        capsys.readouterr()

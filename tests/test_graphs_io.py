@@ -1,6 +1,10 @@
 """Tests for graph file I/O."""
 
+import os
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import GraphFormatError
 from repro.graphs import (
@@ -93,12 +97,148 @@ class TestEdgeList:
         with pytest.raises(GraphFormatError):
             load_edge_list(str(path), weighted=True)
 
-    def test_empty_edge_list(self, tmp_path):
+    def test_empty_edge_list_rejected(self, tmp_path):
+        # An edge list with no edges is more likely a truncated download
+        # than a deliberate input.
         path = tmp_path / "empty.txt"
         path.write_text("# nothing\n")
-        g = load_edge_list(str(path))
-        assert g.n_nodes == 0
-        assert g.n_edges == 0
+        with pytest.raises(GraphFormatError, match="no edges"):
+            load_edge_list(str(path))
+
+    def test_negative_id_names_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n2 -3\n")
+        with pytest.raises(GraphFormatError, match=r"bad\.txt:2"):
+            load_edge_list(str(path))
+
+    def test_overflowing_id(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text(f"0 {2**60}\n")
+        with pytest.raises(GraphFormatError, match="overflows"):
+            load_edge_list(str(path))
+
+    def test_non_integer_id(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("zero one\n")
+        with pytest.raises(GraphFormatError, match="not an integer"):
+            load_edge_list(str(path))
+
+    def test_non_finite_weight(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 inf\n")
+        with pytest.raises(GraphFormatError, match="non-finite"):
+            load_edge_list(str(path), weighted=True)
+
+    def test_binary_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_bytes(b"\xff\xfe\x00\x01 binary \x80 junk")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(str(path))
+
+
+class TestDimacsHardening:
+    def test_arc_outside_declared_range(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\na 1 5 1\n")
+        with pytest.raises(GraphFormatError, match="node range"):
+            load_dimacs(str(path))
+
+    def test_truncated_arc_count(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 3 5\na 1 2 1\n")
+        with pytest.raises(GraphFormatError, match="truncated"):
+            load_dimacs(str(path))
+
+    def test_zero_node_graph(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 0 0\n")
+        with pytest.raises(GraphFormatError, match="empty graph"):
+            load_dimacs(str(path))
+
+    def test_duplicate_problem_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\np sp 2 1\na 1 2 1\n")
+        with pytest.raises(GraphFormatError, match="duplicate problem"):
+            load_dimacs(str(path))
+
+    def test_negative_arc_id(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\na -1 2 1\n")
+        with pytest.raises(GraphFormatError, match="negative"):
+            load_dimacs(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="unreadable"):
+            load_dimacs(str(tmp_path / "nope.gr"))
+
+
+_CORPUS_DIR = os.path.join(os.path.dirname(__file__), "data", "malformed")
+
+
+class TestMalformedCorpus:
+    """Every file in the committed corpus must raise GraphFormatError
+    naming the offending path — never ValueError/IndexError/etc."""
+
+    @pytest.mark.parametrize(
+        "filename", sorted(os.listdir(_CORPUS_DIR))
+    )
+    def test_corpus_file_rejected(self, filename):
+        path = os.path.join(_CORPUS_DIR, filename)
+        weighted = "weight" in filename
+        with pytest.raises(GraphFormatError) as excinfo:
+            if filename.endswith(".gr"):
+                load_dimacs(path)
+            else:
+                load_edge_list(path, weighted=weighted)
+        assert filename in str(excinfo.value)
+
+
+def _graph_strategy():
+    return st.integers(2, 12).flatmap(
+        lambda n: st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=24,
+        ).map(lambda edges: CSRGraph.from_edges(n, edges))
+    )
+
+
+class TestFuzzRoundtrip:
+    """Property: writers produce files the hardened loaders accept, and
+    arbitrary text never escapes as a non-GraphFormatError."""
+
+    @given(g=_graph_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_edge_list_roundtrip(self, g, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("fuzz") / "g.txt")
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    @given(g=_graph_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_dimacs_roundtrip(self, g, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("fuzz") / "g.gr")
+        save_dimacs(g, path)
+        loaded = load_dimacs(path)
+        assert loaded.n_nodes == g.n_nodes
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    @given(text=st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_text_never_escapes(self, text, tmp_path_factory):
+        base = tmp_path_factory.mktemp("fuzz")
+        for fname, loader in (
+            ("f.txt", load_edge_list),
+            ("f.gr", load_dimacs),
+        ):
+            path = str(base / fname)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+            try:
+                loader(path)
+            except GraphFormatError:
+                pass  # the only allowed failure mode
 
 
 class TestDispatch:

@@ -1,0 +1,134 @@
+"""Hung-shard watchdog: ``shard_timeout`` deadline, quarantine, resume.
+
+Uses the ``slow`` fault (a worker sleeping far past the deadline) to
+drive the watchdog deterministically.  A ``slow`` token is consumed
+exactly once, so a timed-out shard that is re-queued prices normally on
+its second attempt; quarantine is exercised with ``retries=0`` where
+the first timeout already exhausts the budget.
+"""
+
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.compiler import enumerate_configs
+from repro.faults import FaultPlan
+from repro.graphs import rmat_graph
+from repro.graphs.inputs import StudyInput
+from repro.obs import Recorder
+from repro.study import StudyConfig, run_study
+from repro.study.checkpoint import StudyCheckpoint
+
+#: Far past any deadline used here: a hung worker, if not terminated,
+#: would blow the suite's runtime.
+HANG = 120.0
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> StudyConfig:
+    """1 app x 1 input x 2 chips x 4 configurations: 8 shards."""
+    graph = rmat_graph(6, edge_factor=6, seed=3, name="t-rmat")
+    return StudyConfig(
+        apps=[get_application("bfs-wl")],
+        inputs={
+            "t-rmat": StudyInput(
+                name="t-rmat",
+                input_class="social",
+                description="timeout test rmat",
+                _builder=lambda: graph,
+            )
+        },
+        chips=[get_chip("GTX1080"), get_chip("MALI")],
+        configs=enumerate_configs()[::24],
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_config):
+    return run_study(tiny_config, jobs=1)
+
+
+class TestWatchdog:
+    def test_timed_out_shard_requeued_and_completes(
+        self, tiny_config, baseline, tmp_path
+    ):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("slow", "shard-0-1", param=HANG)
+        rec = Recorder()
+        dataset = run_study(
+            tiny_config,
+            jobs=2,
+            faults=plan,
+            retries=2,
+            shard_timeout=0.5,
+            recorder=rec,
+        )
+        # The slow token fired once; the re-queued shard priced clean.
+        assert dataset == baseline
+        assert rec.counter_value("study.shards.timeout") >= 1
+        assert rec.counter_value("study.shards.quarantined") == 0
+
+    def test_exhausted_budget_quarantines_shard(
+        self, tiny_config, baseline, tmp_path
+    ):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("slow", "shard-0-1", param=HANG)
+        ckpt = StudyCheckpoint(str(tmp_path / "ck"))
+        rec = Recorder()
+        dataset = run_study(
+            tiny_config,
+            jobs=2,
+            faults=plan,
+            retries=0,
+            shard_timeout=0.5,
+            checkpoint=ckpt,
+            recorder=rec,
+        )
+        assert rec.counter_value("study.shards.timeout") == 1
+        assert rec.counter_value("study.shards.quarantined") == 1
+        assert ckpt.quarantined_tasks == [(0, 1)]
+        # The quarantined shard's cells are holes, everything else matches.
+        assert dataset.n_measurements == baseline.n_measurements - 1
+        assert not dataset.coverage().complete
+        hung_cfg = tiny_config.configs[1]
+        for test in baseline.tests:
+            if test.chip == tiny_config.chips[0].short_name:
+                assert dataset.times_or_none(test, hung_cfg) is None
+
+    def test_resume_reprices_only_quarantined_shards(
+        self, tiny_config, baseline, tmp_path
+    ):
+        plan = FaultPlan(str(tmp_path / "spool"))
+        plan.arm("slow", "shard-1-2", param=HANG)
+        ckpt_dir = str(tmp_path / "ck")
+        partial = run_study(
+            tiny_config,
+            jobs=2,
+            faults=plan,
+            retries=0,
+            shard_timeout=0.5,
+            checkpoint=ckpt_dir,
+        )
+        assert partial.n_measurements == baseline.n_measurements - 1
+        # The checkpoint holds every shard except the quarantined one.
+        rec = Recorder()
+        resumed = run_study(
+            tiny_config,
+            jobs=2,
+            checkpoint=ckpt_dir,
+            resume=True,
+            recorder=rec,
+        )
+        assert resumed == baseline
+        assert rec.counter_value("study.shards.skipped_checkpoint") == 7
+        assert rec.counter_value("study.shards.priced") == 1
+
+    def test_shard_timeout_validated(self, tiny_config):
+        with pytest.raises(ValueError, match="shard_timeout"):
+            run_study(tiny_config, jobs=2, shard_timeout=0.0)
+
+    def test_serial_mode_ignores_timeout(self, tiny_config, baseline):
+        # jobs=1 never arms the watchdog; the parameter is accepted and
+        # the sweep matches the baseline.
+        dataset = run_study(tiny_config, jobs=1, shard_timeout=5.0)
+        assert dataset == baseline
