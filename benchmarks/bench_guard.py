@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Benchmark regression guard for the study sweep.
+"""Benchmark regression guard for the study sweep and serving layer.
 
-Compares the batch-vs-scalar speedup recorded in ``BENCH_study.json``
-(written by ``bench_study.py``) against the committed floor in
-``benchmarks/bench_floor.json`` and fails when the vectorized engine
-has regressed below it.  The floors are set far under locally measured
-speedups so ordinary CI-runner noise passes; a breach indicates a
-structural regression (e.g. the batch engine silently falling back to
-per-launch pricing, or new per-launch overhead in the hot loop).
+Checks committed floors in ``benchmarks/bench_floor.json`` against:
+
+* ``BENCH_study.json`` (written by ``bench_study.py``) — the
+  batch-vs-scalar speedup of the vectorized pricing engine;
+* ``BENCH_serve.json`` (written by ``bench_serve.py``) — the strategy
+  server's closed-loop throughput.
+
+The floors are set far under locally measured values so ordinary
+CI-runner noise passes; a breach indicates a structural regression
+(the batch engine silently falling back to per-launch pricing, new
+per-request overhead in the server's hot path).  Serve results are
+checked only when present, unless ``--serve-only`` inverts that: then
+the study results become optional (for the serve smoke job, which
+never runs the study bench).
 
 Run:  PYTHONPATH=src python benchmarks/bench_guard.py [BENCH_study.json]
+      PYTHONPATH=src python benchmarks/bench_guard.py --serve-only
 """
 
 from __future__ import annotations
@@ -22,39 +30,25 @@ import sys
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(_HERE)
 _DEFAULT_RESULTS = os.path.join(_ROOT, "BENCH_study.json")
+_DEFAULT_SERVE_RESULTS = os.path.join(_ROOT, "BENCH_serve.json")
 _FLOOR_FILE = os.path.join(_HERE, "bench_floor.json")
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "results",
-        nargs="?",
-        default=_DEFAULT_RESULTS,
-        help="bench_study.py output (default: BENCH_study.json)",
-    )
-    parser.add_argument(
-        "--floor-file",
-        default=_FLOOR_FILE,
-        help="committed speedup floors (default: benchmarks/bench_floor.json)",
-    )
-    args = parser.parse_args(argv)
-
+def _load(path: str):
     try:
-        with open(args.results) as f:
-            results = json.load(f)
+        with open(path) as f:
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"[bench-guard] cannot read {args.results}: {exc}")
-        return 2
-    with open(args.floor_file) as f:
-        floors = json.load(f)["speedup_vs_scalar"]
+        print(f"[bench-guard] cannot read {path}: {exc}")
+        return None
 
+
+def _check_study(results: dict, floors: dict) -> int:
     mode = "quick" if results.get("quick") else "full"
-    floor = floors[mode]
+    floor = floors["speedup_vs_scalar"][mode]
     speedup = results["sweeps"]["batch"]["speedup_vs_scalar"]
-
     print(
-        f"[bench-guard] mode={mode}: batch speedup {speedup:.2f}x "
+        f"[bench-guard] study mode={mode}: batch speedup {speedup:.2f}x "
         f"(floor {floor:.2f}x)"
     )
     if not results.get("identical_datasets"):
@@ -67,6 +61,80 @@ def main(argv=None) -> int:
             f"engine has regressed (or new overhead entered the pricing "
             f"loop); investigate before raising the floor"
         )
+        return 1
+    return 0
+
+
+def _check_serve(results: dict, floors: dict) -> int:
+    mode = "quick" if results.get("quick") else "full"
+    floor = floors["serve_throughput_rps"][mode]
+    throughput = results["throughput_rps"]
+    print(
+        f"[bench-guard] serve mode={mode}: {throughput:.0f} req/s "
+        f"(floor {floor:.0f} req/s), p50 {results['p50_ms']:.2f}ms, "
+        f"p99 {results['p99_ms']:.2f}ms"
+    )
+    if results.get("errors"):
+        print(f"[bench-guard] FAIL: {results['errors']} failed requests")
+        return 1
+    if throughput < floor:
+        print(
+            f"[bench-guard] FAIL: serve throughput {throughput:.0f} req/s "
+            f"fell below the committed floor {floor:.0f} req/s — new "
+            f"per-request overhead entered the server's hot path; "
+            f"investigate before raising the floor"
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "results",
+        nargs="?",
+        default=_DEFAULT_RESULTS,
+        help="bench_study.py output (default: BENCH_study.json)",
+    )
+    parser.add_argument(
+        "--serve-results",
+        default=_DEFAULT_SERVE_RESULTS,
+        help="bench_serve.py output (default: BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--serve-only",
+        action="store_true",
+        help="require serve results and skip the study check (the serve "
+        "smoke job never runs the study bench)",
+    )
+    parser.add_argument(
+        "--floor-file",
+        default=_FLOOR_FILE,
+        help="committed floors (default: benchmarks/bench_floor.json)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.floor_file) as f:
+        floors = json.load(f)
+
+    failures = 0
+    if not args.serve_only:
+        study = _load(args.results)
+        if study is None:
+            return 2
+        failures += _check_study(study, floors)
+        serve = _load(args.serve_results) if os.path.exists(
+            args.serve_results
+        ) else None
+        if serve is not None:
+            failures += _check_serve(serve, floors)
+    else:
+        serve = _load(args.serve_results)
+        if serve is None:
+            return 2
+        failures += _check_serve(serve, floors)
+
+    if failures:
         return 1
     print("[bench-guard] OK")
     return 0

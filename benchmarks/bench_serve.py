@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Benchmark the strategy-advisor serving layer under closed-loop load.
+
+Builds a strategy index from the committed mini dataset (no study run
+needed), starts the asyncio server in-process on a free port, and
+drives it with ``--concurrency`` closed-loop worker threads — each
+holding one persistent keep-alive connection and issuing
+``GET /v1/strategy`` queries back-to-back over a seeded cycle of the
+index's coordinates (a mix of exact and degraded queries).  Reports
+p50/p99 latency and total throughput to ``BENCH_serve.json`` at the
+repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import http.client
+import json
+import os
+import random
+import threading
+import time
+
+from repro.serve import StrategyServer, build_index
+from repro.study.dataset import PerfDataset
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_serve.json")
+_MINI_DATASET = os.path.join(_ROOT, "tests", "goldens", "mini-dataset.json.gz")
+
+
+def _query_cycle(dataset: PerfDataset, seed: int = 7):
+    """A seeded, repeatable mix of strategy queries (some degraded)."""
+    rng = random.Random(seed)
+    apps, inputs, chips = dataset.apps, dataset.graphs, dataset.chips
+    queries = []
+    for chip in chips:
+        for app in apps:
+            for inp in inputs:
+                queries.append(f"/v1/strategy?chip={chip}&app={app}&input={inp}")
+    for chip in chips:  # partial queries exercise shorter lattice walks
+        queries.append(f"/v1/strategy?chip={chip}")
+    for app in apps:
+        queries.append(f"/v1/strategy?app={app}")
+    # Unknown coordinates force full fallback walks to the global level.
+    queries.append("/v1/strategy?chip=UNKNOWN&app=UNKNOWN&input=UNKNOWN")
+    rng.shuffle(queries)
+    return queries
+
+
+def _worker(
+    host: str,
+    port: int,
+    queries,
+    n_requests: int,
+    offset: int,
+    latencies,
+    errors,
+) -> None:
+    """One closed-loop client: a persistent connection, no think time."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        for i in range(n_requests):
+            path = queries[(offset + i) % len(queries)]
+            started = time.perf_counter()
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            body = resp.read()
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            if resp.status != 200 or not body:
+                errors.append((path, resp.status))
+    finally:
+        conn.close()
+
+
+def _percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller load for CI smoke runs"
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="closed-loop client threads (default: 4 quick, 8 full)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="requests per client (default: 75 quick, 500 full)",
+    )
+    parser.add_argument("--output", default=_DEFAULT_OUTPUT)
+    args = parser.parse_args()
+
+    concurrency = args.concurrency or (4 if args.quick else 8)
+    per_client = args.requests or (75 if args.quick else 500)
+
+    dataset = PerfDataset.load(_MINI_DATASET)
+    index = build_index(dataset)
+    queries = _query_cycle(dataset)
+    print(
+        f"index: {index.n_entries} entries; {len(queries)} distinct queries; "
+        f"{concurrency} clients x {per_client} requests"
+    )
+
+    loop = asyncio.new_event_loop()
+    server = StrategyServer(index, predictor=None)
+    loop.run_until_complete(server.start())
+    runner = threading.Thread(
+        target=loop.run_until_complete,
+        args=(server.serve_until_stopped(),),
+        daemon=True,
+    )
+    runner.start()
+
+    latencies: list = []
+    errors: list = []
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(
+                server.host,
+                server.port,
+                queries,
+                per_client,
+                w * 17,  # staggered offsets: clients do not march in step
+                latencies,
+                errors,
+            ),
+        )
+        for w in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+
+    loop.call_soon_threadsafe(server.request_shutdown)
+    runner.join(timeout=30)
+    loop.close()
+
+    if errors:
+        print(f"FAIL: {len(errors)} non-200 responses, e.g. {errors[:3]}")
+        return 1
+
+    total = concurrency * per_client
+    ordered = sorted(latencies)
+    p50 = _percentile(ordered, 0.50)
+    p99 = _percentile(ordered, 0.99)
+    throughput = total / elapsed
+    print(
+        f"served {total} requests in {elapsed:.2f}s: "
+        f"{throughput:.0f} req/s, p50 {p50:.2f}ms, p99 {p99:.2f}ms"
+    )
+
+    payload = {
+        "benchmark": "serve-load",
+        "quick": args.quick,
+        "concurrency": concurrency,
+        "requests": total,
+        "seconds": round(elapsed, 4),
+        "throughput_rps": round(throughput, 1),
+        "p50_ms": round(p50, 3),
+        "p99_ms": round(p99, 3),
+        "max_ms": round(ordered[-1], 3),
+        "errors": 0,
+    }
+    with open(args.output, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

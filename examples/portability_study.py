@@ -10,7 +10,12 @@ and prints the Fig 3 / Fig 4 trade-off plus each strategy's actual
 configuration choices.
 
 Run:  python examples/portability_study.py      (~1 minute)
+
+Set ``REPRO_EXAMPLE_SCALE`` (default 0.5) to shrink the inputs — CI
+runs every example at 0.1 as a smoke test.
 """
+
+import os
 
 from repro import StudyConfig, run_study
 from repro.apps import get_application
@@ -21,6 +26,9 @@ from repro.core.strategies import STRATEGY_ORDER
 from repro.graphs import study_inputs
 
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.5"))
+
+
 def main() -> None:
     config = StudyConfig(
         apps=[
@@ -29,7 +37,7 @@ def main() -> None:
         ],
         inputs={
             k: v
-            for k, v in study_inputs(scale=0.5).items()
+            for k, v in study_inputs(scale=SCALE).items()
             if k in ("usa-ny-sim", "rmat-sim")
         },
         chips=[get_chip(n) for n in ("GTX1080", "IRIS", "R9", "MALI")],

@@ -12,7 +12,12 @@ watch the recommended optimisations flip.  Two what-ifs:
    worthwhile on an Nvidia chip?
 
 Run:  python examples/what_if_hardware.py        (~1-2 minutes)
+
+Set ``REPRO_EXAMPLE_SCALE`` (default 0.5) to shrink the inputs — CI
+runs every example at 0.1 as a smoke test.
 """
+
+import os
 
 from repro import StudyConfig, run_study
 from repro.apps import get_application
@@ -28,7 +33,7 @@ def chip_decisions(chip, opts=("coop-cv", "sg", "fg", "fg8", "oitergb")):
     config = StudyConfig(
         apps=[get_application(a) for a in APPS],
         chips=[chip],
-        scale=0.5,
+        scale=float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.5")),
     )
     dataset = run_study(config, progress=lambda m: None)
     analysis = Analysis(dataset)

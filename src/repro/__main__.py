@@ -1,26 +1,24 @@
 """``python -m repro`` — top-level command dispatch.
 
-Subcommands:
+The subcommand registry lives in :data:`repro.cli.SUBCOMMANDS`; the
+usage text below renders from it, so the dispatcher, the ``--help``
+epilog and the tests can never disagree about what exists.
 
-* ``study OUTPUT [--scale S] [--repetitions N] [--jobs N] [--engine E]
-  [--resume] [--checkpoint DIR] [--no-checkpoint] [--retries N]``
-  — run the full study and save the dataset (delegates to
-  :mod:`repro.study.runner`; ``--jobs`` shards the pricing sweep over
-  worker processes, ``--engine`` picks the vectorized ``batch`` path or
-  the ``scalar`` reference — both produce the identical dataset).
-  Completed shards are checkpointed to ``OUTPUT.ckpt`` as the sweep
-  runs; an interrupted run resumes with ``--resume``, skipping
-  already-priced shards;
-* ``report [EXPERIMENT ...]`` — regenerate paper tables/figures
-  (delegates to :mod:`repro.experiments.report`);
-* ``profile REPORT.json [--spans N]`` — render a study RunReport
-  (written by ``study --metrics PATH``) as a human-readable summary
-  (delegates to :mod:`repro.obs.report`);
-* ``doctor PATH [--fingerprint HEX] [--export DATASET]`` — diagnose a
-  dataset file or checkpoint directory: damaged shards, stale
-  fingerprints, quarantinable cells, and the ``--resume`` repair plan
-  (delegates to :mod:`repro.study.doctor`; exits non-zero on unusable
-  state);
+* ``study`` — run the full study and save the dataset (delegates to
+  :mod:`repro.study.runner`; checkpointed, resumable, shardable over
+  worker processes);
+* ``report`` — regenerate paper tables/figures
+  (:mod:`repro.experiments.report`);
+* ``index`` — compile a ``strategy-index-v1`` artifact from a dataset
+  (:mod:`repro.serve.index`), the input of ``serve``;
+* ``serve`` — answer strategy/prediction queries over an asyncio HTTP
+  JSON API (:mod:`repro.serve.server`); SIGTERM/SIGINT drain in-flight
+  requests and exit 0;
+* ``profile`` — render a RunReport artifact (written by any
+  subcommand's ``--metrics PATH``) as a human-readable summary
+  (:mod:`repro.obs.report`);
+* ``doctor`` — diagnose a dataset file or checkpoint directory
+  (:mod:`repro.study.doctor`; exits non-zero on unusable state);
 * ``validate`` — run every application against its oracle on small
   instances of the three input classes.
 """
@@ -29,22 +27,13 @@ from __future__ import annotations
 
 import sys
 
+from .cli import subcommand_epilog
+
 __all__ = ["main"]
 
-_USAGE = """usage: python -m repro <command> [args]
+_USAGE = f"""usage: python -m repro <command> [args]
 
-commands:
-  study OUTPUT [--scale S] [--repetitions N] [--jobs N] [--engine E]
-               [--resume] [--checkpoint DIR] [--retries N]
-               [--metrics PATH]
-                                               run the full study
-                                               (checkpointed; resumable)
-  report [EXPERIMENT ...] [--min-coverage F]   regenerate tables/figures
-  profile REPORT.json [--spans N]              render a study run report
-  doctor PATH [--fingerprint HEX]
-              [--export DATASET]               diagnose a dataset or
-                                               checkpoint directory
-  validate                                     oracle-check all applications
+{subcommand_epilog()}
 """
 
 
@@ -81,6 +70,14 @@ def main(argv=None) -> int:
         from .experiments.report import main as report_main
 
         return report_main(rest)
+    if command == "index":
+        from .serve.index import main as index_main
+
+        return index_main(rest)
+    if command == "serve":
+        from .serve.server import main as serve_main
+
+        return serve_main(rest)
     if command == "profile":
         from .obs.report import main as profile_main
 

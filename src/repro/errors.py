@@ -122,3 +122,27 @@ class InsufficientCoverageError(AnalysisError):
     with ``--resume``.  Above the floor, degraded datasets analyse
     normally with coverage footnotes instead of refusing.
     """
+
+
+class ServeError(ReproError):
+    """The serving layer was misconfigured or fed a bad artifact."""
+
+
+class StrategyIndexError(ServeError):
+    """A strategy-index artifact is missing, malformed or corrupt.
+
+    Raised by :class:`repro.serve.index.StrategyIndex` when loading a
+    ``strategy-index-v1`` file whose JSON is truncated, whose format
+    tag is unrecognised or whose checksum does not match — an advisor
+    must refuse to serve recommendations it cannot trust.
+    """
+
+
+class PredictionError(ServeError):
+    """An online prediction request cannot be priced.
+
+    Raised by :class:`repro.serve.predict.Predictor` for queries naming
+    an unknown chip, application or input, or an application/input pair
+    the study itself skips (a weight-requiring application on an
+    unweighted graph).  The server maps this onto a 400 response.
+    """

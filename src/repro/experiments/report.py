@@ -17,6 +17,7 @@ import argparse
 import sys
 import time
 
+from ..cli import metrics_parent, save_run_report
 from ..errors import InsufficientCoverageError
 from ..study.audit import DEFAULT_COVERAGE_FLOOR, require_coverage
 from . import ALL_EXPERIMENTS, common
@@ -47,6 +48,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.report",
         description="regenerate the paper's tables and figures",
+        parents=[metrics_parent()],
     )
     parser.add_argument(
         "experiments",
@@ -85,13 +87,26 @@ def main(argv=None) -> int:
         except InsufficientCoverageError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-    for name, module in selected:
-        started = time.time()
-        output = module.run()
-        elapsed = time.time() - started
-        print(f"==== {name} ({elapsed:.1f}s) " + "=" * 40)
-        print(output)
-        print()
+    from ..obs import NULL_RECORDER, Recorder, recording
+
+    rec = Recorder() if args.metrics else NULL_RECORDER
+    with recording(rec):
+        for name, module in selected:
+            started = time.time()
+            with rec.span("report.experiment", experiment=name):
+                output = module.run()
+            rec.count("report.experiments.rendered")
+            elapsed = time.time() - started
+            print(f"==== {name} ({elapsed:.1f}s) " + "=" * 40)
+            print(output)
+            print()
+    if args.metrics:
+        save_run_report(
+            rec,
+            args.metrics,
+            meta={"experiments": [name for name, _ in selected]},
+        )
+        print(f"wrote run report to {args.metrics}", file=sys.stderr)
     return 0
 
 

@@ -221,9 +221,12 @@ def main(argv=None) -> int:
     import argparse
     import sys
 
+    from ..cli import metrics_parent
+
     parser = argparse.ArgumentParser(
         prog="repro-profile",
         description="Render a study RunReport as a human-readable summary.",
+        parents=[metrics_parent()],
     )
     parser.add_argument("report", help="path to a RunReport JSON artifact")
     parser.add_argument(
@@ -240,4 +243,9 @@ def main(argv=None) -> int:
         print(f"[profile] {exc}", file=sys.stderr)
         return 1
     print(report.render(max_spans=args.spans))
+    if args.metrics:
+        # Re-save the verified report: a cheap way to normalise a
+        # legacy or hand-edited artifact into canonical checksummed form.
+        report.save(args.metrics)
+        print(f"[profile] re-saved report to {args.metrics}", file=sys.stderr)
     return 0

@@ -1,0 +1,44 @@
+"""Online serving layer: the strategy advisor as a queryable service.
+
+The paper's end product is advice — for any degree of specialisation
+over {chip, application, input}, which optimisation configuration to
+deploy.  The offline pipeline derives that advice in batch
+(:mod:`repro.core.strategies`); this package makes it *servable*:
+
+* :mod:`repro.serve.index` — compiles a checksummed
+  ``strategy-index-v1`` artifact from a
+  :class:`~repro.study.dataset.PerfDataset`: the precomputed
+  Algorithm 1 strategy at every specialisation level, with
+  expected-speedup, portability-slowdown and coverage metadata per
+  entry.  Queries fall back *up* the specialisation lattice when the
+  most-specialised cell is missing or quarantined, and such responses
+  are marked ``degraded``.
+* :mod:`repro.serve.server` — an asyncio, stdlib-only HTTP JSON API
+  over a loaded index (``GET /v1/strategy``, ``POST /v1/predict``,
+  ``GET /healthz``, ``GET /metrics``) with bounded concurrency,
+  per-request timeouts, an LRU+TTL response cache and graceful
+  drain-on-signal shutdown.
+* :mod:`repro.serve.cache` — the LRU+TTL cache.
+* :mod:`repro.serve.predict` — online single-point pricing through the
+  vectorized batch engine, backing ``POST /v1/predict``.
+
+See ``docs/serving.md`` for the API reference and artifact format.
+"""
+
+from __future__ import annotations
+
+from .cache import TTLCache
+from .index import INDEX_FORMAT, IndexEntry, StrategyAnswer, StrategyIndex, build_index
+from .predict import Predictor
+from .server import StrategyServer
+
+__all__ = [
+    "INDEX_FORMAT",
+    "IndexEntry",
+    "Predictor",
+    "StrategyAnswer",
+    "StrategyIndex",
+    "StrategyServer",
+    "TTLCache",
+    "build_index",
+]

@@ -1,0 +1,113 @@
+"""LRU + TTL response cache for the serving layer.
+
+Strategy answers are immutable for the lifetime of a loaded index, but
+operators hot-swap indexes by restarting the server, so entries carry
+a time-to-live as a safety valve rather than living forever.  The
+cache is a plain ordered dict under the event loop's single thread —
+no locking — with LRU eviction at ``maxsize`` and lazy expiry on
+access.  All timing goes through an injectable ``clock`` so tests
+drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["TTLCache"]
+
+#: Sentinel distinguishing "miss" from a cached falsy value.
+_MISSING = object()
+
+
+class TTLCache:
+    """A bounded mapping with LRU eviction and per-entry expiry.
+
+    ``maxsize=0`` disables the cache entirely (every ``get`` misses,
+    ``put`` is a no-op) so the server can expose one code path either
+    way.  ``hits`` / ``misses`` / ``evictions`` / ``expirations`` are
+    the counters ``GET /metrics`` reports.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        ttl: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be non-negative")
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.maxsize = maxsize
+        self.ttl = ttl
+        self._clock = clock
+        self._data: "OrderedDict[Hashable, Tuple[object, float]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def get(self, key: Hashable, default=None):
+        """The cached value, or ``default`` on a miss or expiry."""
+        entry = self._data.get(key, _MISSING)
+        if entry is _MISSING:
+            self.misses += 1
+            return default
+        value, expires_at = entry
+        if self._clock() >= expires_at:
+            del self._data[key]
+            self.expirations += 1
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        if self.maxsize == 0:
+            return
+        if key in self._data:
+            del self._data[key]
+        elif len(self._data) >= self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+        self._data[key] = (value, self._clock() + self.ttl)
+
+    def purge(self) -> int:
+        """Drop every expired entry; returns how many were dropped."""
+        now = self._clock()
+        expired = [k for k, (_, exp) in self._data.items() if now >= exp]
+        for key in expired:
+            del self._data[key]
+        self.expirations += len(expired)
+        return len(expired)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """The counter snapshot ``GET /metrics`` embeds."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+        }
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        entry = self._data.get(key, _MISSING)
+        return entry is not _MISSING and self._clock() < entry[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TTLCache(size={len(self._data)}/{self.maxsize}, "
+            f"ttl={self.ttl}, hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,594 @@
+"""The precompiled strategy index: Algorithm 1, made servable.
+
+``repro index`` compiles a :class:`~repro.study.dataset.PerfDataset`
+into a ``strategy-index-v1`` artifact: for every specialisation level
+of the paper's Table V lattice (global, chip, app, input, chip+app,
+chip+input, app+input, chip+app+input — plus the baseline as the
+recommendation of last resort), the recommended optimisation
+configuration of every partition, annotated with
+
+* **expected speedup** — geomean of ``median(baseline) /
+  median(recommended)`` over the partition's tests (how much the
+  advice is worth versus shipping the unoptimised kernel);
+* **portability slowdown** — geomean of ``median(recommended) /
+  median(oracle)`` over the partition's tests (how far the advice
+  trails per-test exhaustive tuning — Fig 4 restricted to the
+  partition);
+* **coverage** — how many of the partition's (test × configuration)
+  cells backed the recommendation, so a client can see when advice was
+  derived from a holed or quarantined region of the study.
+
+The input dataset is audited first (:mod:`repro.study.audit`):
+quarantined cells never reach the analysis, and the artifact records
+the source coverage including the quarantine count.
+
+Queries (:meth:`StrategyIndex.lookup`) name any subset of
+{chip, app, input}.  The most-specialised level covering the named
+dimensions is served; when its cell is absent — the value was never
+measured, or quarantine removed it — the lookup falls back *up* the
+lattice (dropping one dimension at a time, most-specialised first)
+and the answer is marked ``degraded`` with a coverage footnote.
+
+The artifact is checksummed JSON with sorted keys: building it twice
+from the same dataset produces byte-identical files, which the golden
+test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.options import BASELINE, OptConfig
+from ..core.algorithm1 import SPECIALISATION_DIMS, Analysis
+from ..core.strategies import STRATEGY_DIMS, Strategy, build_strategies
+from ..errors import StrategyIndexError
+from ..obs import get_recorder
+from ..study.audit import DatasetAudit, audit_dataset
+from ..study.dataset import Coverage, PerfDataset, TestCase
+from ..util import atomic_write_text, geomean, sha256_hex
+
+__all__ = [
+    "INDEX_FORMAT",
+    "LATTICE_LEVELS",
+    "IndexEntry",
+    "StrategyAnswer",
+    "StrategyIndex",
+    "build_index",
+    "fallback_chain",
+    "level_name",
+]
+
+#: Format tag of checksummed strategy-index artifacts.
+INDEX_FORMAT = "strategy-index-v1"
+
+#: Every queryable level, most- to least-specialised; ``baseline`` is
+#: the recommendation of last resort (always present, always key ()).
+LATTICE_LEVELS: Tuple[str, ...] = (
+    "chip+app+input",
+    "chip+app",
+    "chip+input",
+    "app+input",
+    "chip",
+    "app",
+    "input",
+    "global",
+    "baseline",
+)
+
+#: The dimensions of each level (baseline and global are both
+#: dimensionless; they differ in *what* they recommend, not where).
+LEVEL_DIMS: Dict[str, Tuple[str, ...]] = dict(STRATEGY_DIMS)
+LEVEL_DIMS["baseline"] = ()
+
+
+def level_name(dims: Sequence[str]) -> str:
+    """The canonical level name for a set of dimensions.
+
+    Dimensions are ordered as in :data:`SPECIALISATION_DIMS`
+    (chip, app, input) regardless of input order; the empty set names
+    the fully portable ``global`` level.
+    """
+    ordered = [d for d in SPECIALISATION_DIMS if d in set(dims)]
+    unknown = set(dims) - set(SPECIALISATION_DIMS)
+    if unknown:
+        raise StrategyIndexError(
+            f"unknown specialisation dimension(s) {sorted(unknown)}; "
+            f"expected a subset of {SPECIALISATION_DIMS}"
+        )
+    return "+".join(ordered) if ordered else "global"
+
+
+def fallback_chain(dims: Sequence[str]) -> List[str]:
+    """The lattice walk for a query naming ``dims``.
+
+    Every level whose dimensions are a subset of ``dims``, ordered
+    most- to least-specialised (ties broken by :data:`LATTICE_LEVELS`
+    order), ending with ``global`` and then ``baseline``.  The first
+    level with a populated cell answers the query; serving any level
+    after the first marks the response degraded.
+    """
+    asked = set(dims)
+    return [
+        level
+        for level in LATTICE_LEVELS
+        if set(LEVEL_DIMS[level]) <= asked
+    ]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One precompiled recommendation: a cell of the strategy index."""
+
+    level: str
+    key: Tuple[str, ...]
+    config: str  # OptConfig.key()
+    #: geomean median(baseline)/median(config) over the partition's
+    #: tests; ``None`` when no test had both cells measured.
+    expected_speedup: Optional[float]
+    #: geomean median(config)/median(oracle) over the partition's
+    #: tests; ``None`` when no test had both cells measured.
+    slowdown_vs_oracle: Optional[float]
+    #: Tests of the partition present in the dataset.
+    n_tests: int
+    #: The partition's measured (test × configuration) cells.
+    cells_present: int
+    cells_expected: int
+
+    @property
+    def cell_fraction(self) -> float:
+        if not self.cells_expected:
+            return 1.0
+        return self.cells_present / self.cells_expected
+
+    def to_dict(self) -> dict:
+        return {
+            "key": list(self.key),
+            "config": self.config,
+            "expected_speedup": self.expected_speedup,
+            "slowdown_vs_oracle": self.slowdown_vs_oracle,
+            "n_tests": self.n_tests,
+            "cells_present": self.cells_present,
+            "cells_expected": self.cells_expected,
+        }
+
+    @classmethod
+    def from_dict(cls, level: str, data: dict) -> "IndexEntry":
+        try:
+            return cls(
+                level=level,
+                key=tuple(data["key"]),
+                config=data["config"],
+                expected_speedup=data["expected_speedup"],
+                slowdown_vs_oracle=data["slowdown_vs_oracle"],
+                n_tests=data["n_tests"],
+                cells_present=data["cells_present"],
+                cells_expected=data["cells_expected"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise StrategyIndexError(
+                f"malformed index entry at level {level!r}: {exc!r}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class StrategyAnswer:
+    """What one query returns: a configuration plus its provenance."""
+
+    config: str
+    label: str
+    requested_level: str
+    served_level: str
+    degraded: bool
+    expected_speedup: Optional[float]
+    slowdown_vs_oracle: Optional[float]
+    n_tests: int
+    note: str
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "label": self.label,
+            "requested_level": self.requested_level,
+            "served_level": self.served_level,
+            "degraded": self.degraded,
+            "expected_speedup": self.expected_speedup,
+            "slowdown_vs_oracle": self.slowdown_vs_oracle,
+            "n_tests": self.n_tests,
+            "note": self.note,
+        }
+
+
+class StrategyIndex:
+    """The compiled advisor: every strategy level, ready to query."""
+
+    def __init__(
+        self,
+        levels: Dict[str, Dict[Tuple[str, ...], IndexEntry]],
+        coverage: Coverage,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.levels = levels
+        #: Source-dataset coverage (audited: quarantined cells counted).
+        self.coverage = coverage
+        self.meta = dict(meta or {})
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(cells) for cells in self.levels.values())
+
+    def entry(self, level: str, key: Sequence[str]) -> Optional[IndexEntry]:
+        return self.levels.get(level, {}).get(tuple(key))
+
+    def lookup(
+        self,
+        chip: Optional[str] = None,
+        app: Optional[str] = None,
+        input: Optional[str] = None,
+    ) -> StrategyAnswer:
+        """Answer one advisory query, falling back up the lattice.
+
+        The named dimensions select the requested level (none →
+        ``global``).  The most-specialised populated cell covering them
+        answers; serving a less-specialised level than requested marks
+        the answer ``degraded`` and the note carries the coverage
+        footnote an offline report would print.
+        """
+        provided = {"chip": chip, "app": app, "input": input}
+        dims = tuple(
+            d for d in SPECIALISATION_DIMS if provided[d] is not None
+        )
+        requested = level_name(dims)
+        served: Optional[IndexEntry] = None
+        for level in fallback_chain(dims):
+            key = tuple(provided[d] for d in LEVEL_DIMS[level])
+            served = self.entry(level, key)
+            if served is not None:
+                break
+        if served is None:
+            # An index always carries a baseline entry; an artifact
+            # without one is not an index we built.
+            raise StrategyIndexError(
+                "strategy index has no baseline entry; the artifact is "
+                "incomplete"
+            )
+        degraded = served.level != requested
+        note = ""
+        if degraded:
+            asked = ", ".join(
+                f"{d}={provided[d]}" for d in dims
+            ) or "the portable query"
+            note = (
+                f"no {requested!r} strategy for {asked}; fell back to "
+                f"{served.level!r}"
+            )
+            if not self.coverage.complete:
+                note += f" (index derived from {self.coverage.describe()})"
+        elif not self.coverage.complete:
+            note = f"derived from {self.coverage.describe()}"
+        return StrategyAnswer(
+            config=served.config,
+            label=_config_label(served.config),
+            requested_level=requested,
+            served_level=served.level,
+            degraded=degraded,
+            expected_speedup=served.expected_speedup,
+            slowdown_vs_oracle=served.slowdown_vs_oracle,
+            n_tests=served.n_tests,
+            note=note,
+        )
+
+    def describe(self) -> str:
+        """One-line human summary for logs and the CLI."""
+        per_level = ", ".join(
+            f"{level}:{len(self.levels[level])}"
+            for level in LATTICE_LEVELS
+            if level in self.levels
+        )
+        return (
+            f"{self.n_entries} entries ({per_level}); "
+            f"source coverage {self.coverage.describe()}"
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "meta": self.meta,
+            "coverage": {
+                "present": self.coverage.present,
+                "expected": self.coverage.expected,
+                "quarantined": self.coverage.quarantined,
+                "holes": list(self.coverage.holes),
+            },
+            "levels": {
+                level: [
+                    entry.to_dict()
+                    for _, entry in sorted(cells.items())
+                ]
+                for level, cells in self.levels.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StrategyIndex":
+        if not isinstance(data, dict) or not isinstance(
+            data.get("levels"), dict
+        ):
+            raise StrategyIndexError(
+                "malformed strategy index payload: expected an object "
+                "with a 'levels' mapping"
+            )
+        levels: Dict[str, Dict[Tuple[str, ...], IndexEntry]] = {}
+        for level, entries in data["levels"].items():
+            if level not in LATTICE_LEVELS:
+                raise StrategyIndexError(
+                    f"unknown index level {level!r}; expected one of "
+                    f"{LATTICE_LEVELS}"
+                )
+            cells: Dict[Tuple[str, ...], IndexEntry] = {}
+            for raw in entries:
+                entry = IndexEntry.from_dict(level, raw)
+                cells[entry.key] = entry
+            levels[level] = cells
+        cov = data.get("coverage", {})
+        coverage = Coverage(
+            present=cov.get("present", 0),
+            expected=cov.get("expected", 0),
+            quarantined=cov.get("quarantined", 0),
+            holes=tuple(cov.get("holes", ())),
+        )
+        return cls(levels, coverage, meta=data.get("meta", {}))
+
+    def save(self, path: str) -> None:
+        """Atomically write the checksummed ``strategy-index-v1`` file."""
+        body = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        payload = (
+            f'{{"format": "{INDEX_FORMAT}", '
+            f'"checksum": "{sha256_hex(body)}", '
+            f'"index": {body}}}'
+        )
+        atomic_write_text(path, payload)
+
+    @classmethod
+    def load(cls, path: str) -> "StrategyIndex":
+        """Load an index, refusing truncation, corruption or drift."""
+        try:
+            with open(path, encoding="utf-8") as f:
+                parsed = json.load(f)
+        except OSError as exc:
+            raise StrategyIndexError(
+                f"cannot read strategy index {path!r}: {exc}"
+            ) from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StrategyIndexError(
+                f"corrupt strategy index {path!r}: truncated or invalid "
+                f"JSON ({exc})"
+            ) from exc
+        if not isinstance(parsed, dict) or parsed.get("format") != INDEX_FORMAT:
+            raise StrategyIndexError(
+                f"unrecognised strategy index {path!r} "
+                f"(expected format {INDEX_FORMAT!r})"
+            )
+        body = json.dumps(
+            parsed.get("index", {}), sort_keys=True, separators=(",", ":")
+        )
+        if sha256_hex(body) != parsed.get("checksum"):
+            raise StrategyIndexError(
+                f"corrupt strategy index {path!r}: checksum mismatch "
+                f"(the file was modified or partially written)"
+            )
+        return cls.from_dict(parsed["index"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StrategyIndex(entries={self.n_entries}, "
+            f"levels={len(self.levels)})"
+        )
+
+
+def _config_label(config_key: str) -> str:
+    """Human label for a stored configuration key."""
+    if config_key == "baseline":
+        return "baseline"
+    return OptConfig.from_names(config_key.split("+")).label()
+
+
+def _entry_metadata(
+    dataset: PerfDataset,
+    tests: Sequence[TestCase],
+    config: OptConfig,
+    oracle: Dict[TestCase, Optional[OptConfig]],
+    n_configs: int,
+) -> Tuple[Optional[float], Optional[float], int, int]:
+    """(expected_speedup, slowdown_vs_oracle, cells_present, cells_expected)."""
+    speedups: List[float] = []
+    slowdowns: List[float] = []
+    cells_present = 0
+    for test in tests:
+        times_cfg = dataset.times_or_none(test, config)
+        times_base = dataset.times_or_none(test, BASELINE)
+        if times_cfg is not None and times_base is not None:
+            m_cfg = _median(times_cfg)
+            speedups.append(_median(times_base) / m_cfg)
+            best = oracle.get(test)
+            if best is not None:
+                times_best = dataset.times_or_none(test, best)
+                if times_best is not None:
+                    slowdowns.append(m_cfg / _median(times_best))
+        for cfg in dataset.configs:
+            if dataset.has(test, cfg):
+                cells_present += 1
+    return (
+        geomean(speedups) if speedups else None,
+        geomean(slowdowns) if slowdowns else None,
+        cells_present,
+        len(tests) * n_configs,
+    )
+
+
+def _median(times: Tuple[float, ...]) -> float:
+    ordered = sorted(times)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def build_index(
+    dataset: PerfDataset,
+    *,
+    audit: Optional[DatasetAudit] = None,
+    analysis: Optional[Analysis] = None,
+    strategies: Optional[Dict[str, Strategy]] = None,
+    recorder=None,
+) -> StrategyIndex:
+    """Compile a :class:`StrategyIndex` from a dataset.
+
+    The dataset is audited first unless a prior
+    :class:`~repro.study.audit.DatasetAudit` is supplied: quarantined
+    cells never back a recommendation, and the artifact's coverage
+    record includes the quarantine count.  ``analysis`` and
+    ``strategies`` allow reuse of an existing Algorithm 1 run (e.g.
+    the experiment cache); they must have been built on the *audited*
+    dataset.
+    """
+    rec = recorder if recorder is not None else get_recorder()
+    with rec.span("index.build") as span:
+        if audit is None:
+            audit = audit_dataset(dataset)
+        clean = audit.dataset
+        if analysis is None:
+            analysis = Analysis(clean)
+        if strategies is None:
+            strategies = build_strategies(clean, analysis)
+
+        n_configs = len(clean.configs)
+        oracle: Dict[TestCase, Optional[OptConfig]] = {}
+        for test in clean.tests:
+            try:
+                oracle[test] = clean.best_config(test)
+            except Exception:  # a test with no measurements at all
+                oracle[test] = None
+
+        levels: Dict[str, Dict[Tuple[str, ...], IndexEntry]] = {}
+        for level, dims in STRATEGY_DIMS.items():
+            partitions = analysis.partitions(dims)
+            cells: Dict[Tuple[str, ...], IndexEntry] = {}
+            with rec.span("index.level", level=level) as level_span:
+                for key, config in strategies[level].assignment.items():
+                    tests = partitions.get(key, [])
+                    speedup, slowdown, present, expected = _entry_metadata(
+                        clean, tests, config, oracle, n_configs
+                    )
+                    cells[key] = IndexEntry(
+                        level=level,
+                        key=key,
+                        config=config.key(),
+                        expected_speedup=speedup,
+                        slowdown_vs_oracle=slowdown,
+                        n_tests=len(tests),
+                        cells_present=present,
+                        cells_expected=expected,
+                    )
+                level_span.set("entries", len(cells))
+            rec.count("index.entries", len(cells))
+            levels[level] = cells
+
+        # The recommendation of last resort: ship the baseline.  Its
+        # expected speedup is identically 1; its slowdown vs oracle
+        # quantifies what giving up entirely costs.
+        all_tests = clean.tests
+        speedup, slowdown, present, expected = _entry_metadata(
+            clean, all_tests, BASELINE, oracle, n_configs
+        )
+        levels["baseline"] = {
+            (): IndexEntry(
+                level="baseline",
+                key=(),
+                config=BASELINE.key(),
+                expected_speedup=speedup,
+                slowdown_vs_oracle=slowdown,
+                n_tests=len(all_tests),
+                cells_present=present,
+                cells_expected=expected,
+            )
+        }
+        rec.count("index.entries", 1)
+
+        coverage = audit.coverage
+        meta = {
+            "apps": clean.apps,
+            "chips": clean.chips,
+            "inputs": clean.graphs,
+            "n_configs": n_configs,
+            "n_tests": len(all_tests),
+        }
+        span.set("entries", sum(len(c) for c in levels.values()))
+    return StrategyIndex(levels, coverage, meta=meta)
+
+
+def main(argv=None) -> int:
+    """CLI: ``python -m repro index DATASET OUTPUT``."""
+    import argparse
+    import sys
+
+    from ..cli import metrics_parent, save_run_report
+    from ..errors import DatasetError, InsufficientCoverageError
+    from ..obs import Recorder, recording
+    from ..study.audit import DEFAULT_COVERAGE_FLOOR, require_coverage
+
+    parser = argparse.ArgumentParser(
+        prog="repro-index",
+        parents=[metrics_parent()],
+        description=(
+            "Compile a checksummed strategy-index-v1 artifact from a "
+            "study dataset, for python -m repro serve."
+        ),
+    )
+    parser.add_argument("dataset", help="input PerfDataset JSON (.gz ok)")
+    parser.add_argument("output", help="path for the strategy-index artifact")
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=DEFAULT_COVERAGE_FLOOR,
+        metavar="FRACTION",
+        help=(
+            "refuse to compile below this audited cell-coverage "
+            f"fraction (default {DEFAULT_COVERAGE_FLOOR}); degraded "
+            "datasets above the floor compile with coverage metadata"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    rec = Recorder() if args.metrics else None
+    try:
+        dataset = PerfDataset.load(args.dataset)
+    except DatasetError as exc:
+        print(f"[index] {exc}", file=sys.stderr)
+        return 1
+    audit = audit_dataset(dataset)
+    try:
+        require_coverage(audit.coverage, args.min_coverage)
+    except InsufficientCoverageError as exc:
+        print(f"[index] {exc}", file=sys.stderr)
+        return 1
+    if rec is not None:
+        with recording(rec):
+            index = build_index(audit.dataset, audit=audit, recorder=rec)
+    else:
+        index = build_index(audit.dataset, audit=audit)
+    index.save(args.output)
+    print(f"[index] wrote {args.output}: {index.describe()}")
+    if rec is not None:
+        save_run_report(
+            rec,
+            args.metrics,
+            meta={"dataset": args.dataset, "output": args.output},
+        )
+        print(f"[index] wrote run report to {args.metrics}", file=sys.stderr)
+    return 0

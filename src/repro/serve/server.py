@@ -1,0 +1,594 @@
+"""The strategy advisor as an asyncio HTTP JSON API.
+
+``python -m repro serve INDEX`` loads a ``strategy-index-v1`` artifact
+(:mod:`repro.serve.index`) and answers over plain HTTP/1.1 — stdlib
+asyncio only, no web framework:
+
+* ``GET /v1/strategy?chip=&app=&input=`` — the precompiled Algorithm 1
+  recommendation for any subset of the three dimensions, falling back
+  up the specialisation lattice (and marked ``degraded``) when the
+  most-specialised cell is missing or quarantined;
+* ``POST /v1/predict`` — online pricing of explicit (chip, app, input,
+  config) points through the vectorized batch engine; ``config`` may
+  be omitted to price whatever the advisor recommends;
+* ``GET /healthz`` — liveness plus index shape;
+* ``GET /metrics`` — the recorder's counters/gauges/histograms and the
+  response cache's statistics (spans are excluded: a long-lived server
+  would grow them without bound).
+
+Operational behaviour:
+
+* **bounded concurrency** — at most ``max_concurrency`` requests are
+  dispatched at once (an :class:`asyncio.Semaphore`); the rest queue;
+* **per-request timeout** — a dispatch exceeding ``request_timeout``
+  returns 503 and counts ``serve.timeouts``;
+* **response cache** — strategy answers are served from an LRU+TTL
+  :class:`~repro.serve.cache.TTLCache` keyed by the query coordinates;
+* **graceful shutdown** — SIGTERM/SIGINT stop the listener, let
+  in-flight requests drain, flush the ``--metrics`` sidecar and exit 0.
+
+Every response body is ``json.dumps(payload, sort_keys=True)``, so two
+servers over the same index give byte-identical answers — the e2e test
+holds the server to the offline :mod:`repro.core.strategies` path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import PredictionError, ServeError
+from ..obs import NULL_RECORDER
+from .cache import TTLCache
+from .index import StrategyIndex
+from .predict import Predictor
+
+__all__ = ["StrategyServer", "MAX_BODY_BYTES"]
+
+#: Largest accepted request body; bigger POSTs get 413.
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted request line + headers block.
+_MAX_HEADER_BYTES = 16384
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """An error with a definite HTTP status, raised by handlers."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class StrategyServer:
+    """Serves one loaded :class:`~repro.serve.index.StrategyIndex`.
+
+    The server binds lazily in :meth:`start` (``port=0`` picks a free
+    port; the resolved one is in :attr:`port`) and runs until
+    :meth:`stop` or a signal installed by :func:`main`.  All asyncio
+    primitives are created inside the running loop for 3.9
+    compatibility.
+    """
+
+    def __init__(
+        self,
+        index: StrategyIndex,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrency: int = 64,
+        request_timeout: float = 10.0,
+        idle_timeout: float = 60.0,
+        cache: Optional[TTLCache] = None,
+        recorder=None,
+        predictor: Optional[Predictor] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ServeError("max_concurrency must be positive")
+        if request_timeout <= 0:
+            raise ServeError("request_timeout must be positive")
+        self.index = index
+        self.host = host
+        self.port = port
+        self.max_concurrency = max_concurrency
+        self.request_timeout = request_timeout
+        self.idle_timeout = idle_timeout
+        self.cache = cache if cache is not None else TTLCache()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.predictor = predictor
+        self._clock = clock
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._connections: set = set()
+        self._busy: set = set()
+        self.requests_served = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`request_shutdown` (or :meth:`stop`) fires."""
+        if self._server is None:
+            await self.start()
+        assert self._stopping is not None
+        await self._stopping.wait()
+        await self._shutdown()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful shutdown (signal-handler safe)."""
+        if self._stopping is not None and not self._stopping.is_set():
+            self._stopping.set()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain in-flight requests, then close."""
+        self.request_shutdown()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is None:
+            return
+        # Stop accepting new connections first.
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        # Let busy connections finish their current request (bounded by
+        # the per-request timeout plus slack), then drop idle keep-alive
+        # connections, which would otherwise pin the loop open.
+        deadline = self._clock() + self.request_timeout + 1.0
+        while self._busy and self._clock() < deadline:
+            await asyncio.sleep(0.01)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), self.idle_timeout
+                    )
+                except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                    break
+                except _HttpError as exc:
+                    # Unparseable request: answer and drop the connection
+                    # (the stream position is no longer trustworthy).
+                    self.recorder.count("serve.errors")
+                    await self._write_response(
+                        writer, exc.status, {"error": str(exc)}, False
+                    )
+                    break
+                if request is None:  # clean EOF between requests
+                    break
+                method, target, body, keep_alive = request
+                self._busy.add(task)
+                try:
+                    status, payload = await self._dispatch(method, target, body)
+                finally:
+                    self._busy.discard(task)
+                if self._stopping is not None and self._stopping.is_set():
+                    keep_alive = False
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+                self._busy.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader
+    ) -> Optional[Tuple[str, str, bytes, bool]]:
+        """Parse one HTTP/1.1 request; ``None`` on clean EOF."""
+        line = await reader.readline()
+        if not line:
+            return None
+        if len(line) > _MAX_HEADER_BYTES:
+            raise _HttpError(400, "request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {line!r}")
+        method, target, version = parts
+        headers: Dict[str, str] = {}
+        total = len(line)
+        while True:
+            hline = await reader.readline()
+            total += len(hline)
+            if total > _MAX_HEADER_BYTES:
+                raise _HttpError(400, "headers too large")
+            if hline in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = hline.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                raise _HttpError(400, f"bad Content-Length {length!r}")
+            if n < 0:
+                raise _HttpError(400, "negative Content-Length")
+            if n > MAX_BODY_BYTES:
+                raise _HttpError(
+                    413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+                )
+            body = await reader.readexactly(n)
+        keep_alive = headers.get("connection", "").lower() != "close" and (
+            version.upper() != "HTTP/1.0"
+            or headers.get("connection", "").lower() == "keep-alive"
+        )
+        return method, target, body, keep_alive
+
+    async def _write_response(
+        self, writer, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, dict]:
+        """Route one request; never raises."""
+        rec = self.recorder
+        rec.count("serve.requests")
+        self.requests_served += 1
+        started = self._clock()
+        assert self._semaphore is not None
+        try:
+            async with self._semaphore:
+                status, payload = await asyncio.wait_for(
+                    self._route(method, target, body), self.request_timeout
+                )
+        except asyncio.TimeoutError:
+            rec.count("serve.timeouts")
+            status, payload = 503, {
+                "error": (
+                    f"request exceeded the {self.request_timeout}s "
+                    f"server timeout"
+                )
+            }
+        except _HttpError as exc:
+            rec.count("serve.errors")
+            status, payload = exc.status, {"error": str(exc)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            rec.count("serve.errors")
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        rec.observe("serve.latency_ms", (self._clock() - started) * 1000.0)
+        rec.count(f"serve.responses.{status // 100}xx")
+        return status, payload
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, dict]:
+        url = urlsplit(target)
+        path = url.path
+        if path == "/healthz":
+            self._require_method(method, "GET")
+            return 200, self._healthz()
+        if path == "/metrics":
+            self._require_method(method, "GET")
+            return 200, self._metrics()
+        if path == "/v1/strategy":
+            self._require_method(method, "GET")
+            return 200, self._strategy(url.query)
+        if path == "/v1/predict":
+            self._require_method(method, "POST")
+            return await self._predict(body)
+        raise _HttpError(404, f"unknown path {path!r}")
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method.upper() != expected:
+            raise _HttpError(405, f"use {expected} for this endpoint")
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "entries": self.index.n_entries,
+            "levels": {
+                level: len(cells)
+                for level, cells in sorted(self.index.levels.items())
+            },
+            "coverage": self.index.coverage.describe(),
+        }
+
+    def _metrics(self) -> dict:
+        snap = self.recorder.snapshot()
+        return {
+            "counters": snap.get("counters", {}),
+            "gauges": snap.get("gauges", {}),
+            # {name: [count, sum, min, max]}, matching RunReport.
+            "histograms": snap.get("histograms", {}),
+            "cache": self.cache.stats(),
+            "requests_served": self.requests_served,
+        }
+
+    def _strategy(self, query: str) -> dict:
+        rec = self.recorder
+        rec.count("serve.requests.strategy")
+        params = dict(parse_qsl(query, keep_blank_values=True))
+        unknown = set(params) - {"chip", "app", "input"}
+        if unknown:
+            raise _HttpError(
+                400,
+                f"unknown query parameter(s) {sorted(unknown)}; expected "
+                f"a subset of chip, app, input",
+            )
+        for name, value in params.items():
+            if not value:
+                raise _HttpError(400, f"empty value for parameter {name!r}")
+        key = (
+            params.get("chip"), params.get("app"), params.get("input")
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            rec.count("serve.cache.hits")
+            return cached
+        rec.count("serve.cache.misses")
+        answer = self.index.lookup(
+            chip=key[0], app=key[1], input=key[2]
+        )
+        if answer.degraded:
+            rec.count("serve.fallbacks")
+        payload = {"query": {"chip": key[0], "app": key[1], "input": key[2]}}
+        payload.update(answer.to_dict())
+        self.cache.put(key, payload)
+        return payload
+
+    async def _predict(self, body: bytes) -> Tuple[int, dict]:
+        rec = self.recorder
+        rec.count("serve.requests.predict")
+        if self.predictor is None:
+            raise _HttpError(
+                501, "online prediction is disabled (--no-predict)"
+            )
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}")
+        if isinstance(parsed, dict) and "queries" in parsed:
+            queries = parsed["queries"]
+        elif isinstance(parsed, dict) and parsed:
+            queries = [parsed]
+        else:
+            queries = parsed if isinstance(parsed, list) else None
+        if not isinstance(queries, list) or not queries:
+            raise _HttpError(
+                400,
+                'expected {"queries": [{"chip": ..., "app": ..., '
+                '"input": ..., "config": ...?}, ...]} or a single such '
+                "object",
+            )
+        loop = asyncio.get_event_loop()
+        results = []
+        errors = 0
+        for q in queries:
+            if not isinstance(q, dict):
+                results.append({"error": f"query must be an object, got {q!r}"})
+                errors += 1
+                continue
+            try:
+                chip, app, inp = q.get("chip"), q.get("app"), q.get("input")
+                for name, value in (("chip", chip), ("app", app), ("input", inp)):
+                    if not isinstance(value, str) or not value:
+                        raise PredictionError(
+                            f"missing or invalid {name!r} in predict query"
+                        )
+                if "config" in q:
+                    config = Predictor.parse_config(q["config"])
+                    advisor = None
+                else:
+                    # No explicit configuration: price what the advisor
+                    # recommends for these exact coordinates.
+                    advisor = self.index.lookup(chip=chip, app=app, input=inp)
+                    config = Predictor.parse_config(advisor.config)
+                result = await loop.run_in_executor(
+                    None, self.predictor.price, chip, app, inp, config
+                )
+                if advisor is not None:
+                    result["advisor"] = advisor.to_dict()
+                results.append(result)
+                rec.count("serve.predictions")
+            except PredictionError as exc:
+                results.append({"error": str(exc)})
+                errors += 1
+        rec.count("serve.predictions.errors", errors)
+        return 200, {"results": results, "errors": errors}
+
+
+def main(argv=None) -> int:
+    """CLI: ``python -m repro serve INDEX``."""
+    import argparse
+    import signal
+    import sys
+
+    from ..cli import metrics_parent, save_run_report
+    from ..obs import Recorder
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        parents=[metrics_parent()],
+        description=(
+            "Serve strategy queries from a strategy-index-v1 artifact "
+            "over an asyncio HTTP JSON API."
+        ),
+    )
+    parser.add_argument("index", help="strategy-index artifact (repro index)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    parser.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=64,
+        help="bound on concurrently dispatched requests (default 64)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-request timeout; slower requests get 503 (default 10)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="drop keep-alive connections idle this long (default 60)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="response cache entries; 0 disables caching (default 1024)",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="response cache time-to-live (default 300)",
+    )
+    parser.add_argument(
+        "--predict-scale",
+        type=float,
+        default=0.05,
+        help="input scale for online /v1/predict pricing (default 0.05)",
+    )
+    parser.add_argument(
+        "--predict-repetitions",
+        type=int,
+        default=3,
+        help="noisy repetitions per online prediction (default 3)",
+    )
+    parser.add_argument(
+        "--no-predict",
+        action="store_true",
+        help="disable POST /v1/predict (strategy queries only)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        index = StrategyIndex.load(args.index)
+    except ServeError as exc:
+        print(f"[serve] {exc}", file=sys.stderr)
+        return 1
+
+    rec = Recorder() if args.metrics else None
+    cache = (
+        TTLCache(maxsize=args.cache_size, ttl=args.cache_ttl)
+        if args.cache_size > 0
+        else TTLCache(maxsize=0)
+    )
+    predictor = (
+        None
+        if args.no_predict
+        else Predictor(
+            scale=args.predict_scale, repetitions=args.predict_repetitions
+        )
+    )
+    server = StrategyServer(
+        index,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        request_timeout=args.timeout,
+        idle_timeout=args.idle_timeout,
+        cache=cache,
+        recorder=rec,
+        predictor=predictor,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX event loop: Ctrl-C still raises
+        print(
+            f"[serve] listening on http://{server.host}:{server.port} "
+            f"({index.n_entries} index entries, "
+            f"predict={'off' if predictor is None else 'on'})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback
+        pass
+    if rec is not None:
+        save_run_report(
+            rec,
+            args.metrics,
+            meta={"index": args.index, "requests": server.requests_served},
+        )
+        print(f"[serve] wrote run report to {args.metrics}", file=sys.stderr)
+    print(
+        f"[serve] shut down cleanly ({server.requests_served} requests "
+        f"served)",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0

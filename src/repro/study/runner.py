@@ -726,7 +726,11 @@ def main() -> None:  # pragma: no cover - CLI entry point
     """CLI: run the full study and save the dataset."""
     import argparse
 
-    parser = argparse.ArgumentParser(description=run_study.__doc__)
+    from ..cli import metrics_parent
+
+    parser = argparse.ArgumentParser(
+        description=run_study.__doc__, parents=[metrics_parent()]
+    )
     parser.add_argument("output", help="path for the dataset JSON (.gz ok)")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--repetitions", type=int, default=3)
@@ -782,13 +786,6 @@ def main() -> None:  # pragma: no cover - CLI entry point
         default=None,
         help="fault-injection spool directory (testing only; see "
         "repro.faults.FaultPlan)",
-    )
-    parser.add_argument(
-        "--metrics",
-        metavar="PATH",
-        default=None,
-        help="write a RunReport JSON artifact (counters, spans, cache "
-        "stats) to PATH; render it with `python -m repro profile PATH`",
     )
     args = parser.parse_args()
 

@@ -23,6 +23,37 @@ class TestDispatch:
         assert main(["frobnicate"]) == 2
         assert "unknown command" in capsys.readouterr().err
 
+    def test_help_lists_serving_subcommands(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "index" in out
+        assert "serve" in out
+
+    def test_index_compiles_artifact(self, tmp_path, goldens_dir, capsys):
+        import os
+
+        dataset = os.path.join(goldens_dir, "mini-dataset.json.gz")
+        out = str(tmp_path / "index.json")
+        metrics = str(tmp_path / "metrics.json")
+        assert main(["index", dataset, out, "--metrics", metrics]) == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.serve import StrategyIndex
+
+        assert StrategyIndex.load(out).n_entries == 49
+        with open(metrics) as f:
+            assert json.load(f)["report"]["counters"]["index.entries"] == 49
+
+    def test_index_missing_dataset(self, tmp_path, capsys):
+        code = main(
+            ["index", str(tmp_path / "nope.json"), str(tmp_path / "out.json")]
+        )
+        assert code == 1
+        assert "[index]" in capsys.readouterr().err
+
+    def test_serve_missing_index(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.json")]) == 1
+        assert "[serve]" in capsys.readouterr().err
+
     def test_report_rejects_unknown_experiment(self, capsys):
         assert main(["report", "table99"]) == 2
 

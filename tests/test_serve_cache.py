@@ -1,0 +1,139 @@
+"""Tests for the serving layer's LRU + TTL response cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import TTLCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+class TestBasics:
+    def test_get_miss_returns_default(self, clock):
+        cache = TTLCache(clock=clock)
+        assert cache.get("k") is None
+        assert cache.get("k", default=7) == 7
+        assert cache.misses == 2
+        assert cache.hits == 0
+
+    def test_put_then_get(self, clock):
+        cache = TTLCache(clock=clock)
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.hits == 1
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_cached_falsy_values_are_hits(self, clock):
+        cache = TTLCache(clock=clock)
+        cache.put("zero", 0)
+        cache.put("empty", {})
+        assert cache.get("zero", default="miss") == 0
+        assert cache.get("empty", default="miss") == {}
+        assert cache.hits == 2
+
+    def test_put_refreshes_existing_key(self, clock):
+        cache = TTLCache(maxsize=2, clock=clock)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.get("k") == 2
+        assert len(cache) == 1
+        assert cache.evictions == 0
+
+    def test_invalid_parameters(self, clock):
+        with pytest.raises(ValueError):
+            TTLCache(maxsize=-1, clock=clock)
+        with pytest.raises(ValueError):
+            TTLCache(ttl=0, clock=clock)
+
+
+class TestExpiry:
+    def test_entry_expires_after_ttl(self, clock):
+        cache = TTLCache(ttl=10.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(9.99)
+        assert cache.get("k") == "v"
+        clock.advance(0.02)
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+        assert "k" not in cache
+
+    def test_refresh_restarts_the_ttl(self, clock):
+        cache = TTLCache(ttl=10.0, clock=clock)
+        cache.put("k", "v1")
+        clock.advance(8.0)
+        cache.put("k", "v2")
+        clock.advance(8.0)  # 16s after the first put, 8 after the second
+        assert cache.get("k") == "v2"
+
+    def test_purge_drops_only_expired(self, clock):
+        cache = TTLCache(ttl=10.0, clock=clock)
+        cache.put("old", 1)
+        clock.advance(6.0)
+        cache.put("new", 2)
+        clock.advance(5.0)  # old is 11s stale, new only 5s
+        assert cache.purge() == 1
+        assert len(cache) == 1
+        assert cache.get("new") == 2
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self, clock):
+        cache = TTLCache(maxsize=2, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touch a: b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_maxsize_zero_disables_the_cache(self, clock):
+        cache = TTLCache(maxsize=0, clock=clock)
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+    def test_clear(self, clock):
+        cache = TTLCache(clock=clock)
+        cache.put("k", "v")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+
+class TestStats:
+    def test_stats_snapshot(self, clock):
+        cache = TTLCache(maxsize=1, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.put("b", 2)  # evicts a
+        clock.advance(6.0)
+        cache.get("b")  # expired
+        stats = cache.stats()
+        assert stats == {
+            "size": 0,
+            "maxsize": 1,
+            "hits": 1,
+            "misses": 2,
+            "evictions": 1,
+            "expirations": 1,
+        }

@@ -1,0 +1,285 @@
+"""Tests for the precompiled strategy index and its degradation lattice.
+
+The fallback-chain tests are the contract of ISSUE 5's serving layer:
+for every way the most-specialised cell can be absent — never measured,
+subsetted away, or quarantined by the audit — the lookup must land on
+the exact expected lattice level and mark the answer ``degraded``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.core.strategies import build_strategies
+from repro.errors import StrategyIndexError
+from repro.serve import StrategyIndex, build_index
+from repro.serve.index import INDEX_FORMAT, fallback_chain, level_name
+from repro.study.audit import audit_dataset
+from repro.study.dataset import PerfDataset, TestCase
+
+GOLDEN_DATASET = "mini-dataset.json.gz"
+GOLDEN_INDEX = "strategy-index.json"
+
+
+@pytest.fixture(scope="module")
+def golden_dataset(goldens_dir) -> PerfDataset:
+    return PerfDataset.load(os.path.join(goldens_dir, GOLDEN_DATASET))
+
+
+@pytest.fixture(scope="module")
+def index(golden_dataset) -> StrategyIndex:
+    return build_index(golden_dataset)
+
+
+class TestLattice:
+    def test_level_name_canonicalises_order(self):
+        assert level_name(()) == "global"
+        assert level_name(("app", "chip")) == "chip+app"
+        assert level_name(("input", "app", "chip")) == "chip+app+input"
+
+    def test_level_name_rejects_unknown_dimension(self):
+        with pytest.raises(StrategyIndexError, match="unknown specialisation"):
+            level_name(("vendor",))
+
+    def test_fallback_chain_most_specialised_first(self):
+        assert fallback_chain(("chip", "app", "input")) == [
+            "chip+app+input",
+            "chip+app",
+            "chip+input",
+            "app+input",
+            "chip",
+            "app",
+            "input",
+            "global",
+            "baseline",
+        ]
+        assert fallback_chain(("chip",)) == ["chip", "global", "baseline"]
+        assert fallback_chain(()) == ["global", "baseline"]
+
+
+class TestBuild:
+    def test_every_level_fully_populated_on_complete_dataset(
+        self, index, golden_dataset
+    ):
+        n_apps = len(golden_dataset.apps)
+        n_inputs = len(golden_dataset.graphs)
+        n_chips = len(golden_dataset.chips)
+        expected = {
+            "global": 1,
+            "chip": n_chips,
+            "app": n_apps,
+            "input": n_inputs,
+            "chip+app": n_chips * n_apps,
+            "chip+input": n_chips * n_inputs,
+            "app+input": n_apps * n_inputs,
+            "chip+app+input": n_chips * n_apps * n_inputs,
+            "baseline": 1,
+        }
+        assert {
+            level: len(cells) for level, cells in index.levels.items()
+        } == expected
+
+    def test_matches_offline_strategies_exactly(self, index, golden_dataset):
+        """Every served configuration equals the core.strategies answer."""
+        strategies = build_strategies(golden_dataset)
+        for test in golden_dataset.tests:
+            for level in ("global", "chip", "chip+app", "chip+app+input"):
+                offline = strategies[level].config_for(test).key()
+                answer = index.lookup(
+                    chip="chip" in level.split("+") and test.chip or None,
+                    app="app" in level.split("+") and test.app or None,
+                    input="input" in level.split("+") and test.graph or None,
+                )
+                assert answer.config == offline, (test, level)
+                assert not answer.degraded
+                assert answer.served_level == level
+
+    def test_entry_metadata_is_finite_and_sane(self, index):
+        for level, cells in index.levels.items():
+            for entry in cells.values():
+                assert entry.n_tests > 0, (level, entry.key)
+                assert entry.cells_present == entry.cells_expected
+                assert entry.cell_fraction == 1.0
+                if entry.expected_speedup is not None:
+                    assert math.isfinite(entry.expected_speedup)
+                    assert entry.expected_speedup > 0
+                if entry.slowdown_vs_oracle is not None:
+                    assert math.isfinite(entry.slowdown_vs_oracle)
+                    # No strategy beats per-test exhaustive tuning.
+                    assert entry.slowdown_vs_oracle >= 1.0 - 1e-9
+
+    def test_baseline_speedup_is_identity(self, index):
+        entry = index.levels["baseline"][()]
+        assert entry.config == "baseline"
+        assert entry.expected_speedup == pytest.approx(1.0)
+        assert entry.slowdown_vs_oracle >= 1.0
+
+
+# Degradation cases: remove a region of the dataset, then assert the
+# exact lattice level the query falls back to.  Each case is
+# (tests_to_drop, query, expected_served_level).
+_Q = {"chip": "MALI", "app": "bfs-wl", "input": "tiny-road"}
+
+DEGRADATION_CASES = [
+    pytest.param(
+        lambda t: (t.chip, t.app, t.graph) == ("MALI", "bfs-wl", "tiny-road"),
+        _Q,
+        "chip+app",
+        id="one-test-missing-falls-to-chip+app",
+    ),
+    pytest.param(
+        lambda t: (t.chip, t.app) == ("MALI", "bfs-wl"),
+        _Q,
+        "chip+input",
+        id="chip-app-slice-missing-falls-to-chip+input",
+    ),
+    pytest.param(
+        lambda t: t.chip == "MALI" and (t.app == "bfs-wl" or t.graph == "tiny-road"),
+        _Q,
+        "app+input",
+        id="chip-slices-missing-falls-to-app+input",
+    ),
+    pytest.param(
+        lambda t: t.chip == "MALI",
+        {"chip": "MALI"},
+        "global",
+        id="whole-chip-missing-falls-to-global",
+    ),
+]
+
+
+class TestDegradation:
+    @pytest.mark.parametrize("drop,query,expected_level", DEGRADATION_CASES)
+    def test_missing_cells_fall_back_exactly_one_level_chain(
+        self, golden_dataset, drop, query, expected_level
+    ):
+        holed = golden_dataset.subset(
+            [t for t in golden_dataset.tests if not drop(t)]
+        )
+        index = build_index(holed)
+        answer = index.lookup(**query)
+        assert answer.degraded
+        assert answer.served_level == expected_level
+        assert answer.requested_level == level_name(tuple(query))
+        assert "fell back" in answer.note
+
+    def test_quarantined_cells_degrade_like_missing_ones(self, golden_dataset):
+        """NaN-poisoned cells are quarantined by the audit and the
+        affected partition falls back, with the quarantine visible in
+        both the coverage record and the answer's note."""
+        poisoned = PerfDataset()
+        victim = TestCase("bfs-wl", "tiny-road", "MALI")
+        for test, config, times in golden_dataset.iter_measurements():
+            if test == victim:
+                times = (float("nan"),) * len(times)
+            poisoned.add(test, config, times)
+        audit = audit_dataset(poisoned)
+        assert audit.coverage.quarantined == len(poisoned.configs)
+        index = build_index(poisoned, audit=audit)
+        assert index.coverage.quarantined == len(poisoned.configs)
+        answer = index.lookup(chip="MALI", app="bfs-wl", input="tiny-road")
+        assert answer.degraded
+        assert answer.served_level == "chip+app"
+        assert "quarantined" in answer.note
+
+    def test_unknown_coordinates_fall_to_global(self, index):
+        answer = index.lookup(chip="NOPE", app="nothing", input="void")
+        assert answer.degraded
+        assert answer.served_level == "global"
+        assert answer.config == index.levels["global"][()].config
+
+    def test_full_coverage_lookup_is_not_degraded(self, index, golden_dataset):
+        t = golden_dataset.tests[0]
+        answer = index.lookup(chip=t.chip, app=t.app, input=t.graph)
+        assert not answer.degraded
+        assert answer.note == ""
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, index, tmp_path):
+        path = str(tmp_path / "index.json")
+        index.save(path)
+        loaded = StrategyIndex.load(path)
+        assert loaded.n_entries == index.n_entries
+        assert loaded.coverage == index.coverage
+        assert loaded.meta == index.meta
+        for level, cells in index.levels.items():
+            assert set(loaded.levels[level]) == set(cells)
+        query = {"chip": "MALI", "app": "bfs-wl", "input": "tiny-road"}
+        assert loaded.lookup(**query).to_dict() == index.lookup(**query).to_dict()
+
+    def test_save_is_deterministic(self, index, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        index.save(a)
+        index.save(b)
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_load_rejects_checksum_mismatch(self, index, tmp_path):
+        path = str(tmp_path / "index.json")
+        index.save(path)
+        with open(path) as f:
+            payload = json.load(f)
+        payload["index"]["levels"]["global"][0]["config"] = "wg"
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        with pytest.raises(StrategyIndexError, match="checksum mismatch"):
+            StrategyIndex.load(path)
+
+    def test_load_rejects_truncation(self, index, tmp_path):
+        path = str(tmp_path / "index.json")
+        index.save(path)
+        with open(path) as f:
+            text = f.read()
+        with open(path, "w") as f:
+            f.write(text[: len(text) // 2])
+        with pytest.raises(StrategyIndexError, match="truncated or invalid"):
+            StrategyIndex.load(path)
+
+    def test_load_rejects_wrong_format_tag(self, tmp_path):
+        path = str(tmp_path / "index.json")
+        with open(path, "w") as f:
+            json.dump({"format": "something-else", "index": {}}, f)
+        with pytest.raises(StrategyIndexError, match="expected format"):
+            StrategyIndex.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(StrategyIndexError, match="cannot read"):
+            StrategyIndex.load(str(tmp_path / "nope.json"))
+
+
+class TestGoldenArtifact:
+    def test_index_artifact_matches_golden(
+        self, index, goldens_dir, update_goldens, tmp_path
+    ):
+        """Compiling the committed mini dataset produces a byte-identical
+        ``strategy-index-v1`` artifact — any drift in Algorithm 1, the
+        audit or the serialisation fails here before it reaches a
+        deployed advisor."""
+        built = str(tmp_path / GOLDEN_INDEX)
+        index.save(built)
+        golden = os.path.join(goldens_dir, GOLDEN_INDEX)
+        if update_goldens:
+            index.save(golden)
+        if not os.path.exists(golden):
+            pytest.fail(
+                f"missing golden index {golden}; run with --update-goldens "
+                f"to create it"
+            )
+        with open(built, "rb") as fa, open(golden, "rb") as fb:
+            assert fa.read() == fb.read(), (
+                "strategy-index artifact drifted from the committed golden; "
+                "re-bless with --update-goldens if the change is intentional"
+            )
+        loaded = StrategyIndex.load(golden)
+        assert loaded.n_entries == index.n_entries
+
+    def test_format_tag(self, index, tmp_path):
+        path = str(tmp_path / "index.json")
+        index.save(path)
+        with open(path) as f:
+            assert json.load(f)["format"] == INDEX_FORMAT

@@ -1,0 +1,426 @@
+"""In-process tests for the asyncio strategy server.
+
+Each test runs a real :class:`~repro.serve.server.StrategyServer` on a
+loopback port inside ``asyncio.run`` and speaks raw HTTP/1.1 through
+``asyncio.open_connection`` — the same byte stream a production client
+would send, with no test-only shortcuts into the handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import PredictionError, ServeError
+from repro.obs import Recorder
+from repro.serve import StrategyServer, TTLCache, build_index
+from repro.study.dataset import PerfDataset
+
+GOLDEN_DATASET = "mini-dataset.json.gz"
+
+
+@pytest.fixture(scope="module")
+def golden_dataset(goldens_dir) -> PerfDataset:
+    return PerfDataset.load(os.path.join(goldens_dir, GOLDEN_DATASET))
+
+
+@pytest.fixture(scope="module")
+def index(golden_dataset):
+    return build_index(golden_dataset)
+
+
+async def http_request(
+    port: int, method: str, target: str, body: bytes = b"", host="127.0.0.1"
+):
+    """One raw HTTP/1.1 exchange; returns (status, parsed JSON, raw body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = None
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":")[1])
+        raw = await reader.readexactly(length)
+        return status, json.loads(raw), raw
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class StubPredictor:
+    """A predictable stand-in for the batch-engine predictor."""
+
+    def __init__(self, delay: float = 0.0) -> None:
+        self.delay = delay
+        self.calls = []
+
+    def price(self, chip, app, inp, config):
+        if self.delay:
+            time.sleep(self.delay)  # runs in the executor thread
+        if chip == "BOOM":
+            raise PredictionError("no such chip")
+        self.calls.append((chip, app, inp, config.key()))
+        return {"chip": chip, "app": app, "input": inp, "config": config.key(),
+                "predicted_us": 123.0, "times_us": [124.0], "repetitions": 1}
+
+
+class TestEndpoints:
+    def test_healthz(self, index):
+        async def go():
+            server = StrategyServer(index)
+            await server.start()
+            try:
+                status, body, _ = await http_request(server.port, "GET", "/healthz")
+            finally:
+                await server.stop()
+            return status, body
+
+        status, body = run(go())
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["entries"] == index.n_entries
+        assert body["levels"]["chip+app+input"] == 18
+
+    def test_strategy_exact_and_degraded(self, index, golden_dataset):
+        t = golden_dataset.tests[0]
+
+        async def go():
+            server = StrategyServer(index, recorder=Recorder())
+            await server.start()
+            try:
+                s1, exact, _ = await http_request(
+                    server.port,
+                    "GET",
+                    f"/v1/strategy?chip={t.chip}&app={t.app}&input={t.graph}",
+                )
+                s2, degraded, _ = await http_request(
+                    server.port,
+                    "GET",
+                    "/v1/strategy?chip=UNKNOWN&app=UNKNOWN&input=UNKNOWN",
+                )
+                counters = dict(server.recorder.counters)
+            finally:
+                await server.stop()
+            return s1, exact, s2, degraded, counters
+
+        s1, exact, s2, degraded, counters = run(go())
+        assert (s1, s2) == (200, 200)
+        assert not exact["degraded"]
+        assert exact["served_level"] == "chip+app+input"
+        assert degraded["degraded"]
+        assert degraded["served_level"] == "global"
+        assert counters["serve.fallbacks"] == 1
+        assert counters["serve.requests.strategy"] == 2
+
+    def test_strategy_cache_hit_returns_identical_payload(self, index):
+        async def go():
+            server = StrategyServer(index, recorder=Recorder())
+            await server.start()
+            try:
+                _, _, raw1 = await http_request(
+                    server.port, "GET", "/v1/strategy?chip=MALI"
+                )
+                _, _, raw2 = await http_request(
+                    server.port, "GET", "/v1/strategy?chip=MALI"
+                )
+                counters = dict(server.recorder.counters)
+                cache_stats = server.cache.stats()
+            finally:
+                await server.stop()
+            return raw1, raw2, counters, cache_stats
+
+        raw1, raw2, counters, cache_stats = run(go())
+        assert raw1 == raw2  # byte-identical, not merely equal
+        assert counters["serve.cache.hits"] == 1
+        assert counters["serve.cache.misses"] == 1
+        assert cache_stats["hits"] == 1
+
+    def test_strategy_validation_errors(self, index):
+        async def go():
+            server = StrategyServer(index)
+            await server.start()
+            try:
+                s1, b1, _ = await http_request(
+                    server.port, "GET", "/v1/strategy?vendor=ARM"
+                )
+                s2, b2, _ = await http_request(
+                    server.port, "GET", "/v1/strategy?chip="
+                )
+                s3, _, _ = await http_request(server.port, "GET", "/nope")
+                s4, _, _ = await http_request(server.port, "POST", "/v1/strategy")
+            finally:
+                await server.stop()
+            return s1, b1, s2, b2, s3, s4
+
+        s1, b1, s2, b2, s3, s4 = run(go())
+        assert s1 == 400 and "vendor" in b1["error"]
+        assert s2 == 400 and "empty value" in b2["error"]
+        assert s3 == 404
+        assert s4 == 405
+
+    def test_metrics_counters_reconcile_with_requests(self, index):
+        async def go():
+            server = StrategyServer(index, recorder=Recorder())
+            await server.start()
+            try:
+                for _ in range(3):
+                    await http_request(server.port, "GET", "/v1/strategy?chip=R9")
+                await http_request(server.port, "GET", "/healthz")
+                status, metrics, _ = await http_request(
+                    server.port, "GET", "/metrics"
+                )
+            finally:
+                await server.stop()
+            return status, metrics
+
+        status, metrics = run(go())
+        assert status == 200
+        counters = metrics["counters"]
+        # The /metrics request itself is the 5th; its own counter
+        # increments at dispatch start, so it sees itself.
+        assert counters["serve.requests"] == 5
+        assert counters["serve.requests.strategy"] == 3
+        assert counters["serve.cache.hits"] == 2
+        assert counters["serve.cache.misses"] == 1
+        assert metrics["cache"]["size"] == 1
+        assert metrics["requests_served"] == 5
+        assert "serve.latency_ms" not in metrics["counters"]
+        assert "spans" not in metrics  # unbounded; never exposed
+
+
+class TestPredict:
+    def test_predict_batch_with_explicit_and_advisor_configs(self, index):
+        stub = StubPredictor()
+
+        async def go():
+            server = StrategyServer(index, predictor=stub, recorder=Recorder())
+            await server.start()
+            try:
+                body = json.dumps(
+                    {
+                        "queries": [
+                            {"chip": "MALI", "app": "bfs-wl",
+                             "input": "tiny-road", "config": "wg+sg"},
+                            {"chip": "MALI", "app": "bfs-wl",
+                             "input": "tiny-road"},
+                            {"chip": "BOOM", "app": "bfs-wl",
+                             "input": "tiny-road", "config": "wg"},
+                            {"chip": "MALI", "app": "bfs-wl"},
+                        ]
+                    }
+                ).encode()
+                status, out, _ = await http_request(
+                    server.port, "POST", "/v1/predict", body
+                )
+                counters = dict(server.recorder.counters)
+            finally:
+                await server.stop()
+            return status, out, counters
+
+        status, out, counters = run(go())
+        assert status == 200
+        assert out["errors"] == 2
+        r0, r1, r2, r3 = out["results"]
+        assert r0["config"] == "sg+wg"
+        # Advisor-selected config comes with its provenance attached.
+        assert r1["config"] == r1["advisor"]["config"]
+        assert not r1["advisor"]["degraded"]
+        assert "no such chip" in r2["error"]
+        assert "input" in r3["error"]
+        assert counters["serve.predictions"] == 2
+        assert counters["serve.predictions.errors"] == 2
+
+    def test_predict_disabled_returns_501(self, index):
+        async def go():
+            server = StrategyServer(index, predictor=None)
+            await server.start()
+            try:
+                body = json.dumps(
+                    {"chip": "MALI", "app": "bfs-wl", "input": "tiny-road"}
+                ).encode()
+                status, out, _ = await http_request(
+                    server.port, "POST", "/v1/predict", body
+                )
+            finally:
+                await server.stop()
+            return status, out
+
+        status, out = run(go())
+        assert status == 501
+        assert "disabled" in out["error"]
+
+    def test_predict_rejects_bad_json_and_empty_queries(self, index):
+        async def go():
+            server = StrategyServer(index, predictor=StubPredictor())
+            await server.start()
+            try:
+                s1, _, _ = await http_request(
+                    server.port, "POST", "/v1/predict", b"{not json"
+                )
+                s2, _, _ = await http_request(
+                    server.port, "POST", "/v1/predict", b"[]"
+                )
+            finally:
+                await server.stop()
+            return s1, s2
+
+        assert run(go()) == (400, 400)
+
+
+class TestOperationalLimits:
+    def test_request_timeout_returns_503_and_counts(self, index):
+        async def go():
+            server = StrategyServer(
+                index,
+                predictor=StubPredictor(delay=0.4),
+                request_timeout=0.05,
+                recorder=Recorder(),
+            )
+            await server.start()
+            try:
+                body = json.dumps(
+                    {"chip": "MALI", "app": "bfs-wl", "input": "tiny-road"}
+                ).encode()
+                status, out, _ = await http_request(
+                    server.port, "POST", "/v1/predict", body
+                )
+                counters = dict(server.recorder.counters)
+            finally:
+                await server.stop()
+            return status, out, counters
+
+        status, out, counters = run(go())
+        assert status == 503
+        assert "timeout" in out["error"]
+        assert counters["serve.timeouts"] == 1
+        assert counters["serve.responses.5xx"] == 1
+
+    def test_oversized_body_is_rejected(self, index):
+        async def go():
+            server = StrategyServer(index, predictor=StubPredictor())
+            await server.start()
+            try:
+                status, out, _ = await http_request(
+                    server.port, "POST", "/v1/predict", b"x" * (1 << 20 + 1)
+                )
+            finally:
+                await server.stop()
+            return status, out
+
+        status, out = run(go())
+        assert status == 413
+
+    def test_sixteen_concurrent_clients_get_identical_answers(self, index):
+        async def go():
+            server = StrategyServer(index, max_concurrency=4)
+            await server.start()
+            try:
+                results = await asyncio.gather(
+                    *(
+                        http_request(
+                            server.port,
+                            "GET",
+                            "/v1/strategy?chip=MALI&app=bfs-wl&input=tiny-road",
+                        )
+                        for _ in range(16)
+                    )
+                )
+            finally:
+                await server.stop()
+            return results
+
+        results = run(go())
+        assert all(status == 200 for status, _, _ in results)
+        raws = {raw for _, _, raw in results}
+        assert len(raws) == 1  # byte-identical across all 16 clients
+
+    def test_invalid_construction(self, index):
+        with pytest.raises(ServeError):
+            StrategyServer(index, max_concurrency=0)
+        with pytest.raises(ServeError):
+            StrategyServer(index, request_timeout=0)
+
+
+class TestShutdown:
+    def test_stop_drains_inflight_request(self, index):
+        """A request racing shutdown completes before the server exits."""
+
+        async def go():
+            server = StrategyServer(
+                index, predictor=StubPredictor(delay=0.2), request_timeout=5.0
+            )
+            await server.start()
+            body = json.dumps(
+                {"chip": "MALI", "app": "bfs-wl", "input": "tiny-road"}
+            ).encode()
+            inflight = asyncio.ensure_future(
+                http_request(server.port, "POST", "/v1/predict", body)
+            )
+            await asyncio.sleep(0.05)  # the predict is now in the executor
+            await server.stop()
+            status, out, _ = await inflight
+            return status, out
+
+        status, out = run(go())
+        assert status == 200
+        assert out["results"][0]["predicted_us"] == 123.0
+
+    def test_stop_closes_idle_keepalive_connections(self, index):
+        async def go():
+            server = StrategyServer(index)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            # Complete one keep-alive request, then go idle.
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            await writer.drain()
+            await reader.readline()
+            await server.stop()
+            # The server must have dropped the idle connection: reading
+            # eventually hits EOF rather than hanging.
+            data = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            return server._connections
+
+        connections = run(go())
+        assert connections == set()
+
+    def test_requests_after_stop_are_refused(self, index):
+        async def go():
+            server = StrategyServer(index)
+            await server.start()
+            port = server.port
+            await server.stop()
+            try:
+                await http_request(port, "GET", "/healthz")
+            except OSError:
+                return True
+            return False
+
+        assert run(go())
