@@ -6,7 +6,8 @@ Checks committed floors in ``benchmarks/bench_floor.json`` against:
 * ``BENCH_study.json`` (written by ``bench_study.py``) — the
   batch-vs-scalar speedup of the vectorized pricing engine;
 * ``BENCH_serve.json`` (written by ``bench_serve.py``) — the strategy
-  server's closed-loop throughput.
+  server's closed-loop throughput, plus its sustained-load p99 latency
+  against the ``serve_p99_ms`` SLO ceiling.
 
 The floors are set far under locally measured values so ordinary
 CI-runner noise passes; a breach indicates a structural regression
@@ -69,10 +70,13 @@ def _check_serve(results: dict, floors: dict) -> int:
     mode = "quick" if results.get("quick") else "full"
     floor = floors["serve_throughput_rps"][mode]
     throughput = results["throughput_rps"]
+    p99 = results["p99_ms"]
+    ceiling = floors.get("serve_p99_ms", {}).get(mode)
     print(
         f"[bench-guard] serve mode={mode}: {throughput:.0f} req/s "
         f"(floor {floor:.0f} req/s), p50 {results['p50_ms']:.2f}ms, "
-        f"p99 {results['p99_ms']:.2f}ms"
+        f"p99 {p99:.2f}ms"
+        + (f" (SLO {ceiling:.0f}ms)" if ceiling is not None else "")
     )
     if results.get("errors"):
         print(f"[bench-guard] FAIL: {results['errors']} failed requests")
@@ -83,6 +87,15 @@ def _check_serve(results: dict, floors: dict) -> int:
             f"fell below the committed floor {floor:.0f} req/s — new "
             f"per-request overhead entered the server's hot path; "
             f"investigate before raising the floor"
+        )
+        return 1
+    if ceiling is not None and p99 > ceiling:
+        print(
+            f"[bench-guard] FAIL: sustained-load p99 {p99:.2f}ms exceeds "
+            f"the {ceiling:.0f}ms SLO ceiling — tail latency regressed "
+            f"(a blocking call on the event loop, lost pre-serialization, "
+            f"or head-of-line contention); investigate before relaxing "
+            f"the SLO"
         )
         return 1
     return 0

@@ -2,15 +2,23 @@
 """Benchmark the strategy-advisor serving layer under closed-loop load.
 
 Builds a strategy index from the committed mini dataset (no study run
-needed), starts the asyncio server in-process on a free port, and
-drives it with ``--concurrency`` closed-loop worker threads — each
-holding one persistent keep-alive connection and issuing
-``GET /v1/strategy`` queries back-to-back over a seeded cycle of the
-index's coordinates (a mix of exact and degraded queries).  Reports
-p50/p99 latency and total throughput to ``BENCH_serve.json`` at the
-repository root.
+needed), starts the asyncio server on a free port, and drives it with
+``--concurrency`` closed-loop worker threads — each holding one
+persistent keep-alive connection and issuing ``GET /v1/strategy``
+queries back-to-back over a seeded cycle of the index's coordinates (a
+mix of exact and degraded queries).  Reports p50/p99 latency and total
+throughput to ``BENCH_serve.json`` at the repository root; the p99 is
+a sustained-load SLO that ``bench_guard.py`` checks against the
+``serve_p99_ms`` ceiling in ``bench_floor.json``.
+
+With ``--workers N`` (N > 1) the bench instead launches the real
+``python -m repro serve --workers N`` CLI as a subprocess, so the
+measured path includes SO_REUSEPORT kernel load balancing across the
+forked workers — the closest thing to production deployment this
+repository can measure.
 
 Run:  PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+      PYTHONPATH=src python benchmarks/bench_serve.py --workers 2
 """
 
 from __future__ import annotations
@@ -21,6 +29,10 @@ import http.client
 import json
 import os
 import random
+import signal
+import subprocess
+import sys
+import tempfile
 import threading
 import time
 
@@ -83,6 +95,71 @@ def _percentile(sorted_values, q: float) -> float:
     return sorted_values[idx]
 
 
+class _InProcessServer:
+    """Single-worker target: the asyncio server on a thread, no fork."""
+
+    def __init__(self, index) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._server = StrategyServer(index, predictor=None)
+        self._loop.run_until_complete(self._server.start())
+        self._runner = threading.Thread(
+            target=self._loop.run_until_complete,
+            args=(self._server.serve_until_stopped(),),
+            daemon=True,
+        )
+        self._runner.start()
+        self.host = self._server.host
+        self.port = self._server.port
+
+    def stop(self) -> None:
+        self._loop.call_soon_threadsafe(self._server.request_shutdown)
+        self._runner.join(timeout=30)
+        self._loop.close()
+
+
+class _SubprocessServer:
+    """Multi-worker target: the real ``repro serve --workers N`` CLI."""
+
+    def __init__(self, index, workers: int) -> None:
+        self._tmp = tempfile.TemporaryDirectory(prefix="bench-serve-")
+        index_path = os.path.join(self._tmp.name, "index.json")
+        index.save(index_path)
+        self._proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", index_path,
+                "--port", "0", "--workers", str(workers), "--no-predict",
+            ],
+            cwd=_ROOT,
+            env=dict(os.environ, PYTHONPATH=os.path.join(_ROOT, "src")),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        line = self._proc.stderr.readline()
+        if "listening on http://" not in line:
+            rest = self._proc.stderr.read()
+            raise RuntimeError(f"server did not start: {line!r} {rest!r}")
+        addr = line.split("http://", 1)[1].split()[0]
+        self.host, port = addr.rsplit(":", 1)
+        self.port = int(port)
+
+    def stop(self) -> None:
+        try:
+            self._proc.send_signal(signal.SIGTERM)
+            code = self._proc.wait(timeout=30)
+            if code != 0:
+                raise RuntimeError(
+                    f"serve exited {code}: {self._proc.stderr.read()!r}"
+                )
+        finally:
+            if self._proc.poll() is None:
+                self._proc.kill()
+                self._proc.wait()
+            self._proc.stdout.close()
+            self._proc.stderr.close()
+            self._tmp.cleanup()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -100,6 +177,13 @@ def main() -> int:
         default=None,
         help="requests per client (default: 75 quick, 500 full)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="serve workers; >1 benchmarks the real CLI as a subprocess "
+        "with SO_REUSEPORT sharing (default: 1, in-process)",
+    )
     parser.add_argument("--output", default=_DEFAULT_OUTPUT)
     args = parser.parse_args()
 
@@ -110,19 +194,16 @@ def main() -> int:
     index = build_index(dataset)
     queries = _query_cycle(dataset)
     print(
-        f"index: {index.n_entries} entries; {len(queries)} distinct queries; "
-        f"{concurrency} clients x {per_client} requests"
+        f"index: {index.n_entries} entries, {index.n_answers} pre-serialized "
+        f"answers; {len(queries)} distinct queries; "
+        f"{concurrency} clients x {per_client} requests; "
+        f"{args.workers} worker(s)"
     )
 
-    loop = asyncio.new_event_loop()
-    server = StrategyServer(index, predictor=None)
-    loop.run_until_complete(server.start())
-    runner = threading.Thread(
-        target=loop.run_until_complete,
-        args=(server.serve_until_stopped(),),
-        daemon=True,
-    )
-    runner.start()
+    if args.workers > 1:
+        server = _SubprocessServer(index, args.workers)
+    else:
+        server = _InProcessServer(index)
 
     latencies: list = []
     errors: list = []
@@ -148,9 +229,7 @@ def main() -> int:
         t.join()
     elapsed = time.perf_counter() - started
 
-    loop.call_soon_threadsafe(server.request_shutdown)
-    runner.join(timeout=30)
-    loop.close()
+    server.stop()
 
     if errors:
         print(f"FAIL: {len(errors)} non-200 responses, e.g. {errors[:3]}")
@@ -170,6 +249,7 @@ def main() -> int:
         "benchmark": "serve-load",
         "quick": args.quick,
         "concurrency": concurrency,
+        "workers": args.workers,
         "requests": total,
         "seconds": round(elapsed, 4),
         "throughput_rps": round(throughput, 1),

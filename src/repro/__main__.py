@@ -12,8 +12,10 @@ epilog and the tests can never disagree about what exists.
 * ``index`` — compile a ``strategy-index-v1`` artifact from a dataset
   (:mod:`repro.serve.index`), the input of ``serve``;
 * ``serve`` — answer strategy/prediction queries over an asyncio HTTP
-  JSON API (:mod:`repro.serve.server`); SIGTERM/SIGINT drain in-flight
-  requests and exit 0;
+  JSON API (:mod:`repro.serve.server`): pre-serialized zero-encode
+  strategy answers, ``--workers N`` SO_REUSEPORT scale-out with merged
+  per-worker metrics, and micro-batched predict pricing; SIGTERM/SIGINT
+  drain in-flight requests (all workers) and exit 0;
 * ``profile`` — render a RunReport artifact (written by any
   subcommand's ``--metrics PATH``) as a human-readable summary
   (:mod:`repro.obs.report`);

@@ -51,9 +51,10 @@ SUBCOMMANDS: List[Tuple[str, str, str]] = [
     ),
     (
         "serve",
-        "INDEX [--host H] [--port P] [--max-concurrency N]\n"
-        "        [--timeout S] [--cache-size N] [--cache-ttl S]\n"
-        "        [--no-predict] [--metrics PATH]",
+        "INDEX [--host H] [--port P] [--workers N]\n"
+        "        [--max-concurrency N] [--timeout S] [--cache-size N]\n"
+        "        [--cache-ttl S] [--no-predict] [--predict-window-ms MS]\n"
+        "        [--predict-max-batch N] [--metrics PATH]",
         "serve strategy queries over HTTP (async JSON API)",
     ),
     (

@@ -5,7 +5,9 @@ everything it is given — hierarchical spans with durations from an
 injectable clock, named counters, gauges and histograms — and can
 merge the drained snapshots of other recorders (the study sweep's
 worker processes each run their own recorder and ship per-shard deltas
-back to the parent).  :class:`NullRecorder` is the default: every
+back to the parent; ``repro serve --workers N`` merges per-worker
+serving metrics through the same path so ``/metrics`` and the
+run-report sidecar reconcile exactly with total requests served).  :class:`NullRecorder` is the default: every
 method is a no-op and :meth:`~NullRecorder.span` returns a shared
 reusable context manager, so instrumented code pays one cheap call per
 *shard-level* event and nothing per inner-loop iteration when metrics

@@ -10,17 +10,22 @@ deploy.  The offline pipeline derives that advice in batch
   :class:`~repro.study.dataset.PerfDataset`: the precomputed
   Algorithm 1 strategy at every specialisation level, with
   expected-speedup, portability-slowdown and coverage metadata per
-  entry.  Queries fall back *up* the specialisation lattice when the
-  most-specialised cell is missing or quarantined, and such responses
-  are marked ``degraded``.
+  entry, plus a table of pre-serialized response bytes for every
+  lattice coordinate so the hot path never JSON-encodes.  Queries fall
+  back *up* the specialisation lattice when the most-specialised cell
+  is missing or quarantined, and such responses are marked
+  ``degraded``.
 * :mod:`repro.serve.server` — an asyncio, stdlib-only HTTP JSON API
   over a loaded index (``GET /v1/strategy``, ``POST /v1/predict``,
   ``GET /healthz``, ``GET /metrics``) with bounded concurrency,
-  per-request timeouts, an LRU+TTL response cache and graceful
-  drain-on-signal shutdown.
+  per-request timeouts, an LRU+TTL response cache, predict
+  micro-batching, ``SO_REUSEPORT`` multi-worker scale-out
+  (``--workers N``) and graceful drain-on-signal shutdown.
 * :mod:`repro.serve.cache` — the LRU+TTL cache.
 * :mod:`repro.serve.predict` — online single-point pricing through the
-  vectorized batch engine, backing ``POST /v1/predict``.
+  vectorized batch engine, backing ``POST /v1/predict``;
+  :meth:`~repro.serve.predict.Predictor.price_many` prices a coalesced
+  micro-batch in one locked pass.
 
 See ``docs/serving.md`` for the API reference and artifact format.
 """
@@ -28,17 +33,26 @@ See ``docs/serving.md`` for the API reference and artifact format.
 from __future__ import annotations
 
 from .cache import TTLCache
-from .index import INDEX_FORMAT, IndexEntry, StrategyAnswer, StrategyIndex, build_index
+from .index import (
+    INDEX_FORMAT,
+    IndexEntry,
+    StrategyAnswer,
+    StrategyIndex,
+    build_index,
+    render_answer,
+)
 from .predict import Predictor
-from .server import StrategyServer
+from .server import PredictCoalescer, StrategyServer
 
 __all__ = [
     "INDEX_FORMAT",
     "IndexEntry",
+    "PredictCoalescer",
     "Predictor",
     "StrategyAnswer",
     "StrategyIndex",
     "StrategyServer",
     "TTLCache",
     "build_index",
+    "render_answer",
 ]

@@ -7,6 +7,13 @@ cache is a plain ordered dict under the event loop's single thread —
 no locking — with LRU eviction at ``maxsize`` and lazy expiry on
 access.  All timing goes through an injectable ``clock`` so tests
 drive expiry deterministically.
+
+Since the index pre-serializes every enumerable lattice coordinate
+(:meth:`~repro.serve.index.StrategyIndex.compile_answers`), this cache
+only sees the long tail the table cannot enumerate — queries naming
+unknown chips, apps or inputs — and the server stores ready-to-write
+``(body_bytes, degraded)`` tuples in it so even that tail encodes at
+most once per TTL window.
 """
 
 from __future__ import annotations

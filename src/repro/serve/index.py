@@ -29,6 +29,17 @@ measured, or quarantine removed it — the lookup falls back *up* the
 lattice (dropping one dimension at a time, most-specialised first)
 and the answer is marked ``degraded`` with a coverage footnote.
 
+Since ISSUE 6 the artifact additionally carries a **pre-serialized
+answers table**: the full ``GET /v1/strategy`` response body for every
+lattice point over the source dataset's coordinates (including the
+degraded fallback variants a holed dataset produces), rendered once at
+build time by :func:`render_answer`.  The server's hot path becomes a
+dict lookup plus a socket write — no per-request JSON encoding — while
+staying byte-identical to the encode-per-request path (the
+``strategy-responses.json`` golden pins both).  The table is optional
+on load: a ``strategy-index-v1`` artifact written before the table
+existed still serves, falling back to encode-on-miss.
+
 The artifact is checksummed JSON with sorted keys: building it twice
 from the same dataset produces byte-identical files, which the golden
 test pins.
@@ -52,12 +63,14 @@ from ..util import atomic_write_text, geomean, sha256_hex
 __all__ = [
     "INDEX_FORMAT",
     "LATTICE_LEVELS",
+    "AnswerKey",
     "IndexEntry",
     "StrategyAnswer",
     "StrategyIndex",
     "build_index",
     "fallback_chain",
     "level_name",
+    "render_answer",
 ]
 
 #: Format tag of checksummed strategy-index artifacts.
@@ -81,6 +94,10 @@ LATTICE_LEVELS: Tuple[str, ...] = (
 #: dimensionless; they differ in *what* they recommend, not where).
 LEVEL_DIMS: Dict[str, Tuple[str, ...]] = dict(STRATEGY_DIMS)
 LEVEL_DIMS["baseline"] = ()
+
+#: A query's coordinates, ``None`` for an unnamed dimension — the key
+#: of the pre-serialized answers table and the response cache alike.
+AnswerKey = Tuple[Optional[str], Optional[str], Optional[str]]
 
 
 def level_name(dims: Sequence[str]) -> str:
@@ -200,6 +217,26 @@ class StrategyAnswer:
         }
 
 
+def render_answer(
+    index: "StrategyIndex",
+    chip: Optional[str] = None,
+    app: Optional[str] = None,
+    input: Optional[str] = None,
+) -> Tuple[bytes, bool]:
+    """Render one ``GET /v1/strategy`` response body to bytes.
+
+    This is *the* encoding of a strategy answer: the index builder
+    pre-serializes every lattice point through it, and the server uses
+    it verbatim for coordinates outside the precompiled table, so the
+    two paths cannot drift.  Returns ``(body, degraded)``.
+    """
+    answer = index.lookup(chip=chip, app=app, input=input)
+    payload = {"query": {"chip": chip, "app": app, "input": input}}
+    payload.update(answer.to_dict())
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return body, answer.degraded
+
+
 class StrategyIndex:
     """The compiled advisor: every strategy level, ready to query."""
 
@@ -208,17 +245,51 @@ class StrategyIndex:
         levels: Dict[str, Dict[Tuple[str, ...], IndexEntry]],
         coverage: Coverage,
         meta: Optional[dict] = None,
+        answers: Optional[Dict[AnswerKey, Tuple[bytes, bool]]] = None,
     ) -> None:
         self.levels = levels
         #: Source-dataset coverage (audited: quarantined cells counted).
         self.coverage = coverage
         self.meta = dict(meta or {})
+        #: Pre-serialized response bodies keyed by query coordinates;
+        #: empty for artifacts written before the table existed (the
+        #: server then encodes on miss).
+        self.answers: Dict[AnswerKey, Tuple[bytes, bool]] = dict(answers or {})
 
     # -- queries -----------------------------------------------------------
 
     @property
     def n_entries(self) -> int:
         return sum(len(cells) for cells in self.levels.values())
+
+    @property
+    def n_answers(self) -> int:
+        return len(self.answers)
+
+    def answer(self, key: AnswerKey) -> Optional[Tuple[bytes, bool]]:
+        """The pre-serialized ``(body, degraded)`` pair, if compiled."""
+        return self.answers.get(key)
+
+    def compile_answers(self) -> int:
+        """Pre-serialize every lattice point's response body.
+
+        Enumerates all combinations of the source dataset's coordinates
+        (each dimension optionally unnamed), including the degraded
+        fallback variants of holed or quarantined cells, and renders
+        each through :func:`render_answer`.  Returns the table size.
+        """
+        chips = [None] + list(self.meta.get("chips", ()))
+        apps = [None] + list(self.meta.get("apps", ()))
+        inputs = [None] + list(self.meta.get("inputs", ()))
+        answers: Dict[AnswerKey, Tuple[bytes, bool]] = {}
+        for chip in chips:
+            for app in apps:
+                for inp in inputs:
+                    answers[(chip, app, inp)] = render_answer(
+                        self, chip=chip, app=app, input=inp
+                    )
+        self.answers = answers
+        return len(answers)
 
     def entry(self, level: str, key: Sequence[str]) -> Optional[IndexEntry]:
         return self.levels.get(level, {}).get(tuple(key))
@@ -288,15 +359,20 @@ class StrategyIndex:
             for level in LATTICE_LEVELS
             if level in self.levels
         )
+        answers = (
+            f"{self.n_answers} pre-serialized answers; "
+            if self.answers
+            else ""
+        )
         return (
-            f"{self.n_entries} entries ({per_level}); "
+            f"{self.n_entries} entries ({per_level}); {answers}"
             f"source coverage {self.coverage.describe()}"
         )
 
     # -- persistence -------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "meta": self.meta,
             "coverage": {
                 "present": self.coverage.present,
@@ -312,6 +388,15 @@ class StrategyIndex:
                 for level, cells in self.levels.items()
             },
         }
+        if self.answers:
+            # Bodies are UTF-8 JSON text, stored as (escaped) strings;
+            # keys are the JSON-encoded coordinate triple, so values
+            # containing separators can never collide.
+            data["answers"] = {
+                json.dumps(list(key)): [body.decode("utf-8"), degraded]
+                for key, (body, degraded) in self.answers.items()
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "StrategyIndex":
@@ -341,7 +426,27 @@ class StrategyIndex:
             quarantined=cov.get("quarantined", 0),
             holes=tuple(cov.get("holes", ())),
         )
-        return cls(levels, coverage, meta=data.get("meta", {}))
+        answers: Dict[AnswerKey, Tuple[bytes, bool]] = {}
+        raw_answers = data.get("answers", {})
+        if not isinstance(raw_answers, dict):
+            raise StrategyIndexError(
+                "malformed strategy index payload: 'answers' must be a "
+                "mapping of coordinate keys to [body, degraded] pairs"
+            )
+        for key_str, pair in raw_answers.items():
+            try:
+                coords = json.loads(key_str)
+                body, degraded = pair
+                if len(coords) != 3 or not isinstance(body, str):
+                    raise ValueError(f"bad answer entry {key_str!r}")
+            except (ValueError, TypeError) as exc:
+                raise StrategyIndexError(
+                    f"malformed pre-serialized answer {key_str!r}: {exc}"
+                ) from exc
+            answers[tuple(coords)] = (body.encode("utf-8"), bool(degraded))
+        return cls(
+            levels, coverage, meta=data.get("meta", {}), answers=answers
+        )
 
     def save(self, path: str) -> None:
         """Atomically write the checksummed ``strategy-index-v1`` file."""
@@ -528,8 +633,16 @@ def build_index(
             "n_configs": n_configs,
             "n_tests": len(all_tests),
         }
+        index = StrategyIndex(levels, coverage, meta=meta)
+        # Pre-serialize every answer the index can give, so the server's
+        # hot path is a dict lookup and a socket write — no per-request
+        # JSON encoding (ISSUE 6's zero-encode contract).
+        with rec.span("index.answers"):
+            n_answers = index.compile_answers()
+        rec.count("index.answers", n_answers)
         span.set("entries", sum(len(c) for c in levels.values()))
-    return StrategyIndex(levels, coverage, meta=meta)
+        span.set("answers", n_answers)
+    return index
 
 
 def main(argv=None) -> int:

@@ -18,13 +18,17 @@ The predictor serialises predictions behind one lock: the compile
 cache and batch memoiser are process-global and not thread-safe, and
 the server prices in a worker thread off the event loop, so the lock
 makes concurrent ``/v1/predict`` requests queue rather than corrupt
-shared state.
+shared state.  :meth:`Predictor.price_many` amortises that lock — and
+the executor round-trip that precedes it — over a whole coalesced
+micro-batch (see :class:`~repro.serve.server.PredictCoalescer`): one
+locked vectorized pass prices every item, and each item's numbers are
+exactly what :meth:`Predictor.price` would have returned alone.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..apps.registry import all_applications
 from ..chips.database import get_chip
@@ -112,30 +116,66 @@ class Predictor:
         (``predicted_us``), the seeded noisy repetitions (``times_us``)
         and the trace's launch count.
         """
+        with self._lock:
+            return self._price_locked(chip_name, app_name, input_name, config)
+
+    def price_many(
+        self,
+        points: Sequence[Tuple[str, str, str, OptConfig]],
+    ) -> List[Union[dict, PredictionError]]:
+        """Price a coalesced batch in one locked vectorized pass.
+
+        Each entry of the returned list is either the exact dict
+        :meth:`price` would return for that point — same memoised
+        traces, same compile cache, same seeded noise, so coalescing a
+        request changes nothing about its numbers — or the
+        :class:`~repro.errors.PredictionError` that point raised.
+        Errors are *values* here: one bad item never aborts the batch.
+        """
+        results: List[Union[dict, PredictionError]] = []
+        with self._lock:
+            for chip_name, app_name, input_name, config in points:
+                try:
+                    results.append(
+                        self._price_locked(
+                            chip_name, app_name, input_name, config
+                        )
+                    )
+                except PredictionError as exc:
+                    results.append(exc)
+        return results
+
+    def _price_locked(
+        self,
+        chip_name: str,
+        app_name: str,
+        input_name: str,
+        config: OptConfig,
+    ) -> dict:
+        """One point, caller holds ``self._lock``."""
         try:
             chip = get_chip(chip_name)
         except ChipError as exc:
             raise PredictionError(str(exc)) from exc
-        with self._lock:
-            trace = self._trace(app_name, input_name)
-            plan = compile_cached(self._programs[app_name], chip, config)
-            pkey = (chip.short_name, trace.program, trace.graph)
-            prefix = self._prefixes.get(pkey)
-            if prefix is None:
-                prefix = measurement_prefix(chip, trace.program, trace.graph)
-                self._prefixes[pkey] = prefix
-            true_us = estimate_runtime_us_batch(plan, trace.arrays())
-            seeds = measurement_seeds(
-                plan.chip,
-                trace.program,
-                trace.graph,
-                plan.config.key(),
-                self.repetitions,
-                prefix=prefix,
-            )
-            times = measure_repeats_us_batch(
-                plan, trace, self.repetitions, true_us=true_us, seeds=seeds
-            )
+        trace = self._trace(app_name, input_name)
+        plan = compile_cached(self._programs[app_name], chip, config)
+        pkey = (chip.short_name, trace.program, trace.graph)
+        prefix = self._prefixes.get(pkey)
+        if prefix is None:
+            prefix = measurement_prefix(chip, trace.program, trace.graph)
+            self._prefixes[pkey] = prefix
+        true_us = estimate_runtime_us_batch(plan, trace.arrays())
+        seeds = measurement_seeds(
+            plan.chip,
+            trace.program,
+            trace.graph,
+            plan.config.key(),
+            self.repetitions,
+            prefix=prefix,
+        )
+        times = measure_repeats_us_batch(
+            plan, trace, self.repetitions, true_us=true_us, seeds=seeds
+        )
         return {
             "chip": chip.short_name,
             "app": app_name,

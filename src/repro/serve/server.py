@@ -18,18 +18,36 @@ asyncio only, no web framework:
 
 Operational behaviour:
 
+* **zero-encode answers** — ``GET /v1/strategy`` for coordinates of
+  the index's own lattice is served straight from the artifact's
+  pre-serialized bytes table (:meth:`StrategyIndex.answer`): a dict
+  lookup and a socket write, no per-request JSON encoding.  Unknown
+  coordinates (and pre-table artifacts) fall back to encode-on-miss
+  through the LRU+TTL response cache;
 * **bounded concurrency** — at most ``max_concurrency`` requests are
   dispatched at once (an :class:`asyncio.Semaphore`); the rest queue;
 * **per-request timeout** — a dispatch exceeding ``request_timeout``
   returns 503 and counts ``serve.timeouts``;
-* **response cache** — strategy answers are served from an LRU+TTL
-  :class:`~repro.serve.cache.TTLCache` keyed by the query coordinates;
+* **predict micro-batching** — concurrent ``POST /v1/predict`` items
+  coalesce behind a small time/size window (``predict_window`` /
+  ``predict_max_batch``) into one vectorized
+  :meth:`~repro.serve.predict.Predictor.price_many` call, so predict
+  throughput rides the batch engine's speedup instead of paying one
+  executor round-trip per item — while each item's numbers stay
+  study-identical;
+* **multi-worker** — ``repro serve --workers N`` forks N processes
+  sharing one port via ``SO_REUSEPORT``; each worker runs this server
+  unchanged, and per-worker recorders are merged through the standard
+  ``drain()/merge()`` path into one run report that reconciles exactly
+  with the total requests served;
 * **graceful shutdown** — SIGTERM/SIGINT stop the listener, let
   in-flight requests drain, flush the ``--metrics`` sidecar and exit 0.
 
-Every response body is ``json.dumps(payload, sort_keys=True)``, so two
-servers over the same index give byte-identical answers — the e2e test
-holds the server to the offline :mod:`repro.core.strategies` path.
+Every response body is ``json.dumps(payload, sort_keys=True)`` — the
+pre-serialized table stores exactly those bytes — so two servers over
+the same index give byte-identical answers; the e2e test holds the
+server to the offline :mod:`repro.core.strategies` path and the
+``strategy-responses.json`` golden pins the encoding itself.
 """
 
 from __future__ import annotations
@@ -37,16 +55,16 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qsl, urlsplit
 
 from ..errors import PredictionError, ServeError
 from ..obs import NULL_RECORDER
 from .cache import TTLCache
-from .index import StrategyIndex
+from .index import StrategyIndex, render_answer
 from .predict import Predictor
 
-__all__ = ["StrategyServer", "MAX_BODY_BYTES"]
+__all__ = ["PredictCoalescer", "StrategyServer", "MAX_BODY_BYTES"]
 
 #: Largest accepted request body; bigger POSTs get 413.
 MAX_BODY_BYTES = 1 << 20
@@ -74,6 +92,106 @@ class _HttpError(Exception):
         self.status = status
 
 
+def _price_batch(predictor, items: List[tuple]) -> List[object]:
+    """Price a coalesced batch in the executor thread.
+
+    Prefers the predictor's vectorized
+    :meth:`~repro.serve.predict.Predictor.price_many` (one lock, one
+    pass); any predictor-shaped object with only ``price`` still works
+    item by item.  Per-item failures come back as
+    :class:`~repro.errors.PredictionError` *values*, never aborting the
+    batch.
+    """
+    many = getattr(predictor, "price_many", None)
+    if many is not None:
+        return many(items)
+    results: List[object] = []
+    for chip, app, inp, config in items:
+        try:
+            results.append(predictor.price(chip, app, inp, config))
+        except PredictionError as exc:
+            results.append(exc)
+    return results
+
+
+class PredictCoalescer:
+    """Micro-batches concurrent predict items into one engine call.
+
+    Items submitted via :meth:`price` wait at most ``window`` seconds
+    (or until ``max_batch`` items are pending, whichever comes first)
+    and are then priced together by a single executor dispatch of
+    :func:`_price_batch`.  Each caller awaits its own future, so
+    per-item results — and per-item errors — are preserved exactly;
+    coalescing changes *when* pricing happens, never *what* it returns.
+
+    ``window=0`` still coalesces items that arrive within one event-
+    loop tick (e.g. all items of one request body) but adds no latency.
+    Everything runs on the event loop thread except the batch itself,
+    so no locking is needed here.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        recorder=None,
+        *,
+        window: float = 0.0,
+        max_batch: int = 32,
+    ) -> None:
+        if window < 0:
+            raise ServeError("predict window must be non-negative")
+        if max_batch < 1:
+            raise ServeError("predict max_batch must be positive")
+        self.predictor = predictor
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.window = window
+        self.max_batch = max_batch
+        self._pending: List[tuple] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    async def price(self, chip: str, app: str, inp: str, config) -> dict:
+        """Submit one item; resolves to its result (or raises its error)."""
+        loop = asyncio.get_event_loop()
+        future = loop.create_future()
+        self._pending.append((chip, app, inp, config, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        if batch:
+            asyncio.ensure_future(self._run(batch))
+
+    async def _run(self, batch: List[tuple]) -> None:
+        rec = self.recorder
+        rec.count("serve.predict.batches")
+        rec.observe("serve.predict.batch_size", float(len(batch)))
+        loop = asyncio.get_event_loop()
+        items = [(chip, app, inp, cfg) for chip, app, inp, cfg, _ in batch]
+        try:
+            results = await loop.run_in_executor(
+                None, _price_batch, self.predictor, items
+            )
+        except Exception as exc:  # engine-level failure: fail every item
+            for *_, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (*_, future), result in zip(batch, results):
+            if future.done():  # caller timed out or was cancelled
+                continue
+            if isinstance(result, PredictionError):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+
+
 class StrategyServer:
     """Serves one loaded :class:`~repro.serve.index.StrategyIndex`.
 
@@ -97,11 +215,19 @@ class StrategyServer:
         recorder=None,
         predictor: Optional[Predictor] = None,
         clock: Callable[[], float] = time.perf_counter,
+        reuse_port: bool = False,
+        worker_id: Optional[int] = None,
+        predict_window: float = 0.0,
+        predict_max_batch: int = 32,
     ) -> None:
         if max_concurrency < 1:
             raise ServeError("max_concurrency must be positive")
         if request_timeout <= 0:
             raise ServeError("request_timeout must be positive")
+        if predict_window < 0:
+            raise ServeError("predict_window must be non-negative")
+        if predict_max_batch < 1:
+            raise ServeError("predict_max_batch must be positive")
         self.index = index
         self.host = host
         self.port = port
@@ -112,6 +238,16 @@ class StrategyServer:
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.predictor = predictor
         self._clock = clock
+        #: Bind with ``SO_REUSEPORT`` so sibling worker processes can
+        #: share the listening port (``repro serve --workers N``).
+        self.reuse_port = reuse_port
+        #: This process's index in a ``--workers`` fleet (``None`` when
+        #: single-process); exposed in ``/metrics`` so scrapers cannot
+        #: mistake one worker's counters for service totals.
+        self.worker_id = worker_id
+        self.predict_window = predict_window
+        self.predict_max_batch = predict_max_batch
+        self._coalescer: Optional[PredictCoalescer] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._stopping: Optional[asyncio.Event] = None
@@ -125,8 +261,16 @@ class StrategyServer:
         """Bind and start accepting connections."""
         self._semaphore = asyncio.Semaphore(self.max_concurrency)
         self._stopping = asyncio.Event()
+        if self.predictor is not None:
+            self._coalescer = PredictCoalescer(
+                self.predictor,
+                self.recorder,
+                window=self.predict_window,
+                max_batch=self.predict_max_batch,
+            )
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, **kwargs
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -259,9 +403,15 @@ class StrategyServer:
         return method, target, body, keep_alive
 
     async def _write_response(
-        self, writer, status: int, payload: dict, keep_alive: bool
+        self, writer, status: int, payload: Union[dict, bytes], keep_alive: bool
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        # The zero-encode hot path hands pre-serialized bodies straight
+        # through; everything else still encodes here.  Both are the
+        # same ``json.dumps(..., sort_keys=True)`` bytes by contract.
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
@@ -276,7 +426,7 @@ class StrategyServer:
 
     async def _dispatch(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, Union[dict, bytes]]:
         """Route one request; never raises."""
         rec = self.recorder
         rec.count("serve.requests")
@@ -310,7 +460,7 @@ class StrategyServer:
 
     async def _route(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[int, dict]:
+    ) -> Tuple[int, Union[dict, bytes]]:
         url = urlsplit(target)
         path = url.path
         if path == "/healthz":
@@ -335,19 +485,23 @@ class StrategyServer:
     # -- endpoints ---------------------------------------------------------
 
     def _healthz(self) -> dict:
-        return {
+        payload = {
             "status": "ok",
             "entries": self.index.n_entries,
+            "precompiled_answers": self.index.n_answers,
             "levels": {
                 level: len(cells)
                 for level, cells in sorted(self.index.levels.items())
             },
             "coverage": self.index.coverage.describe(),
         }
+        if self.worker_id is not None:
+            payload["worker"] = self.worker_id
+        return payload
 
     def _metrics(self) -> dict:
         snap = self.recorder.snapshot()
-        return {
+        payload = {
             "counters": snap.get("counters", {}),
             "gauges": snap.get("gauges", {}),
             # {name: [count, sum, min, max]}, matching RunReport.
@@ -355,8 +509,14 @@ class StrategyServer:
             "cache": self.cache.stats(),
             "requests_served": self.requests_served,
         }
+        if self.worker_id is not None:
+            # Per-worker view only: scraping N workers and summing is
+            # the way to a service total (the run-report sidecar merges
+            # exactly that); a lone scrape must not pose as the total.
+            payload["worker"] = self.worker_id
+        return payload
 
-    def _strategy(self, query: str) -> dict:
+    def _strategy(self, query: str) -> bytes:
         rec = self.recorder
         rec.count("serve.requests.strategy")
         params = dict(parse_qsl(query, keep_blank_values=True))
@@ -373,20 +533,30 @@ class StrategyServer:
         key = (
             params.get("chip"), params.get("app"), params.get("input")
         )
+        # Hot path: the answer was pre-serialized at index-build time —
+        # a dict lookup and a socket write, no JSON encoding.
+        pre = self.index.answer(key)
+        if pre is not None:
+            body, degraded = pre
+            rec.count("serve.answers.precompiled")
+            if degraded:
+                rec.count("serve.fallbacks")
+            return body
+        # Long tail (coordinates outside the index's lattice, or an
+        # artifact predating the answers table): encode once, cache.
         cached = self.cache.get(key)
         if cached is not None:
             rec.count("serve.cache.hits")
-            return cached
-        rec.count("serve.cache.misses")
-        answer = self.index.lookup(
-            chip=key[0], app=key[1], input=key[2]
-        )
-        if answer.degraded:
+            body, degraded = cached
+        else:
+            rec.count("serve.cache.misses")
+            body, degraded = render_answer(
+                self.index, chip=key[0], app=key[1], input=key[2]
+            )
+            self.cache.put(key, (body, degraded))
+        if degraded:
             rec.count("serve.fallbacks")
-        payload = {"query": {"chip": key[0], "app": key[1], "input": key[2]}}
-        payload.update(answer.to_dict())
-        self.cache.put(key, payload)
-        return payload
+        return body
 
     async def _predict(self, body: bytes) -> Tuple[int, dict]:
         rec = self.recorder
@@ -412,12 +582,18 @@ class StrategyServer:
                 '"input": ..., "config": ...?}, ...]} or a single such '
                 "object",
             )
-        loop = asyncio.get_event_loop()
-        results = []
+        assert self._coalescer is not None
+        # Validate and resolve advisor configs synchronously, then
+        # submit every priceable item to the coalescing window at once:
+        # items from this request — and from any concurrently parsing
+        # requests — ride one vectorized batch-engine call.
+        results: List[Optional[dict]] = [None] * len(queries)
+        advisors: List[Optional[object]] = [None] * len(queries)
+        submitted: List[Tuple[int, "asyncio.Future"]] = []
         errors = 0
-        for q in queries:
+        for i, q in enumerate(queries):
             if not isinstance(q, dict):
-                results.append({"error": f"query must be an object, got {q!r}"})
+                results[i] = {"error": f"query must be an object, got {q!r}"}
                 errors += 1
                 continue
             try:
@@ -429,24 +605,280 @@ class StrategyServer:
                         )
                 if "config" in q:
                     config = Predictor.parse_config(q["config"])
-                    advisor = None
                 else:
                     # No explicit configuration: price what the advisor
                     # recommends for these exact coordinates.
-                    advisor = self.index.lookup(chip=chip, app=app, input=inp)
-                    config = Predictor.parse_config(advisor.config)
-                result = await loop.run_in_executor(
-                    None, self.predictor.price, chip, app, inp, config
+                    advisors[i] = self.index.lookup(
+                        chip=chip, app=app, input=inp
+                    )
+                    config = Predictor.parse_config(advisors[i].config)
+                submitted.append(
+                    (i, asyncio.ensure_future(
+                        self._coalescer.price(chip, app, inp, config)
+                    ))
                 )
-                if advisor is not None:
-                    result["advisor"] = advisor.to_dict()
-                results.append(result)
-                rec.count("serve.predictions")
             except PredictionError as exc:
-                results.append({"error": str(exc)})
+                results[i] = {"error": str(exc)}
                 errors += 1
+        if submitted:
+            priced = await asyncio.gather(
+                *(future for _, future in submitted), return_exceptions=True
+            )
+            for (i, _), outcome in zip(submitted, priced):
+                if isinstance(outcome, PredictionError):
+                    results[i] = {"error": str(outcome)}
+                    errors += 1
+                elif isinstance(outcome, BaseException):
+                    raise outcome  # engine failure: 500, as before
+                else:
+                    if advisors[i] is not None:
+                        outcome["advisor"] = advisors[i].to_dict()
+                    results[i] = outcome
+                    rec.count("serve.predictions")
         rec.count("serve.predictions.errors", errors)
         return 200, {"results": results, "errors": errors}
+
+
+def _make_server(
+    index: StrategyIndex,
+    opts: dict,
+    *,
+    recorder,
+    port: Optional[int] = None,
+    reuse_port: bool = False,
+    worker_id: Optional[int] = None,
+) -> StrategyServer:
+    """One configured server from parsed CLI options (``vars(args)``)."""
+    cache = (
+        TTLCache(maxsize=opts["cache_size"], ttl=opts["cache_ttl"])
+        if opts["cache_size"] > 0
+        else TTLCache(maxsize=0)
+    )
+    predictor = (
+        None
+        if opts["no_predict"]
+        else Predictor(
+            scale=opts["predict_scale"],
+            repetitions=opts["predict_repetitions"],
+        )
+    )
+    return StrategyServer(
+        index,
+        host=opts["host"],
+        port=opts["port"] if port is None else port,
+        max_concurrency=opts["max_concurrency"],
+        request_timeout=opts["timeout"],
+        idle_timeout=opts["idle_timeout"],
+        cache=cache,
+        recorder=recorder,
+        predictor=predictor,
+        reuse_port=reuse_port,
+        worker_id=worker_id,
+        predict_window=opts["predict_window_ms"] / 1000.0,
+        predict_max_batch=opts["predict_max_batch"],
+    )
+
+
+def _worker_main(  # pragma: no cover - forked child, exercised e2e
+    worker_id: int, opts: dict, port: int, queue
+) -> None:
+    """One ``--workers`` process: serve until SIGTERM/SIGINT, ship metrics.
+
+    Runs the ordinary :class:`StrategyServer` bound with
+    ``SO_REUSEPORT`` on the port the parent resolved.  On startup it
+    reports readiness through ``queue`` (the parent only advertises the
+    listening address once every worker accepts); on shutdown it drains
+    its recorder and ships the snapshot home for the parent to
+    ``merge()`` into the one run report.
+    """
+    import signal
+
+    from ..obs import Recorder
+
+    index = StrategyIndex.load(opts["index"])
+    recorder = Recorder() if opts["metrics"] else None
+    server = _make_server(
+        index,
+        opts,
+        recorder=recorder,
+        port=port,
+        reuse_port=True,
+        worker_id=worker_id,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        queue.put(("ready", worker_id, server.port))
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback
+        pass
+    snapshot = recorder.drain() if recorder is not None else None
+    queue.put(("metrics", worker_id, snapshot, server.requests_served))
+
+
+def _serve_workers(  # pragma: no cover - subprocess-only, exercised e2e
+    args, index: StrategyIndex
+) -> int:
+    """Parent of a ``--workers N`` fleet sharing one ``SO_REUSEPORT`` port."""
+    import multiprocessing
+    import os
+    import signal
+    import socket
+    import sys
+
+    from ..cli import save_run_report
+    from ..obs import Recorder
+
+    if not hasattr(socket, "SO_REUSEPORT"):
+        print(
+            "[serve] --workers requires SO_REUSEPORT, which this "
+            "platform does not provide; run single-process instead",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Resolve the port up front with a placeholder socket that stays
+    # bound (but never listens) for the fleet's lifetime: workers bind
+    # the same (host, port) with SO_REUSEPORT, and the kernel balances
+    # incoming connections across the listening sockets only.
+    placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        try:
+            placeholder.bind((args.host, args.port))
+        except OSError as exc:
+            print(
+                f"[serve] cannot bind {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        port = placeholder.getsockname()[1]
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        queue = ctx.Queue()
+        opts = vars(args)
+        workers = [
+            ctx.Process(
+                target=_worker_main, args=(wid, opts, port, queue)
+            )
+            for wid in range(args.workers)
+        ]
+        for proc in workers:
+            proc.start()
+
+        def _drain_queue(want: str, expected: int, results: dict) -> bool:
+            """Collect ``expected`` tagged messages; False if a worker died."""
+            deadline = None
+            while len(results) < expected:
+                try:
+                    message = queue.get(timeout=0.5)
+                except Exception:  # queue.Empty: check for dead workers
+                    if any(
+                        p.exitcode is not None and p.exitcode != 0
+                        for p in workers
+                    ):
+                        return False
+                    if all(p.exitcode is not None for p in workers):
+                        # All exited cleanly; their final messages may
+                        # still be in flight — drain with a grace period.
+                        if deadline is None:
+                            deadline = time.monotonic() + 5.0
+                        elif time.monotonic() > deadline:
+                            return True
+                    continue
+                if message[0] == want:
+                    results[message[1]] = message[2:]
+            return True
+
+        def _forward(signum, frame):  # noqa: ARG001 - signal signature
+            for proc in workers:
+                if proc.is_alive():
+                    os.kill(proc.pid, signal.SIGTERM)
+
+        # Install the forwarder BEFORE advertising the address: a
+        # SIGTERM/SIGINT racing the startup print would otherwise hit
+        # Python's default handler, leaving the workers unsignalled and
+        # the parent hung joining them at exit.
+        previous = {
+            sig: signal.signal(sig, _forward)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            ready: dict = {}
+            if not _drain_queue("ready", args.workers, ready):
+                print(
+                    "[serve] a worker died during startup; aborting",
+                    file=sys.stderr,
+                )
+                for proc in workers:
+                    if proc.is_alive():
+                        proc.terminate()
+                for proc in workers:
+                    proc.join()
+                return 1
+            print(
+                f"[serve] listening on http://{args.host}:{port} "
+                f"({index.n_entries} index entries, "
+                f"{index.n_answers} pre-serialized answers, "
+                f"{args.workers} workers, "
+                f"predict={'off' if args.no_predict else 'on'})",
+                file=sys.stderr,
+                flush=True,
+            )
+            reports: dict = {}
+            _drain_queue("metrics", args.workers, reports)
+            for proc in workers:
+                proc.join()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+    finally:
+        placeholder.close()
+
+    total = sum(requests for _, requests in reports.values())
+    if args.metrics:
+        recorder = Recorder()
+        for wid in sorted(reports):
+            snapshot, _ = reports[wid]
+            if snapshot is not None:
+                recorder.merge(snapshot)
+        recorder.gauge("serve.workers", float(args.workers))
+        save_run_report(
+            recorder,
+            args.metrics,
+            meta={
+                "index": args.index,
+                "requests": total,
+                "workers": args.workers,
+                "per_worker_requests": {
+                    str(wid): requests
+                    for wid, (_, requests) in sorted(reports.items())
+                },
+            },
+        )
+        print(f"[serve] wrote run report to {args.metrics}", file=sys.stderr)
+    failed = [p.exitcode for p in workers if p.exitcode != 0]
+    print(
+        f"[serve] shut down cleanly ({total} requests served by "
+        f"{args.workers} workers)"
+        if not failed
+        else f"[serve] workers exited with {failed}",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0 if not failed else 1
 
 
 def main(argv=None) -> int:
@@ -473,6 +905,17 @@ def main(argv=None) -> int:
         type=int,
         default=0,
         help="TCP port (default 0: pick a free port and print it)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes sharing the port via SO_REUSEPORT "
+            "(default 1: single process); per-worker metrics are "
+            "merged into one --metrics run report"
+        ),
     )
     parser.add_argument(
         "--max-concurrency",
@@ -520,42 +963,49 @@ def main(argv=None) -> int:
         help="noisy repetitions per online prediction (default 3)",
     )
     parser.add_argument(
+        "--predict-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help=(
+            "micro-batching window for POST /v1/predict: concurrent "
+            "items arriving within this many milliseconds coalesce "
+            "into one batch-engine call (default 2.0; 0 batches only "
+            "within a single event-loop tick)"
+        ),
+    )
+    parser.add_argument(
+        "--predict-max-batch",
+        type=int,
+        default=32,
+        metavar="N",
+        help="flush a predict micro-batch at this many items (default 32)",
+    )
+    parser.add_argument(
         "--no-predict",
         action="store_true",
         help="disable POST /v1/predict (strategy queries only)",
     )
     args = parser.parse_args(argv)
 
+    if args.workers < 1:
+        print("[serve] --workers must be positive", file=sys.stderr)
+        return 1
     try:
         index = StrategyIndex.load(args.index)
     except ServeError as exc:
         print(f"[serve] {exc}", file=sys.stderr)
         return 1
 
+    if args.workers > 1:
+        return _serve_workers(args, index)
+
     rec = Recorder() if args.metrics else None
-    cache = (
-        TTLCache(maxsize=args.cache_size, ttl=args.cache_ttl)
-        if args.cache_size > 0
-        else TTLCache(maxsize=0)
-    )
-    predictor = (
-        None
-        if args.no_predict
-        else Predictor(
-            scale=args.predict_scale, repetitions=args.predict_repetitions
-        )
-    )
-    server = StrategyServer(
-        index,
-        host=args.host,
-        port=args.port,
-        max_concurrency=args.max_concurrency,
-        request_timeout=args.timeout,
-        idle_timeout=args.idle_timeout,
-        cache=cache,
-        recorder=rec,
-        predictor=predictor,
-    )
+    try:
+        server = _make_server(index, vars(args), recorder=rec)
+    except ServeError as exc:
+        print(f"[serve] {exc}", file=sys.stderr)
+        return 1
 
     async def _serve() -> None:
         await server.start()
@@ -568,7 +1018,8 @@ def main(argv=None) -> int:
         print(
             f"[serve] listening on http://{server.host}:{server.port} "
             f"({index.n_entries} index entries, "
-            f"predict={'off' if predictor is None else 'on'})",
+            f"{index.n_answers} pre-serialized answers, "
+            f"predict={'off' if server.predictor is None else 'on'})",
             file=sys.stderr,
             flush=True,
         )

@@ -68,6 +68,38 @@ class TestPrice:
             Predictor(repetitions=0)
 
 
+class TestPriceMany:
+    def test_batched_results_equal_per_item_price_exactly(self, predictor):
+        """Coalescing is invisible in the numbers: one locked vectorized
+        pass returns exactly what per-item ``price`` calls would."""
+        points = [
+            ("MALI", "bfs-wl", "rmat-sim", OptConfig()),
+            ("GTX1080", "pr-topo", "uniform-sim", OptConfig.from_names(["wg"])),
+            ("MALI", "bfs-wl", "rmat-sim", OptConfig.from_names(["sg", "wg"])),
+        ]
+        singles = [predictor.price(*p) for p in points]
+        batched = predictor.price_many(points)
+        assert batched == singles
+
+    def test_errors_are_values_and_never_abort_the_batch(self, predictor):
+        points = [
+            ("MALI", "bfs-wl", "rmat-sim", OptConfig()),
+            ("TPU9000", "bfs-wl", "rmat-sim", OptConfig()),
+            ("MALI", "nope", "rmat-sim", OptConfig()),
+            ("GTX1080", "pr-topo", "uniform-sim", OptConfig()),
+        ]
+        results = predictor.price_many(points)
+        assert isinstance(results[0], dict)
+        assert isinstance(results[1], PredictionError)
+        assert "chip" in str(results[1])
+        assert isinstance(results[2], PredictionError)
+        assert "unknown application" in str(results[2])
+        assert isinstance(results[3], dict)
+
+    def test_empty_batch(self, predictor):
+        assert predictor.price_many([]) == []
+
+
 class TestParseConfig:
     def test_accepts_dataset_key_syntax(self):
         assert Predictor.parse_config("baseline") == OptConfig()

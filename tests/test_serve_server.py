@@ -87,6 +87,27 @@ class StubPredictor:
                 "predicted_us": 123.0, "times_us": [124.0], "repetitions": 1}
 
 
+class BatchStubPredictor(StubPredictor):
+    """A stub exposing ``price_many``, recording batch composition."""
+
+    def __init__(self, delay: float = 0.0) -> None:
+        super().__init__()
+        self.batch_delay = delay
+        self.batches = []
+
+    def price_many(self, points):
+        if self.batch_delay:
+            time.sleep(self.batch_delay)
+        self.batches.append([p[:3] for p in points])
+        results = []
+        for chip, app, inp, config in points:
+            try:
+                results.append(self.price(chip, app, inp, config))
+            except PredictionError as exc:
+                results.append(exc)
+        return results
+
+
 class TestEndpoints:
     def test_healthz(self, index):
         async def go():
@@ -154,9 +175,13 @@ class TestEndpoints:
 
         raw1, raw2, counters, cache_stats = run(go())
         assert raw1 == raw2  # byte-identical, not merely equal
-        assert counters["serve.cache.hits"] == 1
-        assert counters["serve.cache.misses"] == 1
-        assert cache_stats["hits"] == 1
+        # Known lattice coordinates are pre-serialized at build time, so
+        # both requests bypass the TTL cache entirely.
+        assert counters["serve.answers.precompiled"] == 2
+        assert "serve.cache.hits" not in counters
+        assert "serve.cache.misses" not in counters
+        assert cache_stats["hits"] == 0
+        assert cache_stats["misses"] == 0
 
     def test_strategy_validation_errors(self, index):
         async def go():
@@ -203,9 +228,8 @@ class TestEndpoints:
         # increments at dispatch start, so it sees itself.
         assert counters["serve.requests"] == 5
         assert counters["serve.requests.strategy"] == 3
-        assert counters["serve.cache.hits"] == 2
-        assert counters["serve.cache.misses"] == 1
-        assert metrics["cache"]["size"] == 1
+        assert counters["serve.answers.precompiled"] == 3
+        assert metrics["cache"]["size"] == 0  # precompiled path skips it
         assert metrics["requests_served"] == 5
         assert "serve.latency_ms" not in metrics["counters"]
         assert "spans" not in metrics  # unbounded; never exposed
@@ -424,3 +448,229 @@ class TestShutdown:
             return False
 
         assert run(go())
+
+
+def _predict_body(*queries) -> bytes:
+    return json.dumps({"queries": list(queries)}).encode()
+
+
+class TestCoalescing:
+    """ISSUE 6's predict micro-batching window."""
+
+    def test_concurrent_requests_coalesce_into_one_batch(self, index):
+        """Four concurrent single-item requests arriving within the
+        window ride one vectorized ``price_many`` call."""
+        stub = BatchStubPredictor()
+
+        async def go():
+            server = StrategyServer(
+                index,
+                predictor=stub,
+                recorder=Recorder(),
+                predict_window=0.2,
+            )
+            await server.start()
+            try:
+                bodies = [
+                    _predict_body(
+                        {"chip": "MALI", "app": "bfs-wl",
+                         "input": f"graph-{i}", "config": "wg"}
+                    )
+                    for i in range(4)
+                ]
+                responses = await asyncio.gather(
+                    *(
+                        http_request(server.port, "POST", "/v1/predict", b)
+                        for b in bodies
+                    )
+                )
+                counters = dict(server.recorder.counters)
+                histograms = dict(server.recorder.histograms)
+            finally:
+                await server.stop()
+            return responses, counters, histograms
+
+        responses, counters, histograms = run(go())
+        assert all(status == 200 for status, _, _ in responses)
+        assert len(stub.batches) == 1
+        assert len(stub.batches[0]) == 4
+        assert counters["serve.predict.batches"] == 1
+        count, total, lo, hi = histograms["serve.predict.batch_size"]
+        assert (count, total) == (1, 4.0)
+        # Every item still got its own correct answer.
+        for i, (_, out, _) in enumerate(sorted(
+            responses, key=lambda r: r[1]["results"][0]["input"]
+        )):
+            assert out["results"][0]["input"] == f"graph-{i}"
+
+    def test_coalesced_and_sequential_responses_byte_identical(self, index):
+        """Coalescing changes when pricing happens, never what a client
+        reads: per-item response bytes are identical either way."""
+        queries = [
+            {"chip": "MALI", "app": "bfs-wl", "input": "tiny-road",
+             "config": "wg+sg"},
+            {"chip": "GTX1080", "app": "pr-topo", "input": "tiny-rmat",
+             "config": "baseline"},
+            {"chip": "R9", "app": "mis-wl", "input": "tiny-road",
+             "config": "wg"},
+        ]
+
+        async def serve_and_collect(window, concurrent):
+            server = StrategyServer(
+                index,
+                predictor=BatchStubPredictor(),
+                predict_window=window,
+            )
+            await server.start()
+            try:
+                if concurrent:
+                    responses = await asyncio.gather(
+                        *(
+                            http_request(
+                                server.port, "POST", "/v1/predict",
+                                _predict_body(q),
+                            )
+                            for q in queries
+                        )
+                    )
+                else:
+                    responses = []
+                    for q in queries:
+                        responses.append(
+                            await http_request(
+                                server.port, "POST", "/v1/predict",
+                                _predict_body(q),
+                            )
+                        )
+            finally:
+                await server.stop()
+            return [raw for _, _, raw in responses]
+
+        async def go():
+            sequential = await serve_and_collect(0.0, concurrent=False)
+            coalesced = await serve_and_collect(0.2, concurrent=True)
+            return sequential, coalesced
+
+        sequential, coalesced = run(go())
+        assert sequential == coalesced
+
+    def test_mixed_valid_and_invalid_items_in_one_batch(self, index):
+        """Per-item errors survive coalescing: one bad item never
+        poisons the batch it rode in on."""
+        stub = BatchStubPredictor()
+
+        async def go():
+            server = StrategyServer(
+                index,
+                predictor=stub,
+                recorder=Recorder(),
+                predict_window=0.2,
+            )
+            await server.start()
+            try:
+                good = _predict_body(
+                    {"chip": "MALI", "app": "bfs-wl", "input": "tiny-road",
+                     "config": "wg"},
+                    {"chip": "BOOM", "app": "bfs-wl", "input": "tiny-road",
+                     "config": "wg"},
+                )
+                bad = _predict_body(
+                    {"chip": "BOOM", "app": "bfs-wl", "input": "tiny-road",
+                     "config": "wg"},
+                )
+                responses = await asyncio.gather(
+                    http_request(server.port, "POST", "/v1/predict", good),
+                    http_request(server.port, "POST", "/v1/predict", bad),
+                )
+                counters = dict(server.recorder.counters)
+            finally:
+                await server.stop()
+            return responses, counters
+
+        responses, counters = run(go())
+        (s1, out1, _), (s2, out2, _) = responses
+        assert s1 == s2 == 200
+        # All three priceable items coalesced into one engine call.
+        assert len(stub.batches) == 1
+        assert len(stub.batches[0]) == 3
+        assert out1["errors"] == 1
+        assert out1["results"][0]["predicted_us"] == 123.0
+        assert "no such chip" in out1["results"][1]["error"]
+        assert out2["errors"] == 1
+        assert "no such chip" in out2["results"][0]["error"]
+        assert counters["serve.predictions"] == 1
+        assert counters["serve.predictions.errors"] == 2
+
+    def test_max_batch_flushes_without_waiting_for_the_window(self, index):
+        stub = BatchStubPredictor()
+
+        async def go():
+            server = StrategyServer(
+                index,
+                predictor=stub,
+                predict_window=30.0,  # never elapses within the test
+                predict_max_batch=2,
+            )
+            await server.start()
+            try:
+                started = time.perf_counter()
+                responses = await asyncio.gather(
+                    *(
+                        http_request(
+                            server.port, "POST", "/v1/predict",
+                            _predict_body(
+                                {"chip": "MALI", "app": "bfs-wl",
+                                 "input": f"graph-{i}", "config": "wg"}
+                            ),
+                        )
+                        for i in range(4)
+                    )
+                )
+                elapsed = time.perf_counter() - started
+            finally:
+                await server.stop()
+            return responses, elapsed
+
+        responses, elapsed = run(go())
+        assert all(status == 200 for status, _, _ in responses)
+        assert elapsed < 5.0  # size trigger, not the 30s window
+        assert len(stub.batches) == 2
+        assert all(len(batch) == 2 for batch in stub.batches)
+
+    def test_engine_failure_fails_every_item_with_500(self, index):
+        class ExplodingPredictor:
+            def price_many(self, points):
+                raise RuntimeError("engine went away")
+
+        async def go():
+            server = StrategyServer(
+                index, predictor=ExplodingPredictor(), predict_window=0.05
+            )
+            await server.start()
+            try:
+                status, out, _ = await http_request(
+                    server.port, "POST", "/v1/predict",
+                    _predict_body(
+                        {"chip": "MALI", "app": "bfs-wl",
+                         "input": "tiny-road", "config": "wg"}
+                    ),
+                )
+            finally:
+                await server.stop()
+            return status, out
+
+        status, out = run(go())
+        assert status == 500
+        assert "engine went away" in out["error"]
+
+    def test_invalid_coalescer_parameters(self, index):
+        from repro.serve import PredictCoalescer
+
+        with pytest.raises(ServeError):
+            PredictCoalescer(StubPredictor(), window=-0.1)
+        with pytest.raises(ServeError):
+            PredictCoalescer(StubPredictor(), max_batch=0)
+        with pytest.raises(ServeError):
+            StrategyServer(index, predict_window=-1.0)
+        with pytest.raises(ServeError):
+            StrategyServer(index, predict_max_batch=0)

@@ -1,0 +1,128 @@
+"""End-to-end tests for ``repro serve --workers N`` (SO_REUSEPORT).
+
+ISSUE 6's multi-worker contract: N forked workers share one listening
+port, every worker serves byte-identical answers, per-worker recorders
+merge into one run report whose counters reconcile *exactly* with the
+closed-loop client's request count (the double-count exposure risk
+satellite), and SIGTERM/SIGINT drain the whole fleet to exit 0.
+
+These drive the real CLI as a subprocess, exactly like an operator.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import socket
+import sys
+
+import pytest
+
+from tests.test_serve_e2e import GOLDEN_DATASET, ServerProcess, _run_cli
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="SO_REUSEPORT is not available on this platform",
+)
+
+
+@pytest.fixture(scope="module")
+def index_path(goldens_dir, tmp_path_factory) -> str:
+    dataset = os.path.join(goldens_dir, GOLDEN_DATASET)
+    out = str(tmp_path_factory.mktemp("workers") / "index.json")
+    result = _run_cli("index", dataset, out)
+    assert result.returncode == 0, result.stderr
+    return out
+
+
+def _get_closing(port: int, target: str):
+    """One request on its own connection, so the kernel may balance it
+    to either worker (SO_REUSEPORT distributes per connection)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", target, headers={"Connection": "close"})
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+class TestWorkers:
+    def test_fleet_serves_identical_answers_and_metrics_reconcile(
+        self, index_path, tmp_path
+    ):
+        """The double-count exposure satellite: summed per-worker
+        counters must equal the closed-loop client's request count."""
+        metrics_path = str(tmp_path / "serve-metrics.json")
+        server = ServerProcess(
+            index_path, "--workers", "2", "--metrics", metrics_path
+        )
+        sent = 0
+        try:
+            target = "/v1/strategy?chip=MALI&app=bfs-wl&input=tiny-road"
+            bodies = set()
+            for _ in range(24):
+                status, body = _get_closing(server.port, target)
+                sent += 1
+                assert status == 200
+                bodies.add(body)
+            assert len(bodies) == 1  # byte-identical across the fleet
+
+            # /metrics names the worker that answered, so a scrape of
+            # one worker cannot pose as the service total.
+            status, body = _get_closing(server.port, "/metrics")
+            sent += 1
+            assert status == 200
+            per_worker = json.loads(body)
+            assert per_worker["worker"] in (0, 1)
+
+            code, stderr = server.finish()
+        finally:
+            server.kill()
+        assert code == 0
+        assert "2 workers" in stderr
+        assert "shut down cleanly" in stderr
+
+        with open(metrics_path) as f:
+            report = json.load(f)["report"]
+        meta = report["meta"]
+        assert meta["workers"] == 2
+        assert meta["requests"] == sent
+        assert sum(meta["per_worker_requests"].values()) == sent
+        assert report["counters"]["serve.requests"] == sent
+        assert report["counters"]["serve.responses.2xx"] == sent
+        assert report["counters"]["serve.requests.strategy"] == sent - 1
+        assert report["gauges"]["serve.workers"] == 2.0
+
+    def test_sigterm_drains_both_workers_to_exit_zero(self, index_path):
+        server = ServerProcess(index_path, "--workers", "2")
+        try:
+            status, body = _get_closing(server.port, "/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["worker"] in (0, 1)
+            assert health["precompiled_answers"] == 48
+            code, stderr = server.finish(sig=signal.SIGTERM)
+        finally:
+            server.kill()
+        assert code == 0
+        assert "shut down cleanly" in stderr
+
+    def test_sigint_also_drains_the_fleet(self, index_path):
+        server = ServerProcess(index_path, "--workers", "2")
+        try:
+            status, _ = _get_closing(server.port, "/healthz")
+            assert status == 200
+            code, stderr = server.finish(sig=signal.SIGINT)
+        finally:
+            server.kill()
+        assert code == 0
+        assert "shut down cleanly" in stderr
+
+    def test_rejects_nonpositive_workers(self, index_path):
+        result = _run_cli("serve", index_path, "--workers", "0")
+        assert result.returncode == 1
+        assert "--workers must be positive" in result.stderr
