@@ -98,6 +98,23 @@ def _check_serve(results: dict, floors: dict) -> int:
             f"the SLO"
         )
         return 1
+    portfolio = results.get("portfolio")
+    p_ceiling = floors.get("serve_portfolio_p99_ms", {}).get(mode)
+    if portfolio is not None and p_ceiling is not None:
+        p_p99 = portfolio["p99_ms"]
+        print(
+            f"[bench-guard] serve portfolio: p99 {p_p99:.2f}ms over "
+            f"{portfolio['requests']} requests (SLO {p_ceiling:.0f}ms)"
+        )
+        if p_p99 > p_ceiling:
+            print(
+                f"[bench-guard] FAIL: portfolio p99 {p_p99:.2f}ms exceeds "
+                f"the {p_ceiling:.0f}ms SLO ceiling — the /v1/portfolio "
+                f"hot path regressed (lost pre-serialization of default "
+                f"answers, or curve encoding entered the request path); "
+                f"investigate before relaxing the SLO"
+            )
+            return 1
     return 0
 
 

@@ -45,7 +45,7 @@ _MINI_DATASET = os.path.join(_ROOT, "tests", "goldens", "mini-dataset.json.gz")
 
 
 def _query_cycle(dataset: PerfDataset, seed: int = 7):
-    """A seeded, repeatable mix of strategy queries (some degraded)."""
+    """A seeded, repeatable mix of strategy and portfolio queries."""
     rng = random.Random(seed)
     apps, inputs, chips = dataset.apps, dataset.graphs, dataset.chips
     queries = []
@@ -59,6 +59,13 @@ def _query_cycle(dataset: PerfDataset, seed: int = 7):
         queries.append(f"/v1/strategy?app={app}")
     # Unknown coordinates force full fallback walks to the global level.
     queries.append("/v1/strategy?chip=UNKNOWN&app=UNKNOWN&input=UNKNOWN")
+    # Portfolio queries: pre-serialized defaults for every chip, the
+    # explicit-k/target cache path, and a degraded fallback walk.
+    for chip in chips:
+        queries.append(f"/v1/portfolio?chip={chip}&app={apps[0]}&input={inputs[0]}")
+        queries.append(f"/v1/portfolio?chip={chip}&k=2")
+    queries.append(f"/v1/portfolio?app={apps[0]}&target=0.99")
+    queries.append("/v1/portfolio?chip=UNKNOWN&app=UNKNOWN")
     rng.shuffle(queries)
     return queries
 
@@ -81,7 +88,7 @@ def _worker(
             conn.request("GET", path)
             resp = conn.getresponse()
             body = resp.read()
-            latencies.append((time.perf_counter() - started) * 1000.0)
+            latencies.append((path, (time.perf_counter() - started) * 1000.0))
             if resp.status != 200 or not body:
                 errors.append((path, resp.status))
     finally:
@@ -191,11 +198,12 @@ def main() -> int:
     per_client = args.requests or (75 if args.quick else 500)
 
     dataset = PerfDataset.load(_MINI_DATASET)
-    index = build_index(dataset)
+    index = build_index(dataset, portfolios=True)
     queries = _query_cycle(dataset)
     print(
         f"index: {index.n_entries} entries, {index.n_answers} pre-serialized "
-        f"answers; {len(queries)} distinct queries; "
+        f"answers, {index.n_portfolio_answers} portfolio answers; "
+        f"{len(queries)} distinct queries; "
         f"{concurrency} clients x {per_client} requests; "
         f"{args.workers} worker(s)"
     )
@@ -236,13 +244,18 @@ def main() -> int:
         return 1
 
     total = concurrency * per_client
-    ordered = sorted(latencies)
+    ordered = sorted(ms for _, ms in latencies)
+    portfolio = sorted(
+        ms for path, ms in latencies if path.startswith("/v1/portfolio")
+    )
     p50 = _percentile(ordered, 0.50)
     p99 = _percentile(ordered, 0.99)
     throughput = total / elapsed
     print(
         f"served {total} requests in {elapsed:.2f}s: "
-        f"{throughput:.0f} req/s, p50 {p50:.2f}ms, p99 {p99:.2f}ms"
+        f"{throughput:.0f} req/s, p50 {p50:.2f}ms, p99 {p99:.2f}ms; "
+        f"portfolio p99 {_percentile(portfolio, 0.99):.2f}ms "
+        f"({len(portfolio)} requests)"
     )
 
     payload = {
@@ -257,6 +270,11 @@ def main() -> int:
         "p99_ms": round(p99, 3),
         "max_ms": round(ordered[-1], 3),
         "errors": 0,
+        "portfolio": {
+            "requests": len(portfolio),
+            "p50_ms": round(_percentile(portfolio, 0.50), 3),
+            "p99_ms": round(_percentile(portfolio, 0.99), 3),
+        },
     }
     with open(args.output, "w") as f:
         json.dump(payload, f, indent=2)

@@ -11,6 +11,11 @@ epilog and the tests can never disagree about what exists.
   (:mod:`repro.experiments.report`);
 * ``index`` — compile a ``strategy-index-v1`` artifact from a dataset
   (:mod:`repro.serve.index`), the input of ``serve``;
+  ``--portfolios`` additionally compiles the greedy K-vs-coverage
+  portfolio table backing ``GET /v1/portfolio``;
+* ``portfolio`` — the "few fit most" analysis offline: greedy
+  K-vs-coverage configuration portfolios per lattice level
+  (:mod:`repro.core.portfolio`);
 * ``serve`` — answer strategy/prediction queries over an asyncio HTTP
   JSON API (:mod:`repro.serve.server`): pre-serialized zero-encode
   strategy answers, ``--workers N`` SO_REUSEPORT scale-out with merged
@@ -76,6 +81,10 @@ def main(argv=None) -> int:
         from .serve.index import main as index_main
 
         return index_main(rest)
+    if command == "portfolio":
+        from .core.portfolio import main as portfolio_main
+
+        return portfolio_main(rest)
     if command == "serve":
         from .serve.server import main as serve_main
 

@@ -46,8 +46,15 @@ SUBCOMMANDS: List[Tuple[str, str, str]] = [
     ),
     (
         "index",
-        "DATASET OUTPUT [--min-coverage F] [--metrics PATH]",
+        "DATASET OUTPUT [--min-coverage F] [--portfolios]\n"
+        "        [--metrics PATH]",
         "compile a strategy-index artifact from a dataset",
+    ),
+    (
+        "portfolio",
+        "DATASET [--target F] [--k-max N] [--min-coverage F]\n"
+        "        [--output PATH] [--metrics PATH]",
+        "greedy K-vs-coverage configuration portfolios",
     ),
     (
         "serve",

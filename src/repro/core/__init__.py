@@ -38,6 +38,16 @@ from .naive import (
     per_chip_breakdown,
     rank_configurations,
 )
+from .portfolio import (
+    DEFAULT_TARGET,
+    PORTFOLIO_LEVELS,
+    PortfolioCurve,
+    PortfolioSet,
+    PortfolioStep,
+    build_portfolios,
+    greedy_portfolio,
+    portfolio_coverage,
+)
 from .portability import (
     EnvelopeEntry,
     cross_chip_heatmap,
@@ -93,6 +103,14 @@ __all__ = [
     "max_geomean",
     "per_chip_breakdown",
     "rank_configurations",
+    "DEFAULT_TARGET",
+    "PORTFOLIO_LEVELS",
+    "PortfolioCurve",
+    "PortfolioSet",
+    "PortfolioStep",
+    "build_portfolios",
+    "greedy_portfolio",
+    "portfolio_coverage",
     "EnvelopeEntry",
     "cross_chip_heatmap",
     "max_geomean_speedup",

@@ -21,6 +21,7 @@ from . import (
     fig3_outcomes,
     fig4_slowdown,
     fig5_launch_overhead,
+    portfolio_curve,
     table1_chips,
     table2_envelope,
     table3_ranking,
@@ -54,6 +55,8 @@ ALL_EXPERIMENTS = (
     # ablations of the analysis design.
     ("ablation-sampling", ablation_sampling),
     ("ablation-methodology", ablation_methodology),
+    # PAPERS.md's "A Few Fit Most": K-vs-coverage portfolios.
+    ("portfolio", portfolio_curve),
 )
 
 __all__ = [
@@ -62,6 +65,7 @@ __all__ = [
     "ablation_sampling",
     "common",
     "nvidia_only",
+    "portfolio_curve",
     "table1_chips",
     "fig1_heatmap",
     "table2_envelope",

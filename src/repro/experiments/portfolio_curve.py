@@ -1,0 +1,124 @@
+"""Beyond the paper: the "few fit most" K-vs-coverage curve.
+
+PAPERS.md's *A Few Fit Most* (Hochgraf & Pai) extends the source
+paper's question: rather than one configuration per lattice level, how
+many configurations K must ship so the per-cell best of the K retains
+at least X % of oracle performance?  This experiment renders, for every
+specialisation level, the greedy set-cover curve of
+:mod:`repro.core.portfolio`:
+
+* **K vs coverage** — the geomean (across the level's partitions) of
+  the fraction of oracle retained by the best-of-K deployment, for
+  K = 1 up to the longest curve.  K = 1 is the paper's Table V
+  strategy; the last column is the oracle.
+* **K to reach the target** — per level, the smallest K at which
+  *every* partition meets the fraction-of-oracle target (the number of
+  code versions a fleet operator must actually build).
+
+On a holed dataset the analysis degrades with the usual coverage
+footnote instead of crashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.portfolio import DEFAULT_TARGET, PortfolioSet, build_portfolios
+from ..core.reporting import render_table
+from ..core.strategies import STRATEGY_DIMS
+from ..study.dataset import PerfDataset
+from ..util import geomean
+from .common import (
+    coverage_footnote,
+    default_analysis,
+    default_dataset,
+    default_strategies,
+)
+
+__all__ = ["data", "run"]
+
+
+def _portfolios(
+    dataset: Optional[PerfDataset], portfolios: Optional[PortfolioSet]
+) -> Tuple[PerfDataset, PortfolioSet]:
+    if portfolios is not None:
+        if dataset is None:
+            raise ValueError("portfolios require their source dataset")
+        return dataset, portfolios
+    if dataset is None:
+        return default_dataset(), build_portfolios(
+            default_dataset(),
+            analysis=default_analysis(),
+            strategies=default_strategies(),
+        )
+    return dataset, build_portfolios(dataset)
+
+
+def data(
+    dataset: Optional[PerfDataset] = None,
+    portfolios: Optional[PortfolioSet] = None,
+    target: float = DEFAULT_TARGET,
+) -> Dict[str, Dict[str, object]]:
+    """Per level: the aggregate curve and the K meeting the target.
+
+    Returns ``{level: {"curve": [coverage at K=1..], "k_to_target": K,
+    "n_partitions": N, "max_k": longest partition curve}}`` where
+    ``curve[k-1]`` is the geomean across the level's partitions of
+    coverage at K (partitions shorter than K hold their final value).
+    """
+    dataset, portfolios = _portfolios(dataset, portfolios)
+    out: Dict[str, Dict[str, object]] = {}
+    for level in STRATEGY_DIMS:
+        curves = list(portfolios.levels.get(level, {}).values())
+        if not curves:
+            continue
+        max_k = max((len(c.steps) for c in curves), default=0) or 1
+        aggregate = [
+            geomean([c.coverage_at(k) for c in curves])
+            for k in range(1, max_k + 1)
+        ]
+        out[level] = {
+            "curve": aggregate,
+            "k_to_target": max(c.k_for(target) for c in curves),
+            "n_partitions": len(curves),
+            "max_k": max_k,
+        }
+    return out
+
+
+def run(
+    dataset: Optional[PerfDataset] = None,
+    portfolios: Optional[PortfolioSet] = None,
+    target: float = DEFAULT_TARGET,
+) -> str:
+    dataset, portfolios = _portfolios(dataset, portfolios)
+    results = data(dataset, portfolios, target=target)
+    width = max((row["max_k"] for row in results.values()), default=1)
+    show = [k for k in (1, 2, 3, 4, 6, 8, 12, 16) if k <= width]
+    if width not in show:
+        show.append(width)
+    headers = ["Level", "Parts"] + [f"K={k}" for k in show] + [
+        f"K@{target:.0%}"
+    ]
+    rows: List[List[object]] = []
+    for level, row in results.items():
+        curve: List[float] = row["curve"]  # type: ignore[assignment]
+        rows.append(
+            [level, row["n_partitions"]]
+            + [f"{curve[min(k, len(curve)) - 1]:.1%}" for k in show]
+            + [row["k_to_target"]]
+        )
+    table = render_table(
+        headers,
+        rows,
+        title=(
+            "Few fit most: fraction of oracle retained by the best of "
+            "K configurations"
+        ),
+    )
+    note = (
+        f"\nK=1 is the Table V strategy; K@{target:.0%} is the smallest "
+        f"portfolio with which every partition of the level retains "
+        f">={target:.0%} of oracle performance."
+    )
+    return table + note + coverage_footnote(dataset)

@@ -40,6 +40,7 @@ DATASET_DRIVEN = frozenset(
         "nvidia-only",
         "ablation-sampling",
         "ablation-methodology",
+        "portfolio",
     }
 )
 

@@ -36,10 +36,12 @@ from .cache import TTLCache
 from .index import (
     INDEX_FORMAT,
     IndexEntry,
+    PortfolioAnswer,
     StrategyAnswer,
     StrategyIndex,
     build_index,
     render_answer,
+    render_portfolio_answer,
 )
 from .predict import Predictor
 from .server import PredictCoalescer, StrategyServer
@@ -47,6 +49,7 @@ from .server import PredictCoalescer, StrategyServer
 __all__ = [
     "INDEX_FORMAT",
     "IndexEntry",
+    "PortfolioAnswer",
     "PredictCoalescer",
     "Predictor",
     "StrategyAnswer",
@@ -55,4 +58,5 @@ __all__ = [
     "TTLCache",
     "build_index",
     "render_answer",
+    "render_portfolio_answer",
 ]

@@ -53,8 +53,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.options import BASELINE, OptConfig
 from ..core.algorithm1 import SPECIALISATION_DIMS, Analysis
+from ..core.portfolio import (
+    DEFAULT_TARGET,
+    PortfolioCurve,
+    PortfolioSet,
+    build_portfolios,
+)
 from ..core.strategies import STRATEGY_DIMS, Strategy, build_strategies
-from ..errors import StrategyIndexError
+from ..errors import AnalysisError, StrategyIndexError
 from ..obs import get_recorder
 from ..study.audit import DatasetAudit, audit_dataset
 from ..study.dataset import Coverage, PerfDataset, TestCase
@@ -65,12 +71,14 @@ __all__ = [
     "LATTICE_LEVELS",
     "AnswerKey",
     "IndexEntry",
+    "PortfolioAnswer",
     "StrategyAnswer",
     "StrategyIndex",
     "build_index",
     "fallback_chain",
     "level_name",
     "render_answer",
+    "render_portfolio_answer",
 ]
 
 #: Format tag of checksummed strategy-index artifacts.
@@ -217,6 +225,78 @@ class StrategyAnswer:
         }
 
 
+@dataclass(frozen=True)
+class PortfolioAnswer:
+    """What one portfolio query returns: K configs plus provenance."""
+
+    requested_level: str
+    served_level: str
+    degraded: bool
+    note: str
+    #: Number of configurations actually served (never more than the
+    #: partition's curve holds).
+    k: int
+    #: The fraction-of-oracle target the query resolved to (``None``
+    #: when an explicit ``k`` made the target irrelevant).
+    target: Optional[float]
+    #: Fraction of oracle the served set retains over the partition.
+    coverage: float
+    meets_target: Optional[bool]
+    configs: Tuple[str, ...]
+    #: The full K-vs-coverage curve with marginal-gain provenance.
+    curve: Tuple[dict, ...]
+    n_tests: int
+
+    def to_dict(self) -> dict:
+        return {
+            "requested_level": self.requested_level,
+            "served_level": self.served_level,
+            "degraded": self.degraded,
+            "note": self.note,
+            "k": self.k,
+            "target": self.target,
+            "coverage": self.coverage,
+            "meets_target": self.meets_target,
+            "configs": list(self.configs),
+            "curve": [dict(step) for step in self.curve],
+            "n_tests": self.n_tests,
+        }
+
+
+def render_portfolio_answer(
+    index: "StrategyIndex",
+    chip: Optional[str] = None,
+    app: Optional[str] = None,
+    input: Optional[str] = None,
+    k: Optional[int] = None,
+    target: Optional[float] = None,
+) -> Tuple[bytes, bool]:
+    """Render one ``GET /v1/portfolio`` response body to bytes.
+
+    Like :func:`render_answer`, this is *the* encoding of a portfolio
+    answer: ``repro index --portfolios`` pre-serializes the default
+    (no ``k``, no ``target``) answer of every lattice point through it,
+    and the server uses it verbatim for everything else, so the served
+    bytes and the offline :mod:`repro.core.portfolio` computation
+    cannot drift.  Returns ``(body, degraded)``.
+    """
+    answer = index.lookup_portfolio(
+        chip=chip, app=app, input=input, k=k, target=target
+    )
+    payload = {
+        "query": {
+            "chip": chip,
+            "app": app,
+            "input": input,
+            "k": k,
+            "target": target,
+        }
+    }
+    payload.update(answer.to_dict())
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return body, answer.degraded
+
+
 def render_answer(
     index: "StrategyIndex",
     chip: Optional[str] = None,
@@ -246,6 +326,8 @@ class StrategyIndex:
         coverage: Coverage,
         meta: Optional[dict] = None,
         answers: Optional[Dict[AnswerKey, Tuple[bytes, bool]]] = None,
+        portfolios: Optional[PortfolioSet] = None,
+        portfolio_answers: Optional[Dict[AnswerKey, Tuple[bytes, bool]]] = None,
     ) -> None:
         self.levels = levels
         #: Source-dataset coverage (audited: quarantined cells counted).
@@ -255,6 +337,15 @@ class StrategyIndex:
         #: empty for artifacts written before the table existed (the
         #: server then encodes on miss).
         self.answers: Dict[AnswerKey, Tuple[bytes, bool]] = dict(answers or {})
+        #: K-vs-coverage portfolio curves per lattice level; ``None``
+        #: unless compiled with ``repro index --portfolios`` (the
+        #: section is optional and backward compatible).
+        self.portfolios = portfolios
+        #: Pre-serialized default-parameter portfolio bodies, keyed
+        #: like :attr:`answers`.
+        self.portfolio_answers: Dict[AnswerKey, Tuple[bytes, bool]] = dict(
+            portfolio_answers or {}
+        )
 
     # -- queries -----------------------------------------------------------
 
@@ -290,6 +381,130 @@ class StrategyIndex:
                     )
         self.answers = answers
         return len(answers)
+
+    @property
+    def n_portfolio_answers(self) -> int:
+        return len(self.portfolio_answers)
+
+    def portfolio_answer(
+        self, key: AnswerKey
+    ) -> Optional[Tuple[bytes, bool]]:
+        """The pre-serialized default portfolio body, if compiled."""
+        return self.portfolio_answers.get(key)
+
+    def compile_portfolio_answers(self) -> int:
+        """Pre-serialize every lattice point's default portfolio body.
+
+        The default answer (no explicit ``k`` or ``target``) is the one
+        enumerable response per coordinate triple; explicit parameters
+        go through the response cache instead.  Returns the table size.
+        """
+        if self.portfolios is None:
+            raise StrategyIndexError(
+                "cannot pre-serialize portfolio answers: the index has "
+                "no portfolios (rebuild with repro index --portfolios)"
+            )
+        chips = [None] + list(self.meta.get("chips", ()))
+        apps = [None] + list(self.meta.get("apps", ()))
+        inputs = [None] + list(self.meta.get("inputs", ()))
+        answers: Dict[AnswerKey, Tuple[bytes, bool]] = {}
+        for chip in chips:
+            for app in apps:
+                for inp in inputs:
+                    answers[(chip, app, inp)] = render_portfolio_answer(
+                        self, chip=chip, app=app, input=inp
+                    )
+        self.portfolio_answers = answers
+        return len(answers)
+
+    def lookup_portfolio(
+        self,
+        chip: Optional[str] = None,
+        app: Optional[str] = None,
+        input: Optional[str] = None,
+        k: Optional[int] = None,
+        target: Optional[float] = None,
+    ) -> PortfolioAnswer:
+        """Answer one portfolio query, falling back up the lattice.
+
+        ``k`` pins the portfolio size (coverage reports what the best
+        of those K retains); without it the smallest K meeting
+        ``target`` (default :data:`~repro.core.portfolio.DEFAULT_TARGET`)
+        is served.  Fallback and ``degraded`` marking follow
+        :meth:`lookup` exactly, except the walk ends at ``global`` —
+        every portfolio level has a whole-fleet curve of last resort.
+        """
+        if self.portfolios is None:
+            raise StrategyIndexError(
+                "this strategy index has no portfolios table; rebuild "
+                "the artifact with repro index --portfolios"
+            )
+        if k is not None and k < 1:
+            raise StrategyIndexError(
+                f"portfolio size k must be positive, got {k}"
+            )
+        if target is not None and not 0.0 < target <= 1.0:
+            raise StrategyIndexError(
+                f"portfolio target must be in (0, 1], got {target}"
+            )
+        provided = {"chip": chip, "app": app, "input": input}
+        dims = tuple(
+            d for d in SPECIALISATION_DIMS if provided[d] is not None
+        )
+        requested = level_name(dims)
+        served: Optional[PortfolioCurve] = None
+        for level in fallback_chain(dims):
+            if level == "baseline":
+                continue
+            key = tuple(provided[d] for d in LEVEL_DIMS[level])
+            served = self.portfolios.curve(level, key)
+            if served is not None:
+                break
+        if served is None:
+            raise StrategyIndexError(
+                "portfolio table has no global curve; the artifact is "
+                "incomplete"
+            )
+        degraded = served.level != requested
+        note = ""
+        if degraded:
+            asked = ", ".join(
+                f"{d}={provided[d]}" for d in dims
+            ) or "the portable query"
+            note = (
+                f"no {requested!r} portfolio for {asked}; fell back to "
+                f"{served.level!r}"
+            )
+            if not self.coverage.complete:
+                note += f" (index derived from {self.coverage.describe()})"
+        elif not self.coverage.complete:
+            note = f"derived from {self.coverage.describe()}"
+        resolved_target = target
+        if k is None and resolved_target is None:
+            resolved_target = DEFAULT_TARGET
+        if k is not None:
+            n = min(k, len(served.steps))
+        else:
+            n = served.k_for(resolved_target)
+        configs = tuple(served.configs_for(max(1, n))) if served.steps else ()
+        coverage = served.coverage_at(max(1, n)) if served.steps else 1.0
+        return PortfolioAnswer(
+            requested_level=requested,
+            served_level=served.level,
+            degraded=degraded,
+            note=note,
+            k=len(configs),
+            target=resolved_target,
+            coverage=coverage,
+            meets_target=(
+                coverage >= resolved_target
+                if resolved_target is not None
+                else None
+            ),
+            configs=configs,
+            curve=tuple(step.to_dict() for step in served.steps),
+            n_tests=served.n_tests,
+        )
 
     def entry(self, level: str, key: Sequence[str]) -> Optional[IndexEntry]:
         return self.levels.get(level, {}).get(tuple(key))
@@ -364,8 +579,13 @@ class StrategyIndex:
             if self.answers
             else ""
         )
+        portfolios = (
+            f"{self.portfolios.n_curves} portfolio curves; "
+            if self.portfolios is not None
+            else ""
+        )
         return (
-            f"{self.n_entries} entries ({per_level}); {answers}"
+            f"{self.n_entries} entries ({per_level}); {answers}{portfolios}"
             f"source coverage {self.coverage.describe()}"
         )
 
@@ -396,6 +616,17 @@ class StrategyIndex:
                 json.dumps(list(key)): [body.decode("utf-8"), degraded]
                 for key, (body, degraded) in self.answers.items()
             }
+        if self.portfolios is not None:
+            # Optional, like ``answers``: an artifact built without
+            # --portfolios (or before the table existed) omits the key
+            # entirely, so pre-portfolio files round-trip byte-for-byte.
+            section: dict = {"levels": self.portfolios.to_dict()}
+            if self.portfolio_answers:
+                section["answers"] = {
+                    json.dumps(list(key)): [body.decode("utf-8"), degraded]
+                    for key, (body, degraded) in self.portfolio_answers.items()
+                }
+            data["portfolios"] = section
         return data
 
     @classmethod
@@ -426,26 +657,35 @@ class StrategyIndex:
             quarantined=cov.get("quarantined", 0),
             holes=tuple(cov.get("holes", ())),
         )
-        answers: Dict[AnswerKey, Tuple[bytes, bool]] = {}
-        raw_answers = data.get("answers", {})
-        if not isinstance(raw_answers, dict):
-            raise StrategyIndexError(
-                "malformed strategy index payload: 'answers' must be a "
-                "mapping of coordinate keys to [body, degraded] pairs"
-            )
-        for key_str, pair in raw_answers.items():
-            try:
-                coords = json.loads(key_str)
-                body, degraded = pair
-                if len(coords) != 3 or not isinstance(body, str):
-                    raise ValueError(f"bad answer entry {key_str!r}")
-            except (ValueError, TypeError) as exc:
+        answers = _parse_answer_table(data.get("answers", {}))
+        portfolios: Optional[PortfolioSet] = None
+        portfolio_answers: Dict[AnswerKey, Tuple[bytes, bool]] = {}
+        raw_portfolios = data.get("portfolios")
+        if raw_portfolios is not None:
+            if not isinstance(raw_portfolios, dict):
                 raise StrategyIndexError(
-                    f"malformed pre-serialized answer {key_str!r}: {exc}"
+                    "malformed strategy index payload: 'portfolios' "
+                    "must be an object with 'levels' (and optionally "
+                    "'answers')"
+                )
+            try:
+                portfolios = PortfolioSet.from_dict(
+                    raw_portfolios.get("levels", {}), coverage=coverage
+                )
+            except AnalysisError as exc:
+                raise StrategyIndexError(
+                    f"malformed portfolios table: {exc}"
                 ) from exc
-            answers[tuple(coords)] = (body.encode("utf-8"), bool(degraded))
+            portfolio_answers = _parse_answer_table(
+                raw_portfolios.get("answers", {})
+            )
         return cls(
-            levels, coverage, meta=data.get("meta", {}), answers=answers
+            levels,
+            coverage,
+            meta=data.get("meta", {}),
+            answers=answers,
+            portfolios=portfolios,
+            portfolio_answers=portfolio_answers,
         )
 
     def save(self, path: str) -> None:
@@ -493,6 +733,30 @@ class StrategyIndex:
             f"StrategyIndex(entries={self.n_entries}, "
             f"levels={len(self.levels)})"
         )
+
+
+def _parse_answer_table(
+    raw: object,
+) -> Dict[AnswerKey, Tuple[bytes, bool]]:
+    """Decode a pre-serialized answer table from an artifact payload."""
+    if not isinstance(raw, dict):
+        raise StrategyIndexError(
+            "malformed strategy index payload: 'answers' must be a "
+            "mapping of coordinate keys to [body, degraded] pairs"
+        )
+    answers: Dict[AnswerKey, Tuple[bytes, bool]] = {}
+    for key_str, pair in raw.items():
+        try:
+            coords = json.loads(key_str)
+            body, degraded = pair
+            if len(coords) != 3 or not isinstance(body, str):
+                raise ValueError(f"bad answer entry {key_str!r}")
+        except (ValueError, TypeError) as exc:
+            raise StrategyIndexError(
+                f"malformed pre-serialized answer {key_str!r}: {exc}"
+            ) from exc
+        answers[tuple(coords)] = (body.encode("utf-8"), bool(degraded))
+    return answers
 
 
 def _config_label(config_key: str) -> str:
@@ -551,6 +815,7 @@ def build_index(
     analysis: Optional[Analysis] = None,
     strategies: Optional[Dict[str, Strategy]] = None,
     recorder=None,
+    portfolios: bool = False,
 ) -> StrategyIndex:
     """Compile a :class:`StrategyIndex` from a dataset.
 
@@ -560,7 +825,11 @@ def build_index(
     record includes the quarantine count.  ``analysis`` and
     ``strategies`` allow reuse of an existing Algorithm 1 run (e.g.
     the experiment cache); they must have been built on the *audited*
-    dataset.
+    dataset.  ``portfolios=True`` additionally compiles the greedy
+    K-vs-coverage portfolio of every lattice partition (and its
+    pre-serialized default answers) into the artifact's optional
+    ``portfolios`` table — off by default so existing artifacts stay
+    byte-identical.
     """
     rec = recorder if recorder is not None else get_recorder()
     with rec.span("index.build") as span:
@@ -640,6 +909,15 @@ def build_index(
         with rec.span("index.answers"):
             n_answers = index.compile_answers()
         rec.count("index.answers", n_answers)
+        if portfolios:
+            with rec.span("index.portfolios"):
+                index.portfolios = build_portfolios(
+                    clean, analysis=analysis, strategies=strategies
+                )
+                n_portfolio = index.compile_portfolio_answers()
+            rec.count("index.portfolio_curves", index.portfolios.n_curves)
+            rec.count("index.portfolio_answers", n_portfolio)
+            span.set("portfolio_curves", index.portfolios.n_curves)
         span.set("entries", sum(len(c) for c in levels.values()))
         span.set("answers", n_answers)
     return index
@@ -676,6 +954,15 @@ def main(argv=None) -> int:
             "datasets above the floor compile with coverage metadata"
         ),
     )
+    parser.add_argument(
+        "--portfolios",
+        action="store_true",
+        help=(
+            "also compile the greedy K-vs-coverage portfolio of every "
+            "lattice partition into the artifact (enables GET "
+            "/v1/portfolio on the server)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     rec = Recorder() if args.metrics else None
@@ -692,9 +979,16 @@ def main(argv=None) -> int:
         return 1
     if rec is not None:
         with recording(rec):
-            index = build_index(audit.dataset, audit=audit, recorder=rec)
+            index = build_index(
+                audit.dataset,
+                audit=audit,
+                recorder=rec,
+                portfolios=args.portfolios,
+            )
     else:
-        index = build_index(audit.dataset, audit=audit)
+        index = build_index(
+            audit.dataset, audit=audit, portfolios=args.portfolios
+        )
     index.save(args.output)
     print(f"[index] wrote {args.output}: {index.describe()}")
     if rec is not None:

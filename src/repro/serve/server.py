@@ -8,6 +8,12 @@ asyncio only, no web framework:
   recommendation for any subset of the three dimensions, falling back
   up the specialisation lattice (and marked ``degraded``) when the
   most-specialised cell is missing or quarantined;
+* ``GET /v1/portfolio?chip=&app=&input=&k=&target=`` — the greedy
+  "few fit most" configuration portfolio for the queried partition:
+  the best K code versions to ship, their fraction-of-oracle coverage
+  and the full K-vs-coverage curve; requires an index built with
+  ``repro index --portfolios`` (501 otherwise), with the same lattice
+  fallback and ``degraded`` marking as ``/v1/strategy``;
 * ``POST /v1/predict`` — online pricing of explicit (chip, app, input,
   config) points through the vectorized batch engine; ``config`` may
   be omitted to price whatever the advisor recommends;
@@ -61,7 +67,7 @@ from urllib.parse import parse_qsl, urlsplit
 from ..errors import PredictionError, ServeError
 from ..obs import NULL_RECORDER
 from .cache import TTLCache
-from .index import StrategyIndex, render_answer
+from .index import StrategyIndex, render_answer, render_portfolio_answer
 from .predict import Predictor
 
 __all__ = ["PredictCoalescer", "StrategyServer", "MAX_BODY_BYTES"]
@@ -472,6 +478,9 @@ class StrategyServer:
         if path == "/v1/strategy":
             self._require_method(method, "GET")
             return 200, self._strategy(url.query)
+        if path == "/v1/portfolio":
+            self._require_method(method, "GET")
+            return 200, self._portfolio(url.query)
         if path == "/v1/predict":
             self._require_method(method, "POST")
             return await self._predict(body)
@@ -495,6 +504,8 @@ class StrategyServer:
             },
             "coverage": self.index.coverage.describe(),
         }
+        if self.index.portfolios is not None:
+            payload["portfolio_curves"] = self.index.portfolios.n_curves
         if self.worker_id is not None:
             payload["worker"] = self.worker_id
         return payload
@@ -554,6 +565,91 @@ class StrategyServer:
                 self.index, chip=key[0], app=key[1], input=key[2]
             )
             self.cache.put(key, (body, degraded))
+        if degraded:
+            rec.count("serve.fallbacks")
+        return body
+
+    def _portfolio(self, query: str) -> bytes:
+        rec = self.recorder
+        rec.count("serve.requests.portfolio")
+        params = dict(parse_qsl(query, keep_blank_values=True))
+        unknown = set(params) - {"chip", "app", "input", "k", "target"}
+        if unknown:
+            raise _HttpError(
+                400,
+                f"unknown query parameter(s) {sorted(unknown)}; expected "
+                f"a subset of chip, app, input, k, target",
+            )
+        for name, value in params.items():
+            if not value:
+                raise _HttpError(400, f"empty value for parameter {name!r}")
+        if self.index.portfolios is None:
+            raise _HttpError(
+                501,
+                "this strategy index has no portfolios table; rebuild "
+                "the artifact with repro index --portfolios",
+            )
+        k: Optional[int] = None
+        if "k" in params:
+            try:
+                k = int(params["k"])
+            except ValueError:
+                raise _HttpError(
+                    400,
+                    f"parameter 'k' must be a positive integer, got "
+                    f"{params['k']!r}",
+                )
+            if k < 1:
+                raise _HttpError(
+                    400, f"parameter 'k' must be positive, got {k}"
+                )
+        target: Optional[float] = None
+        if "target" in params:
+            try:
+                target = float(params["target"])
+            except ValueError:
+                raise _HttpError(
+                    400,
+                    f"parameter 'target' must be a fraction in (0, 1], "
+                    f"got {params['target']!r}",
+                )
+            if not 0.0 < target <= 1.0:
+                raise _HttpError(
+                    400,
+                    f"parameter 'target' must be in (0, 1], got {target}",
+                )
+        key = (
+            params.get("chip"), params.get("app"), params.get("input")
+        )
+        # Hot path: the default-parameter answer was pre-serialized at
+        # index-build time, exactly like /v1/strategy.
+        if k is None and target is None:
+            pre = self.index.portfolio_answer(key)
+            if pre is not None:
+                body, degraded = pre
+                rec.count("serve.portfolio.precompiled")
+                if degraded:
+                    rec.count("serve.fallbacks")
+                return body
+        # Explicit k/target (or coordinates outside the table): encode
+        # once, cache under a namespaced key so portfolio and strategy
+        # entries can never collide.
+        cache_key = ("portfolio", key, k, target)
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            rec.count("serve.portfolio.cache.hits")
+            body, degraded = cached
+        else:
+            rec.count("serve.portfolio.cache.misses")
+            body, degraded = render_portfolio_answer(
+                self.index,
+                chip=key[0],
+                app=key[1],
+                input=key[2],
+                k=k,
+                target=target,
+            )
+            self.cache.put(cache_key, (body, degraded))
         if degraded:
             rec.count("serve.fallbacks")
         return body

@@ -1,0 +1,256 @@
+"""Unit tests for the greedy "few fit most" portfolio core.
+
+Curve semantics (clamping, targets, serde) are exercised on
+hand-built curves; the greedy construction and the lattice-wide
+:func:`~repro.core.portfolio.build_portfolios` run against the pinned
+mini dataset, cross-checked against the Algorithm 1 strategies they
+must agree with at K = 1.  The CLI is driven in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import (
+    Analysis,
+    PORTFOLIO_LEVELS,
+    PortfolioCurve,
+    PortfolioSet,
+    PortfolioStep,
+    build_portfolios,
+    build_strategies,
+    greedy_portfolio,
+    portfolio_coverage,
+)
+from repro.core.portfolio import main as portfolio_main
+from repro.core.strategies import STRATEGY_DIMS
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def portfolios(mini_dataset) -> PortfolioSet:
+    return build_portfolios(mini_dataset)
+
+
+@pytest.fixture(scope="module")
+def strategies(mini_dataset):
+    return build_strategies(mini_dataset, Analysis(mini_dataset))
+
+
+def _curve(*cov) -> PortfolioCurve:
+    steps = []
+    prev = 0.0
+    for i, c in enumerate(cov):
+        steps.append(PortfolioStep(config=f"c{i}", coverage=c, gain=c - prev))
+        prev = c
+    return PortfolioCurve(level="global", key=(), steps=steps, n_tests=4)
+
+
+class TestCurveSemantics:
+    def test_coverage_at_clamps_beyond_the_curve(self):
+        curve = _curve(0.6, 0.9, 1.0)
+        assert curve.coverage_at(1) == 0.6
+        assert curve.coverage_at(3) == 1.0
+        assert curve.coverage_at(50) == 1.0  # greedy stopped: oracle
+
+    def test_coverage_at_rejects_nonpositive_k(self):
+        curve = _curve(0.6)
+        with pytest.raises(AnalysisError, match="must be positive"):
+            curve.coverage_at(0)
+        with pytest.raises(AnalysisError, match="must be positive"):
+            curve.configs_for(-1)
+
+    def test_empty_curve_is_vacuously_oracle(self):
+        curve = PortfolioCurve(level="global", key=())
+        assert curve.coverage_at(1) == 1.0
+        assert curve.configs_for(3) == []
+        assert curve.k_for(0.95) == 1
+
+    def test_configs_for_truncates(self):
+        curve = _curve(0.6, 0.9, 1.0)
+        assert curve.configs_for(2) == ["c0", "c1"]
+        assert curve.configs_for(10) == ["c0", "c1", "c2"]
+
+    def test_k_for_is_the_smallest_sufficient_k(self):
+        curve = _curve(0.6, 0.9, 1.0)
+        assert curve.k_for(0.5) == 1
+        assert curve.k_for(0.9) == 2
+        assert curve.k_for(1.0) == 3
+
+    def test_roundtrips_through_dict(self):
+        curve = _curve(0.6, 0.9, 1.0)
+        back = PortfolioCurve.from_dict("global", curve.to_dict())
+        assert back.to_dict() == curve.to_dict()
+        assert back.key == curve.key and back.n_tests == curve.n_tests
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(AnalysisError, match="malformed portfolio curve"):
+            PortfolioCurve.from_dict("global", {"key": []})
+        with pytest.raises(AnalysisError, match="malformed portfolio curve"):
+            PortfolioCurve.from_dict(
+                "global",
+                {"key": [], "n_tests": 1, "steps": [{"config": "x"}]},
+            )
+
+
+class TestBuildPortfolios:
+    def test_every_lattice_partition_gets_a_curve(
+        self, portfolios, mini_dataset
+    ):
+        assert set(portfolios.levels) == set(PORTFOLIO_LEVELS)
+        n_chips = len(mini_dataset.chips)
+        n_apps = len(mini_dataset.apps)
+        n_inputs = len(mini_dataset.graphs)
+        expected = {
+            "global": 1,
+            "chip": n_chips,
+            "app": n_apps,
+            "input": n_inputs,
+            "chip+app": n_chips * n_apps,
+            "chip+input": n_chips * n_inputs,
+            "app+input": n_apps * n_inputs,
+            "chip+app+input": n_chips * n_apps * n_inputs,
+        }
+        for level, cells in portfolios.levels.items():
+            assert len(cells) == expected[level], level
+        assert portfolios.n_curves == sum(expected.values())
+        assert portfolios.coverage is not None
+
+    def test_k1_is_the_algorithm1_strategy(self, portfolios, strategies):
+        """The greedy is seeded with the paper's strategy, so a K = 1
+        portfolio *is* Table V's recommendation for the partition."""
+        for level, cells in portfolios.levels.items():
+            for key, curve in cells.items():
+                seed = strategies[level].assignment[key]
+                assert curve.steps[0].config == seed.key(), (level, key)
+
+    def test_curves_are_monotone_and_end_at_oracle(self, portfolios):
+        for cells in portfolios.levels.values():
+            for curve in cells.values():
+                coverages = [s.coverage for s in curve.steps]
+                assert all(
+                    a <= b for a, b in zip(coverages, coverages[1:])
+                )
+                assert coverages[-1] == 1.0
+                assert all(0.0 < c <= 1.0 for c in coverages)
+
+    def test_gains_are_the_coverage_deltas(self, portfolios):
+        for cells in portfolios.levels.values():
+            for curve in cells.values():
+                prev = 0.0
+                for step in curve.steps:
+                    assert step.gain == pytest.approx(step.coverage - prev)
+                    prev = step.coverage
+
+    def test_coverage_matches_independent_recomputation(
+        self, portfolios, mini_dataset
+    ):
+        """Each step's coverage equals ``portfolio_coverage`` of its
+        prefix, computed from the dataset rather than the curve."""
+        analysis = Analysis(mini_dataset)
+        curve = portfolios.levels["chip"][("MALI",)]
+        tests = analysis.partitions(STRATEGY_DIMS["chip"])[("MALI",)]
+        for k in range(1, len(curve.steps) + 1):
+            assert curve.coverage_at(k) == pytest.approx(
+                portfolio_coverage(
+                    mini_dataset, tests, curve.configs_for(k)
+                )
+            )
+
+    def test_k_max_caps_every_curve(self, mini_dataset):
+        capped = build_portfolios(
+            mini_dataset, k_max=2, levels=["global", "chip"]
+        )
+        assert set(capped.levels) == {"global", "chip"}
+        for cells in capped.levels.values():
+            for curve in cells.values():
+                assert len(curve.steps) <= 2
+
+    def test_unknown_level_rejected(self, mini_dataset):
+        with pytest.raises(AnalysisError, match="unknown portfolio level"):
+            build_portfolios(mini_dataset, levels=["global", "baseline"])
+
+    def test_unseeded_greedy_still_reaches_oracle(self, mini_dataset):
+        tests = mini_dataset.tests_where(chip="MALI", app="bfs-wl")
+        curve = greedy_portfolio(
+            mini_dataset, tests, level="chip+app", key=("MALI", "bfs-wl")
+        )
+        assert curve.steps
+        assert curve.steps[-1].coverage == 1.0
+
+    def test_deterministic_across_builds(self, portfolios, mini_dataset):
+        again = build_portfolios(mini_dataset)
+        assert again.to_dict() == portfolios.to_dict()
+
+
+class TestPortfolioSetSerde:
+    def test_roundtrips_through_dict(self, portfolios):
+        back = PortfolioSet.from_dict(portfolios.to_dict())
+        assert back.to_dict() == portfolios.to_dict()
+        assert back.n_curves == portfolios.n_curves
+        assert back.curve("chip", ("MALI",)) is not None
+        assert back.curve("chip", ("nope",)) is None
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown portfolio level"):
+            PortfolioSet.from_dict({"baseline": []})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(AnalysisError, match="malformed portfolio"):
+            PortfolioSet.from_dict(["not", "a", "mapping"])
+
+
+class TestCLI:
+    @pytest.fixture(scope="class")
+    def dataset_path(self, goldens_dir) -> str:
+        return os.path.join(goldens_dir, "mini-dataset.json.gz")
+
+    def test_renders_the_curve_table(self, dataset_path, capsys):
+        assert portfolio_main([dataset_path, "--k-max", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Few fit most" in out
+        assert "K=1" in out
+        assert "K@95%" in out
+
+    def test_writes_curves_json(self, dataset_path, tmp_path, capsys):
+        out_path = str(tmp_path / "curves.json")
+        code = portfolio_main(
+            [dataset_path, "--k-max", "2", "--output", out_path]
+        )
+        assert code == 0
+        with open(out_path) as f:
+            dumped = json.load(f)
+        assert set(dumped) == set(PORTFOLIO_LEVELS)
+        back = PortfolioSet.from_dict(dumped)
+        assert all(
+            len(c.steps) <= 2
+            for cells in back.levels.values()
+            for c in cells.values()
+        )
+
+    def test_rejects_bad_target(self, dataset_path, capsys):
+        assert portfolio_main([dataset_path, "--target", "1.5"]) == 1
+        assert "--target" in capsys.readouterr().err
+
+    def test_rejects_bad_k_max(self, dataset_path, capsys):
+        assert portfolio_main([dataset_path, "--k-max", "0"]) == 1
+        assert "--k-max" in capsys.readouterr().err
+
+    def test_rejects_missing_dataset(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert portfolio_main([missing]) == 1
+
+    def test_writes_metrics_report(self, dataset_path, tmp_path, capsys):
+        metrics = str(tmp_path / "report.json")
+        code = portfolio_main(
+            [dataset_path, "--k-max", "2", "--metrics", metrics]
+        )
+        assert code == 0
+        from repro.obs import RunReport
+
+        report = RunReport.load(metrics)
+        spans = {s["name"] for s in report.to_dict()["spans"]}
+        assert "portfolio.build" in spans

@@ -22,6 +22,7 @@ from repro.experiments import (
     fig3_outcomes,
     fig4_slowdown,
     nvidia_only,
+    portfolio_curve,
     table2_envelope,
     table3_ranking,
     table4_bias,
@@ -91,6 +92,7 @@ class TestExperimentsRenderDegraded:
             table4_bias,
             table9_chip_function,
             nvidia_only,
+            portfolio_curve,
         ],
         ids=lambda m: m.__name__.rsplit(".", 1)[-1],
     )
@@ -124,6 +126,93 @@ class TestExperimentsRenderDegraded:
     def test_full_coverage_has_no_footnote(self, mini_dataset):
         assert FOOTNOTE not in table2_envelope.run(mini_dataset)
         assert FOOTNOTE not in fig1_heatmap.run(mini_dataset)
+
+
+class TestPortfolioDegraded:
+    """Portfolio serving degrades exactly like strategy serving: a
+    missing partition falls back up the lattice and is marked
+    ``degraded``; a holed or quarantined source dataset footnotes
+    every answer's note."""
+
+    def test_dropped_chip_falls_back_marked_degraded(
+        self, mini_dataset, degraded
+    ):
+        from repro.serve import build_index
+
+        gone = mini_dataset.chips[0]
+        ds = degraded["drop-chip"]
+        index = build_index(ds, portfolios=True)
+        answer = index.lookup_portfolio(
+            chip=gone, app=ds.apps[0], input=ds.graphs[0]
+        )
+        assert answer.degraded
+        assert answer.requested_level == "chip+app+input"
+        assert answer.served_level == "app+input"
+        assert "fell back" in answer.note
+        # The surviving chips' partitions answer at full fidelity.
+        intact = index.lookup_portfolio(
+            chip=ds.chips[0], app=ds.apps[0], input=ds.graphs[0]
+        )
+        assert not intact.degraded
+
+    def test_holed_dataset_footnotes_every_answer(self, degraded):
+        from repro.serve import build_index
+
+        ds = degraded["drop-20pct"]
+        assert not ds.coverage().complete
+        index = build_index(ds, portfolios=True)
+        answer = index.lookup_portfolio(
+            chip=ds.chips[0], app=ds.apps[0], input=ds.graphs[0]
+        )
+        assert not answer.degraded  # no partition vanished ...
+        assert "derived from" in answer.note  # ... but the note says so
+        assert "% of expected cells" in answer.note
+
+    def test_quarantined_partition_degrades_with_footnote(
+        self, mini_dataset
+    ):
+        """Poisoning every cell of one test with NaN quarantines the
+        whole partition: queries for it fall back (degraded) and the
+        note carries both the fallback and the quarantine record."""
+        from repro.serve import build_index
+
+        victim = mini_dataset.tests[0]
+        poisoned = _drop(mini_dataset, lambda t, c: t == victim)
+        for config in mini_dataset.configs:
+            poisoned.add(victim, config, [float("nan")] * 3)
+        index = build_index(poisoned, portfolios=True)
+        assert index.coverage.quarantined == len(mini_dataset.configs)
+        answer = index.lookup_portfolio(
+            chip=victim.chip, app=victim.app, input=victim.graph
+        )
+        assert answer.degraded
+        assert answer.served_level != "chip+app+input"
+        assert "fell back" in answer.note
+        assert "quarantined" in answer.note
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_served_bytes_stay_differential_when_degraded(
+        self, degraded, scenario
+    ):
+        """Even on degraded data the precompiled table, the on-demand
+        encoder and the offline curves agree byte-for-byte."""
+        import json
+
+        from repro.serve import build_index, render_portfolio_answer
+
+        ds = degraded[scenario]
+        index = build_index(ds, portfolios=True)
+        for (chip, app, inp), (body, deg) in index.portfolio_answers.items():
+            rendered, rendered_deg = render_portfolio_answer(
+                index, chip=chip, app=app, input=inp
+            )
+            assert body == rendered
+            assert deg == rendered_deg
+        # Footnote in the served note exactly when the audited source
+        # grid is incomplete (mirrors the experiment-table contract).
+        body, _ = index.portfolio_answer((None, None, None))
+        note = json.loads(body)["note"]
+        assert ("derived from" in note) == (not index.coverage.complete)
 
 
 class TestAnalysisStability:

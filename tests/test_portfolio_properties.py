@@ -1,0 +1,179 @@
+"""Property-based hardening of the greedy portfolio construction.
+
+Hypothesis generates small *random studies* — random grid shapes,
+random per-cell timings, random holes — and checks the invariants the
+"few fit most" analysis rests on:
+
+* the K-vs-coverage curve is monotone non-decreasing in K (the
+  uncovered-test penalty makes adding a configuration never harmful);
+* a K = 1 portfolio *is* the Algorithm 1 strategy: the greedy is
+  seeded with it, and its coverage matches an independent
+  geomean-of-ratios recomputation (``statistics.median`` + ``math``
+  instead of the production numpy path);
+* K = #configs reaches 100 % of oracle, exactly (each covered test's
+  ratio is float-exactly 1.0, so the geomean is too);
+* the greedy output is deterministic under dict-order shuffling of the
+  dataset's insertion order (all internal orderings are canonical).
+
+Integer-valued timings keep medians and ratios exact across orderings.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import enumerate_configs
+from repro.core import (
+    Analysis,
+    build_portfolios,
+    build_strategies,
+    greedy_portfolio,
+    portfolio_coverage,
+)
+from repro.study.dataset import PerfDataset, TestCase
+
+CHIPS = ("chipA", "chipB")
+APPS = ("appX", "appY")
+GRAPHS = ("g1", "g2")
+CONFIGS = enumerate_configs()[:8]  # baseline + 7 single/double-opt configs
+
+
+@st.composite
+def studies(draw) -> PerfDataset:
+    """A random small study: grid shape, timings and holes all drawn.
+
+    The baseline configuration is always measured (so every test stays
+    populated); every other cell is independently droppable, which
+    exercises the uncovered-test penalty path.
+    """
+    n_chips = draw(st.integers(1, 2))
+    n_apps = draw(st.integers(1, 2))
+    n_graphs = draw(st.integers(1, 2))
+    n_configs = draw(st.integers(2, len(CONFIGS)))
+    ds = PerfDataset()
+    for chip in CHIPS[:n_chips]:
+        for app in APPS[:n_apps]:
+            for graph in GRAPHS[:n_graphs]:
+                test = TestCase(app=app, graph=graph, chip=chip)
+                for config in CONFIGS[:n_configs]:
+                    if not config.is_baseline and draw(st.booleans()):
+                        continue  # a hole in the grid
+                    ms = draw(st.integers(1, 40))
+                    ds.add(test, config, [float(ms)] * 3)
+    return ds
+
+
+def _reference_coverage(ds: PerfDataset, tests, config_key: str) -> float:
+    """Independent K = 1 coverage: stdlib median, log-sum geomean."""
+    logs = []
+    for test in tests:
+        medians = {}
+        for config in ds.configs:
+            times = ds.times_or_none(test, config)
+            if times is not None:
+                medians[config.key()] = statistics.median(times)
+        if not medians:
+            continue
+        oracle = min(medians.values())
+        deployed = medians.get(config_key, max(medians.values()))
+        logs.append(math.log(oracle / deployed))
+    return math.exp(sum(logs) / len(logs)) if logs else 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(studies())
+def test_curves_monotone_non_decreasing_in_k(ds):
+    portfolios = build_portfolios(ds)
+    for cells in portfolios.levels.values():
+        for curve in cells.values():
+            for a, b in zip(curve.steps, curve.steps[1:]):
+                assert a.coverage <= b.coverage
+            # coverage_at inherits the monotonicity, clamping included.
+            upper = len(curve.steps) + 2
+            at = [curve.coverage_at(k) for k in range(1, upper + 1)]
+            assert at == sorted(at)
+
+
+@settings(max_examples=20, deadline=None)
+@given(studies())
+def test_k1_equals_the_algorithm1_strategy_coverage(ds):
+    analysis = Analysis(ds)
+    strategies = build_strategies(ds, analysis)
+    portfolios = build_portfolios(
+        ds, analysis=analysis, strategies=strategies
+    )
+    from repro.core.strategies import STRATEGY_DIMS
+
+    for level, cells in portfolios.levels.items():
+        partitions = analysis.partitions(STRATEGY_DIMS[level])
+        for key, curve in cells.items():
+            if not curve.steps:
+                continue
+            seed = strategies[level].assignment[key]
+            assert curve.steps[0].config == seed.key()
+            assert curve.coverage_at(1) == pytest.approx(
+                _reference_coverage(ds, partitions[key], seed.key()),
+                rel=1e-9,
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(studies())
+def test_full_portfolio_reaches_the_oracle_exactly(ds):
+    portfolios = build_portfolios(ds)
+    n_configs = len(ds.configs)
+    for cells in portfolios.levels.values():
+        for curve in cells.values():
+            assert curve.coverage_at(max(1, n_configs)) == 1.0
+            if curve.steps:
+                assert curve.steps[-1].coverage == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(studies(), st.randoms(use_true_random=False))
+def test_greedy_deterministic_under_insertion_order_shuffle(ds, rnd):
+    """Re-inserting the measurements in a shuffled order must not move
+    a single step: ties break on sorted keys, not dict order."""
+    cells = list(ds.iter_measurements())
+    rnd.shuffle(cells)
+    shuffled = PerfDataset()
+    for test, config, times in cells:
+        shuffled.add(test, config, times)
+    baseline = greedy_portfolio(ds, ds.tests, level="global", key=())
+    again = greedy_portfolio(
+        shuffled, shuffled.tests, level="global", key=()
+    )
+    assert again.to_dict() == baseline.to_dict()
+
+
+@settings(max_examples=10, deadline=None)
+@given(studies(), st.randoms(use_true_random=False))
+def test_build_portfolios_deterministic_under_shuffle(ds, rnd):
+    """The full lattice build — Algorithm 1 seeding included — is
+    insertion-order independent too."""
+    cells = list(ds.iter_measurements())
+    rnd.shuffle(cells)
+    shuffled = PerfDataset()
+    for test, config, times in cells:
+        shuffled.add(test, config, times)
+    assert (
+        build_portfolios(shuffled).to_dict()
+        == build_portfolios(ds).to_dict()
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(studies(), st.integers(1, 4))
+def test_coverage_of_any_prefix_matches_public_recomputation(ds, k):
+    curve = greedy_portfolio(ds, ds.tests, level="global", key=())
+    if not curve.steps:
+        return
+    k = min(k, len(curve.steps))
+    assert curve.coverage_at(k) == pytest.approx(
+        portfolio_coverage(ds, ds.tests, curve.configs_for(k))
+    )

@@ -196,3 +196,24 @@ class TestBackwardCompat:
         assert "serve.answers.precompiled" not in counters
         assert counters["serve.cache.misses"] == 1
         assert counters["serve.cache.hits"] == 1
+
+    def test_pr5_artifact_roundtrips_byte_identical(
+        self, goldens_dir, tmp_path
+    ):
+        """Loading and re-saving the pre-answers, pre-portfolios golden
+        must not churn a byte (or its checksum): optional sections an
+        artifact never had stay omitted from the re-serialization."""
+        source = os.path.join(goldens_dir, GOLDEN_PR5_INDEX)
+        legacy = StrategyIndex.load(source)
+        assert legacy.portfolios is None
+        resaved = str(tmp_path / "resaved.json")
+        legacy.save(resaved)
+        with open(source, "rb") as f1, open(resaved, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_pr5_artifact_has_no_portfolio_table(self, goldens_dir):
+        from repro.errors import StrategyIndexError as SIE
+
+        legacy = StrategyIndex.load(os.path.join(goldens_dir, GOLDEN_PR5_INDEX))
+        with pytest.raises(SIE, match="repro index --portfolios"):
+            legacy.lookup_portfolio(chip="MALI")
