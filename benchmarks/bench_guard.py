@@ -63,6 +63,24 @@ def _check_study(results: dict, floors: dict) -> int:
             f"loop); investigate before raising the floor"
         )
         return 1
+    search = results.get("search")
+    search_floor = floors.get("search_replays_per_s", {}).get(mode)
+    if search is not None and search_floor is not None:
+        rate = search["replays_per_s"]
+        print(
+            f"[bench-guard] search mode={mode}: {rate:.0f} replays/s "
+            f"over {search['replays']} replays "
+            f"(floor {search_floor:.0f} replays/s)"
+        )
+        if rate < search_floor:
+            print(
+                f"[bench-guard] FAIL: search replay throughput "
+                f"{rate:.0f} replays/s fell below the committed floor "
+                f"{search_floor:.0f} replays/s — the propose/observe "
+                f"loop or the dataset-as-oracle lookup grew per-replay "
+                f"overhead; investigate before raising the floor"
+            )
+            return 1
     return 0
 
 

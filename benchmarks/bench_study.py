@@ -27,6 +27,8 @@ import time
 from repro.apps import get_application
 from repro.chips import get_chip
 from repro.compiler import enumerate_configs, plan_cache
+from repro.core.search import SEARCH_STRATEGIES
+from repro.core.search_eval import replay_search
 from repro.graphs.inputs import study_inputs
 from repro.study import StudyConfig, collect_traces, run_study
 
@@ -108,6 +110,23 @@ def main() -> int:
         f"({scalar_ds.n_measurements} measurements)"
     )
 
+    # Budgeted-search replay throughput over the freshly swept dataset
+    # (the repro search / report-budget hot loop: propose/observe against
+    # the dataset-as-oracle, no re-simulation).
+    budgets = (8, 32) if args.quick else (8, 32, 96)
+    search_started = time.perf_counter()
+    replays = 0
+    for test in scalar_ds.tests:
+        for name in sorted(SEARCH_STRATEGIES):
+            for budget in budgets:
+                replay_search(scalar_ds, test, name, budget)
+                replays += 1
+    search_s = time.perf_counter() - search_started
+    print(
+        f"search replays:        {search_s:8.3f}s  "
+        f"({replays / search_s:.0f} replays/s over {replays})"
+    )
+
     payload = {
         "benchmark": "study-sweep",
         "quick": args.quick,
@@ -138,6 +157,12 @@ def main() -> int:
         "points_per_second": {
             "scalar": round(n_points * len(traces) / scalar_s, 1),
             "batch": round(n_points * len(traces) / batch_s, 1),
+        },
+        "search": {
+            "budgets": list(budgets),
+            "replays": replays,
+            "seconds": round(search_s, 4),
+            "replays_per_s": round(replays / search_s, 1),
         },
         "identical_datasets": True,
     }

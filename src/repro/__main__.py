@@ -16,6 +16,10 @@ epilog and the tests can never disagree about what exists.
 * ``portfolio`` — the "few fit most" analysis offline: greedy
   K-vs-coverage configuration portfolios per lattice level
   (:mod:`repro.core.portfolio`);
+* ``search`` — replay budgeted search strategies (random, lattice
+  local search, successive halving) against a dataset's exhaustive
+  oracle and report fraction-of-oracle at each budget
+  (:mod:`repro.core.search_eval`);
 * ``serve`` — answer strategy/prediction queries over an asyncio HTTP
   JSON API (:mod:`repro.serve.server`): pre-serialized zero-encode
   strategy answers, ``--workers N`` SO_REUSEPORT scale-out with merged
@@ -85,6 +89,10 @@ def main(argv=None) -> int:
         from .core.portfolio import main as portfolio_main
 
         return portfolio_main(rest)
+    if command == "search":
+        from .core.search_eval import main as search_main
+
+        return search_main(rest)
     if command == "serve":
         from .serve.server import main as serve_main
 

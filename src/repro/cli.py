@@ -57,6 +57,13 @@ SUBCOMMANDS: List[Tuple[str, str, str]] = [
         "greedy K-vs-coverage configuration portfolios",
     ),
     (
+        "search",
+        "DATASET [--strategy S] [--budget N ...] [--seed N]\n"
+        "        [--trials N] [--by DIM] [--min-coverage F]\n"
+        "        [--metrics PATH]",
+        "replay budgeted search strategies against the oracle",
+    ),
+    (
         "serve",
         "INDEX [--host H] [--port P] [--workers N]\n"
         "        [--max-concurrency N] [--timeout S] [--cache-size N]\n"

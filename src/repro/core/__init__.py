@@ -48,6 +48,25 @@ from .portfolio import (
     greedy_portfolio,
     portfolio_coverage,
 )
+from .search import (
+    SEARCH_STRATEGIES,
+    LocalSearch,
+    Observation,
+    Proposal,
+    RandomSearch,
+    SearchStrategy,
+    SuccessiveHalving,
+    lattice_neighbours,
+    make_strategy,
+)
+from .search_eval import (
+    DEFAULT_BUDGETS,
+    ReplayResult,
+    budget_fractions,
+    oracle_best,
+    partition_fractions,
+    replay_search,
+)
 from .portability import (
     EnvelopeEntry,
     cross_chip_heatmap,
@@ -111,6 +130,21 @@ __all__ = [
     "build_portfolios",
     "greedy_portfolio",
     "portfolio_coverage",
+    "SEARCH_STRATEGIES",
+    "LocalSearch",
+    "Observation",
+    "Proposal",
+    "RandomSearch",
+    "SearchStrategy",
+    "SuccessiveHalving",
+    "lattice_neighbours",
+    "make_strategy",
+    "DEFAULT_BUDGETS",
+    "ReplayResult",
+    "budget_fractions",
+    "oracle_best",
+    "partition_fractions",
+    "replay_search",
     "EnvelopeEntry",
     "cross_chip_heatmap",
     "max_geomean_speedup",

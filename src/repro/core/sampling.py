@@ -16,6 +16,7 @@ collecting less data would do.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,12 +38,23 @@ __all__ = [
 
 
 def subsample_configs(
-    n_configs: int, seed: int = 0, pool: Optional[Sequence[OptConfig]] = None
+    n_configs: int,
+    seed: int = 0,
+    pool: Optional[Sequence[OptConfig]] = None,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> List[OptConfig]:
     """A random subset of the optimisation space of size ``n_configs``.
 
     The baseline is always included (it anchors the speedup/slowdown
     vocabulary); the rest are drawn uniformly without replacement.
+
+    All randomness comes from ``rng``, an explicitly-passed
+    ``random.Random``; when omitted, a private instance is derived from
+    ``stable_hash("subsample", n_configs, seed)``.  There is no shared
+    module-level RNG state, so concurrently sharded runs (``--jobs``)
+    can never correlate draws — the same guarantee as
+    :mod:`repro.core.search`.
     """
     pool = list(pool) if pool is not None else enumerate_configs()
     non_baseline = [c for c in pool if not c.is_baseline]
@@ -51,8 +63,9 @@ def subsample_configs(
             f"n_configs must be in [1, {len(non_baseline) + 1}] "
             f"(got {n_configs})"
         )
-    rng = np.random.default_rng(stable_hash("subsample", n_configs, seed))
-    chosen = rng.choice(len(non_baseline), size=n_configs - 1, replace=False)
+    if rng is None:
+        rng = random.Random(stable_hash("subsample", n_configs, seed))
+    chosen = rng.sample(range(len(non_baseline)), n_configs - 1)
     return [OptConfig()] + [non_baseline[i] for i in sorted(chosen)]
 
 
@@ -103,6 +116,8 @@ def sample_efficiency_curve(
     trials: int = 3,
     dims: Tuple[str, ...] = ("chip",),
     analysis: Optional[Analysis] = None,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> List[AgreementPoint]:
     """Decision agreement vs the exhaustive analysis per sample size.
 
@@ -111,16 +126,23 @@ def sample_efficiency_curve(
     specialisation, and its per-partition decisions are compared with
     the exhaustive ones.  Returns one point per size with mean and
     worst-case agreement across trials and partitions.
+
+    One ``random.Random`` — ``rng``, or a private instance derived from
+    ``stable_hash("sampling", seed, trials)`` — is threaded through
+    every (size, trial) draw in order, so distinct trials draw distinct
+    subsets and no draw shares state with anything outside this call.
     """
     if analysis is None:
         analysis = Analysis(dataset)
+    if rng is None:
+        rng = random.Random(stable_hash("sampling", seed, trials))
     reference = analysis.specialise_decisions(dims)
 
     points: List[AgreementPoint] = []
     for size in sizes:
         agreements: List[float] = []
         for trial in range(trials):
-            configs = subsample_configs(size, seed=trial)
+            configs = subsample_configs(size, rng=rng)
             restricted = restrict_dataset(dataset, configs)
             sub = Analysis(
                 restricted,

@@ -112,6 +112,16 @@ class InsufficientDataError(AnalysisError):
     """
 
 
+class SearchError(AnalysisError):
+    """A budgeted search strategy was misused or misconfigured.
+
+    Raised by :mod:`repro.core.search` for invalid budgets, an empty
+    candidate pool, or protocol violations (observing a result no
+    proposal asked for, proposing again before observing the pending
+    proposal).
+    """
+
+
 class InsufficientCoverageError(AnalysisError):
     """A dataset's cell coverage is below the requested floor.
 

@@ -14,6 +14,7 @@ Run everything from the command line::
 from . import (
     ablation_methodology,
     ablation_sampling,
+    budget_curve,
     common,
     nvidia_only,
     fig1_heatmap,
@@ -57,12 +58,15 @@ ALL_EXPERIMENTS = (
     ("ablation-methodology", ablation_methodology),
     # PAPERS.md's "A Few Fit Most": K-vs-coverage portfolios.
     ("portfolio", portfolio_curve),
+    # PAPERS.md's kernel-tuner benchmarking: budgeted lattice search.
+    ("budget", budget_curve),
 )
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "ablation_methodology",
     "ablation_sampling",
+    "budget_curve",
     "common",
     "nvidia_only",
     "portfolio_curve",

@@ -27,12 +27,13 @@ def data(
     analysis: Optional[Analysis] = None,
     sizes=DEFAULT_SIZES,
     trials: int = 3,
+    seed: int = 0,
 ) -> List[AgreementPoint]:
     if dataset is None:
         dataset = default_dataset()
         analysis = analysis or default_analysis()
     return sample_efficiency_curve(
-        dataset, sizes=sizes, trials=trials, analysis=analysis
+        dataset, sizes=sizes, trials=trials, analysis=analysis, seed=seed
     )
 
 

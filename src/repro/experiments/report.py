@@ -41,6 +41,7 @@ DATASET_DRIVEN = frozenset(
         "ablation-sampling",
         "ablation-methodology",
         "portfolio",
+        "budget",
     }
 )
 

@@ -44,11 +44,13 @@ from .index import (
     render_portfolio_answer,
 )
 from .predict import Predictor
+from .refine import ObservationStore
 from .server import PredictCoalescer, StrategyServer
 
 __all__ = [
     "INDEX_FORMAT",
     "IndexEntry",
+    "ObservationStore",
     "PortfolioAnswer",
     "PredictCoalescer",
     "Predictor",

@@ -7,7 +7,12 @@ asyncio only, no web framework:
 * ``GET /v1/strategy?chip=&app=&input=`` — the precompiled Algorithm 1
   recommendation for any subset of the three dimensions, falling back
   up the specialisation lattice (and marked ``degraded``) when the
-  most-specialised cell is missing or quarantined;
+  most-specialised cell is missing or quarantined; ``&refine=1`` opts
+  into the online explore/exploit mode (:mod:`repro.serve.refine`):
+  a fully-specified query whose index answer would be degraded instead
+  consults live ``/v1/predict`` observations and, on a hit, returns a
+  ``"refined": true`` answer with provenance — non-refined responses
+  stay byte-identical to the normal path;
 * ``GET /v1/portfolio?chip=&app=&input=&k=&target=`` — the greedy
   "few fit most" configuration portfolio for the queried partition:
   the best K code versions to ship, their fraction-of-oracle coverage
@@ -67,8 +72,14 @@ from urllib.parse import parse_qsl, urlsplit
 from ..errors import PredictionError, ServeError
 from ..obs import NULL_RECORDER
 from .cache import TTLCache
-from .index import StrategyIndex, render_answer, render_portfolio_answer
+from .index import (
+    StrategyIndex,
+    _config_label,
+    render_answer,
+    render_portfolio_answer,
+)
 from .predict import Predictor
+from .refine import DEFAULT_CAPACITY, ObservationStore
 
 __all__ = ["PredictCoalescer", "StrategyServer", "MAX_BODY_BYTES"]
 
@@ -225,6 +236,8 @@ class StrategyServer:
         worker_id: Optional[int] = None,
         predict_window: float = 0.0,
         predict_max_batch: int = 32,
+        observations: Optional[ObservationStore] = None,
+        refine_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         if max_concurrency < 1:
             raise ServeError("max_concurrency must be positive")
@@ -253,6 +266,13 @@ class StrategyServer:
         self.worker_id = worker_id
         self.predict_window = predict_window
         self.predict_max_batch = predict_max_batch
+        #: Live /v1/predict observations backing ?refine=1 strategy
+        #: answers (bounded LRU; injectable for tests).
+        self.observations = (
+            observations
+            if observations is not None
+            else ObservationStore(refine_capacity)
+        )
         self._coalescer: Optional[PredictCoalescer] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
@@ -506,6 +526,7 @@ class StrategyServer:
         }
         if self.index.portfolios is not None:
             payload["portfolio_curves"] = self.index.portfolios.n_curves
+        payload["refine_cells"] = len(self.observations)
         if self.worker_id is not None:
             payload["worker"] = self.worker_id
         return payload
@@ -518,6 +539,7 @@ class StrategyServer:
             # {name: [count, sum, min, max]}, matching RunReport.
             "histograms": snap.get("histograms", {}),
             "cache": self.cache.stats(),
+            "refine": self.observations.stats(),
             "requests_served": self.requests_served,
         }
         if self.worker_id is not None:
@@ -531,19 +553,29 @@ class StrategyServer:
         rec = self.recorder
         rec.count("serve.requests.strategy")
         params = dict(parse_qsl(query, keep_blank_values=True))
-        unknown = set(params) - {"chip", "app", "input"}
+        unknown = set(params) - {"chip", "app", "input", "refine"}
         if unknown:
             raise _HttpError(
                 400,
                 f"unknown query parameter(s) {sorted(unknown)}; expected "
-                f"a subset of chip, app, input",
+                f"a subset of chip, app, input, refine",
             )
         for name, value in params.items():
             if not value:
                 raise _HttpError(400, f"empty value for parameter {name!r}")
+        refine = params.pop("refine", None)
+        if refine is not None and refine not in ("0", "1"):
+            raise _HttpError(
+                400,
+                f"parameter 'refine' must be '0' or '1', got {refine!r}",
+            )
         key = (
             params.get("chip"), params.get("app"), params.get("input")
         )
+        if refine == "1":
+            refined = self._refined(key)
+            if refined is not None:
+                return refined
         # Hot path: the answer was pre-serialized at index-build time —
         # a dict lookup and a socket write, no JSON encoding.
         pre = self.index.answer(key)
@@ -568,6 +600,61 @@ class StrategyServer:
         if degraded:
             rec.count("serve.fallbacks")
         return body
+
+    def _refined(
+        self, key: Tuple[Optional[str], Optional[str], Optional[str]]
+    ) -> Optional[bytes]:
+        """An online-refined answer for ``?refine=1``, or ``None``.
+
+        ``None`` sends the request down the normal (precompiled /
+        cached) path.  Refinement applies only when all three
+        coordinates are named *and* the index's own answer would be
+        degraded (a fallback up the lattice): an exact non-degraded
+        index cell is offline ground truth and always outranks live
+        observations, while a degraded fallback loses to any live
+        evidence for the exact cell.  Counters reconcile as
+        ``serve.refine.requests == served + misses + exact``.
+        """
+        rec = self.recorder
+        rec.count("serve.refine.requests")
+        chip, app, inp = key
+        if not (chip and app and inp):
+            # Partial coordinates name a lattice partition, not a cell
+            # /v1/predict could ever have priced.
+            rec.count("serve.refine.misses")
+            return None
+        answer = self.index.lookup(chip=chip, app=app, input=inp)
+        if not answer.degraded:
+            rec.count("serve.refine.exact")
+            return None
+        hit = self.observations.best(chip, app, inp)
+        if hit is None:
+            rec.count("serve.refine.misses")
+            return None
+        config, mean_us, n_obs = hit
+        payload = {"query": {"chip": chip, "app": app, "input": inp}}
+        payload.update(answer.to_dict())
+        payload.update(
+            {
+                "config": config,
+                "label": _config_label(config),
+                "served_level": "refined",
+                "degraded": False,
+                "refined": True,
+                "observations": n_obs,
+                "expected_speedup": None,
+                "slowdown_vs_oracle": None,
+                "n_tests": 0,
+                "note": (
+                    f"refined from {n_obs} live /v1/predict "
+                    f"observation(s): mean median {mean_us:.1f} us "
+                    f"under [{_config_label(config)}]; index fallback "
+                    f"was {answer.served_level} [{answer.config}]"
+                ),
+            }
+        )
+        rec.count("serve.refine.served")
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
 
     def _portfolio(self, query: str) -> bytes:
         rec = self.recorder
@@ -731,6 +818,19 @@ class StrategyServer:
                         outcome["advisor"] = advisors[i].to_dict()
                     results[i] = outcome
                     rec.count("serve.predictions")
+                    try:
+                        self.observations.record(
+                            outcome["chip"],
+                            outcome["app"],
+                            outcome["input"],
+                            outcome["config"],
+                            tuple(outcome["times_us"]),
+                        )
+                        rec.count("serve.refine.recorded")
+                    except (KeyError, TypeError):
+                        # A priced outcome without full coordinates
+                        # cannot feed ?refine=1; pricing still stands.
+                        pass
         rec.count("serve.predictions.errors", errors)
         return 200, {"results": results, "errors": errors}
 
@@ -772,6 +872,7 @@ def _make_server(
         worker_id=worker_id,
         predict_window=opts["predict_window_ms"] / 1000.0,
         predict_max_batch=opts["predict_max_batch"],
+        refine_capacity=opts.get("refine_capacity", DEFAULT_CAPACITY),
     )
 
 
@@ -1076,6 +1177,17 @@ def main(argv=None) -> int:
         default=32,
         metavar="N",
         help="flush a predict micro-batch at this many items (default 32)",
+    )
+    parser.add_argument(
+        "--refine-capacity",
+        type=int,
+        default=DEFAULT_CAPACITY,
+        metavar="N",
+        help=(
+            "distinct (chip, app, input) cells of live /v1/predict "
+            "observations kept (LRU) for ?refine=1 strategy answers "
+            f"(default {DEFAULT_CAPACITY})"
+        ),
     )
     parser.add_argument(
         "--no-predict",

@@ -123,6 +123,44 @@ class TestExperimentsRenderDegraded:
         assert "Table V" in out
         assert (FOOTNOTE in out) == (not ds.coverage().complete)
 
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_budget_curve_renders_degraded(self, degraded, scenario):
+        """The budgeted-search experiment scores every scoreable test
+        on partial data — holes are free, uninformative probes — and
+        footnotes exactly like every other table.  Reduced budgets and
+        trials keep the sweep fast; the full grid is golden-pinned in
+        ``test_search_eval``."""
+        from repro.experiments import budget_curve
+
+        ds = degraded[scenario]
+        out = budget_curve.run(ds, budgets=(8, 32, 96), trials=2)
+        assert out.strip()
+        assert (FOOTNOTE in out) == (not ds.coverage().complete)
+
+    def test_budget_curve_renders_after_nan_quarantine(self, mini_dataset):
+        """Poisoning one test's cells with NaN and auditing leaves a
+        holed dataset the search replays still render on, footnoted."""
+        from repro.experiments import budget_curve
+        from repro.study.audit import audit_dataset
+
+        victim = mini_dataset.tests[0]
+        bad = {
+            c.key() for c in mini_dataset.configs[: len(mini_dataset.configs) // 2]
+            if c.key() != "baseline"
+        }
+        poisoned = _drop(
+            mini_dataset, lambda t, c: t == victim and c.key() in bad
+        )
+        for config in mini_dataset.configs:
+            if config.key() in bad:
+                poisoned.add(victim, config, [float("nan")] * 3)
+        audit = audit_dataset(poisoned)
+        assert audit.coverage.quarantined == len(bad)
+        assert not audit.dataset.coverage().complete
+        out = budget_curve.run(audit.dataset, budgets=(8, 96), trials=2)
+        assert out.strip()
+        assert FOOTNOTE in out
+
     def test_full_coverage_has_no_footnote(self, mini_dataset):
         assert FOOTNOTE not in table2_envelope.run(mini_dataset)
         assert FOOTNOTE not in fig1_heatmap.run(mini_dataset)
