@@ -7,7 +7,11 @@ Checks committed floors in ``benchmarks/bench_floor.json`` against:
   batch-vs-scalar speedup of the vectorized pricing engine;
 * ``BENCH_serve.json`` (written by ``bench_serve.py``) — the strategy
   server's closed-loop throughput, plus its sustained-load p99 latency
-  against the ``serve_p99_ms`` SLO ceiling.
+  against the ``serve_p99_ms`` SLO ceiling;
+* ``BENCH_serve_chaos.json`` (written by ``bench_serve.py --chaos``,
+  checked when present, or required by ``--chaos-only``) — the
+  self-healing fleet's throughput floor under fault injection, zero
+  malformed responses, and exact metrics reconciliation.
 
 The floors are set far under locally measured values so ordinary
 CI-runner noise passes; a breach indicates a structural regression
@@ -84,6 +88,40 @@ def _check_study(results: dict, floors: dict) -> int:
     return 0
 
 
+def _check_chaos(results: dict, floors: dict) -> int:
+    mode = "quick" if results.get("quick") else "full"
+    floor = floors["serve_chaos_throughput_rps"][mode]
+    throughput = results["throughput_rps"]
+    print(
+        f"[bench-guard] chaos mode={mode}: {throughput:.0f} req/s "
+        f"(floor {floor:.0f} req/s), {results.get('resets', 0)} resets, "
+        f"{results.get('malformed', 0)} malformed"
+    )
+    if results.get("malformed"):
+        print(
+            f"[bench-guard] FAIL: {results['malformed']} malformed "
+            f"responses under chaos — a failure leaked to a client as "
+            f"something other than a well-formed 200/429/503"
+        )
+        return 1
+    if not results.get("report_reconciled"):
+        print(
+            "[bench-guard] FAIL: the chaos run's merged metrics report "
+            "did not reconcile — worker deltas were lost or "
+            "double-counted in the fleet merge"
+        )
+        return 1
+    if throughput < floor:
+        print(
+            f"[bench-guard] FAIL: chaos throughput {throughput:.0f} "
+            f"req/s fell below the committed floor {floor:.0f} req/s — "
+            f"the fleet heals too slowly (respawn backoff regression) "
+            f"or sheds too much; investigate before raising the floor"
+        )
+        return 1
+    return 0
+
+
 def _check_serve(results: dict, floors: dict) -> int:
     mode = "quick" if results.get("quick") else "full"
     floor = floors["serve_throughput_rps"][mode]
@@ -156,6 +194,18 @@ def main(argv=None) -> int:
         "smoke job never runs the study bench)",
     )
     parser.add_argument(
+        "--chaos-results",
+        default=os.path.join(_ROOT, "BENCH_serve_chaos.json"),
+        help="bench_serve.py --chaos output, checked when present "
+        "(default: BENCH_serve_chaos.json)",
+    )
+    parser.add_argument(
+        "--chaos-only",
+        action="store_true",
+        help="require chaos results and skip the study/serve checks "
+        "(the chaos smoke job runs only the chaos harness)",
+    )
+    parser.add_argument(
         "--floor-file",
         default=_FLOOR_FILE,
         help="committed floors (default: benchmarks/bench_floor.json)",
@@ -166,7 +216,12 @@ def main(argv=None) -> int:
         floors = json.load(f)
 
     failures = 0
-    if not args.serve_only:
+    if args.chaos_only:
+        chaos = _load(args.chaos_results)
+        if chaos is None:
+            return 2
+        failures += _check_chaos(chaos, floors)
+    elif not args.serve_only:
         study = _load(args.results)
         if study is None:
             return 2
@@ -181,6 +236,12 @@ def main(argv=None) -> int:
         if serve is None:
             return 2
         failures += _check_serve(serve, floors)
+
+    if not args.chaos_only and os.path.exists(args.chaos_results):
+        chaos = _load(args.chaos_results)
+        if chaos is None:
+            return 2
+        failures += _check_chaos(chaos, floors)
 
     if failures:
         return 1

@@ -68,7 +68,12 @@ SUBCOMMANDS: List[Tuple[str, str, str]] = [
         "INDEX [--host H] [--port P] [--workers N]\n"
         "        [--max-concurrency N] [--timeout S] [--cache-size N]\n"
         "        [--cache-ttl S] [--no-predict] [--predict-window-ms MS]\n"
-        "        [--predict-max-batch N] [--metrics PATH]",
+        "        [--predict-max-batch N] [--predict-flush-timeout S]\n"
+        "        [--max-restarts N] [--restart-backoff S]\n"
+        "        [--heartbeat-interval S] [--admin-port P]\n"
+        "        [--admission-depth N] [--admission-predict-depth N]\n"
+        "        [--latency-watermark-ms MS] [--breaker-threshold N]\n"
+        "        [--breaker-reset S] [--faults DIR] [--metrics PATH]",
         "serve strategy queries over HTTP (async JSON API)",
     ),
     (
@@ -79,7 +84,7 @@ SUBCOMMANDS: List[Tuple[str, str, str]] = [
     (
         "doctor",
         "PATH [--fingerprint HEX] [--export DATASET]",
-        "diagnose a dataset or checkpoint directory",
+        "diagnose a dataset, checkpoint dir, or run report",
     ),
     (
         "validate",

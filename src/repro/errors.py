@@ -156,3 +156,16 @@ class PredictionError(ServeError):
     the study itself skips (a weight-requiring application on an
     unweighted graph).  The server maps this onto a 400 response.
     """
+
+
+class FlushTimeoutError(PredictionError):
+    """A coalesced predict batch blew its flush deadline.
+
+    Raised (as a per-item future exception) by
+    :class:`repro.serve.server.PredictCoalescer` when one slow or
+    oversized batch exceeds its hard flush deadline — every waiter in
+    the batch gets this instead of stalling past the request timeout.
+    The server maps it onto a per-item 503, counts
+    ``serve.predict.flush_timeouts`` and feeds the predict circuit
+    breaker.
+    """

@@ -32,6 +32,17 @@ Fault kinds:
     Performs nothing itself; :meth:`FaultPlan.fire` returns ``True``
     and the caller (``PerfDataset.save``) garbles its own write,
     modelling a disk/filesystem failure.
+
+The serving layer (``repro serve --faults DIR``) arms the same tokens
+at its own named points — :data:`SERVE_WORKER_CRASH` (hard worker
+death mid-dispatch), :data:`SERVE_HANDLER_SLOW` (a handler stalled for
+the armed ``param`` seconds, consumed via :meth:`FaultPlan.consume` so
+the event loop sleeps asynchronously instead of blocking), and
+:data:`SERVE_RELOAD_CORRUPT` (the hot-reload candidate index garbled
+before validation, driving the rollback path).  The chaos harness
+(``benchmarks/bench_serve.py --chaos``) and the supervisor tests arm
+these to prove the fleet self-heals under deterministic failure
+schedules.
 """
 
 from __future__ import annotations
@@ -45,13 +56,25 @@ from urllib.parse import quote, unquote
 
 from .errors import InjectedFault
 
-__all__ = ["FAULT_KINDS", "FaultPlan", "InjectedFault"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedFault",
+    "SERVE_HANDLER_SLOW",
+    "SERVE_RELOAD_CORRUPT",
+    "SERVE_WORKER_CRASH",
+]
 
 #: The fault vocabulary, in severity order.
 FAULT_KINDS = ("crash", "error", "interrupt", "slow", "corrupt")
 
 #: Exit status of a ``crash``-faulted worker (distinctive in waitpid logs).
 CRASH_EXIT_CODE = 86
+
+#: Serve-path fault points (see module docstring).
+SERVE_WORKER_CRASH = "serve.worker"
+SERVE_HANDLER_SLOW = "serve.handler"
+SERVE_RELOAD_CORRUPT = "serve.reload"
 
 
 class FaultPlan:
@@ -121,6 +144,17 @@ class FaultPlan:
             key, _, _ = rest.rpartition("#")
             out.append((kind, unquote(key)))
         return out
+
+    def consume(self, kind: str, key: str) -> Optional[dict]:
+        """Claim one token *without* performing the fault.
+
+        For callers that must act themselves: an asyncio handler
+        cannot use :meth:`fire`'s blocking ``time.sleep`` for a
+        ``slow`` fault, and ``corrupt`` always leaves the acting to
+        the caller.  Returns the token payload (``{"param": ...}``) or
+        ``None`` when nothing is armed.
+        """
+        return self._consume(kind, key)
 
     # -- firing ------------------------------------------------------------
 

@@ -32,6 +32,7 @@ See ``docs/serving.md`` for the API reference and artifact format.
 
 from __future__ import annotations
 
+from .admission import AdmissionController, CircuitBreaker
 from .cache import TTLCache
 from .index import (
     INDEX_FORMAT,
@@ -46,8 +47,13 @@ from .index import (
 from .predict import Predictor
 from .refine import ObservationStore
 from .server import PredictCoalescer, StrategyServer
+from .supervisor import AdminListener, FleetSupervisor
 
 __all__ = [
+    "AdminListener",
+    "AdmissionController",
+    "CircuitBreaker",
+    "FleetSupervisor",
     "INDEX_FORMAT",
     "IndexEntry",
     "ObservationStore",

@@ -1,0 +1,285 @@
+"""Overload protection for the serving layer: admission + circuit breaking.
+
+Under overload an unprotected asyncio server converts excess demand
+into unbounded queue depth: every request is accepted, waits behind
+the concurrency semaphore, times out at ``request_timeout`` and burns
+a dispatch slot producing a 503 nobody wants.  The production
+discipline is to *shed early*: refuse work the server cannot finish in
+time with a cheap ``429 + Retry-After`` **before** it queues, so the
+requests that are admitted finish within their SLO.
+
+Two cooperating mechanisms live here, both pure bookkeeping objects
+driven by the event-loop thread (no locks, injectable clocks):
+
+:class:`AdmissionController`
+    A bounded admission queue with **per-endpoint-class watermarks**.
+    Requests are classified as ``predict`` (expensive: executor round
+    trip through the batch engine) or ``lookup`` (cheap: precompiled
+    bytes out of a dict).  Each class has a pending-depth watermark,
+    and an EWMA of recent request latency adds a load signal that
+    depth alone misses (a few slow requests can saturate the loop long
+    before the queue is deep).  Brownout ordering is structural:
+    the predict watermark is never above the lookup watermark and the
+    latency watermark sheds predict at ``1x`` but lookups only at
+    ``2x`` — so under rising load the expensive endpoint browns out
+    first while cheap strategy/portfolio lookups keep serving.
+
+:class:`CircuitBreaker`
+    Wraps the predict engine.  ``threshold`` consecutive failures
+    (:class:`~repro.errors.PredictionError`, flush-deadline timeouts,
+    engine crashes) open the circuit: further predict requests
+    fast-fail with 503 instead of queueing behind a sick engine.
+    After ``reset_timeout`` the breaker goes **half-open** and admits
+    exactly one probe; a successful probe closes the circuit, a failed
+    one re-opens it for another full timeout.
+
+Both are disabled by default (watermarks of 0, threshold of 0) and
+cost two integer operations on the admitted hot path, so an idle or
+unconfigured server serves byte-identical responses at unchanged
+throughput — the acceptance bar the serve benchmarks pin.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, Optional
+
+from ..errors import ServeError
+
+__all__ = ["AdmissionController", "CircuitBreaker", "PREDICT", "LOOKUP"]
+
+#: Endpoint classes the admission controller distinguishes.
+PREDICT = "predict"
+LOOKUP = "lookup"
+
+#: Smoothing factor for the latency EWMA (higher reacts faster).
+_EWMA_ALPHA = 0.2
+
+#: Retry-After is clamped to this range (seconds).
+_RETRY_AFTER_MIN = 1
+_RETRY_AFTER_MAX = 30
+
+
+class AdmissionController:
+    """Sheds load at per-endpoint-class depth/latency watermarks.
+
+    ``lookup_depth`` / ``predict_depth`` bound how many requests of
+    each class may be pending (queued + in flight) at once; 0 disables
+    that bound.  When only ``lookup_depth`` is given, ``predict_depth``
+    defaults to half of it — brownout ordering by construction.  A
+    ``latency_watermark_ms`` > 0 additionally sheds ``predict`` once
+    the latency EWMA crosses the watermark, and ``lookup`` only past
+    twice the watermark.
+
+    The server calls :meth:`try_acquire` before queueing a request and
+    :meth:`release` when the dispatch finishes (success or failure);
+    :meth:`retry_after` estimates the drain time a shed client should
+    wait before retrying.
+    """
+
+    def __init__(
+        self,
+        *,
+        lookup_depth: int = 0,
+        predict_depth: int = 0,
+        latency_watermark_ms: float = 0.0,
+        max_concurrency: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lookup_depth < 0 or predict_depth < 0:
+            raise ServeError("admission depths must be non-negative")
+        if latency_watermark_ms < 0:
+            raise ServeError("latency watermark must be non-negative")
+        if predict_depth == 0 and lookup_depth > 0:
+            # Brownout ordering by default: the expensive class gets
+            # half the headroom of the cheap one.
+            predict_depth = max(1, lookup_depth // 2)
+        if lookup_depth and predict_depth > lookup_depth:
+            raise ServeError(
+                "predict admission depth must not exceed the lookup "
+                "depth (predict must brown out first)"
+            )
+        self.lookup_depth = lookup_depth
+        self.predict_depth = predict_depth
+        self.latency_watermark_ms = latency_watermark_ms
+        self.max_concurrency = max(1, max_concurrency)
+        self._clock = clock
+        self._pending: Dict[str, int] = {PREDICT: 0, LOOKUP: 0}
+        self._ewma_ms = 0.0
+        self.shed: Dict[str, int] = {PREDICT: 0, LOOKUP: 0}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any watermark is configured at all."""
+        return bool(
+            self.lookup_depth
+            or self.predict_depth
+            or self.latency_watermark_ms
+        )
+
+    def _depth_for(self, endpoint_class: str) -> int:
+        return (
+            self.predict_depth
+            if endpoint_class == PREDICT
+            else self.lookup_depth
+        )
+
+    def try_acquire(self, endpoint_class: str) -> bool:
+        """Admit (and count) one request, or refuse it.
+
+        Returns ``True`` and increments the class's pending count when
+        the request is admitted; the caller must :meth:`release` it
+        exactly once.  Returns ``False`` — pending unchanged — when the
+        request should be shed as 429.
+        """
+        pending = self._pending[endpoint_class]
+        depth = self._depth_for(endpoint_class)
+        if depth and pending >= depth:
+            self.shed[endpoint_class] += 1
+            return False
+        if self.latency_watermark_ms:
+            limit = self.latency_watermark_ms * (
+                1.0 if endpoint_class == PREDICT else 2.0
+            )
+            if self._ewma_ms > limit:
+                self.shed[endpoint_class] += 1
+                return False
+        self._pending[endpoint_class] = pending + 1
+        return True
+
+    def release(self, endpoint_class: str, latency_ms: float) -> None:
+        """Finish one admitted request and feed the latency signal."""
+        self._pending[endpoint_class] = max(
+            0, self._pending[endpoint_class] - 1
+        )
+        self._ewma_ms += _EWMA_ALPHA * (latency_ms - self._ewma_ms)
+
+    def retry_after(self) -> int:
+        """Seconds a shed client should wait: estimated drain time.
+
+        Pending work drains at roughly ``max_concurrency`` requests per
+        EWMA latency; clamp to a sane [1, 30] so clients neither
+        hot-loop nor give up.
+        """
+        pending = sum(self._pending.values())
+        per_request_s = max(self._ewma_ms, 1.0) / 1000.0
+        drain_s = pending * per_request_s / self.max_concurrency
+        return int(min(_RETRY_AFTER_MAX, max(_RETRY_AFTER_MIN, math.ceil(drain_s))))
+
+    def stats(self) -> dict:
+        """The snapshot ``/healthz`` embeds."""
+        return {
+            "enabled": self.enabled,
+            "pending": dict(self._pending),
+            "shed": dict(self.shed),
+            "latency_ewma_ms": round(self._ewma_ms, 3),
+        }
+
+
+class CircuitBreaker:
+    """Converts failure bursts into fast-fail 503s with half-open probing.
+
+    States: ``closed`` (normal; counting consecutive failures),
+    ``open`` (every :meth:`allow` refuses until ``reset_timeout``
+    elapses), ``half-open`` (exactly one probe request admitted; its
+    outcome decides).  ``threshold=0`` disables the breaker —
+    :meth:`allow` always admits and records are no-ops.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 0,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 0:
+            raise ServeError("breaker threshold must be non-negative")
+        if reset_timeout <= 0:
+            raise ServeError("breaker reset timeout must be positive")
+        self.threshold = threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self.state = self.CLOSED
+        self.failures = 0  # consecutive, while closed
+        self.opened = 0  # cumulative open transitions
+        self.fast_fails = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def allow(self) -> bool:
+        """Whether the next predict request may reach the engine."""
+        if not self.enabled:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - (self._opened_at or 0.0) >= self.reset_timeout:
+                self.state = self.HALF_OPEN
+                self._probing = False
+            else:
+                self.fast_fails += 1
+                return False
+        if self.state == self.HALF_OPEN:
+            if self._probing:
+                self.fast_fails += 1
+                return False
+            self._probing = True
+            return True
+        return True
+
+    def record_success(self) -> None:
+        if not self.enabled:
+            return
+        if self.state == self.HALF_OPEN:
+            # The probe came back healthy: close and forget history.
+            self.state = self.CLOSED
+            self._probing = False
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        if not self.enabled:
+            return
+        if self.state == self.HALF_OPEN:
+            self._open()
+            return
+        self.failures += 1
+        if self.state == self.CLOSED and self.failures >= self.threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self.state = self.OPEN
+        self._opened_at = self._clock()
+        self.opened += 1
+        self.failures = 0
+        self._probing = False
+
+    def retry_after(self) -> int:
+        """Seconds until the breaker could next admit a probe."""
+        if self.state != self.OPEN or self._opened_at is None:
+            return _RETRY_AFTER_MIN
+        remaining = self.reset_timeout - (self._clock() - self._opened_at)
+        return int(max(_RETRY_AFTER_MIN, math.ceil(max(0.0, remaining))))
+
+    def stats(self) -> dict:
+        """The snapshot ``/healthz`` embeds."""
+        return {
+            "enabled": self.enabled,
+            "state": self.state,
+            "consecutive_failures": self.failures,
+            "opened": self.opened,
+            "fast_fails": self.fast_fails,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"threshold={self.threshold}, opened={self.opened})"
+        )

@@ -703,19 +703,36 @@ class StrategyIndex:
         """Load an index, refusing truncation, corruption or drift."""
         try:
             with open(path, encoding="utf-8") as f:
-                parsed = json.load(f)
+                text = f.read()
         except OSError as exc:
             raise StrategyIndexError(
                 f"cannot read strategy index {path!r}: {exc}"
             ) from exc
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        except UnicodeDecodeError as exc:
             raise StrategyIndexError(
-                f"corrupt strategy index {path!r}: truncated or invalid "
+                f"corrupt strategy index {path!r}: not UTF-8 text ({exc})"
+            ) from exc
+        return cls.loads(text, source=path)
+
+    @classmethod
+    def loads(cls, text: str, source: str = "<memory>") -> "StrategyIndex":
+        """Parse and validate artifact *text* (checksum + format tag).
+
+        The hot-reload path reads the candidate file itself and hands
+        the text here, so validation — and the rollback it triggers —
+        is one shared code path with :meth:`load`; ``source`` only
+        labels error messages.
+        """
+        try:
+            parsed = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StrategyIndexError(
+                f"corrupt strategy index {source!r}: truncated or invalid "
                 f"JSON ({exc})"
             ) from exc
         if not isinstance(parsed, dict) or parsed.get("format") != INDEX_FORMAT:
             raise StrategyIndexError(
-                f"unrecognised strategy index {path!r} "
+                f"unrecognised strategy index {source!r} "
                 f"(expected format {INDEX_FORMAT!r})"
             )
         body = json.dumps(
@@ -723,7 +740,7 @@ class StrategyIndex:
         )
         if sha256_hex(body) != parsed.get("checksum"):
             raise StrategyIndexError(
-                f"corrupt strategy index {path!r}: checksum mismatch "
+                f"corrupt strategy index {source!r}: checksum mismatch "
                 f"(the file was modified or partially written)"
             )
         return cls.from_dict(parsed["index"])

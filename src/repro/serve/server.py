@@ -51,6 +51,29 @@ Operational behaviour:
   unchanged, and per-worker recorders are merged through the standard
   ``drain()/merge()`` path into one run report that reconciles exactly
   with the total requests served;
+* **supervision** — the fleet parent runs a
+  :class:`~repro.serve.supervisor.FleetSupervisor`: a dead worker is
+  respawned with exponential backoff under a ``--max-restarts``
+  budget (budget exhausted → clean escalation, exit ≠ 0), workers
+  ship periodic heartbeat metric deltas so a kill -9 loses at most
+  one interval of counters, and ``serve.workers.{restarts,deaths}``
+  land in the merged run report;
+* **overload shedding** — optional per-endpoint-class admission
+  watermarks (:mod:`repro.serve.admission`) refuse excess load as
+  ``429 + Retry-After`` before it queues, browning out expensive
+  ``/v1/predict`` before cheap precompiled lookups, and a circuit
+  breaker turns predict-engine failure bursts into fast-fail 503s
+  with half-open probing;
+* **index hot-reload** — ``SIGHUP`` (or ``POST /admin/reload`` on a
+  loopback-only ``--admin-port``) re-reads the index path, validates
+  checksum + format tag, and atomically swaps the new index in; any
+  validation failure rolls back to the serving index
+  (``serve.reload.*`` counters, generation in ``/healthz``);
+* **fault injection** — ``--faults DIR`` arms the standard
+  :class:`~repro.faults.FaultPlan` tokens at serve-path points
+  (worker crash, slow handler, corrupt reload candidate) so the chaos
+  harness (``benchmarks/bench_serve.py --chaos``) and the supervisor
+  tests drive every recovery path deterministically;
 * **graceful shutdown** — SIGTERM/SIGINT stop the listener, let
   in-flight requests drain, flush the ``--metrics`` sidecar and exit 0.
 
@@ -65,12 +88,21 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qsl, urlsplit
 
-from ..errors import PredictionError, ServeError
+from ..errors import FlushTimeoutError, PredictionError, ServeError
+from ..faults import (
+    FaultPlan,
+    SERVE_HANDLER_SLOW,
+    SERVE_RELOAD_CORRUPT,
+    SERVE_WORKER_CRASH,
+)
 from ..obs import NULL_RECORDER
+from .admission import LOOKUP, PREDICT, AdmissionController, CircuitBreaker
 from .cache import TTLCache
 from .index import (
     StrategyIndex,
@@ -94,7 +126,10 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
@@ -104,9 +139,13 @@ _STATUS_TEXT = {
 class _HttpError(Exception):
     """An error with a definite HTTP status, raised by handlers."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[int] = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        #: When set, the response carries a ``Retry-After`` header.
+        self.retry_after = retry_after
 
 
 def _price_batch(predictor, items: List[tuple]) -> List[object]:
@@ -145,6 +184,15 @@ class PredictCoalescer:
     loop tick (e.g. all items of one request body) but adds no latency.
     Everything runs on the event loop thread except the batch itself,
     so no locking is needed here.
+
+    ``flush_timeout`` puts a hard deadline on each flushed batch: a
+    single slow or oversized batch would otherwise stall *every*
+    coalesced waiter past the request timeout, burning one dispatch
+    slot per waiter.  On deadline every waiter gets a
+    :class:`~repro.errors.FlushTimeoutError` (a per-item 503) and
+    ``serve.predict.flush_timeouts`` counts the batch; the abandoned
+    executor thread finishes in the background and its results are
+    discarded.  ``flush_timeout=0`` disables the deadline.
     """
 
     def __init__(
@@ -154,15 +202,19 @@ class PredictCoalescer:
         *,
         window: float = 0.0,
         max_batch: int = 32,
+        flush_timeout: float = 0.0,
     ) -> None:
         if window < 0:
             raise ServeError("predict window must be non-negative")
         if max_batch < 1:
             raise ServeError("predict max_batch must be positive")
+        if flush_timeout < 0:
+            raise ServeError("predict flush_timeout must be non-negative")
         self.predictor = predictor
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.window = window
         self.max_batch = max_batch
+        self.flush_timeout = flush_timeout
         self._pending: List[tuple] = []
         self._timer: Optional[asyncio.TimerHandle] = None
 
@@ -192,9 +244,23 @@ class PredictCoalescer:
         loop = asyncio.get_event_loop()
         items = [(chip, app, inp, cfg) for chip, app, inp, cfg, _ in batch]
         try:
-            results = await loop.run_in_executor(
+            call = loop.run_in_executor(
                 None, _price_batch, self.predictor, items
             )
+            if self.flush_timeout > 0:
+                results = await asyncio.wait_for(call, self.flush_timeout)
+            else:
+                results = await call
+        except asyncio.TimeoutError:
+            rec.count("serve.predict.flush_timeouts")
+            deadline_exc = FlushTimeoutError(
+                f"coalesced predict batch of {len(batch)} item(s) "
+                f"exceeded the {self.flush_timeout}s flush deadline"
+            )
+            for *_, future in batch:
+                if not future.done():
+                    future.set_exception(deadline_exc)
+            return
         except Exception as exc:  # engine-level failure: fail every item
             for *_, future in batch:
                 if not future.done():
@@ -238,6 +304,13 @@ class StrategyServer:
         predict_max_batch: int = 32,
         observations: Optional[ObservationStore] = None,
         refine_capacity: int = DEFAULT_CAPACITY,
+        predict_flush_timeout: float = 0.0,
+        admission: Optional[AdmissionController] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        index_path: Optional[str] = None,
+        faults: Optional[FaultPlan] = None,
+        admin_port: Optional[int] = None,
+        incarnation: int = 0,
     ) -> None:
         if max_concurrency < 1:
             raise ServeError("max_concurrency must be positive")
@@ -273,8 +346,36 @@ class StrategyServer:
             if observations is not None
             else ObservationStore(refine_capacity)
         )
+        self.predict_flush_timeout = predict_flush_timeout
+        #: Overload shedding + predict circuit breaking; both default
+        #: to disabled instances so the hot path has one code shape.
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(max_concurrency=max_concurrency)
+        )
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker()
+        )
+        #: Where ``SIGHUP`` / ``POST /admin/reload`` re-reads the index
+        #: from; ``None`` disables hot reload (in-memory index only).
+        self.index_path = index_path
+        #: Armed serve-path fault tokens (``--faults DIR``); ``None``
+        #: in production means every fault hook is a no-op.
+        self.faults = faults
+        #: Loopback-only admin port (``POST /admin/reload``); ``None``
+        #: binds no admin listener.
+        self.admin_port = admin_port
+        #: How many times this worker slot has been respawned by the
+        #: fleet supervisor (0 for the first spawn / single-process).
+        self.incarnation = incarnation
+        self.index_generation = 0
+        self.reloads = 0
+        self.reload_failures = 0
+        self._reload_lock: Optional[asyncio.Lock] = None
         self._coalescer: Optional[PredictCoalescer] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._admin_server: Optional[asyncio.AbstractServer] = None
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._stopping: Optional[asyncio.Event] = None
         self._connections: set = set()
@@ -287,18 +388,27 @@ class StrategyServer:
         """Bind and start accepting connections."""
         self._semaphore = asyncio.Semaphore(self.max_concurrency)
         self._stopping = asyncio.Event()
+        self._reload_lock = asyncio.Lock()
         if self.predictor is not None:
             self._coalescer = PredictCoalescer(
                 self.predictor,
                 self.recorder,
                 window=self.predict_window,
                 max_batch=self.predict_max_batch,
+                flush_timeout=self.predict_flush_timeout,
             )
         kwargs = {"reuse_port": True} if self.reuse_port else {}
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, **kwargs
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.admin_port is not None:
+            # Admin surface is deliberately loopback-only: reload is an
+            # operator action, never an internet-facing endpoint.
+            self._admin_server = await asyncio.start_server(
+                self._handle_admin, "127.0.0.1", self.admin_port
+            )
+            self.admin_port = self._admin_server.sockets[0].getsockname()[1]
 
     async def serve_until_stopped(self) -> None:
         """Run until :meth:`request_shutdown` (or :meth:`stop`) fires."""
@@ -325,6 +435,10 @@ class StrategyServer:
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+        if self._admin_server is not None:
+            self._admin_server.close()
+            await self._admin_server.wait_closed()
+            self._admin_server = None
         # Let busy connections finish their current request (bounded by
         # the per-request timeout plus slack), then drop idle keep-alive
         # connections, which would otherwise pin the loop open.
@@ -346,9 +460,7 @@ class StrategyServer:
         try:
             while True:
                 try:
-                    request = await asyncio.wait_for(
-                        self._read_request(reader), self.idle_timeout
-                    )
+                    request = await self._read_request(reader)
                 except (asyncio.TimeoutError, asyncio.IncompleteReadError):
                     break
                 except _HttpError as exc:
@@ -364,12 +476,16 @@ class StrategyServer:
                 method, target, body, keep_alive = request
                 self._busy.add(task)
                 try:
-                    status, payload = await self._dispatch(method, target, body)
+                    status, payload, headers = await self._dispatch(
+                        method, target, body
+                    )
                 finally:
                     self._busy.discard(task)
                 if self._stopping is not None and self._stopping.is_set():
                     keep_alive = False
-                await self._write_response(writer, status, payload, keep_alive)
+                await self._write_response(
+                    writer, status, payload, keep_alive, extra_headers=headers
+                )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.CancelledError):
@@ -387,12 +503,51 @@ class StrategyServer:
     async def _read_request(
         self, reader
     ) -> Optional[Tuple[str, str, bytes, bool]]:
-        """Parse one HTTP/1.1 request; ``None`` on clean EOF."""
-        line = await reader.readline()
+        """Parse one HTTP/1.1 request; ``None`` on clean EOF.
+
+        Timeouts are split by intent: waiting for the *first* byte of
+        a request is normal keep-alive idleness (``idle_timeout``;
+        raises :class:`asyncio.TimeoutError`, the caller closes
+        silently), while a client that starts a request and then
+        trickles it — a slow-loris — gets ``request_timeout`` to
+        deliver the rest, after which the server answers 408 and drops
+        the connection.  Oversized lines are rejected as 400 even when
+        the transport's read buffer gives up before our own counter
+        does (``LimitOverrunError`` surfaces as ``ValueError``).
+        """
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), self.idle_timeout
+            )
+        except ValueError:
+            raise _HttpError(400, "request line too long")
         if not line:
             return None
         if len(line) > _MAX_HEADER_BYTES:
             raise _HttpError(400, "request line too long")
+
+        # One cumulative deadline for the whole request: a trickler
+        # cannot reset its clock by delivering one byte per read.
+        deadline = self._clock() + self.request_timeout
+
+        timed_out = _HttpError(
+            408,
+            f"timed out reading the request after "
+            f"{self.request_timeout}s (slow client)",
+        )
+
+        async def _read_more(coro):
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                coro.close()
+                raise timed_out
+            try:
+                return await asyncio.wait_for(coro, remaining)
+            except asyncio.TimeoutError:
+                raise timed_out
+            except ValueError:
+                raise _HttpError(400, "header line too long")
+
         parts = line.decode("latin-1").strip().split()
         if len(parts) != 3:
             raise _HttpError(400, f"malformed request line {line!r}")
@@ -400,7 +555,7 @@ class StrategyServer:
         headers: Dict[str, str] = {}
         total = len(line)
         while True:
-            hline = await reader.readline()
+            hline = await _read_more(reader.readline())
             total += len(hline)
             if total > _MAX_HEADER_BYTES:
                 raise _HttpError(400, "headers too large")
@@ -421,7 +576,7 @@ class StrategyServer:
                 raise _HttpError(
                     413, f"request body exceeds {MAX_BODY_BYTES} bytes"
                 )
-            body = await reader.readexactly(n)
+            body = await _read_more(reader.readexactly(n))
         keep_alive = headers.get("connection", "").lower() != "close" and (
             version.upper() != "HTTP/1.0"
             or headers.get("connection", "").lower() == "keep-alive"
@@ -429,7 +584,12 @@ class StrategyServer:
         return method, target, body, keep_alive
 
     async def _write_response(
-        self, writer, status: int, payload: Union[dict, bytes], keep_alive: bool
+        self,
+        writer,
+        status: int,
+        payload: Union[dict, bytes],
+        keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         # The zero-encode hot path hands pre-serialized bodies straight
         # through; everything else still encodes here.  Both are the
@@ -438,11 +598,18 @@ class StrategyServer:
             body = bytes(payload)
         else:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        extra = ""
+        if extra_headers:
+            extra = "".join(
+                f"{name}: {value}\r\n"
+                for name, value in extra_headers.items()
+            )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             f"\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -452,12 +619,40 @@ class StrategyServer:
 
     async def _dispatch(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[int, Union[dict, bytes]]:
+    ) -> Tuple[int, Union[dict, bytes], Optional[Dict[str, str]]]:
         """Route one request; never raises."""
         rec = self.recorder
         rec.count("serve.requests")
         self.requests_served += 1
         started = self._clock()
+        headers: Optional[Dict[str, str]] = None
+        if self.faults is not None:
+            # Hard worker death mid-dispatch (chaos harness): the
+            # process disappears without unwinding, like an OOM kill.
+            self.faults.fire("crash", SERVE_WORKER_CRASH)
+        # Admission: refuse work the server cannot finish in time as a
+        # cheap 429 *before* it queues at the semaphore.  Expensive
+        # predict sheds before cheap precompiled lookups (brownout).
+        endpoint_class = (
+            PREDICT if target.split("?", 1)[0] == "/v1/predict" else LOOKUP
+        )
+        if not self.admission.try_acquire(endpoint_class):
+            retry = self.admission.retry_after()
+            rec.count("serve.shed")
+            rec.count(f"serve.shed.{endpoint_class}")
+            status, payload = 429, {
+                "error": (
+                    f"server is shedding {endpoint_class} load; retry "
+                    f"in {retry}s"
+                ),
+                "retry_after": retry,
+            }
+            headers = {"Retry-After": str(retry)}
+            rec.observe(
+                "serve.latency_ms", (self._clock() - started) * 1000.0
+            )
+            rec.count(f"serve.responses.{status // 100}xx")
+            return status, payload, headers
         assert self._semaphore is not None
         try:
             async with self._semaphore:
@@ -475,18 +670,31 @@ class StrategyServer:
         except _HttpError as exc:
             rec.count("serve.errors")
             status, payload = exc.status, {"error": str(exc)}
+            if exc.retry_after is not None:
+                headers = {"Retry-After": str(exc.retry_after)}
         except asyncio.CancelledError:
             raise
         except Exception as exc:
             rec.count("serve.errors")
             status, payload = 500, {"error": f"internal error: {exc}"}
+        finally:
+            self.admission.release(
+                endpoint_class, (self._clock() - started) * 1000.0
+            )
         rec.observe("serve.latency_ms", (self._clock() - started) * 1000.0)
         rec.count(f"serve.responses.{status // 100}xx")
-        return status, payload
+        return status, payload, headers
 
     async def _route(
         self, method: str, target: str, body: bytes
     ) -> Tuple[int, Union[dict, bytes]]:
+        if self.faults is not None:
+            # A straggling handler (chaos harness): sleep on the event
+            # loop — not the blocking fire() path — so other requests
+            # keep flowing and only this one goes slow.
+            token = self.faults.consume("slow", SERVE_HANDLER_SLOW)
+            if token is not None:
+                await asyncio.sleep(float(token.get("param", 0.0)))
         url = urlsplit(target)
         path = url.path
         if path == "/healthz":
@@ -511,6 +719,121 @@ class StrategyServer:
         if method.upper() != expected:
             raise _HttpError(405, f"use {expected} for this endpoint")
 
+    # -- hot reload ---------------------------------------------------------
+
+    def request_reload(self) -> None:
+        """Schedule an index hot-reload (SIGHUP-handler safe)."""
+        asyncio.ensure_future(self.reload_index())
+
+    async def reload_index(self) -> dict:
+        """Re-read :attr:`index_path`, validate, and atomically swap.
+
+        The candidate file is read and validated (checksum + format
+        tag, the same gauntlet as :meth:`StrategyIndex.load`) *before*
+        anything changes; any failure leaves the serving index — and
+        its generation — untouched, so a bad deploy rolls back to the
+        last good artifact by doing nothing.  On success the swap is a
+        single assignment on the event-loop thread (in-flight requests
+        hold references to whichever index they started with), the
+        response cache is cleared, and the generation counter bumps.
+        """
+        if self._reload_lock is None:
+            self._reload_lock = asyncio.Lock()
+        async with self._reload_lock:
+            rec = self.recorder
+            rec.count("serve.reload.attempts")
+            generation = self.index_generation
+            if not self.index_path:
+                self.reload_failures += 1
+                rec.count("serve.reload.failures")
+                return {
+                    "reloaded": False,
+                    "generation": generation,
+                    "error": "server has no index path to reload from",
+                }
+            try:
+                with open(self.index_path, encoding="utf-8") as f:
+                    text = f.read()
+                if self.faults is not None and self.faults.consume(
+                    "corrupt", SERVE_RELOAD_CORRUPT
+                ):
+                    # Chaos harness: garble the candidate mid-deploy so
+                    # checksum validation — and rollback — must fire.
+                    text = text[: len(text) // 2] + '{"corrupt":'
+                index = StrategyIndex.loads(text, source=self.index_path)
+            except (OSError, UnicodeDecodeError, ServeError) as exc:
+                self.reload_failures += 1
+                rec.count("serve.reload.failures")
+                print(
+                    f"[serve] reload failed, still serving generation "
+                    f"{generation}: {exc}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return {
+                    "reloaded": False,
+                    "generation": generation,
+                    "error": str(exc),
+                }
+            self.index = index
+            self.cache.clear()
+            self.index_generation += 1
+            self.reloads += 1
+            rec.count("serve.reload.success")
+            print(
+                f"[serve] reloaded index from {self.index_path!r} "
+                f"(generation {self.index_generation}, "
+                f"{index.n_entries} entries)",
+                file=sys.stderr,
+                flush=True,
+            )
+            return {
+                "reloaded": True,
+                "generation": self.index_generation,
+                "entries": index.n_entries,
+            }
+
+    async def _handle_admin(self, reader, writer) -> None:
+        """One loopback admin connection: reload / health, then close."""
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, _, _ = request
+            path = urlsplit(target).path
+            if path == "/admin/reload":
+                if method.upper() != "POST":
+                    raise _HttpError(405, "use POST for /admin/reload")
+                result = await self.reload_index()
+                status = 200 if result.get("reloaded") else 409
+                await self._write_response(writer, status, result, False)
+            elif path == "/admin/health":
+                if method.upper() != "GET":
+                    raise _HttpError(405, "use GET for /admin/health")
+                await self._write_response(writer, 200, self._healthz(), False)
+            else:
+                raise _HttpError(404, f"unknown admin path {path!r}")
+        except _HttpError as exc:
+            try:
+                await self._write_response(
+                    writer, exc.status, {"error": str(exc)}, False
+                )
+            except ConnectionError:
+                pass
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
     # -- endpoints ---------------------------------------------------------
 
     def _healthz(self) -> dict:
@@ -527,6 +850,19 @@ class StrategyServer:
         if self.index.portfolios is not None:
             payload["portfolio_curves"] = self.index.portfolios.n_curves
         payload["refine_cells"] = len(self.observations)
+        # Operational provenance: which process answered, how often its
+        # slot has been respawned, and what index generation it serves
+        # — the chaos harness and the supervisor smoke checks read
+        # these to pick kill victims and to assert self-healing.
+        payload["pid"] = os.getpid()
+        payload["worker_restarts"] = self.incarnation
+        payload["index_generation"] = self.index_generation
+        payload["reloads"] = {
+            "ok": self.reloads,
+            "failed": self.reload_failures,
+        }
+        payload["admission"] = self.admission.stats()
+        payload["breaker"] = self.breaker.stats()
         if self.worker_id is not None:
             payload["worker"] = self.worker_id
         return payload
@@ -748,6 +1084,17 @@ class StrategyServer:
             raise _HttpError(
                 501, "online prediction is disabled (--no-predict)"
             )
+        if not self.breaker.allow():
+            # The engine has been failing repeatedly: fast-fail instead
+            # of queueing more work behind it (half-open probes admit
+            # one request per reset window to test recovery).
+            rec.count("serve.breaker.fast_fails")
+            raise _HttpError(
+                503,
+                "predict engine circuit breaker is open after repeated "
+                "failures; retrying after the breaker reset window",
+                retry_after=self.breaker.retry_after(),
+            )
         try:
             parsed = json.loads(body.decode("utf-8")) if body else {}
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -803,17 +1150,28 @@ class StrategyServer:
             except PredictionError as exc:
                 results[i] = {"error": str(exc)}
                 errors += 1
+        flush_timeouts = 0
         if submitted:
             priced = await asyncio.gather(
                 *(future for _, future in submitted), return_exceptions=True
             )
             for (i, _), outcome in zip(submitted, priced):
-                if isinstance(outcome, PredictionError):
+                if isinstance(outcome, FlushTimeoutError):
+                    # The coalesced batch blew its flush deadline: a
+                    # per-item 503, and the breaker hears about it.
+                    results[i] = {"error": str(outcome), "status": 503}
+                    errors += 1
+                    flush_timeouts += 1
+                    self.breaker.record_failure()
+                elif isinstance(outcome, PredictionError):
                     results[i] = {"error": str(outcome)}
                     errors += 1
+                    self.breaker.record_failure()
                 elif isinstance(outcome, BaseException):
+                    self.breaker.record_failure()
                     raise outcome  # engine failure: 500, as before
                 else:
+                    self.breaker.record_success()
                     if advisors[i] is not None:
                         outcome["advisor"] = advisors[i].to_dict()
                     results[i] = outcome
@@ -832,7 +1190,12 @@ class StrategyServer:
                         # cannot feed ?refine=1; pricing still stands.
                         pass
         rec.count("serve.predictions.errors", errors)
-        return 200, {"results": results, "errors": errors}
+        # Every priced item hit the flush deadline: the whole response
+        # is a 503 (clients should back off), with per-item detail.
+        status = (
+            503 if submitted and flush_timeouts == len(submitted) else 200
+        )
+        return status, {"results": results, "errors": errors}
 
 
 def _make_server(
@@ -843,6 +1206,7 @@ def _make_server(
     port: Optional[int] = None,
     reuse_port: bool = False,
     worker_id: Optional[int] = None,
+    incarnation: int = 0,
 ) -> StrategyServer:
     """One configured server from parsed CLI options (``vars(args)``)."""
     cache = (
@@ -858,6 +1222,22 @@ def _make_server(
             repetitions=opts["predict_repetitions"],
         )
     )
+    admission = AdmissionController(
+        lookup_depth=opts.get("admission_depth") or 0,
+        predict_depth=opts.get("admission_predict_depth") or 0,
+        latency_watermark_ms=opts.get("latency_watermark_ms") or 0.0,
+        max_concurrency=opts["max_concurrency"],
+    )
+    breaker = CircuitBreaker(
+        threshold=opts.get("breaker_threshold") or 0,
+        reset_timeout=opts.get("breaker_reset") or 5.0,
+    )
+    flush_timeout = opts.get("predict_flush_timeout")
+    if flush_timeout is None:
+        # Auto: flush just inside the request timeout, so coalesced
+        # waiters get their per-item 503 instead of a blanket timeout.
+        flush_timeout = 0.9 * opts["timeout"]
+    faults = FaultPlan(opts["faults"]) if opts.get("faults") else None
     return StrategyServer(
         index,
         host=opts["host"],
@@ -873,11 +1253,20 @@ def _make_server(
         predict_window=opts["predict_window_ms"] / 1000.0,
         predict_max_batch=opts["predict_max_batch"],
         refine_capacity=opts.get("refine_capacity", DEFAULT_CAPACITY),
+        predict_flush_timeout=flush_timeout,
+        admission=admission,
+        breaker=breaker,
+        index_path=opts.get("index"),
+        faults=faults,
+        # Workers must not race for one loopback admin port; the fleet
+        # parent runs its own admin listener and forwards SIGHUP.
+        admin_port=opts.get("admin_port") if worker_id is None else None,
+        incarnation=incarnation,
     )
 
 
 def _worker_main(  # pragma: no cover - forked child, exercised e2e
-    worker_id: int, opts: dict, port: int, queue
+    worker_id: int, opts: dict, port: int, queue, incarnation: int = 0
 ) -> None:
     """One ``--workers`` process: serve until SIGTERM/SIGINT, ship metrics.
 
@@ -887,6 +1276,14 @@ def _worker_main(  # pragma: no cover - forked child, exercised e2e
     listening address once every worker accepts); on shutdown it drains
     its recorder and ships the snapshot home for the parent to
     ``merge()`` into the one run report.
+
+    Between startup and shutdown the worker ships periodic *heartbeat*
+    deltas — ``recorder.drain()`` plus the requests served since the
+    last beat — so when a worker is killed outright (kill -9, OOM, an
+    armed ``crash`` fault) the merged report loses at most one
+    heartbeat interval of counters instead of the worker's whole life.
+    ``SIGHUP`` triggers an index hot-reload, forwarded by the parent
+    across the fleet.
     """
     import signal
 
@@ -901,7 +1298,9 @@ def _worker_main(  # pragma: no cover - forked child, exercised e2e
         port=port,
         reuse_port=True,
         worker_id=worker_id,
+        incarnation=incarnation,
     )
+    reported = {"requests": 0}
 
     async def _run() -> None:
         await server.start()
@@ -911,29 +1310,72 @@ def _worker_main(  # pragma: no cover - forked child, exercised e2e
                 loop.add_signal_handler(sig, server.request_shutdown)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
+        try:
+            loop.add_signal_handler(signal.SIGHUP, server.request_reload)
+        except (NotImplementedError, RuntimeError, AttributeError):
+            pass  # non-POSIX: reload via the parent's admin endpoint
         queue.put(("ready", worker_id, server.port))
-        await server.serve_until_stopped()
+
+        async def _heartbeat(interval: float) -> None:
+            while True:
+                await asyncio.sleep(interval)
+                snapshot = (
+                    recorder.drain() if recorder is not None else None
+                )
+                delta = server.requests_served - reported["requests"]
+                reported["requests"] = server.requests_served
+                queue.put(("heartbeat", worker_id, snapshot, delta))
+
+        interval = opts.get("heartbeat_interval") or 0.0
+        beat = (
+            asyncio.ensure_future(_heartbeat(interval))
+            if interval > 0
+            else None
+        )
+        try:
+            await server.serve_until_stopped()
+        finally:
+            if beat is not None:
+                beat.cancel()
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback
         pass
     snapshot = recorder.drain() if recorder is not None else None
-    queue.put(("metrics", worker_id, snapshot, server.requests_served))
+    queue.put(
+        (
+            "metrics",
+            worker_id,
+            snapshot,
+            server.requests_served - reported["requests"],
+        )
+    )
 
 
 def _serve_workers(  # pragma: no cover - subprocess-only, exercised e2e
     args, index: StrategyIndex
 ) -> int:
-    """Parent of a ``--workers N`` fleet sharing one ``SO_REUSEPORT`` port."""
+    """Parent of a ``--workers N`` fleet sharing one ``SO_REUSEPORT`` port.
+
+    The parent is a supervisor, not a server: it spawns the fleet,
+    merges heartbeat/final metric deltas from the queue, respawns dead
+    workers with exponential backoff under the ``--max-restarts``
+    budget (:class:`~repro.serve.supervisor.FleetSupervisor`),
+    forwards SIGTERM/SIGINT (drain) and SIGHUP (index hot-reload)
+    fleet-wide, and answers ``POST /admin/reload`` on the loopback
+    ``--admin-port``.  When the restart budget is exhausted it
+    escalates: terminates the fleet, writes whatever metrics it has,
+    and exits 2 so the process manager above sees the failure.
+    """
     import multiprocessing
     import os
     import signal
     import socket
-    import sys
 
     from ..cli import save_run_report
     from ..obs import Recorder
+    from .supervisor import AdminListener, FleetSupervisor
 
     if not hasattr(socket, "SO_REUSEPORT"):
         print(
@@ -948,6 +1390,7 @@ def _serve_workers(  # pragma: no cover - subprocess-only, exercised e2e
     # the same (host, port) with SO_REUSEPORT, and the kernel balances
     # incoming connections across the listening sockets only.
     placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    admin = None
     try:
         placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         try:
@@ -966,43 +1409,44 @@ def _serve_workers(  # pragma: no cover - subprocess-only, exercised e2e
         )
         queue = ctx.Queue()
         opts = vars(args)
-        workers = [
-            ctx.Process(
-                target=_worker_main, args=(wid, opts, port, queue)
-            )
-            for wid in range(args.workers)
-        ]
-        for proc in workers:
-            proc.start()
 
-        def _drain_queue(want: str, expected: int, results: dict) -> bool:
-            """Collect ``expected`` tagged messages; False if a worker died."""
-            deadline = None
-            while len(results) < expected:
-                try:
-                    message = queue.get(timeout=0.5)
-                except Exception:  # queue.Empty: check for dead workers
-                    if any(
-                        p.exitcode is not None and p.exitcode != 0
-                        for p in workers
-                    ):
-                        return False
-                    if all(p.exitcode is not None for p in workers):
-                        # All exited cleanly; their final messages may
-                        # still be in flight — drain with a grace period.
-                        if deadline is None:
-                            deadline = time.monotonic() + 5.0
-                        elif time.monotonic() > deadline:
-                            return True
-                    continue
-                if message[0] == want:
-                    results[message[1]] = message[2:]
-            return True
+        def _spawn(worker_id: int, incarnation: int):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, opts, port, queue, incarnation),
+            )
+            proc.start()
+            return proc
+
+        supervisor = FleetSupervisor(
+            _spawn,
+            args.workers,
+            max_restarts=args.max_restarts,
+            backoff_base=args.restart_backoff,
+        )
+        recorder = Recorder()
+        per_worker: Dict[int, int] = {}
+        state = {"stopping": False}
+
+        def _signal_fleet(signum: int) -> int:
+            sent = 0
+            for proc in supervisor.processes():
+                if proc.is_alive():
+                    try:
+                        os.kill(proc.pid, signum)
+                        sent += 1
+                    except (ProcessLookupError, OSError):
+                        pass
+            return sent
 
         def _forward(signum, frame):  # noqa: ARG001 - signal signature
-            for proc in workers:
-                if proc.is_alive():
-                    os.kill(proc.pid, signal.SIGTERM)
+            state["stopping"] = True
+            supervisor.stop()
+            _signal_fleet(signal.SIGTERM)
+
+        def _reload_fleet(signum=None, frame=None):  # noqa: ARG001
+            signalled = _signal_fleet(signal.SIGHUP)
+            return {"reload": "signalled", "workers": signalled}
 
         # Install the forwarder BEFORE advertising the address: a
         # SIGTERM/SIGINT racing the startup print would otherwise hit
@@ -1012,45 +1456,116 @@ def _serve_workers(  # pragma: no cover - subprocess-only, exercised e2e
             sig: signal.signal(sig, _forward)
             for sig in (signal.SIGTERM, signal.SIGINT)
         }
-        try:
-            ready: dict = {}
-            if not _drain_queue("ready", args.workers, ready):
-                print(
-                    "[serve] a worker died during startup; aborting",
-                    file=sys.stderr,
-                )
-                for proc in workers:
-                    if proc.is_alive():
-                        proc.terminate()
-                for proc in workers:
-                    proc.join()
-                return 1
-            print(
-                f"[serve] listening on http://{args.host}:{port} "
-                f"({index.n_entries} index entries, "
-                f"{index.n_answers} pre-serialized answers, "
-                f"{args.workers} workers, "
-                f"predict={'off' if args.no_predict else 'on'})",
-                file=sys.stderr,
-                flush=True,
+        if hasattr(signal, "SIGHUP"):
+            previous[signal.SIGHUP] = signal.signal(
+                signal.SIGHUP, _reload_fleet
             )
-            reports: dict = {}
-            _drain_queue("metrics", args.workers, reports)
-            for proc in workers:
-                proc.join()
+        try:
+            if args.admin_port is not None:
+                try:
+                    admin = AdminListener(
+                        args.admin_port, _reload_fleet, supervisor.stats
+                    )
+                except OSError as exc:
+                    print(
+                        f"[serve] cannot bind admin port "
+                        f"{args.admin_port}: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                admin.start()
+            supervisor.start()
+            ready: set = set()
+            advertised = False
+            empty_polls = 0
+            while True:
+                try:
+                    message = queue.get(timeout=0.25)
+                except Exception:  # queue.Empty
+                    message = None
+                if message is not None:
+                    empty_polls = 0
+                    kind, wid = message[0], message[1]
+                    if kind == "ready":
+                        ready.add(wid)
+                        if not advertised and len(ready) >= args.workers:
+                            advertised = True
+                            print(
+                                f"[serve] listening on "
+                                f"http://{args.host}:{port} "
+                                f"({index.n_entries} index entries, "
+                                f"{index.n_answers} pre-serialized "
+                                f"answers, {args.workers} workers, "
+                                f"predict="
+                                f"{'off' if args.no_predict else 'on'})",
+                                file=sys.stderr,
+                                flush=True,
+                            )
+                    elif kind in ("heartbeat", "metrics"):
+                        snapshot, delta = message[2], message[3]
+                        if snapshot is not None:
+                            recorder.merge(snapshot)
+                        per_worker[wid] = per_worker.get(wid, 0) + delta
+                else:
+                    empty_polls += 1
+                if not state["stopping"]:
+                    for event in supervisor.poll():
+                        tag = event[0]
+                        if tag == "death":
+                            recorder.count("serve.workers.deaths")
+                            print(
+                                f"[serve] worker {event[1]} died "
+                                f"(exit {event[2]})",
+                                file=sys.stderr,
+                                flush=True,
+                            )
+                        elif tag == "backoff":
+                            print(
+                                f"[serve] respawning worker {event[1]} "
+                                f"in {event[2]:.2f}s",
+                                file=sys.stderr,
+                                flush=True,
+                            )
+                        elif tag == "respawn":
+                            recorder.count("serve.workers.restarts")
+                            print(
+                                f"[serve] worker {event[1]} respawned "
+                                f"(incarnation {event[2]})",
+                                file=sys.stderr,
+                                flush=True,
+                            )
+                        elif tag == "escalate":
+                            print(
+                                f"[serve] restart budget "
+                                f"({args.max_restarts}) exhausted after "
+                                f"{supervisor.deaths} deaths; shutting "
+                                f"the fleet down",
+                                file=sys.stderr,
+                                flush=True,
+                            )
+                    if supervisor.escalated:
+                        state["stopping"] = True
+                        supervisor.stop()
+                        _signal_fleet(signal.SIGTERM)
+                if (
+                    state["stopping"]
+                    and supervisor.all_exited()
+                    and empty_polls >= 2
+                ):
+                    break
+            for slot in supervisor.slots:
+                if slot.process is not None:
+                    slot.process.join()
         finally:
             for sig, handler in previous.items():
                 signal.signal(sig, handler)
+            if admin is not None:
+                admin.close()
     finally:
         placeholder.close()
 
-    total = sum(requests for _, requests in reports.values())
+    total = sum(per_worker.values())
     if args.metrics:
-        recorder = Recorder()
-        for wid in sorted(reports):
-            snapshot, _ = reports[wid]
-            if snapshot is not None:
-                recorder.merge(snapshot)
         recorder.gauge("serve.workers", float(args.workers))
         save_run_report(
             recorder,
@@ -1059,14 +1574,29 @@ def _serve_workers(  # pragma: no cover - subprocess-only, exercised e2e
                 "index": args.index,
                 "requests": total,
                 "workers": args.workers,
+                "restarts": supervisor.restarts,
+                "deaths": supervisor.deaths,
                 "per_worker_requests": {
                     str(wid): requests
-                    for wid, (_, requests) in sorted(reports.items())
+                    for wid, requests in sorted(per_worker.items())
                 },
             },
         )
         print(f"[serve] wrote run report to {args.metrics}", file=sys.stderr)
-    failed = [p.exitcode for p in workers if p.exitcode != 0]
+    if supervisor.escalated:
+        print(
+            f"[serve] escalated shutdown: {supervisor.deaths} worker "
+            f"deaths exhausted the --max-restarts budget "
+            f"({total} requests served)",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 2
+    failed = [
+        slot.process.exitcode
+        for slot in supervisor.slots
+        if slot.process is not None and slot.process.exitcode != 0
+    ]
     print(
         f"[serve] shut down cleanly ({total} requests served by "
         f"{args.workers} workers)"
@@ -1194,6 +1724,126 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable POST /v1/predict (strategy queries only)",
     )
+    parser.add_argument(
+        "--predict-flush-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "hard deadline on each coalesced predict batch; on expiry "
+            "every waiter gets a per-item 503 and "
+            "serve.predict.flush_timeouts counts the batch (default: "
+            "0.9 x --timeout; 0 disables)"
+        ),
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "global budget of worker respawns for --workers fleets; "
+            "once exhausted the fleet escalates to a clean non-zero "
+            "shutdown (default 8)"
+        ),
+    )
+    parser.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help=(
+            "base respawn delay after a worker death, doubled per "
+            "restart of that slot and capped at 30s (default 0.5)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help=(
+            "how often --workers fleet members ship metric deltas to "
+            "the parent; a killed worker loses at most one interval of "
+            "counters from the merged run report (default 2.0; 0 "
+            "disables heartbeats)"
+        ),
+    )
+    parser.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "bind a loopback-only admin endpoint (POST /admin/reload, "
+            "GET /admin/health) on this port (default: no admin "
+            "endpoint; SIGHUP also triggers an index hot-reload)"
+        ),
+    )
+    parser.add_argument(
+        "--admission-depth",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "shed lookup requests as 429 + Retry-After once this many "
+            "are pending; predict sheds at --admission-predict-depth "
+            "(default half of this) so the expensive endpoint browns "
+            "out first (default 0: no admission control)"
+        ),
+    )
+    parser.add_argument(
+        "--admission-predict-depth",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "pending-depth watermark for /v1/predict admission "
+            "(default: half of --admission-depth)"
+        ),
+    )
+    parser.add_argument(
+        "--latency-watermark-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help=(
+            "shed predict load once the request-latency EWMA crosses "
+            "this watermark (lookups shed at 2x it); 0 disables "
+            "(default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "open the predict circuit breaker after this many "
+            "consecutive engine failures, fast-failing 503 until the "
+            "half-open probe succeeds (default 0: breaker disabled)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help=(
+            "how long the predict circuit breaker stays open before "
+            "admitting a half-open probe (default 5.0)"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="DIR",
+        default=None,
+        help=(
+            "arm serve-path fault injection from a FaultPlan spool "
+            "directory (chaos testing: worker crash, slow handler, "
+            "corrupt reload candidate)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.workers < 1:
@@ -1223,6 +1873,13 @@ def main(argv=None) -> int:
                 loop.add_signal_handler(sig, server.request_shutdown)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass  # non-POSIX event loop: Ctrl-C still raises
+        if hasattr(signal, "SIGHUP"):
+            try:
+                loop.add_signal_handler(
+                    signal.SIGHUP, server.request_reload
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # reload remains available via --admin-port
         print(
             f"[serve] listening on http://{server.host}:{server.port} "
             f"({index.n_entries} index entries, "
@@ -1231,6 +1888,13 @@ def main(argv=None) -> int:
             file=sys.stderr,
             flush=True,
         )
+        if server.admin_port is not None:
+            print(
+                f"[serve] admin endpoint on "
+                f"http://127.0.0.1:{server.admin_port}",
+                file=sys.stderr,
+                flush=True,
+            )
         await server.serve_until_stopped()
 
     try:

@@ -1,0 +1,290 @@
+"""Worker-fleet supervision for ``repro serve --workers N``.
+
+PR 2 taught the *study* pipeline that workers die: its pool requeues
+shards, retries with backoff, and falls back in-process.  The serve
+fleet needs the same discipline — a crashed ``SO_REUSEPORT`` worker
+otherwise silently shrinks the fleet forever — but with a serving
+twist: the supervisor must keep the fleet at N *indefinitely*, not
+finish a work queue.
+
+:class:`FleetSupervisor` is the bookkeeping engine: it owns one
+:class:`WorkerSlot` per fleet position, spawns workers through an
+injected ``spawn(worker_id, incarnation)`` callable (a real
+``multiprocessing.Process`` in production, any object with
+``is_alive()`` / ``exitcode`` / ``pid`` in tests), and exposes a
+single non-blocking :meth:`poll` the parent calls from its queue loop.
+``poll`` detects death by exit code, schedules a respawn after
+exponential backoff (``backoff_base * 2**restarts``, capped), and
+**escalates** — refuses further respawns so the parent can shut the
+fleet down with a non-zero exit — once the global ``max_restarts``
+budget is spent.  Every decision is driven by the injected clock, so
+unit tests run the whole lifecycle in fake time.
+
+:class:`AdminListener` is the fleet parent's loopback-only admin
+surface: single-process servers bind ``--admin-port`` on their own
+event loop, but the parent of a fleet has no loop, so a small
+blocking-socket thread answers ``POST /admin/reload`` (forwarding
+``SIGHUP`` to every live worker) and ``GET /admin/health`` (the
+supervisor's fleet view) instead.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ServeError
+
+__all__ = ["AdminListener", "FleetSupervisor", "WorkerSlot"]
+
+#: Backoff delays are capped here (seconds) no matter the restart count.
+MAX_BACKOFF = 30.0
+
+
+@dataclass
+class WorkerSlot:
+    """One fleet position and its current occupant."""
+
+    worker_id: int
+    process: Optional[object] = None
+    #: How many times this slot has been respawned (the occupant's
+    #: incarnation number; 0 is the original spawn).
+    restarts: int = 0
+    #: Monotonic deadline after which a pending respawn may fire.
+    respawn_at: Optional[float] = None
+    #: Exit codes of every dead occupant, oldest first (provenance for
+    #: the run report and the shutdown summary).
+    exit_codes: List[Optional[int]] = field(default_factory=list)
+
+
+class FleetSupervisor:
+    """Keeps a ``--workers N`` fleet at N with bounded respawns.
+
+    ``spawn(worker_id, incarnation)`` must return a started
+    process-like object.  The parent drives the supervisor by calling
+    :meth:`poll` regularly (its metrics-queue timeout is the natural
+    cadence); each call returns the events that fired — ``("death",
+    wid, exitcode)``, ``("backoff", wid, delay)``, ``("respawn", wid,
+    incarnation)``, ``("escalate", wid, restarts)`` — for the parent
+    to log and count.
+
+    ``max_restarts`` is a *global* budget across all slots: a fleet
+    that keeps dying is a broken deploy, and endless respawning would
+    hide it.  When the budget is exhausted the supervisor escalates:
+    :attr:`escalated` latches, no further respawns happen, and the
+    parent is expected to terminate the fleet and exit non-zero.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[int, int], object],
+        n_workers: int,
+        *,
+        max_restarts: int = 8,
+        backoff_base: float = 0.5,
+        backoff_cap: float = MAX_BACKOFF,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if n_workers < 1:
+            raise ServeError("n_workers must be positive")
+        if max_restarts < 0:
+            raise ServeError("max_restarts must be non-negative")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ServeError("backoff must be non-negative")
+        self.spawn = spawn
+        self.n_workers = n_workers
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._clock = clock
+        self.slots = [WorkerSlot(wid) for wid in range(n_workers)]
+        self.deaths = 0
+        self.restarts = 0
+        self.escalated = False
+        self.stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the initial fleet (incarnation 0 in every slot)."""
+        for slot in self.slots:
+            slot.process = self.spawn(slot.worker_id, 0)
+
+    def stop(self) -> None:
+        """Enter shutdown: deaths are expected now, never respawned."""
+        self.stopping = True
+
+    def poll(self) -> List[Tuple]:
+        """Detect deaths, fire due respawns; returns the event list."""
+        events: List[Tuple] = []
+        if self.stopping or self.escalated:
+            return events
+        now = self._clock()
+        for slot in self.slots:
+            proc = slot.process
+            if proc is not None:
+                if proc.is_alive():
+                    continue
+                # The occupant died (any exit while not stopping is a
+                # death — a serve worker has no reason to exit alone).
+                slot.process = None
+                slot.exit_codes.append(proc.exitcode)
+                self.deaths += 1
+                events.append(("death", slot.worker_id, proc.exitcode))
+                if self.restarts >= self.max_restarts:
+                    self.escalated = True
+                    events.append(
+                        ("escalate", slot.worker_id, self.restarts)
+                    )
+                    return events
+                delay = min(
+                    self.backoff_cap,
+                    self.backoff_base * (2.0 ** slot.restarts),
+                )
+                slot.respawn_at = now + delay
+                events.append(("backoff", slot.worker_id, delay))
+            elif slot.respawn_at is not None and now >= slot.respawn_at:
+                slot.respawn_at = None
+                slot.restarts += 1
+                self.restarts += 1
+                slot.process = self.spawn(slot.worker_id, slot.restarts)
+                events.append(
+                    ("respawn", slot.worker_id, slot.restarts)
+                )
+        return events
+
+    # -- views -------------------------------------------------------------
+
+    def processes(self) -> List[object]:
+        """Every live process object (for signal forwarding / joins)."""
+        return [s.process for s in self.slots if s.process is not None]
+
+    def all_exited(self) -> bool:
+        """Whether every slot's occupant has terminated."""
+        return all(
+            s.process is None or s.process.exitcode is not None
+            for s in self.slots
+        )
+
+    def stats(self) -> dict:
+        """The fleet view ``GET /admin/health`` reports."""
+        return {
+            "workers": self.n_workers,
+            "alive": sum(
+                1
+                for s in self.slots
+                if s.process is not None and s.process.is_alive()
+            ),
+            "deaths": self.deaths,
+            "restarts": self.restarts,
+            "max_restarts": self.max_restarts,
+            "escalated": self.escalated,
+            "slots": {
+                str(s.worker_id): {
+                    "restarts": s.restarts,
+                    "pid": getattr(s.process, "pid", None),
+                    "exit_codes": list(s.exit_codes),
+                }
+                for s in self.slots
+            },
+        }
+
+
+class AdminListener(threading.Thread):
+    """Loopback-only admin HTTP endpoint for the fleet parent.
+
+    A deliberately tiny blocking-socket server (the parent has no
+    event loop): ``POST /admin/reload`` invokes ``on_reload`` — the
+    parent forwards ``SIGHUP`` to the fleet — and ``GET /admin/health``
+    returns ``on_health()``.  Binding is loopback-only by
+    construction; reload is an operator action, not an API.
+    """
+
+    _MAX_REQUEST = 16384
+
+    def __init__(
+        self,
+        port: int,
+        on_reload: Callable[[], dict],
+        on_health: Callable[[], dict],
+    ) -> None:
+        super().__init__(name="serve-admin", daemon=True)
+        self._on_reload = on_reload
+        self._on_health = on_health
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", port))
+        self._sock.listen(8)
+        self._sock.settimeout(0.25)
+        self.port = self._sock.getsockname()[1]
+        self._closing = threading.Event()
+
+    def run(self) -> None:  # pragma: no cover - exercised e2e
+        while not self._closing.is_set():
+            try:
+                client, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                client.settimeout(5.0)
+                self._serve_one(client)
+            except Exception:
+                pass  # a broken admin client must never kill the parent
+            finally:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _serve_one(self, client: socket.socket) -> None:
+        data = b""
+        while b"\r\n\r\n" not in data and len(data) < self._MAX_REQUEST:
+            chunk = client.recv(4096)
+            if not chunk:
+                return
+            data += chunk
+        request_line = data.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = request_line.split()
+        if len(parts) != 3:
+            self._respond(client, 400, {"error": "malformed request line"})
+            return
+        method, target = parts[0].upper(), parts[1].split("?", 1)[0]
+        if target == "/admin/reload" and method == "POST":
+            self._respond(client, 200, self._on_reload())
+        elif target == "/admin/health" and method == "GET":
+            self._respond(client, 200, self._on_health())
+        else:
+            self._respond(
+                client,
+                404,
+                {"error": f"unknown admin endpoint {method} {target}"},
+            )
+
+    @staticmethod
+    def _respond(client: socket.socket, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Unknown"
+        )
+        client.sendall(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+
+    def close(self) -> None:
+        self._closing.set()

@@ -12,7 +12,12 @@ start over.  The doctor examines that state and reports:
   shards a ``--resume`` run will re-price;
 * **datasets** — unreadable/corrupt files, legacy pre-``perf-dataset-v2``
   artifacts, quarantinable cells (NaN/inf, non-positive timings) and
-  grid coverage, via :mod:`repro.study.audit`.
+  grid coverage, via :mod:`repro.study.audit`;
+* **run reports** — the ``run-report-v1`` metrics sidecars the serve
+  fleet and study write: truncation/checksum damage, and counter
+  non-reconciliation across merged workers (``serve.requests`` vs the
+  per-class breakdown, ``meta.requests`` vs the per-worker ledger,
+  death/restart provenance vs the fleet counters).
 
 Severity decides the exit code: ``error`` findings mean the state is
 unusable as-is (exit 1); ``warning``/``info`` findings describe a
@@ -34,7 +39,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..compiler.options import OptConfig
-from ..errors import DatasetError, InvalidConfigError
+from ..errors import DatasetError, InvalidConfigError, ReportError
+from ..obs.report import REPORT_FORMAT, RunReport
 from ..util import sha256_hex
 from .audit import audit_dataset
 from .checkpoint import CHECKPOINT_FORMAT, StudyCheckpoint
@@ -46,6 +52,7 @@ __all__ = [
     "diagnose",
     "diagnose_checkpoint",
     "diagnose_dataset",
+    "diagnose_run_report",
     "export_partial_dataset",
     "main",
 ]
@@ -72,7 +79,7 @@ class Diagnosis:
 
     def __init__(self, path: str, kind: str) -> None:
         self.path = path
-        self.kind = kind  # "checkpoint" | "dataset"
+        self.kind = kind  # "checkpoint" | "dataset" | "run-report"
         self.findings: List[Finding] = []
         #: Steps that bring the state back to full health.
         self.repair_plan: List[str] = []
@@ -408,12 +415,159 @@ def diagnose_dataset(path: str) -> Diagnosis:
     return diag
 
 
+# -- run-report diagnosis ----------------------------------------------------
+
+
+def _looks_like_run_report(path: str) -> bool:
+    """Sniff the first bytes for the ``run-report-v1`` format tag.
+
+    Run reports are plain (never gzipped) JSON whose ``format`` key is
+    written first, so the tag appears within the opening bytes; a
+    dataset (possibly gzip-compressed) never contains it there.
+    """
+    try:
+        with open(path, "rb") as f:
+            head = f.read(256)
+    except OSError:
+        return False
+    return REPORT_FORMAT.encode("ascii") in head
+
+
+def diagnose_run_report(path: str) -> Diagnosis:
+    """Audit one ``run-report-v1`` metrics sidecar.
+
+    Structural damage (truncation, checksum mismatch, wrong format) is
+    an *error* — a telemetry artifact that cannot be trusted must be
+    rejected, not summarised.  Counter non-reconciliation is a
+    *warning*: the run it describes already happened, but the ledger
+    disagrees with itself, which for a serve fleet means a worker's
+    final metrics delta was lost (e.g. a ``kill -9`` between
+    heartbeats) or the merge logic regressed.
+    """
+    diag = Diagnosis(path, "run-report")
+    try:
+        report = RunReport.load(path)
+    except ReportError as exc:
+        diag.add("error", "unloadable", str(exc))
+        diag.repair_plan.append(
+            "re-run with --metrics to regenerate the sidecar (or restore "
+            "it from a backup); the artifact cannot be trusted"
+        )
+        return diag
+
+    requests = report.total_counter("serve.requests")
+    if requests or any(
+        k.startswith("serve.") for k in report.counters
+    ):
+        # Per-class requests must sum to the total: every admitted
+        # request is classified exactly once.
+        by_class = sum(
+            report.total_counter(f"serve.requests.{cls}")
+            for cls in ("strategy", "predict", "portfolio")
+        )
+        if by_class > requests:
+            diag.add(
+                "warning",
+                "counter-mismatch",
+                f"per-class request counters sum to {by_class} but "
+                f"serve.requests is {requests}; the merge dropped or "
+                f"double-counted a worker's delta",
+            )
+        meta_requests = report.meta.get("requests")
+        if (
+            isinstance(meta_requests, int)
+            and meta_requests != requests
+        ):
+            diag.add(
+                "warning",
+                "requests-mismatch",
+                f"meta.requests records {meta_requests} but the "
+                f"serve.requests counter totals {requests}; a worker's "
+                f"final metrics delta was lost (killed between "
+                f"heartbeats?)",
+            )
+        per_worker = report.meta.get("per_worker_requests")
+        if isinstance(per_worker, dict) and isinstance(meta_requests, int):
+            ledger = sum(
+                v for v in per_worker.values() if isinstance(v, int)
+            )
+            if ledger != meta_requests:
+                diag.add(
+                    "warning",
+                    "per-worker-mismatch",
+                    f"per-worker ledger sums to {ledger} but "
+                    f"meta.requests records {meta_requests}",
+                )
+        deaths = report.total_counter("serve.workers.deaths")
+        restarts = report.total_counter("serve.workers.restarts")
+        meta_deaths = report.meta.get("deaths")
+        meta_restarts = report.meta.get("restarts")
+        if isinstance(meta_deaths, int) and meta_deaths != deaths:
+            diag.add(
+                "warning",
+                "fleet-mismatch",
+                f"meta.deaths records {meta_deaths} but "
+                f"serve.workers.deaths totals {deaths}",
+            )
+        if isinstance(meta_restarts, int) and meta_restarts != restarts:
+            diag.add(
+                "warning",
+                "fleet-mismatch",
+                f"meta.restarts records {meta_restarts} but "
+                f"serve.workers.restarts totals {restarts}",
+            )
+        if restarts > deaths:
+            diag.add(
+                "warning",
+                "fleet-mismatch",
+                f"{restarts} restarts exceed {deaths} deaths; a worker "
+                f"cannot be respawned without dying first",
+            )
+        reload_attempts = report.total_counter("serve.reload.attempts")
+        reload_ok = report.total_counter("serve.reload.success")
+        reload_bad = report.total_counter("serve.reload.failures")
+        if reload_attempts != reload_ok + reload_bad:
+            diag.add(
+                "warning",
+                "counter-mismatch",
+                f"serve.reload.attempts ({reload_attempts}) != success "
+                f"({reload_ok}) + failures ({reload_bad})",
+            )
+        summary = f"{requests} requests"
+        workers = report.meta.get("workers")
+        if isinstance(workers, int):
+            summary += f" across {workers} worker(s)"
+        if deaths or restarts:
+            summary += f", {deaths} death(s), {restarts} restart(s)"
+        diag.add("info", "summary", summary)
+    else:
+        diag.add(
+            "info",
+            "summary",
+            f"{len(report.counters)} counter(s), "
+            f"{len(report.spans)} span(s) (not a serve report; no "
+            f"reconciliation rules apply)",
+        )
+    if any(f.severity == "warning" for f in diag.findings):
+        diag.repair_plan.append(
+            "the run itself already happened; treat the sidecar's "
+            "totals as a lower bound, or re-run with a longer drain "
+            "(quiesce > --heartbeat-interval before shutdown) to "
+            "capture every worker's final delta"
+        )
+    return diag
+
+
 def diagnose(
     path: str, expected_fingerprint: Optional[str] = None
 ) -> Diagnosis:
-    """Dispatch: directories are checkpoints, files are datasets."""
+    """Dispatch: directories are checkpoints; files are sniffed —
+    ``run-report-v1`` sidecars go to :func:`diagnose_run_report`,
+    everything else to :func:`diagnose_dataset`."""
     if os.path.isdir(path):
         return diagnose_checkpoint(path, expected_fingerprint)
+    if _looks_like_run_report(path):
+        return diagnose_run_report(path)
     return diagnose_dataset(path)
 
 
@@ -428,12 +582,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro doctor",
         description=(
-            "diagnose a study dataset or checkpoint directory; exits "
-            "non-zero when the state is unusable"
+            "diagnose a study dataset, checkpoint directory or "
+            "run-report sidecar; exits non-zero when the state is "
+            "unusable"
         ),
     )
     parser.add_argument(
-        "path", help="dataset file or checkpoint directory to examine"
+        "path",
+        help="dataset file, run-report sidecar or checkpoint directory "
+        "to examine",
     )
     parser.add_argument(
         "--fingerprint",

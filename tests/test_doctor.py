@@ -234,3 +234,161 @@ class TestDoctorCLI:
         _make_checkpoint(tmp_path / "ck")
         assert top_main(["doctor", str(tmp_path / "ck")]) == 0
         capsys.readouterr()
+
+
+class TestRunReportDiagnosis:
+    """ISSUE 9: the doctor understands run-report-v1 sidecars — the
+    serve fleet's merged metrics — with the same severity model:
+    structural damage is an error, counter non-reconciliation a
+    warning, and a clean fleet report is healthy."""
+
+    @staticmethod
+    def _save_report(path, counters, meta):
+        from repro.obs.report import RunReport
+
+        RunReport(counters=counters, meta=meta).save(str(path))
+        return str(path)
+
+    def _fleet_report(self, path, **overrides):
+        counters = {
+            "serve.requests": 10,
+            "serve.requests.strategy": 7,
+            "serve.requests.predict": 2,
+            "serve.workers.deaths": 1,
+            "serve.workers.restarts": 1,
+            "serve.reload.attempts": 2,
+            "serve.reload.success": 1,
+            "serve.reload.failures": 1,
+        }
+        meta = {
+            "requests": 10,
+            "workers": 2,
+            "deaths": 1,
+            "restarts": 1,
+            "per_worker_requests": {"0": 6, "1": 4},
+        }
+        counters.update(overrides.pop("counters", {}))
+        meta.update(overrides.pop("meta", {}))
+        return self._save_report(path, counters, meta)
+
+    def test_healthy_fleet_report_is_usable(self, tmp_path):
+        from repro.study.doctor import diagnose, diagnose_run_report
+
+        path = self._fleet_report(tmp_path / "report.json")
+        diag = diagnose(path)  # dispatch sniffs the format tag
+        assert diag.kind == "run-report"
+        assert diag.ok
+        assert [f.severity for f in diag.findings] == ["info"]
+        assert "2 worker(s)" in diag.findings[0].message
+        assert diagnose_run_report(path).ok
+
+    def test_truncated_report_is_an_error(self, tmp_path):
+        from repro.study.doctor import diagnose
+
+        path = self._fleet_report(tmp_path / "report.json")
+        with open(path, "r+") as f:
+            text = f.read()
+            f.seek(0)
+            f.truncate()
+            f.write(text[: len(text) // 2])
+        diag = diagnose(path)
+        assert diag.kind == "run-report"
+        assert not diag.ok
+        assert diag.findings[0].code == "unloadable"
+        assert diag.repair_plan
+
+    def test_checksum_mismatch_is_an_error(self, tmp_path):
+        from repro.study.doctor import diagnose
+
+        path = self._fleet_report(tmp_path / "report.json")
+        with open(path) as f:
+            parsed = json.load(f)
+        parsed["report"]["counters"]["serve.requests"] = 9999
+        with open(path, "w") as f:
+            json.dump(parsed, f)
+        diag = diagnose(path)
+        assert not diag.ok
+        assert "checksum" in diag.findings[0].message
+
+    def test_lost_worker_delta_is_a_warning(self, tmp_path):
+        """meta.requests (the per-worker ledger) disagreeing with the
+        merged counter means a final delta was lost — degraded
+        telemetry, not an unusable artifact."""
+        from repro.study.doctor import diagnose_run_report
+
+        path = self._fleet_report(
+            tmp_path / "report.json",
+            counters={"serve.requests": 8, "serve.requests.strategy": 5},
+        )
+        diag = diagnose_run_report(path)
+        assert diag.ok  # warnings only
+        codes = [f.code for f in diag.findings]
+        assert "requests-mismatch" in codes
+        assert diag.repair_plan
+
+    def test_per_worker_ledger_mismatch_is_a_warning(self, tmp_path):
+        from repro.study.doctor import diagnose_run_report
+
+        path = self._fleet_report(
+            tmp_path / "report.json",
+            meta={"per_worker_requests": {"0": 6, "1": 3}},
+        )
+        diag = diagnose_run_report(path)
+        assert "per-worker-mismatch" in [f.code for f in diag.findings]
+
+    def test_fleet_provenance_mismatches_warn(self, tmp_path):
+        from repro.study.doctor import diagnose_run_report
+
+        path = self._fleet_report(
+            tmp_path / "report.json",
+            counters={"serve.workers.restarts": 3},
+        )
+        diag = diagnose_run_report(path)
+        codes = [f.code for f in diag.findings]
+        # meta.restarts disagrees AND restarts > deaths: both warned.
+        assert codes.count("fleet-mismatch") == 2
+
+    def test_reload_counter_imbalance_warns(self, tmp_path):
+        from repro.study.doctor import diagnose_run_report
+
+        path = self._fleet_report(
+            tmp_path / "report.json",
+            counters={"serve.reload.attempts": 5},
+        )
+        diag = diagnose_run_report(path)
+        assert "counter-mismatch" in [f.code for f in diag.findings]
+
+    def test_non_serve_report_has_no_reconciliation_rules(self, tmp_path):
+        from repro.study.doctor import diagnose_run_report
+
+        path = self._save_report(
+            tmp_path / "study.json",
+            {"study.shards.priced": 12},
+            {"engine": "batch"},
+        )
+        diag = diagnose_run_report(path)
+        assert diag.ok
+        assert "no reconciliation rules apply" in diag.findings[0].message
+
+    def test_datasets_still_route_to_dataset_diagnosis(self, tmp_path):
+        from repro.study.doctor import diagnose
+
+        path = str(tmp_path / "dataset.json")
+        ds = PerfDataset()
+        ds.add(TestCase("bfs", "road", "c0"), OptConfig(), (1.0,))
+        ds.save(path)
+        assert diagnose(path).kind == "dataset"
+
+    def test_cli_exit_codes_for_reports(self, tmp_path, capsys):
+        good = self._fleet_report(tmp_path / "good.json")
+        assert main([good]) == 0
+        bad = self._fleet_report(tmp_path / "bad.json")
+        with open(bad, "r+") as f:
+            f.truncate(40)
+        assert main([bad]) == 1
+        out = capsys.readouterr().out
+        assert "run-report" in out
+        # Report-kind paths refuse checkpoint/dataset-only flags.
+        assert main([good, "--export", str(tmp_path / "x.json")]) == 2
+        assert main([good, "--audit-json", str(tmp_path / "a.json")]) == 2
+        capsys.readouterr()

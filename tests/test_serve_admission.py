@@ -1,0 +1,196 @@
+"""Unit tests for the serving layer's overload protection.
+
+:class:`~repro.serve.admission.AdmissionController` (per-endpoint-class
+shedding watermarks with brownout ordering) and
+:class:`~repro.serve.admission.CircuitBreaker` (failure bursts into
+fast-fail with half-open probing) are pure bookkeeping objects with
+injectable clocks, so every state transition is tested in fake time.
+The server-integration behaviour (429 + Retry-After on the wire) lives
+in ``test_serve_server.py`` / ``test_serve_reload.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.admission import (
+    LOOKUP,
+    PREDICT,
+    AdmissionController,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestAdmissionController:
+    def test_disabled_by_default_admits_everything(self):
+        adm = AdmissionController()
+        assert not adm.enabled
+        for _ in range(10_000):
+            assert adm.try_acquire(LOOKUP)
+            assert adm.try_acquire(PREDICT)
+        assert adm.stats()["shed"] == {PREDICT: 0, LOOKUP: 0}
+
+    def test_depth_watermark_sheds_at_the_bound(self):
+        adm = AdmissionController(lookup_depth=4, predict_depth=2)
+        assert adm.enabled
+        assert adm.try_acquire(PREDICT)
+        assert adm.try_acquire(PREDICT)
+        assert not adm.try_acquire(PREDICT)  # 2 pending = watermark
+        assert adm.try_acquire(LOOKUP)  # lookups unaffected
+        adm.release(PREDICT, latency_ms=1.0)
+        assert adm.try_acquire(PREDICT)  # freed one slot
+        assert adm.shed[PREDICT] == 1
+
+    def test_predict_depth_defaults_to_half_the_lookup_depth(self):
+        adm = AdmissionController(lookup_depth=8)
+        assert adm.predict_depth == 4
+        # Even a lookup depth of 1 leaves predict one slot, not zero
+        # (zero would mean "unbounded", inverting the brownout).
+        assert AdmissionController(lookup_depth=1).predict_depth == 1
+
+    def test_predict_depth_may_not_exceed_lookup_depth(self):
+        with pytest.raises(ServeError):
+            AdmissionController(lookup_depth=2, predict_depth=3)
+        with pytest.raises(ServeError):
+            AdmissionController(lookup_depth=-1)
+
+    def test_brownout_ordering_under_depth_pressure(self):
+        """Filling the fleet to the predict watermark sheds predict
+        while lookups keep serving — the expensive endpoint browns out
+        first."""
+        adm = AdmissionController(lookup_depth=4)
+        for _ in range(adm.predict_depth):
+            assert adm.try_acquire(PREDICT)
+        assert not adm.try_acquire(PREDICT)
+        for _ in range(4):
+            assert adm.try_acquire(LOOKUP)
+        assert not adm.try_acquire(LOOKUP)
+
+    def test_latency_watermark_sheds_predict_at_1x_lookup_at_2x(self):
+        adm = AdmissionController(latency_watermark_ms=10.0)
+        # Drive the EWMA to ~15ms: above 1x (predict) but below 2x.
+        for _ in range(60):
+            assert adm.try_acquire(LOOKUP)
+            adm.release(LOOKUP, latency_ms=15.0)
+        assert not adm.try_acquire(PREDICT)
+        assert adm.try_acquire(LOOKUP)
+        adm.release(LOOKUP, latency_ms=15.0)
+        # Past 2x everything sheds.
+        for _ in range(60):
+            assert adm.try_acquire(LOOKUP) or True
+            adm.release(LOOKUP, latency_ms=25.0)
+        assert not adm.try_acquire(LOOKUP)
+        assert not adm.try_acquire(PREDICT)
+
+    def test_retry_after_estimates_drain_and_clamps(self):
+        adm = AdmissionController(lookup_depth=100, max_concurrency=1)
+        assert adm.retry_after() == 1  # nothing pending: floor
+        for _ in range(50):
+            adm.try_acquire(LOOKUP)
+            adm.release(LOOKUP, latency_ms=2000.0)
+        for _ in range(50):
+            adm.try_acquire(LOOKUP)
+        # 50 pending x ~2s each through 1 slot: far past the ceiling.
+        assert adm.retry_after() == 30
+
+    def test_stats_snapshot_shape(self):
+        adm = AdmissionController(lookup_depth=1)
+        adm.try_acquire(LOOKUP)
+        assert not adm.try_acquire(LOOKUP)
+        stats = adm.stats()
+        assert stats["enabled"] is True
+        assert stats["pending"] == {PREDICT: 0, LOOKUP: 1}
+        assert stats["shed"] == {PREDICT: 0, LOOKUP: 1}
+        assert "latency_ewma_ms" in stats
+
+
+class TestCircuitBreaker:
+    def test_disabled_by_default(self):
+        breaker = CircuitBreaker()
+        assert not breaker.enabled
+        for _ in range(100):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_success()  # resets the consecutive count
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.fast_fails == 1
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # second concurrent request refused
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_a_full_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened == 2
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_retry_after_counts_down_while_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_timeout=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.retry_after() == 10
+        clock.advance(6.5)
+        assert breaker.retry_after() == 4
+        clock.advance(10.0)
+        assert breaker.retry_after() == 1  # floor once due
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(ServeError):
+            CircuitBreaker(threshold=-1)
+        with pytest.raises(ServeError):
+            CircuitBreaker(threshold=1, reset_timeout=0.0)
+
+    def test_stats_snapshot_shape(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        stats = breaker.stats()
+        assert stats == {
+            "enabled": True,
+            "state": "closed",
+            "consecutive_failures": 1,
+            "opened": 0,
+            "fast_fails": 0,
+        }

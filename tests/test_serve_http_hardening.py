@@ -1,0 +1,259 @@
+"""Malformed-HTTP hardening tests for the asyncio server.
+
+Each test opens a raw socket and speaks deliberately broken HTTP at a
+real :class:`StrategyServer`: truncated request lines, oversized
+headers, slow-loris trickles, garbage bytes.  The contract is a clean
+4xx (400 malformed, 408 slow client, 413 oversized body) or a silent
+close — never an unhandled exception in a connection task, which every
+test asserts via the event loop's exception handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.serve import StrategyServer, build_index
+from repro.study.dataset import PerfDataset
+
+from tests.test_serve_server import http_request
+
+GOLDEN_DATASET = "mini-dataset.json.gz"
+
+
+@pytest.fixture(scope="module")
+def index(goldens_dir):
+    return build_index(
+        PerfDataset.load(os.path.join(goldens_dir, GOLDEN_DATASET))
+    )
+
+
+def run_hardened(coro_factory, index, **server_kwargs):
+    """Run a test body against a live server, asserting that no
+    connection task leaks an unhandled exception."""
+    unhandled = []
+
+    async def go():
+        loop = asyncio.get_event_loop()
+        loop.set_exception_handler(
+            lambda _loop, ctx: unhandled.append(ctx)
+        )
+        server = StrategyServer(index, **server_kwargs)
+        await server.start()
+        try:
+            result = await coro_factory(server)
+            # A well-formed request must still succeed afterwards: the
+            # server survived, it did not just swallow the connection.
+            status, health, _ = await http_request(
+                server.port, "GET", "/healthz"
+            )
+            assert status == 200
+            assert health["status"] == "ok"
+        finally:
+            await server.stop()
+        return result
+
+    result = asyncio.run(go())
+    assert unhandled == [], f"unhandled task exceptions: {unhandled}"
+    return result
+
+
+async def raw_exchange(port: int, payload: bytes, read_limit: int = 65536):
+    """Write raw bytes, return whatever the server answers (b'' on
+    silent close)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        return await asyncio.wait_for(reader.read(read_limit), 30)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _status(response: bytes) -> int:
+    return int(response.split(b"\r\n", 1)[0].split()[1])
+
+
+class TestMalformedRequests:
+    def test_garbage_bytes_get_400(self, index):
+        async def body(server):
+            resp = await raw_exchange(
+                server.port, b"\x00\xffGARBAGE\x01\r\n\r\n"
+            )
+            assert _status(resp) == 400
+            return resp
+
+        run_hardened(body, index)
+
+    def test_truncated_request_line_then_eof_closes_silently(self, index):
+        async def body(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"GET /healthz HT")  # no newline, then EOF
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+
+        run_hardened(body, index)
+
+    def test_request_line_with_wrong_shape_gets_400(self, index):
+        async def body(server):
+            resp = await raw_exchange(server.port, b"GETHTTP/1.1\r\n\r\n")
+            assert _status(resp) == 400
+            body_json = json.loads(resp.split(b"\r\n\r\n", 1)[1])
+            assert "malformed request line" in body_json["error"]
+
+        run_hardened(body, index)
+
+    def test_oversized_request_line_gets_400(self, index):
+        async def body(server):
+            resp = await raw_exchange(
+                server.port,
+                b"GET /" + b"a" * (128 * 1024) + b" HTTP/1.1\r\n\r\n",
+            )
+            assert _status(resp) == 400
+
+        run_hardened(body, index)
+
+    def test_oversized_headers_get_400(self, index):
+        async def body(server):
+            head = b"GET /healthz HTTP/1.1\r\n"
+            junk = b"".join(
+                b"X-Padding-%d: %s\r\n" % (i, b"y" * 1000)
+                for i in range(100)
+            )
+            resp = await raw_exchange(server.port, head + junk + b"\r\n")
+            assert _status(resp) == 400
+            assert b"too large" in resp or b"too long" in resp
+
+        run_hardened(body, index)
+
+    def test_bad_content_length_values_get_400(self, index):
+        async def body(server):
+            for value in (b"banana", b"-5"):
+                resp = await raw_exchange(
+                    server.port,
+                    b"POST /v1/predict HTTP/1.1\r\n"
+                    b"Content-Length: " + value + b"\r\n\r\n",
+                )
+                assert _status(resp) == 400
+
+        run_hardened(body, index)
+
+    def test_oversized_body_gets_413(self, index):
+        async def body(server):
+            resp = await raw_exchange(
+                server.port,
+                b"POST /v1/predict HTTP/1.1\r\n"
+                b"Content-Length: 99999999\r\n\r\n",
+            )
+            assert _status(resp) == 413
+
+        run_hardened(body, index)
+
+
+class TestSlowLoris:
+    def test_trickled_headers_time_out_as_408(self, index):
+        """A client that starts a request and then drip-feeds header
+        bytes cannot hold a connection past request_timeout."""
+
+        async def body(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                writer.write(b"GET /healthz HTTP/1.1\r\n")
+                await writer.drain()
+                # Trickle a few header bytes, then stall forever with
+                # the request unfinished — the canonical slow-loris.
+                # (Stop writing before the deadline: a client still
+                # writing when the server resets would lose the 408 to
+                # the RST.)
+                for ch in b"X-Slow":
+                    writer.write(bytes([ch]))
+                    await writer.drain()
+                    await asyncio.sleep(0.03)
+                return await asyncio.wait_for(reader.read(65536), 30)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        resp = run_hardened(body, index, request_timeout=0.5)
+        assert _status(resp) == 408
+        assert b"slow client" in resp
+
+    def test_idle_keepalive_closes_silently_not_408(self, index):
+        """Idleness *between* requests is normal keep-alive behaviour:
+        the connection is dropped without a status line."""
+
+        async def body(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                # Never send anything: the idle timeout closes us.
+                data = await asyncio.wait_for(reader.read(65536), 30)
+                assert data == b""
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        run_hardened(body, index, idle_timeout=0.2)
+
+    def test_trickled_body_times_out_as_408(self, index):
+        async def body(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                writer.write(
+                    b"POST /v1/predict HTTP/1.1\r\n"
+                    b"Content-Length: 1000\r\n\r\n"
+                )
+                await writer.drain()
+                for _ in range(3):
+                    writer.write(b"x")
+                    await writer.drain()
+                    await asyncio.sleep(0.03)
+                # Stall with 997 body bytes outstanding.
+                return await asyncio.wait_for(reader.read(65536), 30)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        resp = run_hardened(body, index, request_timeout=0.5)
+        assert _status(resp) == 408
+
+    def test_connection_counts_as_error_not_request(self, index):
+        """Malformed requests count serve.errors, never serve.requests
+        — the hardening layer sits in front of dispatch."""
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+
+        async def body(server):
+            resp = await raw_exchange(server.port, b"NOT HTTP\r\n\r\n")
+            assert _status(resp) == 400
+
+        run_hardened(body, index, recorder=recorder)
+        snap = recorder.snapshot()
+        assert snap["counters"]["serve.errors"] == 1
+        # Only the follow-up /healthz probe dispatched.
+        assert snap["counters"]["serve.requests"] == 1

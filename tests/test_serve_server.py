@@ -674,3 +674,178 @@ class TestCoalescing:
             StrategyServer(index, predict_window=-1.0)
         with pytest.raises(ServeError):
             StrategyServer(index, predict_max_batch=0)
+
+
+class TestFlushDeadline:
+    """The hard deadline on coalesced predict flushes (ISSUE 9): one
+    slow batch must fail fast with per-item 503s instead of stalling
+    every waiter into the request timeout."""
+
+    def test_slow_batch_times_out_every_waiter_as_503(self, index):
+        stub = BatchStubPredictor(delay=1.0)  # far past the deadline
+
+        async def go():
+            server = StrategyServer(
+                index,
+                predictor=stub,
+                recorder=Recorder(),
+                predict_window=0.1,
+                predict_flush_timeout=0.2,
+            )
+            await server.start()
+            try:
+                responses = await asyncio.gather(
+                    *(
+                        http_request(
+                            server.port, "POST", "/v1/predict",
+                            _predict_body(
+                                {"chip": "MALI", "app": "bfs-wl",
+                                 "input": f"graph-{i}", "config": "wg"}
+                            ),
+                        )
+                        for i in range(3)
+                    )
+                )
+                counters = dict(server.recorder.counters)
+            finally:
+                await server.stop()
+            return responses, counters
+
+        responses, counters = run(go())
+        for status, out, _ in responses:
+            assert status == 503  # every item blew the same deadline
+            assert out["errors"] == 1
+            assert "flush deadline" in out["results"][0]["error"]
+            assert out["results"][0]["status"] == 503
+        assert counters["serve.predict.flush_timeouts"] == 1  # one batch
+        assert counters["serve.predictions.errors"] == 3
+
+    def test_flush_timeouts_feed_the_circuit_breaker(self, index):
+        from repro.serve import CircuitBreaker
+
+        stub = BatchStubPredictor(delay=1.0)
+
+        async def go():
+            server = StrategyServer(
+                index,
+                predictor=stub,
+                recorder=Recorder(),
+                predict_flush_timeout=0.1,
+                breaker=CircuitBreaker(threshold=1, reset_timeout=60.0),
+            )
+            await server.start()
+            try:
+                body = _predict_body(
+                    {"chip": "MALI", "app": "bfs-wl",
+                     "input": "tiny-road", "config": "wg"}
+                )
+                s1, out1, _ = await http_request(
+                    server.port, "POST", "/v1/predict", body
+                )
+                # The breaker opened on the flush timeout: this one
+                # fast-fails without touching the engine.
+                s2, out2, raw2 = await http_request(
+                    server.port, "POST", "/v1/predict", body
+                )
+                counters = dict(server.recorder.counters)
+                _, health, _ = await http_request(
+                    server.port, "GET", "/healthz"
+                )
+            finally:
+                await server.stop()
+            return s1, s2, out2, counters, health
+
+        s1, s2, out2, counters, health = run(go())
+        assert s1 == 503
+        assert s2 == 503
+        assert "circuit breaker is open" in out2["error"]
+        # The fast-fail never reached the engine: only the first
+        # request's batch was ever dispatched.
+        assert len(stub.batches) <= 1
+        assert counters["serve.breaker.fast_fails"] == 1
+        assert health["breaker"]["state"] == "open"
+
+    def test_breaker_fast_fail_carries_retry_after(self, index):
+        from repro.serve import CircuitBreaker
+
+        async def go():
+            server = StrategyServer(
+                index,
+                predictor=StubPredictor(),
+                breaker=CircuitBreaker(threshold=1, reset_timeout=60.0),
+            )
+            await server.start()
+            try:
+                bad = _predict_body(
+                    {"chip": "BOOM", "app": "bfs-wl",
+                     "input": "tiny-road", "config": "wg"}
+                )
+                await http_request(
+                    server.port, "POST", "/v1/predict", bad
+                )  # PredictionError opens the threshold-1 breaker
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                try:
+                    body = _predict_body(
+                        {"chip": "MALI", "app": "bfs-wl",
+                         "input": "tiny-road", "config": "wg"}
+                    )
+                    writer.write(
+                        b"POST /v1/predict HTTP/1.1\r\n"
+                        b"Content-Length: %d\r\n"
+                        b"Connection: close\r\n\r\n" % len(body) + body
+                    )
+                    await writer.drain()
+                    raw = await reader.read(65536)
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except ConnectionError:
+                        pass
+            finally:
+                await server.stop()
+            return raw
+
+        raw = run(go())
+        head = raw.split(b"\r\n\r\n", 1)[0]
+        assert b"503" in head.split(b"\r\n", 1)[0]
+        retry = [
+            line for line in head.split(b"\r\n")
+            if line.lower().startswith(b"retry-after:")
+        ]
+        assert retry, f"no Retry-After header in {head!r}"
+        assert int(retry[0].split(b":")[1]) >= 1
+
+    def test_disabled_deadline_lets_slow_batches_finish(self, index):
+        stub = BatchStubPredictor(delay=0.3)
+
+        async def go():
+            server = StrategyServer(
+                index,
+                predictor=stub,
+                predict_flush_timeout=0.0,  # disabled
+            )
+            await server.start()
+            try:
+                status, out, _ = await http_request(
+                    server.port, "POST", "/v1/predict",
+                    _predict_body(
+                        {"chip": "MALI", "app": "bfs-wl",
+                         "input": "tiny-road", "config": "wg"}
+                    ),
+                )
+            finally:
+                await server.stop()
+            return status, out
+
+        status, out = run(go())
+        assert status == 200
+        assert out["errors"] == 0
+
+    def test_invalid_flush_timeout_rejected(self, index):
+        from repro.serve import PredictCoalescer
+
+        with pytest.raises(ServeError):
+            PredictCoalescer(StubPredictor(), flush_timeout=-0.1)

@@ -1,0 +1,212 @@
+"""Unit tests for the serve fleet supervisor and the admin listener.
+
+:class:`~repro.serve.supervisor.FleetSupervisor` is driven entirely
+through fake process objects and a fake clock, so the whole
+death → backoff → respawn → escalate lifecycle runs in microseconds.
+The real-fleet behaviour (actual ``kill -9``, metric reconciliation,
+exit codes) lives in ``test_serve_workers.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.supervisor import MAX_BACKOFF, AdminListener, FleetSupervisor
+
+
+class FakeProc:
+    """A process-like object the supervisor can supervise."""
+
+    _next_pid = 1000
+
+    def __init__(self, worker_id: int, incarnation: int) -> None:
+        self.worker_id = worker_id
+        self.incarnation = incarnation
+        self.exitcode = None
+        FakeProc._next_pid += 1
+        self.pid = FakeProc._next_pid
+
+    def is_alive(self) -> bool:
+        return self.exitcode is None
+
+    def die(self, code: int = -9) -> None:
+        self.exitcode = code
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def fleet():
+    """(supervisor, clock, spawned-process log) with 2 slots."""
+    clock = FakeClock()
+    spawned = []
+
+    def spawn(worker_id: int, incarnation: int) -> FakeProc:
+        proc = FakeProc(worker_id, incarnation)
+        spawned.append(proc)
+        return proc
+
+    sup = FleetSupervisor(
+        spawn, 2, max_restarts=3, backoff_base=0.5, clock=clock
+    )
+    return sup, clock, spawned
+
+
+class TestFleetSupervisor:
+    def test_start_spawns_incarnation_zero_everywhere(self, fleet):
+        sup, _, spawned = fleet
+        sup.start()
+        assert [(p.worker_id, p.incarnation) for p in spawned] == [
+            (0, 0),
+            (1, 0),
+        ]
+        assert sup.poll() == []  # a healthy fleet is event-free
+        assert sup.stats()["alive"] == 2
+
+    def test_death_backoff_respawn_cycle(self, fleet):
+        sup, clock, spawned = fleet
+        sup.start()
+        spawned[0].die(-9)
+        events = sup.poll()
+        assert ("death", 0, -9) in events
+        assert ("backoff", 0, 0.5) in events
+        assert sup.deaths == 1
+        # Not yet: the backoff deadline has not passed.
+        assert sup.poll() == []
+        assert len(spawned) == 2
+        clock.advance(0.5)
+        events = sup.poll()
+        assert events == [("respawn", 0, 1)]
+        assert spawned[-1].worker_id == 0
+        assert spawned[-1].incarnation == 1
+        assert sup.restarts == 1
+        assert sup.stats()["alive"] == 2  # healed back to N
+
+    def test_backoff_doubles_per_slot_and_caps(self, fleet):
+        sup, clock, spawned = fleet
+        sup.backoff_cap = 1.5
+        sup.start()
+        delays = []
+        for _ in range(3):
+            sup.slots[0].process.die(86)
+            for event in sup.poll():
+                if event[0] == "backoff":
+                    delays.append(event[2])
+            clock.advance(delays[-1])
+            sup.poll()  # fire the respawn
+        assert delays == [0.5, 1.0, 1.5]  # base, doubled, capped
+
+    def test_escalates_once_the_global_budget_is_spent(self, fleet):
+        sup, clock, spawned = fleet
+        sup.start()
+        for i in range(3):  # budget: max_restarts=3
+            sup.slots[i % 2].process.die(1)
+            sup.poll()
+            clock.advance(MAX_BACKOFF)
+            sup.poll()
+        assert sup.restarts == 3
+        sup.slots[0].process.die(1)
+        events = sup.poll()
+        assert ("escalate", 0, 3) in events
+        assert sup.escalated
+        # Latched: no further polls produce respawns.
+        clock.advance(MAX_BACKOFF)
+        assert sup.poll() == []
+        assert len(spawned) == 2 + 3
+
+    def test_stopping_fleet_ignores_deaths(self, fleet):
+        sup, clock, spawned = fleet
+        sup.start()
+        sup.stop()
+        spawned[0].die(0)
+        assert sup.poll() == []
+        assert sup.deaths == 0
+        assert not sup.all_exited()  # slot 1 still runs
+        spawned[1].die(0)
+        assert sup.all_exited()
+
+    def test_stats_records_slot_provenance(self, fleet):
+        sup, clock, spawned = fleet
+        sup.start()
+        spawned[1].die(86)
+        sup.poll()
+        clock.advance(0.5)
+        sup.poll()
+        stats = sup.stats()
+        assert stats["workers"] == 2
+        assert stats["deaths"] == 1
+        assert stats["restarts"] == 1
+        assert not stats["escalated"]
+        assert stats["slots"]["1"]["restarts"] == 1
+        assert stats["slots"]["1"]["exit_codes"] == [86]
+        assert stats["slots"]["0"]["exit_codes"] == []
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(ServeError):
+            FleetSupervisor(lambda w, i: None, 0)
+        with pytest.raises(ServeError):
+            FleetSupervisor(lambda w, i: None, 1, max_restarts=-1)
+        with pytest.raises(ServeError):
+            FleetSupervisor(lambda w, i: None, 1, backoff_base=-0.1)
+
+
+class TestAdminListener:
+    @pytest.fixture()
+    def listener(self):
+        calls = {"reload": 0}
+
+        def on_reload() -> dict:
+            calls["reload"] += 1
+            return {"reloaded": True, "workers_signalled": 2}
+
+        def on_health() -> dict:
+            return {"workers": 2, "alive": 2}
+
+        lst = AdminListener(0, on_reload, on_health)
+        lst.start()
+        try:
+            yield lst, calls
+        finally:
+            lst.close()
+            lst.join(timeout=5)
+
+    def _request(self, port: int, method: str, target: str):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request(method, target)
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def test_reload_and_health_endpoints(self, listener):
+        lst, calls = listener
+        status, body = self._request(lst.port, "POST", "/admin/reload")
+        assert status == 200
+        assert body["reloaded"] is True
+        assert calls["reload"] == 1
+        status, body = self._request(lst.port, "GET", "/admin/health")
+        assert status == 200
+        assert body == {"workers": 2, "alive": 2}
+
+    def test_unknown_endpoint_is_404(self, listener):
+        lst, calls = listener
+        status, body = self._request(lst.port, "GET", "/admin/nope")
+        assert status == 404
+        assert calls["reload"] == 0
+        # Wrong method on a known path is also refused.
+        status, _ = self._request(lst.port, "GET", "/admin/reload")
+        assert status == 404

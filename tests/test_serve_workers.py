@@ -126,3 +126,119 @@ class TestWorkers:
         result = _run_cli("serve", index_path, "--workers", "0")
         assert result.returncode == 1
         assert "--workers must be positive" in result.stderr
+
+
+class TestSelfHealing:
+    """ISSUE 9's supervision contract, driven with a real ``kill -9``:
+    the fleet heals (death → backoff → respawn), the merged run report
+    reconciles *exactly* with the client's successful-request count
+    despite the crash, and an exhausted restart budget escalates the
+    whole fleet to exit code 2."""
+
+    def _healthz(self, port: int):
+        status, body = _get_closing(port, "/healthz")
+        assert status == 200
+        return json.loads(body)
+
+    def test_sigkill_heals_fleet_and_report_reconciles_exactly(
+        self, index_path, tmp_path
+    ):
+        import time
+
+        from repro.study.doctor import diagnose_run_report
+
+        metrics_path = str(tmp_path / "chaos-metrics.json")
+        server = ServerProcess(
+            index_path,
+            "--workers", "2",
+            "--metrics", metrics_path,
+            "--max-restarts", "4",
+            "--restart-backoff", "0.05",
+            "--heartbeat-interval", "0.2",
+        )
+        sent = 0
+        try:
+            target = "/v1/strategy?chip=MALI&app=bfs-wl&input=tiny-road"
+            for _ in range(10):
+                status, _ = _get_closing(server.port, target)
+                assert status == 200
+                sent += 1
+            victim = self._healthz(server.port)["pid"]
+            sent += 1
+            # Quiesce for longer than the heartbeat interval so every
+            # worker ships its request delta BEFORE the kill: the
+            # reconciliation below is exact, not approximate.
+            time.sleep(0.6)
+            os.kill(victim, signal.SIGKILL)
+
+            # Poll until the respawned incarnation answers.  Requests
+            # racing the death may be reset (the dead listener's accept
+            # backlog) — those never dispatched, so they don't count.
+            healed = False
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                try:
+                    health = self._healthz(server.port)
+                except (OSError, http.client.HTTPException):
+                    time.sleep(0.05)
+                    continue
+                sent += 1
+                if health["worker_restarts"] >= 1:
+                    healed = True
+                    break
+                time.sleep(0.05)
+            assert healed, "fleet did not respawn the killed worker"
+
+            # The healed fleet still serves correct answers.
+            for _ in range(10):
+                status, _ = _get_closing(server.port, target)
+                assert status == 200
+                sent += 1
+            time.sleep(0.6)  # final quiesce: last deltas ship
+            code, stderr = server.finish()
+        finally:
+            server.kill()
+        assert code == 0, stderr
+        assert "died" in stderr
+        assert "respawned (incarnation 1)" in stderr
+        assert "shut down cleanly" in stderr
+
+        with open(metrics_path) as f:
+            report = json.load(f)["report"]
+        meta = report["meta"]
+        counters = report["counters"]
+        assert meta["deaths"] == 1
+        assert meta["restarts"] == 1
+        assert counters["serve.workers.deaths"] == 1
+        assert counters["serve.workers.restarts"] == 1
+        # Exact reconciliation through a kill -9: the victim's
+        # unshipped tail is lost from the merged counters and the
+        # per-worker ledger *identically*, so both equal the client's
+        # successful-request count.
+        assert meta["requests"] == sent
+        assert counters["serve.requests"] == sent
+        assert sum(meta["per_worker_requests"].values()) == sent
+        # And the doctor agrees: no reconciliation warnings.
+        diag = diagnose_run_report(metrics_path)
+        assert diag.ok
+        assert all(f.severity == "info" for f in diag.findings)
+
+    def test_exhausted_restart_budget_escalates_to_exit_2(
+        self, index_path
+    ):
+        server = ServerProcess(
+            index_path,
+            "--workers", "2",
+            "--max-restarts", "0",
+            "--heartbeat-interval", "0.2",
+        )
+        try:
+            victim = self._healthz(server.port)["pid"]
+            os.kill(victim, signal.SIGKILL)
+            code = server.proc.wait(timeout=30)
+            stderr = server.proc.stderr.read()
+        finally:
+            server.kill()
+        assert code == 2
+        assert "restart budget" in stderr
+        assert "escalated shutdown" in stderr
