@@ -31,7 +31,9 @@ driven by the event-loop thread (no locks, injectable clocks):
     fast-fail with 503 instead of queueing behind a sick engine.
     After ``reset_timeout`` the breaker goes **half-open** and admits
     exactly one probe; a successful probe closes the circuit, a failed
-    one re-opens it for another full timeout.
+    one re-opens it for another full timeout, and a probe that never
+    reaches an outcome (validation failure, cancellation) must be
+    abandoned so the next request can probe instead.
 
 Both are disabled by default (watermarks of 0, threshold of 0) and
 cost two integer operations on the admitted hot path, so an idle or
@@ -253,6 +255,23 @@ class CircuitBreaker:
         self.failures += 1
         if self.state == self.CLOSED and self.failures >= self.threshold:
             self._open()
+
+    def abandon_probe(self) -> None:
+        """Release a half-open probe that never got an outcome.
+
+        A request admitted as the probe can die without reaching the
+        engine — it fails request validation after :meth:`allow`, or
+        the server timeout cancels it mid-flight.  Its outcome is
+        unknown, so neither :meth:`record_success` nor
+        :meth:`record_failure` fires; without this release the probe
+        latch would stay set and every later request would fast-fail
+        until a restart.  Abandoning is neutral: the breaker stays
+        half-open and the next request becomes the new probe.
+        """
+        if not self.enabled:
+            return
+        if self.state == self.HALF_OPEN:
+            self._probing = False
 
     def _open(self) -> None:
         self.state = self.OPEN

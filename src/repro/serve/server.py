@@ -118,6 +118,11 @@ __all__ = ["PredictCoalescer", "StrategyServer", "MAX_BODY_BYTES"]
 #: Largest accepted request body; bigger POSTs get 413.
 MAX_BODY_BYTES = 1 << 20
 
+#: Paths exempt from admission control: liveness probes must answer
+#: even when the data plane is shedding, or the orchestrator mistakes
+#: "saturated" for "dead" and kills the worker.
+_CONTROL_PLANE_PATHS = frozenset({"/healthz", "/metrics"})
+
 #: Largest accepted request line + headers block.
 _MAX_HEADER_BYTES = 16384
 
@@ -633,10 +638,20 @@ class StrategyServer:
         # Admission: refuse work the server cannot finish in time as a
         # cheap 429 *before* it queues at the semaphore.  Expensive
         # predict sheds before cheap precompiled lookups (brownout).
-        endpoint_class = (
-            PREDICT if target.split("?", 1)[0] == "/v1/predict" else LOOKUP
-        )
-        if not self.admission.try_acquire(endpoint_class):
+        # Control-plane probes (/healthz, /metrics) are exempt: an
+        # orchestrator must be able to tell "saturated but alive" from
+        # dead — shedding its health check invites a kill that makes
+        # the overload worse.
+        path = target.split("?", 1)[0]
+        if path in _CONTROL_PLANE_PATHS:
+            endpoint_class: Optional[str] = None
+        elif path == "/v1/predict":
+            endpoint_class = PREDICT
+        else:
+            endpoint_class = LOOKUP
+        if endpoint_class is not None and not self.admission.try_acquire(
+            endpoint_class
+        ):
             retry = self.admission.retry_after()
             rec.count("serve.shed")
             rec.count(f"serve.shed.{endpoint_class}")
@@ -678,9 +693,10 @@ class StrategyServer:
             rec.count("serve.errors")
             status, payload = 500, {"error": f"internal error: {exc}"}
         finally:
-            self.admission.release(
-                endpoint_class, (self._clock() - started) * 1000.0
-            )
+            if endpoint_class is not None:
+                self.admission.release(
+                    endpoint_class, (self._clock() - started) * 1000.0
+                )
         rec.observe("serve.latency_ms", (self._clock() - started) * 1000.0)
         rec.count(f"serve.responses.{status // 100}xx")
         return status, payload, headers
@@ -741,28 +757,48 @@ class StrategyServer:
             self._reload_lock = asyncio.Lock()
         async with self._reload_lock:
             rec = self.recorder
-            rec.count("serve.reload.attempts")
+            # ``serve.reload.attempts`` is counted next to each outcome
+            # below — never before the off-loop read — so the doctor's
+            # ``attempts == success + failures`` reconciliation holds
+            # even when a heartbeat drain or a worker kill lands in the
+            # executor await window mid-reload.
             generation = self.index_generation
             if not self.index_path:
                 self.reload_failures += 1
+                rec.count("serve.reload.attempts")
                 rec.count("serve.reload.failures")
                 return {
                     "reloaded": False,
                     "generation": generation,
                     "error": "server has no index path to reload from",
                 }
-            try:
-                with open(self.index_path, encoding="utf-8") as f:
+            # Consume the chaos token on the loop thread (FaultPlan
+            # state is not shared with executor threads), then read and
+            # validate off-loop: a large candidate index must not stall
+            # every in-flight request for the whole read + checksum
+            # parse.  Only the final swap below touches loop state.
+            corrupt = bool(
+                self.faults is not None
+                and self.faults.consume("corrupt", SERVE_RELOAD_CORRUPT)
+            )
+            index_path = self.index_path
+
+            def _read_and_validate() -> StrategyIndex:
+                with open(index_path, encoding="utf-8") as f:
                     text = f.read()
-                if self.faults is not None and self.faults.consume(
-                    "corrupt", SERVE_RELOAD_CORRUPT
-                ):
+                if corrupt:
                     # Chaos harness: garble the candidate mid-deploy so
                     # checksum validation — and rollback — must fire.
                     text = text[: len(text) // 2] + '{"corrupt":'
-                index = StrategyIndex.loads(text, source=self.index_path)
+                return StrategyIndex.loads(text, source=index_path)
+
+            try:
+                index = await asyncio.get_running_loop().run_in_executor(
+                    None, _read_and_validate
+                )
             except (OSError, UnicodeDecodeError, ServeError) as exc:
                 self.reload_failures += 1
+                rec.count("serve.reload.attempts")
                 rec.count("serve.reload.failures")
                 print(
                     f"[serve] reload failed, still serving generation "
@@ -779,6 +815,7 @@ class StrategyServer:
             self.cache.clear()
             self.index_generation += 1
             self.reloads += 1
+            rec.count("serve.reload.attempts")
             rec.count("serve.reload.success")
             print(
                 f"[serve] reloaded index from {self.index_path!r} "
@@ -1084,17 +1121,9 @@ class StrategyServer:
             raise _HttpError(
                 501, "online prediction is disabled (--no-predict)"
             )
-        if not self.breaker.allow():
-            # The engine has been failing repeatedly: fast-fail instead
-            # of queueing more work behind it (half-open probes admit
-            # one request per reset window to test recovery).
-            rec.count("serve.breaker.fast_fails")
-            raise _HttpError(
-                503,
-                "predict engine circuit breaker is open after repeated "
-                "failures; retrying after the breaker reset window",
-                retry_after=self.breaker.retry_after(),
-            )
+        # Parse and shape-check the body BEFORE consulting the breaker:
+        # a malformed request must never consume the half-open probe
+        # slot (its 400 carries no outcome to adjudicate the probe).
         try:
             parsed = json.loads(body.decode("utf-8")) if body else {}
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -1112,6 +1141,25 @@ class StrategyServer:
                 '"input": ..., "config": ...?}, ...]} or a single such '
                 "object",
             )
+        if not self.breaker.allow():
+            # The engine has been failing repeatedly: fast-fail instead
+            # of queueing more work behind it (half-open probes admit
+            # one request per reset window to test recovery).
+            rec.count("serve.breaker.fast_fails")
+            raise _HttpError(
+                503,
+                "predict engine circuit breaker is open after repeated "
+                "failures; retrying after the breaker reset window",
+                retry_after=self.breaker.retry_after(),
+            )
+        # A True allow() while half-open makes this request THE probe.
+        # Every path from here must adjudicate it (record_success /
+        # record_failure) or abandon it — a request where every item
+        # fails local validation, or one cancelled by the server
+        # timeout, would otherwise latch the probe and fast-fail every
+        # later predict until a restart.
+        probing = self.breaker.state == CircuitBreaker.HALF_OPEN
+        adjudicated = False
         assert self._coalescer is not None
         # Validate and resolve advisor configs synchronously, then
         # submit every priceable item to the coalescing window at once:
@@ -1121,74 +1169,82 @@ class StrategyServer:
         advisors: List[Optional[object]] = [None] * len(queries)
         submitted: List[Tuple[int, "asyncio.Future"]] = []
         errors = 0
-        for i, q in enumerate(queries):
-            if not isinstance(q, dict):
-                results[i] = {"error": f"query must be an object, got {q!r}"}
-                errors += 1
-                continue
-            try:
-                chip, app, inp = q.get("chip"), q.get("app"), q.get("input")
-                for name, value in (("chip", chip), ("app", app), ("input", inp)):
-                    if not isinstance(value, str) or not value:
-                        raise PredictionError(
-                            f"missing or invalid {name!r} in predict query"
+        try:
+            for i, q in enumerate(queries):
+                if not isinstance(q, dict):
+                    results[i] = {"error": f"query must be an object, got {q!r}"}
+                    errors += 1
+                    continue
+                try:
+                    chip, app, inp = q.get("chip"), q.get("app"), q.get("input")
+                    for name, value in (("chip", chip), ("app", app), ("input", inp)):
+                        if not isinstance(value, str) or not value:
+                            raise PredictionError(
+                                f"missing or invalid {name!r} in predict query"
+                            )
+                    if "config" in q:
+                        config = Predictor.parse_config(q["config"])
+                    else:
+                        # No explicit configuration: price what the advisor
+                        # recommends for these exact coordinates.
+                        advisors[i] = self.index.lookup(
+                            chip=chip, app=app, input=inp
                         )
-                if "config" in q:
-                    config = Predictor.parse_config(q["config"])
-                else:
-                    # No explicit configuration: price what the advisor
-                    # recommends for these exact coordinates.
-                    advisors[i] = self.index.lookup(
-                        chip=chip, app=app, input=inp
+                        config = Predictor.parse_config(advisors[i].config)
+                    submitted.append(
+                        (i, asyncio.ensure_future(
+                            self._coalescer.price(chip, app, inp, config)
+                        ))
                     )
-                    config = Predictor.parse_config(advisors[i].config)
-                submitted.append(
-                    (i, asyncio.ensure_future(
-                        self._coalescer.price(chip, app, inp, config)
-                    ))
+                except PredictionError as exc:
+                    results[i] = {"error": str(exc)}
+                    errors += 1
+            flush_timeouts = 0
+            if submitted:
+                priced = await asyncio.gather(
+                    *(future for _, future in submitted),
+                    return_exceptions=True,
                 )
-            except PredictionError as exc:
-                results[i] = {"error": str(exc)}
-                errors += 1
-        flush_timeouts = 0
-        if submitted:
-            priced = await asyncio.gather(
-                *(future for _, future in submitted), return_exceptions=True
-            )
-            for (i, _), outcome in zip(submitted, priced):
-                if isinstance(outcome, FlushTimeoutError):
-                    # The coalesced batch blew its flush deadline: a
-                    # per-item 503, and the breaker hears about it.
-                    results[i] = {"error": str(outcome), "status": 503}
-                    errors += 1
-                    flush_timeouts += 1
-                    self.breaker.record_failure()
-                elif isinstance(outcome, PredictionError):
-                    results[i] = {"error": str(outcome)}
-                    errors += 1
-                    self.breaker.record_failure()
-                elif isinstance(outcome, BaseException):
-                    self.breaker.record_failure()
-                    raise outcome  # engine failure: 500, as before
-                else:
-                    self.breaker.record_success()
-                    if advisors[i] is not None:
-                        outcome["advisor"] = advisors[i].to_dict()
-                    results[i] = outcome
-                    rec.count("serve.predictions")
-                    try:
-                        self.observations.record(
-                            outcome["chip"],
-                            outcome["app"],
-                            outcome["input"],
-                            outcome["config"],
-                            tuple(outcome["times_us"]),
-                        )
-                        rec.count("serve.refine.recorded")
-                    except (KeyError, TypeError):
-                        # A priced outcome without full coordinates
-                        # cannot feed ?refine=1; pricing still stands.
-                        pass
+                for (i, _), outcome in zip(submitted, priced):
+                    # Every branch below records an outcome with the
+                    # breaker, so reaching the loop adjudicates a probe.
+                    adjudicated = True
+                    if isinstance(outcome, FlushTimeoutError):
+                        # The coalesced batch blew its flush deadline: a
+                        # per-item 503, and the breaker hears about it.
+                        results[i] = {"error": str(outcome), "status": 503}
+                        errors += 1
+                        flush_timeouts += 1
+                        self.breaker.record_failure()
+                    elif isinstance(outcome, PredictionError):
+                        results[i] = {"error": str(outcome)}
+                        errors += 1
+                        self.breaker.record_failure()
+                    elif isinstance(outcome, BaseException):
+                        self.breaker.record_failure()
+                        raise outcome  # engine failure: 500, as before
+                    else:
+                        self.breaker.record_success()
+                        if advisors[i] is not None:
+                            outcome["advisor"] = advisors[i].to_dict()
+                        results[i] = outcome
+                        rec.count("serve.predictions")
+                        try:
+                            self.observations.record(
+                                outcome["chip"],
+                                outcome["app"],
+                                outcome["input"],
+                                outcome["config"],
+                                tuple(outcome["times_us"]),
+                            )
+                            rec.count("serve.refine.recorded")
+                        except (KeyError, TypeError):
+                            # A priced outcome without full coordinates
+                            # cannot feed ?refine=1; pricing still stands.
+                            pass
+        finally:
+            if probing and not adjudicated:
+                self.breaker.abandon_probe()
         rec.count("serve.predictions.errors", errors)
         # Every priced item hit the flush deadline: the whole response
         # is a 503 (clients should back off), with per-item detail.
@@ -1477,14 +1533,20 @@ def _serve_workers(  # pragma: no cover - subprocess-only, exercised e2e
             supervisor.start()
             ready: set = set()
             advertised = False
-            empty_polls = 0
+            # After the last worker exits, keep draining until the
+            # metrics queue has been quiet this long: a final "metrics"
+            # message still in transit through the multiprocessing pipe
+            # carries the last heartbeat interval's deltas, and the
+            # reconciliation needs them.
+            drain_grace = 2.0
+            quiet_since: Optional[float] = None
             while True:
                 try:
                     message = queue.get(timeout=0.25)
                 except Exception:  # queue.Empty
                     message = None
                 if message is not None:
-                    empty_polls = 0
+                    quiet_since = None
                     kind, wid = message[0], message[1]
                     if kind == "ready":
                         ready.add(wid)
@@ -1506,8 +1568,6 @@ def _serve_workers(  # pragma: no cover - subprocess-only, exercised e2e
                         if snapshot is not None:
                             recorder.merge(snapshot)
                         per_worker[wid] = per_worker.get(wid, 0) + delta
-                else:
-                    empty_polls += 1
                 if not state["stopping"]:
                     for event in supervisor.poll():
                         tag = event[0]
@@ -1547,12 +1607,14 @@ def _serve_workers(  # pragma: no cover - subprocess-only, exercised e2e
                         state["stopping"] = True
                         supervisor.stop()
                         _signal_fleet(signal.SIGTERM)
-                if (
-                    state["stopping"]
-                    and supervisor.all_exited()
-                    and empty_polls >= 2
-                ):
-                    break
+                if state["stopping"] and supervisor.all_exited():
+                    now = time.monotonic()
+                    if quiet_since is None:
+                        quiet_since = now
+                    elif now - quiet_since >= drain_grace:
+                        break
+                else:
+                    quiet_since = None
             for slot in supervisor.slots:
                 if slot.process is not None:
                     slot.process.join()

@@ -131,23 +131,33 @@ class FleetSupervisor:
                     continue
                 # The occupant died (any exit while not stopping is a
                 # death — a serve worker has no reason to exit alone).
+                # Escalation must not short-circuit this scan: sibling
+                # deaths in the same interval still need their deaths
+                # counter and exit-code provenance, or the shutdown
+                # summary undercounts a multi-death crash loop.
                 slot.process = None
                 slot.exit_codes.append(proc.exitcode)
                 self.deaths += 1
                 events.append(("death", slot.worker_id, proc.exitcode))
+                if self.escalated:
+                    continue
                 if self.restarts >= self.max_restarts:
                     self.escalated = True
                     events.append(
                         ("escalate", slot.worker_id, self.restarts)
                     )
-                    return events
+                    continue
                 delay = min(
                     self.backoff_cap,
                     self.backoff_base * (2.0 ** slot.restarts),
                 )
                 slot.respawn_at = now + delay
                 events.append(("backoff", slot.worker_id, delay))
-            elif slot.respawn_at is not None and now >= slot.respawn_at:
+            elif (
+                not self.escalated
+                and slot.respawn_at is not None
+                and now >= slot.respawn_at
+            ):
                 slot.respawn_at = None
                 slot.restarts += 1
                 self.restarts += 1

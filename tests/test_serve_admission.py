@@ -177,6 +177,52 @@ class TestCircuitBreaker:
         clock.advance(10.0)
         assert breaker.retry_after() == 1  # floor once due
 
+    def test_abandon_probe_releases_the_half_open_latch(self):
+        """A probe that dies without an outcome (validation failure,
+        cancellation) must not latch half-open forever: abandoning it
+        lets the next request become the new probe."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # latched while it is in flight
+        breaker.abandon_probe()  # probe died without an outcome
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the next request probes instead
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_abandon_probe_is_a_noop_outside_half_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.abandon_probe()  # closed: nothing to release
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.abandon_probe()  # open: nothing to release
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        CircuitBreaker().abandon_probe()  # disabled: ignored
+
+    def test_adjudicated_probe_is_not_reopened_by_abandon(self):
+        """``abandon_probe`` after a recorded outcome changes nothing —
+        the server calls it unconditionally from a ``finally``."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        breaker.abandon_probe()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()  # threshold 1: re-opens
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # failed probe
+        breaker.abandon_probe()
+        assert breaker.state == CircuitBreaker.OPEN
+
     def test_rejects_invalid_configuration(self):
         with pytest.raises(ServeError):
             CircuitBreaker(threshold=-1)

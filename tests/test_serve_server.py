@@ -849,3 +849,109 @@ class TestFlushDeadline:
 
         with pytest.raises(ServeError):
             PredictCoalescer(StubPredictor(), flush_timeout=-0.1)
+
+
+class TestBreakerProbeLifecycle:
+    """The half-open probe slot must never leak: a request admitted as
+    the probe that dies without an engine outcome (400 after admission,
+    every item failing local validation, cancellation) has to release
+    the latch so the next request can probe instead."""
+
+    def test_unadjudicated_requests_do_not_latch_the_probe(self, index):
+        from repro.serve import CircuitBreaker
+
+        class Clock:
+            t = 0.0
+
+            def __call__(self) -> float:
+                return self.t
+
+        clock = Clock()
+        breaker = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+
+        async def go():
+            server = StrategyServer(
+                index, predictor=StubPredictor(), breaker=breaker
+            )
+            await server.start()
+            try:
+                bad = _predict_body(
+                    {"chip": "BOOM", "app": "bfs-wl",
+                     "input": "tiny-road", "config": "wg"}
+                )
+                await http_request(
+                    server.port, "POST", "/v1/predict", bad
+                )  # PredictionError opens the threshold-1 breaker
+                assert breaker.state == CircuitBreaker.OPEN
+                clock.t = 5.0  # the reset window elapses: half-open next
+                # Malformed JSON is rejected before the breaker is
+                # consulted — it must not consume the probe slot.
+                s1, _, _ = await http_request(
+                    server.port, "POST", "/v1/predict", b'{"nope'
+                )
+                # A request whose only item fails local validation IS
+                # admitted as the probe but never reaches the engine;
+                # it must abandon the probe on the way out.
+                s2, out2, _ = await http_request(
+                    server.port, "POST", "/v1/predict",
+                    _predict_body({"chip": "MALI", "app": "bfs-wl"}),
+                )
+                # The probe slot is free again: a good request probes,
+                # succeeds, and closes the circuit.
+                s3, out3, _ = await http_request(
+                    server.port, "POST", "/v1/predict",
+                    _predict_body(
+                        {"chip": "MALI", "app": "bfs-wl",
+                         "input": "tiny-road", "config": "wg"}
+                    ),
+                )
+            finally:
+                await server.stop()
+            return s1, s2, out2, s3, out3
+
+        s1, s2, out2, s3, out3 = run(go())
+        assert s1 == 400
+        assert s2 == 200 and out2["errors"] == 1
+        assert s3 == 200 and out3["errors"] == 0
+        assert breaker.state == CircuitBreaker.CLOSED
+
+
+class TestControlPlaneAdmission:
+    """/healthz and /metrics are exempt from admission shedding: an
+    orchestrator probing a saturated-but-alive worker must see 200, or
+    it kills the worker and makes the overload worse."""
+
+    def test_health_and_metrics_answer_while_lookups_shed(self, index):
+        from repro.serve import AdmissionController
+        from repro.serve.admission import LOOKUP
+
+        adm = AdmissionController(lookup_depth=1)
+        assert adm.try_acquire(LOOKUP)  # pin the class at its watermark
+
+        async def go():
+            server = StrategyServer(index, admission=adm, recorder=Recorder())
+            await server.start()
+            try:
+                s_lookup, shed, _ = await http_request(
+                    server.port, "GET", "/v1/strategy?chip=MALI"
+                )
+                s_health, health, _ = await http_request(
+                    server.port, "GET", "/healthz"
+                )
+                s_metrics, metrics, _ = await http_request(
+                    server.port, "GET", "/metrics"
+                )
+            finally:
+                await server.stop()
+            return s_lookup, shed, s_health, health, s_metrics, metrics
+
+        s_lookup, shed, s_health, health, s_metrics, metrics = run(go())
+        assert s_lookup == 429
+        assert shed["retry_after"] >= 1
+        assert s_health == 200
+        assert health["status"] == "ok"
+        assert health["admission"]["shed"]["lookup"] == 1
+        assert s_metrics == 200
+        # Control-plane requests are not counted against the lookup
+        # class either: pending stayed at the pinned slot only.
+        assert metrics["counters"]["serve.shed.lookup"] == 1

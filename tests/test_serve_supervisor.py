@@ -127,6 +127,34 @@ class TestFleetSupervisor:
         assert sup.poll() == []
         assert len(spawned) == 2 + 3
 
+    def test_sibling_deaths_in_the_escalating_scan_are_counted(self, fleet):
+        """Escalation must not short-circuit the slot scan: a second
+        worker dead in the same poll still gets its death event, deaths
+        counter, and exit-code provenance — the shutdown summary must
+        not undercount a multi-death crash loop."""
+        sup, clock, spawned = fleet
+        sup.start()
+        for _ in range(3):  # spend the max_restarts=3 budget on slot 0
+            sup.slots[0].process.die(1)
+            sup.poll()
+            clock.advance(MAX_BACKOFF)
+            sup.poll()
+        assert sup.restarts == 3
+        # Both workers die in the same interval; the first escalates.
+        sup.slots[0].process.die(-9)
+        sup.slots[1].process.die(-6)
+        events = sup.poll()
+        assert ("death", 0, -9) in events
+        assert ("death", 1, -6) in events
+        assert ("escalate", 0, 3) in events
+        assert sup.escalated
+        assert sup.deaths == 5
+        assert sup.slots[1].exit_codes == [-6]
+        # And neither slot is respawned after escalation.
+        assert len(spawned) == 2 + 3
+        clock.advance(MAX_BACKOFF)
+        assert sup.poll() == []
+
     def test_stopping_fleet_ignores_deaths(self, fleet):
         sup, clock, spawned = fleet
         sup.start()
