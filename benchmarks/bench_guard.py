@@ -49,24 +49,76 @@ def _load(path: str):
 
 
 def _check_study(results: dict, floors: dict) -> int:
-    mode = "quick" if results.get("quick") else "full"
-    floor = floors["speedup_vs_scalar"][mode]
-    speedup = results["sweeps"]["batch"]["speedup_vs_scalar"]
-    print(
-        f"[bench-guard] study mode={mode}: batch speedup {speedup:.2f}x "
-        f"(floor {floor:.2f}x)"
+    mode = results.get("scope_mode") or (
+        "quick" if results.get("quick") else "full"
     )
     if not results.get("identical_datasets"):
         print("[bench-guard] FAIL: engines no longer produce identical datasets")
         return 1
-    if speedup < floor:
+    speedup = results["sweeps"]["batch"].get("speedup_vs_scalar")
+    floor = floors["speedup_vs_scalar"].get(mode)
+    if speedup is not None and floor is not None:
         print(
-            f"[bench-guard] FAIL: batch-vs-scalar speedup {speedup:.2f}x "
-            f"fell below the committed floor {floor:.2f}x — the vectorized "
-            f"engine has regressed (or new overhead entered the pricing "
-            f"loop); investigate before raising the floor"
+            f"[bench-guard] study mode={mode}: batch speedup {speedup:.2f}x "
+            f"(floor {floor:.2f}x)"
         )
-        return 1
+        if speedup < floor:
+            print(
+                f"[bench-guard] FAIL: batch-vs-scalar speedup {speedup:.2f}x "
+                f"fell below the committed floor {floor:.2f}x — the "
+                f"vectorized engine has regressed (or new overhead entered "
+                f"the pricing loop); investigate before raising the floor"
+            )
+            return 1
+    else:
+        print(
+            f"[bench-guard] study mode={mode}: no scalar reference sweep "
+            f"(10x scope); speedup floor not applicable"
+        )
+    store = results.get("store")
+    store_floor = floors.get("columnar_load_speedup", {}).get(mode)
+    if store is not None and store_floor is not None:
+        load_speedup = store["columnar_load_speedup"]
+        print(
+            f"[bench-guard] store mode={mode}: columnar load "
+            f"{load_speedup:.2f}x vs JSON (floor {store_floor:.2f}x), "
+            f"RSS ratio {store.get('rss_ratio_v3_vs_json', '?')}"
+        )
+        if load_speedup < store_floor:
+            print(
+                f"[bench-guard] FAIL: columnar load speedup "
+                f"{load_speedup:.2f}x fell below the committed floor "
+                f"{store_floor:.2f}x — the v3 load path grew parse work "
+                f"(eager column materialisation, checksum over the timing "
+                f"column at load, a lost mmap); investigate before "
+                f"raising the floor"
+            )
+            return 1
+        rss_ratio = store.get("rss_ratio_v3_vs_json")
+        if mode == "10x" and rss_ratio is not None and rss_ratio > 1.2:
+            print(
+                f"[bench-guard] FAIL: columnar peak RSS is {rss_ratio:.2f}x "
+                f"the JSON parse's at 10x scope — the mmap stopped "
+                f"bounding memory (something materialises the whole "
+                f"timing column on load)"
+            )
+            return 1
+    rows_rate = results.get("study_rows_per_s")
+    rows_floor = floors.get("study_rows_per_s", {}).get(mode)
+    if rows_rate is not None and rows_floor is not None:
+        print(
+            f"[bench-guard] sweep mode={mode}: {rows_rate:.0f} rows/s "
+            f"(floor {rows_floor:.0f} rows/s)"
+        )
+        if rows_rate < rows_floor:
+            print(
+                f"[bench-guard] FAIL: study sweep throughput "
+                f"{rows_rate:.0f} rows/s fell below the committed floor "
+                f"{rows_floor:.0f} rows/s — the pricing loop or the "
+                f"result store grew per-cell overhead; investigate "
+                f"before raising the floor"
+            )
+            return 1
     search = results.get("search")
     search_floor = floors.get("search_replays_per_s", {}).get(mode)
     if search is not None and search_floor is not None:

@@ -6,7 +6,10 @@ epilog and the tests can never disagree about what exists.
 
 * ``study`` — run the full study and save the dataset (delegates to
   :mod:`repro.study.runner`; checkpointed, resumable, shardable over
-  worker processes);
+  worker processes; ``--store v3`` spills binary columnar shards);
+* ``dataset`` — convert between the JSON ``perf-dataset-v2`` family
+  and the binary columnar ``perf-dataset-v3``, inspect headers, and
+  run full checksum verification (:mod:`repro.store.cli`);
 * ``report`` — regenerate paper tables/figures
   (:mod:`repro.experiments.report`);
 * ``index`` — compile a ``strategy-index-v1`` artifact from a dataset
@@ -77,6 +80,10 @@ def main(argv=None) -> int:
         sys.argv = ["repro-study"] + rest
         runner.main()
         return 0
+    if command == "dataset":
+        from .store.cli import main as dataset_main
+
+        return dataset_main(rest)
     if command == "report":
         from .experiments.report import main as report_main
 

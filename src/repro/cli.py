@@ -36,8 +36,13 @@ SUBCOMMANDS: List[Tuple[str, str, str]] = [
         "study",
         "OUTPUT [--scale S] [--repetitions N] [--jobs N] [--engine E]\n"
         "        [--resume] [--checkpoint DIR] [--retries N]\n"
-        "        [--shard-timeout S] [--metrics PATH]",
+        "        [--shard-timeout S] [--store S] [--metrics PATH]",
         "run the full study (checkpointed; resumable)",
+    ),
+    (
+        "dataset",
+        "{convert IN OUT [--format F] | info PATH [--json] | verify PATH}",
+        "convert/inspect/verify dataset files (v2 JSON, v3 columnar)",
     ),
     (
         "report",

@@ -67,7 +67,12 @@ def _load_audited(path: str, rebuildable: bool) -> Optional[DatasetAudit]:
     there is the point (partial analysis), so bad cells are quarantined
     and the cleaned dataset is used; only an unloadable file raises.
     """
-    if rebuildable and peek_format(path) != DATASET_FORMAT:
+    from ..store.columnar import COLUMNAR_FORMAT
+
+    if rebuildable and peek_format(path) not in (
+        DATASET_FORMAT,
+        COLUMNAR_FORMAT,
+    ):
         return None
     try:
         dataset = PerfDataset.load(path)

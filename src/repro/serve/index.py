@@ -958,7 +958,10 @@ def main(argv=None) -> int:
             "study dataset, for python -m repro serve."
         ),
     )
-    parser.add_argument("dataset", help="input PerfDataset JSON (.gz ok)")
+    parser.add_argument(
+        "dataset",
+        help="input PerfDataset: JSON (.gz ok) or binary columnar (.v3)",
+    )
     parser.add_argument("output", help="path for the strategy-index artifact")
     parser.add_argument(
         "--min-coverage",

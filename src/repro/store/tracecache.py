@@ -1,0 +1,110 @@
+"""Write-once compiled-trace cache shared through the checkpoint dir.
+
+A parallel study (``--jobs N``) used to ship the full collected-trace
+dictionary to every worker through the pool initializer — re-pickled
+per worker *per pool build*, so a sweep that rebuilt its pool after a
+crash paid the serialisation again each time.  Instead the parent now
+writes the traces once to ``traces-<fingerprint>.bin`` inside the
+checkpoint directory and workers load them from disk:
+
+* the file is keyed by :func:`~repro.study.checkpoint.study_fingerprint`,
+  so a resumed run (same fingerprint) reuses it and a different study
+  never can;
+* it is *write-once*: a valid existing file is left alone, so
+  concurrent pool rebuilds and resumed runs share one copy;
+* the payload carries a SHA-256 — a worker finding a damaged cache
+  raises, and the runner's ordinary pool-rebuild / in-process fallback
+  machinery recovers (the parent always keeps its own traces).
+
+Workers count ``study.traces.shared`` when they load from the cache
+and ``study.traces.rebuilt`` when the traces had to be pickled to them
+directly (no checkpoint directory), so a run report shows which path
+a sweep took.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Dict, Optional
+
+from ..errors import DatasetError
+from ..util import atomic_write_bytes
+
+__all__ = ["load_trace_cache", "save_trace_cache", "trace_cache_path"]
+
+#: First eight bytes of every trace-cache file.
+TRACE_CACHE_MAGIC = b"RPTRC1\x00\x00"
+
+
+def trace_cache_path(directory: str, fingerprint: str) -> str:
+    """Where the trace cache for ``fingerprint`` lives in ``directory``."""
+    return os.path.join(directory, f"traces-{fingerprint}.bin")
+
+
+def save_trace_cache(path: str, fingerprint: str, traces: Dict) -> bool:
+    """Write the cache unless a valid one already exists (write-once).
+
+    Returns ``True`` when the file was (re)written, ``False`` when an
+    existing valid cache for the same fingerprint was kept.
+    """
+    if os.path.exists(path):
+        try:
+            load_trace_cache(path, fingerprint)
+            return False
+        except DatasetError:
+            pass  # damaged or stale: rewrite below
+    payload = pickle.dumps(
+        {"fingerprint": fingerprint, "traces": traces},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    atomic_write_bytes(
+        path,
+        TRACE_CACHE_MAGIC + hashlib.sha256(payload).digest() + payload,
+    )
+    return True
+
+
+def load_trace_cache(path: str, fingerprint: Optional[str] = None) -> Dict:
+    """Load and verify a trace cache; return the traces dict.
+
+    Raises :class:`~repro.errors.DatasetError` on a missing file, bad
+    magic, checksum mismatch, undecodable payload, or (when given) a
+    fingerprint that does not match — a worker must price against
+    exactly the parent's traces or not at all.
+    """
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as exc:
+        raise DatasetError(
+            f"cannot read trace cache {path!r}: {exc}"
+        ) from exc
+    if len(data) < len(TRACE_CACHE_MAGIC) + 32 or not data.startswith(
+        TRACE_CACHE_MAGIC
+    ):
+        raise DatasetError(
+            f"corrupt trace cache {path!r}: bad magic or truncated header"
+        )
+    digest = data[len(TRACE_CACHE_MAGIC) : len(TRACE_CACHE_MAGIC) + 32]
+    payload = data[len(TRACE_CACHE_MAGIC) + 32 :]
+    if hashlib.sha256(payload).digest() != digest:
+        raise DatasetError(
+            f"corrupt trace cache {path!r}: checksum mismatch (the file "
+            f"was modified or partially written)"
+        )
+    try:
+        record = pickle.loads(payload)
+        traces = record["traces"]
+        cached_fp = record["fingerprint"]
+    except Exception as exc:  # pickle raises almost anything on garbage
+        raise DatasetError(
+            f"corrupt trace cache {path!r}: undecodable payload ({exc})"
+        ) from exc
+    if fingerprint is not None and cached_fp != fingerprint:
+        raise DatasetError(
+            f"stale trace cache {path!r}: fingerprint {cached_fp!r} does "
+            f"not match this study's {fingerprint!r}"
+        )
+    return traces

@@ -254,17 +254,29 @@ def audit_dataset(
             ("config", config.label()),
         )
 
+    # One streaming pass over the dataset's cells classifies each
+    # present grid cell (``None`` = healthy, else the quarantine
+    # reason).  The grid walk below then needs only this verdict map —
+    # no per-cell timing tuples — so a columnar dataset audits off its
+    # mapped file without ever materialising the full grid in memory.
+    grid_tests = set(tests)
+    grid_keys = {config.key() for config in configs}
+    verdicts: Dict[Tuple[TestCase, str], Optional[str]] = {}
+    for test, key, times in dataset.iter_cells():
+        if test in grid_tests and key in grid_keys:
+            verdicts[(test, key)] = _cell_reason(times, repetitions)
+
+    _MISSING = "missing"  # sentinel distinct from None (= healthy)
     for test in tests:
         for config in configs:
             for axis in _axes(test, config):
                 dim_expected[axis] = dim_expected.get(axis, 0) + 1
-            times = dataset.times_or_none(test, config)
-            if times is None:
+            reason = verdicts.get((test, config.key()), _MISSING)
+            if reason is _MISSING:
                 issues.append(
                     CellIssue(test, config.key(), "missing", "no measurement")
                 )
                 continue
-            reason = _cell_reason(times, repetitions)
             if reason is not None:
                 if strict:
                     raise AuditError(
@@ -282,12 +294,13 @@ def audit_dataset(
     clean = dataset
     if quarantined:
         bad = {(i.test, i.config_key) for i in quarantined}
+        config_map = {config.key(): config for config in dataset.configs}
         clean = PerfDataset()
-        for (test, key), times in dataset._times.items():
+        for test, key, times in dataset.iter_cells():
             if (test, key) in bad:
                 continue
-            clean._times[(test, key)] = times
-            clean._configs.setdefault(key, dataset._configs[key])
+            clean._times[(test, key)] = tuple(times)
+            clean._configs.setdefault(key, config_map[key])
             clean._tests.setdefault(test, None)
 
     expected = len(tests) * len(configs)

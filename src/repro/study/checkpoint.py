@@ -13,12 +13,18 @@ Layout of a checkpoint directory::
       manifest.json              {"format", "fingerprint", "n_chips",
                                   "n_configs"}
       shard-<chip>-<config>.json {"task", "rows", "checksum"}
+      shard-<chip>-<config>.v3   columnar chunk (store="v3" sweeps)
+      traces-<fingerprint>.bin   shared compiled-trace cache (optional)
       metrics.json               {"segments", "checksum"} (optional)
 
 Every file is written atomically (temp + rename) with a SHA-256
 checksum, so a crash can at worst lose the shard being written, never
 corrupt one already recorded; invalid shards found on resume are
-dropped and simply re-priced.
+dropped and simply re-priced.  A columnar (``store="v3"``) sweep's
+workers spill each shard as a ``perf-dataset-v3`` chunk which
+:meth:`StudyCheckpoint.record_chunk` renames into place — the same
+bytes serve as the checkpoint shard and the parent's merge input, so
+nothing is re-serialised.
 
 The manifest carries the study's *fingerprint* — a stable hash over
 the chips, configurations, repetitions, engine, inputs and collected
@@ -35,7 +41,7 @@ import os
 import re
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import CheckpointError
+from ..errors import CheckpointError, DatasetError
 from ..util import atomic_write_text, sha256_hex, stable_hash
 
 __all__ = ["StudyCheckpoint", "study_fingerprint"]
@@ -46,7 +52,10 @@ CHECKPOINT_FORMAT = "study-checkpoint-v1"
 #: A shard's rows: (application, input, timings) per priced trace.
 ShardRows = List[Tuple[str, str, List[float]]]
 
-_SHARD_RE = re.compile(r"^shard-(\d+)-(\d+)\.json$")
+_SHARD_RE = re.compile(r"^shard-(\d+)-(\d+)\.(json|v3)$")
+
+#: Worker spill chunks not yet renamed into shards, and trace caches.
+_SPILL_RE = re.compile(r"^(chunk-\d+-\d+\.v3|traces-[0-9a-f]+\.bin)$")
 
 
 def study_fingerprint(config, engine: str, traces: Dict[tuple, object]) -> str:
@@ -95,9 +104,9 @@ class StudyCheckpoint:
     def _manifest_path(self) -> str:
         return os.path.join(self.directory, self.MANIFEST)
 
-    def _shard_path(self, task: Tuple[int, int]) -> str:
+    def _shard_path(self, task: Tuple[int, int], ext: str = "json") -> str:
         return os.path.join(
-            self.directory, f"shard-{task[0]:04d}-{task[1]:04d}.json"
+            self.directory, f"shard-{task[0]:04d}-{task[1]:04d}.{ext}"
         )
 
     def _read_manifest(self):
@@ -179,6 +188,7 @@ class StudyCheckpoint:
                 name == self.MANIFEST
                 or name == self.METRICS
                 or _SHARD_RE.match(name)
+                or _SPILL_RE.match(name)
             ):
                 try:
                     os.unlink(os.path.join(self.directory, name))
@@ -208,6 +218,24 @@ class StudyCheckpoint:
         )
         atomic_write_text(self._shard_path(task), payload)
 
+    def record_chunk(self, task: Tuple[int, int], chunk_path: str) -> str:
+        """Adopt a worker's spilled columnar chunk as this task's shard.
+
+        The chunk was already written atomically by the worker's
+        :class:`~repro.store.ColumnWriter`; renaming it into the shard
+        slot is the whole persistence step — no re-serialisation.  Any
+        stale JSON twin for the task is dropped so a shard never
+        resolves ambiguously.  Returns the shard's final path (the
+        parent merges straight from it).
+        """
+        dst = self._shard_path(task, "v3")
+        try:
+            os.unlink(self._shard_path(task, "json"))
+        except OSError:
+            pass
+        os.replace(chunk_path, dst)
+        return dst
+
     def _load_shards(
         self, n_chips: int, n_configs: int
     ) -> Dict[Tuple[int, int], ShardRows]:
@@ -218,12 +246,47 @@ class StudyCheckpoint:
             if not match:
                 continue
             task = (int(match.group(1)), int(match.group(2)))
-            rows = self._read_shard(name, task, n_chips, n_configs)
+            if match.group(3) == "v3":
+                rows = self._read_v3_shard(name, task, n_chips, n_configs)
+            else:
+                rows = self._read_shard(name, task, n_chips, n_configs)
             if rows is None:
+                self._skipped += 1
+            elif task in shards:  # a .json and a .v3 twin: re-price
+                del shards[task]
                 self._skipped += 1
             else:
                 shards[task] = rows
         return shards
+
+    def _read_v3_shard(self, name, task, n_chips, n_configs):
+        """Rows of one columnar chunk shard, or ``None`` if invalid.
+
+        A chunk holds exactly one (chip, configuration) cell of the
+        grid; anything else — multiple chips/configs, damage anywhere
+        in the file — invalidates the shard for re-pricing.
+        """
+        from ..store.columnar import ColumnarDataset
+
+        if not (0 <= task[0] < n_chips and 0 <= task[1] < n_configs):
+            return None
+        try:
+            ds = ColumnarDataset.load(os.path.join(self.directory, name))
+        except DatasetError:
+            return None
+        try:
+            ds.verify()
+            tables = ds.string_tables()
+            if len(tables["chips"]) > 1 or len(tables["configs"]) > 1:
+                return None
+            return [
+                (test.app, test.graph, list(times))
+                for test, _key, times in ds.iter_cells()
+            ]
+        except DatasetError:
+            return None
+        finally:
+            ds.close()
 
     def _read_shard(self, name, task, n_chips, n_configs):
         if not (0 <= task[0] < n_chips and 0 <= task[1] < n_configs):

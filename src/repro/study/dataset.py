@@ -296,6 +296,20 @@ class PerfDataset:
         for (test, key), times in self._times.items():
             yield test, self._configs[key], times
 
+    def iter_cells(
+        self,
+    ) -> Iterator[Tuple[TestCase, str, Tuple[float, ...]]]:
+        """Stream ``(test, config_key, times)`` in insertion order.
+
+        The streaming consumption primitive: audit, conversion and
+        strategy derivation iterate cells through this instead of
+        materialising the full grid, so a columnar backend
+        (:class:`repro.store.ColumnarDataset`, which overrides it) can
+        serve them in constant memory straight off the mapped file.
+        """
+        for (test, key), times in self._times.items():
+            yield test, key, times
+
     # -- persistence ----------------------------------------------------------
 
     def to_dict(self) -> Dict:
@@ -340,20 +354,37 @@ class PerfDataset:
             ) from exc
         return ds
 
-    def save(self, path: str, faults=None) -> None:
-        """Write the dataset as (optionally gzipped) checksummed JSON.
+    def save(self, path: str, faults=None, format: Optional[str] = None) -> None:
+        """Write the dataset atomically in the selected on-disk format.
 
-        The file is written atomically (temp file + rename), so an
-        interrupted save leaves the previous complete file — never a
-        truncated one — in place.  The header carries a SHA-256 of the
-        serialised measurements, which :meth:`load` verifies, so silent
-        on-disk corruption is detected instead of analysed.
+        ``format`` picks the serialisation: ``"v2"`` is the checksummed
+        (optionally gzipped) JSON this method always wrote, ``"v3"``
+        the binary columnar layout of :mod:`repro.store`.  The default
+        autodetects from the extension — ``.v3`` files are columnar,
+        everything else JSON — so ``save``/``load`` stay symmetric.
+
+        Either way the file is written atomically (temp file + rename),
+        so an interrupted save leaves the previous complete file —
+        never a truncated one — in place, and carries SHA-256
+        checksums which :meth:`load` verifies, so silent on-disk
+        corruption is detected instead of analysed.
 
         ``faults`` (a :class:`repro.faults.FaultPlan`, testing only)
         garbles the payload when a ``corrupt`` fault is armed for this
         file's basename, simulating a disk failure past the atomicity
         guarantee.
         """
+        if format is None:
+            format = "v3" if path.endswith(".v3") else "v2"
+        if format == "v3":
+            from ..store.columnar import write_columnar
+
+            write_columnar(self, path, faults=faults)
+            return
+        if format != "v2":
+            raise ValueError(
+                f"unknown dataset format {format!r}; expected 'v2' or 'v3'"
+            )
         body = json.dumps(self.to_dict()["measurements"], separators=(",", ":"))
         payload = (
             f'{{"format": "{DATASET_FORMAT}", '
@@ -374,7 +405,21 @@ class PerfDataset:
         Truncated files, invalid JSON, bad gzip streams and checksum
         mismatches all raise a ``DatasetError`` naming the file and the
         reason; legacy files without a checksum header still load.
+
+        Binary columnar files (``perf-dataset-v3``, recognised by
+        magic or a ``.v3`` extension) dispatch to
+        :class:`repro.store.ColumnarDataset`, which serves the same
+        query protocol off the memory-mapped file.
         """
+        from ..store.columnar import COLUMNAR_MAGIC, ColumnarDataset
+
+        try:
+            with open(path, "rb") as probe:
+                head = probe.read(len(COLUMNAR_MAGIC))
+        except OSError as exc:
+            raise DatasetError(f"cannot read dataset {path!r}: {exc}") from exc
+        if head == COLUMNAR_MAGIC or path.endswith(".v3"):
+            return ColumnarDataset.load(path)
         try:
             with open(path, "rb") as f:
                 data = f.read()
@@ -463,9 +508,13 @@ def peek_format(path: str) -> Optional[str]:
     so cache-validation paths can decide cheaply without committing to
     a full load.
     """
+    from ..store.columnar import COLUMNAR_FORMAT, COLUMNAR_MAGIC
+
     try:
         with open(path, "rb") as f:
             data = f.read()
+        if data.startswith(COLUMNAR_MAGIC):
+            return COLUMNAR_FORMAT
         if path.endswith(".gz"):
             data = gzip.decompress(data)
         parsed = json.loads(data.decode("utf-8"))

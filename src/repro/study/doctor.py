@@ -12,7 +12,10 @@ start over.  The doctor examines that state and reports:
   shards a ``--resume`` run will re-price;
 * **datasets** — unreadable/corrupt files, legacy pre-``perf-dataset-v2``
   artifacts, quarantinable cells (NaN/inf, non-positive timings) and
-  grid coverage, via :mod:`repro.study.audit`;
+  grid coverage, via :mod:`repro.study.audit`; for binary columnar
+  ``perf-dataset-v3`` files additionally per-section checksum damage
+  (header, string tables, index columns, timing column), with the
+  repair plan naming the salvageable cell range;
 * **run reports** — the ``run-report-v1`` metrics sidecars the serve
   fleet and study write: truncation/checksum damage, and counter
   non-reconciliation across merged workers (``serve.requests`` vs the
@@ -57,7 +60,7 @@ __all__ = [
     "main",
 ]
 
-_SHARD_RE = re.compile(r"^shard-(\d+)-(\d+)\.json$")
+_SHARD_RE = re.compile(r"^shard-(\d+)-(\d+)\.(json|v3)$")
 
 _FINGERPRINT_RE = re.compile(r"^[0-9a-f]{16}$")
 
@@ -138,10 +141,50 @@ def _shard_ranges(tasks: List[Tuple[int, int]]) -> List[str]:
     return out
 
 
+def _check_v3_shard(
+    path: str, task: Tuple[int, int]
+) -> Tuple[Optional[list], Optional[str]]:
+    """(rows, None) for a valid columnar shard file, else (None, reason).
+
+    Columnar shards carry no embedded task field (the file name is the
+    task), so validity means: loads, every checksum verifies, and the
+    content spans exactly one chip and one config — one cell of the
+    pricing grid.
+    """
+    from ..store.columnar import ColumnarDataset
+
+    try:
+        ds = ColumnarDataset.load(path)
+    except DatasetError as exc:
+        return None, str(exc)
+    except OSError as exc:
+        return None, f"unreadable ({exc})"
+    try:
+        try:
+            ds.verify()
+        except DatasetError as exc:
+            return None, str(exc)
+        tabs = ds.string_tables()
+        if len(tabs["chips"]) > 1 or len(tabs["configs"]) > 1:
+            return None, (
+                f"spans {len(tabs['chips'])} chip(s) and "
+                f"{len(tabs['configs'])} config(s); a shard must hold "
+                f"exactly one grid cell"
+            )
+        return [
+            (test.app, test.graph, list(times))
+            for test, _key, times in ds.iter_cells()
+        ], None
+    finally:
+        ds.close()
+
+
 def _check_shard(
     path: str, task: Tuple[int, int]
 ) -> Tuple[Optional[list], Optional[str]]:
     """(rows, None) for a valid shard file, else (None, reason)."""
+    if path.endswith(".v3"):
+        return _check_v3_shard(path, task)
     try:
         with open(path, encoding="utf-8") as f:
             payload = json.load(f)
@@ -246,6 +289,7 @@ def diagnose_checkpoint(
 
     valid: Dict[Tuple[int, int], list] = {}
     damaged: List[Tuple[int, int]] = []
+    twins: set = set()
     for name in sorted(os.listdir(directory)):
         if name in (StudyCheckpoint.MANIFEST, StudyCheckpoint.METRICS):
             continue
@@ -267,6 +311,21 @@ def diagnose_checkpoint(
                 f"{name}: task outside the {n_chips}x{n_configs} grid "
                 f"(priced under a different study; dropped on resume)",
             )
+            continue
+        if task in valid or task in damaged or task in twins:
+            # Both a .json and a .v3 shard exist for this cell (a store
+            # change mid-study); resume trusts neither and re-prices.
+            diag.add(
+                "warning",
+                "shard-twin",
+                f"{name}: task {task[0]}x{task[1]} has both a JSON and a "
+                f"columnar shard; both are dropped and re-priced on "
+                f"--resume",
+            )
+            valid.pop(task, None)
+            if task in damaged:
+                damaged.remove(task)
+            twins.add(task)
             continue
         rows, reason = _check_shard(os.path.join(directory, name), task)
         if rows is None:
@@ -349,6 +408,7 @@ def export_partial_dataset(directory: str) -> PerfDataset:
             f"record them, or resume it to completion"
         )
     dataset = PerfDataset()
+    consumed: set = set()
     for name in sorted(os.listdir(directory)):
         match = _SHARD_RE.match(name)
         if not match:
@@ -356,9 +416,12 @@ def export_partial_dataset(directory: str) -> PerfDataset:
         task = (int(match.group(1)), int(match.group(2)))
         if not (0 <= task[0] < len(chips) and 0 <= task[1] < len(configs)):
             continue
+        if task in consumed:  # .json/.v3 twin: first valid one wins here
+            continue
         rows, reason = _check_shard(os.path.join(directory, name), task)
         if rows is None:
             continue
+        consumed.add(task)
         key = configs[task[1]]
         try:
             config = (
@@ -379,8 +442,70 @@ def export_partial_dataset(directory: str) -> PerfDataset:
 # -- dataset diagnosis -------------------------------------------------------
 
 
+def _columnar_salvage_plan(path: str, diag: Diagnosis) -> None:
+    """Append the salvageable-range repair plan for a damaged v3 file."""
+    from ..store.columnar import salvage_columnar
+
+    try:
+        _partial, salvaged, declared, notes = salvage_columnar(path)
+    except (DatasetError, OSError) as exc:
+        diag.repair_plan.append(
+            f"nothing is salvageable ({exc}); re-run the study or "
+            f"restore the file from a backup"
+        )
+        return
+    for note in notes:
+        diag.add("warning", "salvage", note)
+    if salvaged:
+        diag.repair_plan.append(
+            f"cells 0-{salvaged - 1} of {declared} are structurally "
+            f"intact; recover them with: python -m repro doctor {path} "
+            f"--export PARTIAL"
+        )
+        if salvaged < declared:
+            diag.repair_plan.append(
+                f"re-price the remaining {declared - salvaged} cell(s) "
+                f"with --resume after exporting"
+            )
+        else:
+            diag.repair_plan.append(
+                "timings inside the damaged section may still be garbage "
+                "— audit the exported dataset before trusting it"
+            )
+    else:
+        diag.repair_plan.append(
+            "no cells are salvageable (the index columns are damaged); "
+            "re-run the study or restore the file from a backup"
+        )
+
+
+def _diagnose_columnar(path: str, diag: Diagnosis):
+    """Load + full-verify a ``perf-dataset-v3`` file.
+
+    Returns the loaded dataset when healthy, or ``None`` after
+    recording error findings and the salvage repair plan.
+    """
+    from ..store.columnar import ColumnarDataset
+
+    try:
+        dataset = ColumnarDataset.load(path)
+    except DatasetError as exc:
+        diag.add("error", "unloadable", str(exc))
+        _columnar_salvage_plan(path, diag)
+        return None
+    try:
+        dataset.verify()
+    except DatasetError as exc:
+        diag.add("error", "section-corrupt", str(exc))
+        _columnar_salvage_plan(path, diag)
+        return None
+    return dataset
+
+
 def diagnose_dataset(path: str) -> Diagnosis:
     """Audit one dataset artifact."""
+    from ..store.columnar import COLUMNAR_FORMAT
+
     diag = Diagnosis(path, "dataset")
     fmt = peek_format(path)
     if fmt is None:
@@ -389,15 +514,20 @@ def diagnose_dataset(path: str) -> Diagnosis:
             "format-legacy",
             f"no {DATASET_FORMAT!r} format tag (legacy or damaged file)",
         )
-    try:
-        dataset = PerfDataset.load(path)
-    except DatasetError as exc:
-        diag.add("error", "unloadable", str(exc))
-        diag.repair_plan.append(
-            "re-run the study (or restore the file from a backup); the "
-            "artifact cannot be trusted"
-        )
-        return diag
+    if fmt == COLUMNAR_FORMAT:
+        dataset = _diagnose_columnar(path, diag)
+        if dataset is None:
+            return diag
+    else:
+        try:
+            dataset = PerfDataset.load(path)
+        except DatasetError as exc:
+            diag.add("error", "unloadable", str(exc))
+            diag.repair_plan.append(
+                "re-run the study (or restore the file from a backup); "
+                "the artifact cannot be trusted"
+            )
+            return diag
     audit = audit_dataset(dataset)
     for issue in audit.quarantined:
         diag.add(
@@ -603,7 +733,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--export",
         metavar="DATASET",
         default=None,
-        help="assemble a checkpoint's valid shards into a partial dataset "
+        help="assemble a checkpoint's valid shards — or the intact cells "
+        "of a damaged columnar (.v3) dataset — into a partial dataset "
         "at DATASET for degraded analysis",
     )
     parser.add_argument(
@@ -623,20 +754,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(diag.render())
 
     if args.export is not None:
-        if diag.kind != "checkpoint":
-            print("doctor: --export requires a checkpoint directory",
-                  file=sys.stderr)
+        from ..store.columnar import COLUMNAR_FORMAT, salvage_columnar
+
+        if diag.kind == "checkpoint":
+            try:
+                dataset = export_partial_dataset(args.path)
+            except DatasetError as exc:
+                print(f"doctor: {exc}", file=sys.stderr)
+                return 1
+            dataset.save(args.export)
+            print(
+                f"exported {dataset.n_measurements} measurements "
+                f"({len(dataset)} tests) to {args.export}"
+            )
+        elif (
+            diag.kind == "dataset"
+            and peek_format(args.path) == COLUMNAR_FORMAT
+        ):
+            try:
+                dataset, salvaged, declared, _notes = salvage_columnar(
+                    args.path
+                )
+            except (DatasetError, OSError) as exc:
+                print(f"doctor: {exc}", file=sys.stderr)
+                return 1
+            dataset.save(args.export)
+            print(
+                f"salvaged {salvaged}/{declared} cells "
+                f"({dataset.n_measurements} measurements, "
+                f"{len(dataset)} tests) to {args.export}"
+            )
+        else:
+            print(
+                "doctor: --export requires a checkpoint directory or a "
+                "columnar (.v3) dataset file",
+                file=sys.stderr,
+            )
             return 2
-        try:
-            dataset = export_partial_dataset(args.path)
-        except DatasetError as exc:
-            print(f"doctor: {exc}", file=sys.stderr)
-            return 1
-        dataset.save(args.export)
-        print(
-            f"exported {dataset.n_measurements} measurements "
-            f"({len(dataset)} tests) to {args.export}"
-        )
 
     if args.audit_json is not None:
         if diag.kind != "dataset":

@@ -35,7 +35,10 @@ count, failures or resumption.
 
 from __future__ import annotations
 
+import os
+import shutil
 import sys
+import tempfile
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -52,7 +55,7 @@ from ..chips.model import ChipModel
 from ..compiler.options import OptConfig, enumerate_configs
 from ..compiler.pipeline import compile_cached, plan_cache
 from ..dsl.ast import Program
-from ..errors import CheckpointError
+from ..errors import CheckpointError, DatasetError
 from ..faults import FaultPlan
 from ..graphs.inputs import StudyInput, study_inputs
 from ..obs import NULL_RECORDER, Recorder, RunReport
@@ -68,6 +71,10 @@ __all__ = ["ENGINES", "run_study", "collect_traces", "StudyConfig"]
 
 #: Pricing engines: the vectorized default and the scalar reference.
 ENGINES = ("batch", "scalar")
+
+#: Result-shipping backends: pickled row lists (the default) or
+#: columnar ``perf-dataset-v3`` chunk spill with segment-concat merge.
+STORES = ("rows", "v3")
 
 #: Default bounded-retry budget for failed shards / dead worker pools.
 DEFAULT_RETRIES = 2
@@ -255,37 +262,98 @@ def _price_cell_impl(
 _WORKER_STATE: Optional[_State] = None
 _WORKER_FAULTS: Optional[FaultPlan] = None
 _WORKER_RECORDER = NULL_RECORDER
+_WORKER_SPILL: Optional[str] = None
 
 
 def _init_worker(
     programs: Dict[str, Program],
-    traces: Dict[tuple, Trace],
+    traces: Optional[Dict[tuple, Trace]],
     chips: List[ChipModel],
     configs: List[OptConfig],
     repetitions: int,
     engine: str,
     faults: Optional[FaultPlan],
     metrics: bool = False,
+    trace_cache: Optional[str] = None,
+    spill_dir: Optional[str] = None,
 ) -> None:
-    global _WORKER_STATE, _WORKER_FAULTS, _WORKER_RECORDER
-    _WORKER_STATE = (programs, traces, chips, configs, repetitions, engine)
-    _WORKER_FAULTS = faults
+    global _WORKER_STATE, _WORKER_FAULTS, _WORKER_RECORDER, _WORKER_SPILL
     # Each worker runs its own recorder; per-shard deltas are drained
     # into the result tuple and merged by the parent on collection.
     _WORKER_RECORDER = Recorder() if metrics else NULL_RECORDER
+    if traces is None:
+        # Shared-trace path: the parent wrote the traces once to the
+        # checkpoint directory instead of pickling them through the
+        # pool initializer per worker per pool build.  A damaged cache
+        # raises here, breaking the pool — the runner's rebuild /
+        # in-process fallback machinery recovers (the parent always
+        # keeps its own traces).
+        if trace_cache is None:
+            raise DatasetError(
+                "worker started without traces or a trace cache"
+            )
+        from ..store.tracecache import load_trace_cache
+
+        traces = load_trace_cache(trace_cache)
+        _WORKER_RECORDER.count("study.traces.shared")
+    else:
+        _WORKER_RECORDER.count("study.traces.rebuilt")
+    _WORKER_STATE = (programs, traces, chips, configs, repetitions, engine)
+    _WORKER_FAULTS = faults
+    _WORKER_SPILL = spill_dir
+
+
+def _spill_chunk(task: Task, rows: list, state: _State, spill_dir: str, faults=None):
+    """Write one shard's rows as a columnar chunk; return its marker.
+
+    The chunk is a complete single-cell ``perf-dataset-v3`` file —
+    the parent merges it by segment concatenation and, when a
+    checkpoint is active, adopts the very same file as the shard
+    record.  Only the small ``("chunk", path, n_rows)`` marker travels
+    back through the executor pipe instead of the pickled rows.
+    """
+    from ..store.columnar import ColumnWriter
+
+    _programs, _traces, chips, configs, _reps, _engine = state
+    chip = chips[task[0]]
+    key = configs[task[1]].key()
+    writer = ColumnWriter()
+    for app_name, input_name, times in rows:
+        writer.add(
+            TestCase(app_name, input_name, chip.short_name), key, times
+        )
+    path = os.path.join(spill_dir, f"chunk-{task[0]:04d}-{task[1]:04d}.v3")
+    writer.commit(path, faults=faults)
+    return ("chunk", path, len(rows))
+
+
+def _is_chunk(payload) -> bool:
+    return (
+        isinstance(payload, tuple)
+        and len(payload) == 3
+        and payload[0] == "chunk"
+    )
 
 
 def _price_cell(task: Task):
     """Worker entry point: price one shard from the installed state.
 
-    Returns ``(chip_idx, cfg_idx, rows, obs_delta)`` where
-    ``obs_delta`` is the worker recorder's drained snapshot for this
-    shard (``None`` when metrics are disabled)."""
+    Returns ``(chip_idx, cfg_idx, payload, obs_delta)`` where
+    ``payload`` is the priced rows — or, in columnar spill mode, a
+    ``("chunk", path, n_rows)`` marker for the chunk file written to
+    the spill directory — and ``obs_delta`` is the worker recorder's
+    drained snapshot for this shard (``None`` when metrics are
+    disabled)."""
     chip_idx, cfg_idx, rows = _price_cell_impl(
         task, _WORKER_STATE, _WORKER_FAULTS, recorder=_WORKER_RECORDER
     )
+    payload = rows
+    if _WORKER_SPILL is not None:
+        payload = _spill_chunk(
+            task, rows, _WORKER_STATE, _WORKER_SPILL, faults=_WORKER_FAULTS
+        )
     delta = _WORKER_RECORDER.drain() if _WORKER_RECORDER.enabled else None
-    return chip_idx, cfg_idx, rows, delta
+    return chip_idx, cfg_idx, payload, delta
 
 
 def _save_metrics(checkpoint: Optional[StudyCheckpoint], recorder) -> None:
@@ -362,6 +430,9 @@ def _run_parallel(
     backoff: float = DEFAULT_BACKOFF,
     shard_timeout: Optional[float] = None,
     recorder=NULL_RECORDER,
+    store: str = "rows",
+    spill_dir: Optional[str] = None,
+    trace_cache: Optional[str] = None,
 ) -> PerfDataset:
     """Shard the pricing grid over a worker pool, surviving failures.
 
@@ -400,14 +471,20 @@ def _run_parallel(
     pending = [t for t in tasks if t not in results]
     note_every = max(1, len(tasks) // 10)
 
-    def complete(task: Task, rows: list, delta: Optional[dict] = None) -> None:
+    def complete(task: Task, payload, delta: Optional[dict] = None) -> None:
         if delta is not None:
             recorder.merge(delta)
         recorder.count("study.shards.priced")
-        results[task] = rows
         if checkpoint is not None:
-            checkpoint.record(task, rows)
+            if _is_chunk(payload):
+                # The worker's spilled chunk *is* the shard record:
+                # rename it into place, no re-serialisation.
+                new_path = checkpoint.record_chunk(task, payload[1])
+                payload = ("chunk", new_path, payload[2])
+            else:
+                checkpoint.record(task, payload)
             _save_metrics(checkpoint, recorder)
+        results[task] = payload
         if len(results) % note_every == 0:
             timer.note(f"priced {len(results)}/{len(tasks)} shards")
         if faults is not None:
@@ -432,10 +509,16 @@ def _run_parallel(
                 complete(task, rows)
                 pending.remove(task)
             break
+        init_state = state
+        if trace_cache is not None:
+            # Workers load the shared trace cache from the checkpoint
+            # dir instead of having the traces pickled to each of them.
+            init_state = (state[0], None) + state[2:]
         pool = ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_worker,
-            initargs=state + (faults, recorder.enabled),
+            initargs=init_state
+            + (faults, recorder.enabled, trace_cache, spill_dir),
         )
         try:
             futures = {pool.submit(_price_cell, t): t for t in pending}
@@ -549,6 +632,8 @@ def _run_parallel(
     # dataset's insertion order is independent of completion order.
     # Quarantined shards have no rows: their cells stay absent, the
     # audit reports them as holes, and ``--resume`` re-prices them.
+    if store == "v3":
+        return _merge_columnar(config, results, state, timer, recorder)
     dataset = PerfDataset()
     for chip_idx, chip in enumerate(config.chips):
         timer.note(f"pricing on {chip.short_name}")
@@ -562,6 +647,49 @@ def _run_parallel(
                 )
         timer.tick()
     return dataset
+
+
+def _merge_columnar(config, results, state, timer, recorder) -> PerfDataset:
+    """Merge shard results into a columnar dataset, in grid order.
+
+    Spilled chunks concatenate by raw segment copy; row lists (resumed
+    JSON shards, the in-process fallback) append per cell.  A chunk
+    file that fails to load — corrupted on disk after the worker wrote
+    it — is re-priced in-process rather than failing the sweep.
+    """
+    from ..store.columnar import ColumnarDataset, ColumnWriter
+
+    writer = ColumnWriter()
+    for chip_idx, chip in enumerate(config.chips):
+        timer.note(f"merging {chip.short_name}")
+        for cfg_idx, opt in enumerate(config.configs):
+            payload = results.get((chip_idx, cfg_idx))
+            if payload is None:
+                continue
+            if _is_chunk(payload):
+                try:
+                    chunk = ColumnarDataset.load(payload[1])
+                except DatasetError:
+                    recorder.count("study.shards.fallback_inprocess")
+                    _, _, rows = _price_cell_impl(
+                        (chip_idx, cfg_idx), state, recorder=recorder
+                    )
+                    payload = rows
+                else:
+                    try:
+                        writer.append_chunk(chunk)
+                    finally:
+                        chunk.close()
+                    continue
+            key = opt.key()
+            for app_name, input_name, times in payload:
+                writer.add(
+                    TestCase(app_name, input_name, chip.short_name),
+                    key,
+                    times,
+                )
+        timer.tick()
+    return ColumnarDataset.from_payload(writer.payload())
 
 
 def run_study(
@@ -578,8 +706,24 @@ def run_study(
     backoff: float = DEFAULT_BACKOFF,
     shard_timeout: Optional[float] = None,
     recorder=None,
+    store: str = "rows",
 ) -> PerfDataset:
     """Run the full study and return the performance dataset.
+
+    ``store`` selects the result backend: ``"rows"`` (the default)
+    ships pickled row lists through the executor and merges into a
+    dict-backed :class:`PerfDataset`; ``"v3"`` makes workers spill
+    each shard as a columnar ``perf-dataset-v3`` chunk (into the
+    checkpoint directory when one is active, else a temp dir), merges
+    by segment concatenation and returns a
+    :class:`~repro.store.ColumnarDataset` holding the identical
+    measurements.
+
+    Any parallel run with a checkpoint shares the collected traces
+    with its workers through a write-once cache in the checkpoint dir
+    instead of re-pickling them per worker per pool build
+    (``study.traces.shared`` vs ``study.traces.rebuilt`` in the run
+    report).
 
     ``shard_timeout`` (seconds, parallel mode only) arms the hung-shard
     watchdog: a shard still executing past the deadline is terminated,
@@ -613,6 +757,8 @@ def run_study(
         config = StudyConfig()
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if store not in STORES:
+        raise ValueError(f"unknown store {store!r}; expected one of {STORES}")
     if jobs < 1:
         raise ValueError("jobs must be positive")
     if retries < 0:
@@ -679,38 +825,69 @@ def run_study(
                 f"resuming: {len(done)}/{total} shards already priced{dropped}"
             )
 
+    trace_cache: Optional[str] = None
+    if jobs > 1 and ckpt is not None:
+        from ..store.tracecache import save_trace_cache, trace_cache_path
+
+        cache_path = trace_cache_path(ckpt.directory, fingerprint)
+        try:
+            save_trace_cache(cache_path, fingerprint, traces)
+        except (OSError, DatasetError):
+            pass  # fall back to pickling the traces to each worker
+        else:
+            trace_cache = cache_path
+
+    spill_dir: Optional[str] = None
+    spill_tmp: Optional[str] = None
+    if store == "v3" and jobs > 1:
+        if ckpt is not None:
+            spill_dir = ckpt.directory
+        else:
+            spill_dir = spill_tmp = tempfile.mkdtemp(prefix="repro-spill-")
+
     rec.gauge(
         "study.shards.total", len(config.chips) * len(config.configs)
     )
     timer.start("pricing", total=len(config.chips))
-    if jobs == 1:
-        dataset = _run_serial(
-            config,
-            traces,
-            programs,
-            engine,
-            timer,
-            faults=faults,
-            checkpoint=ckpt,
-            done=done,
-            recorder=rec,
-        )
-    else:
-        dataset = _run_parallel(
-            config,
-            traces,
-            programs,
-            engine,
-            jobs,
-            timer,
-            faults=faults,
-            checkpoint=ckpt,
-            done=done,
-            retries=retries,
-            backoff=backoff,
-            shard_timeout=shard_timeout,
-            recorder=rec,
-        )
+    try:
+        if jobs == 1:
+            dataset = _run_serial(
+                config,
+                traces,
+                programs,
+                engine,
+                timer,
+                faults=faults,
+                checkpoint=ckpt,
+                done=done,
+                recorder=rec,
+            )
+        else:
+            dataset = _run_parallel(
+                config,
+                traces,
+                programs,
+                engine,
+                jobs,
+                timer,
+                faults=faults,
+                checkpoint=ckpt,
+                done=done,
+                retries=retries,
+                backoff=backoff,
+                shard_timeout=shard_timeout,
+                recorder=rec,
+                store=store,
+                spill_dir=spill_dir,
+                trace_cache=trace_cache,
+            )
+    finally:
+        if spill_tmp is not None:
+            shutil.rmtree(spill_tmp, ignore_errors=True)
+    if store == "v3" and type(dataset) is PerfDataset:
+        from ..store.columnar import columnar_from_dataset
+
+        dataset = columnar_from_dataset(dataset)
     timer.finish(
         f"priced {dataset.n_measurements} measurements "
         f"({len(dataset)} tests, engine={engine}, jobs={jobs})"
@@ -731,7 +908,10 @@ def main() -> None:  # pragma: no cover - CLI entry point
     parser = argparse.ArgumentParser(
         description=run_study.__doc__, parents=[metrics_parent()]
     )
-    parser.add_argument("output", help="path for the dataset JSON (.gz ok)")
+    parser.add_argument(
+        "output",
+        help="path for the dataset: JSON (.gz ok) or binary columnar (.v3)",
+    )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--repetitions", type=int, default=3)
     parser.add_argument(
@@ -745,6 +925,14 @@ def main() -> None:  # pragma: no cover - CLI entry point
         choices=ENGINES,
         default="batch",
         help="pricing engine (default: batch; scalar is the reference path)",
+    )
+    parser.add_argument(
+        "--store",
+        choices=("auto",) + STORES,
+        default="auto",
+        help="result backend: 'rows' ships pickled row lists, 'v3' spills "
+        "columnar perf-dataset-v3 chunks and merges by segment "
+        "concatenation (default: auto — v3 when OUTPUT ends in .v3)",
     )
     parser.add_argument(
         "--checkpoint",
@@ -795,6 +983,9 @@ def main() -> None:  # pragma: no cover - CLI entry point
     ckpt = StudyCheckpoint(ckpt_dir) if ckpt_dir else None
     faults = FaultPlan(args.faults) if args.faults else None
     rec = Recorder() if args.metrics else None
+    store = args.store
+    if store == "auto":
+        store = "v3" if args.output.endswith(".v3") else "rows"
 
     started = time.time()
     try:
@@ -809,6 +1000,7 @@ def main() -> None:  # pragma: no cover - CLI entry point
             retries=args.retries,
             shard_timeout=args.shard_timeout,
             recorder=rec,
+            store=store,
         )
     except KeyboardInterrupt:
         where = f" in {ckpt.directory}" if ckpt else ""

@@ -1,0 +1,244 @@
+"""Integration tests for the columnar study path.
+
+Covers the worker chunk-spill protocol (``--jobs`` with
+``store="v3"``), columnar checkpoint shards and mixed-store resume,
+the shared trace cache and its observability counters, and ``repro
+doctor`` on checkpoints holding ``.v3`` shards.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.apps import get_application
+from repro.chips import get_chip
+from repro.compiler import enumerate_configs
+from repro.graphs import rmat_graph, road_network
+from repro.graphs.inputs import StudyInput
+from repro.obs import Recorder, RunReport
+from repro.store import ColumnarDataset, load_trace_cache
+from repro.study import StudyConfig, collect_traces, run_study
+from repro.study.checkpoint import StudyCheckpoint, study_fingerprint
+from repro.study.doctor import diagnose_checkpoint
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> StudyConfig:
+    """2 apps x 2 inputs x 2 chips x 12 configurations."""
+    road = road_network(12, 12, seed=11, name="s-road")
+    rmat = rmat_graph(7, edge_factor=8, seed=11, name="s-rmat")
+    return StudyConfig(
+        apps=[get_application("bfs-wl"), get_application("sssp-nf")],
+        inputs={
+            "s-road": StudyInput(
+                name="s-road",
+                input_class="road",
+                description="store test road",
+                _builder=lambda: road,
+            ),
+            "s-rmat": StudyInput(
+                name="s-rmat",
+                input_class="social",
+                description="store test rmat",
+                _builder=lambda: rmat,
+            ),
+        },
+        chips=[get_chip("GTX1080"), get_chip("MALI")],
+        configs=enumerate_configs()[::8],
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_dataset(tiny_config):
+    return run_study(tiny_config, jobs=1, engine="batch")
+
+
+class TestStoreSelection:
+    def test_serial_v3_identical_to_rows(self, tiny_config, serial_dataset):
+        ds = run_study(tiny_config, store="v3")
+        assert isinstance(ds, ColumnarDataset)
+        assert ds == serial_dataset
+        assert ds.tests == serial_dataset.tests
+        assert [c.key() for c in ds.configs] == [
+            c.key() for c in serial_dataset.configs
+        ]
+
+    def test_parallel_v3_identical_to_serial(
+        self, tiny_config, serial_dataset
+    ):
+        ds = run_study(tiny_config, jobs=2, store="v3")
+        assert isinstance(ds, ColumnarDataset)
+        assert ds == serial_dataset
+
+    def test_unknown_store_rejected(self, tiny_config):
+        with pytest.raises(ValueError, match="store"):
+            run_study(tiny_config, store="parquet")
+
+
+class TestColumnarCheckpoint:
+    def test_checkpoint_holds_v3_shards(self, tiny_config, serial_dataset,
+                                        tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        ds = run_study(
+            tiny_config, jobs=2, checkpoint=ckpt, store="v3"
+        )
+        assert ds == serial_dataset
+        names = sorted(os.listdir(ckpt))
+        shards = [n for n in names if n.startswith("shard-")]
+        assert shards and all(n.endswith(".v3") for n in shards)
+        assert len(shards) == 2 * 12  # full grid
+        # No spill chunks left behind after renaming into shards.
+        assert not [n for n in names if n.startswith("chunk-")]
+
+    def test_resume_from_v3_shards(self, tiny_config, serial_dataset,
+                                   tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        run_study(tiny_config, jobs=2, checkpoint=ckpt, store="v3")
+        # Drop two shards; a resumed run re-prices exactly those.
+        removed = sorted(
+            n for n in os.listdir(ckpt) if n.startswith("shard-")
+        )[:2]
+        for name in removed:
+            os.unlink(os.path.join(ckpt, name))
+        resumed = run_study(
+            tiny_config, jobs=2, checkpoint=ckpt, resume=True, store="v3"
+        )
+        assert resumed == serial_dataset
+
+    def test_corrupt_v3_shard_repriced_on_resume(
+        self, tiny_config, serial_dataset, tmp_path
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        run_study(tiny_config, jobs=2, checkpoint=ckpt, store="v3")
+        victim = sorted(
+            n for n in os.listdir(ckpt) if n.startswith("shard-")
+        )[0]
+        path = os.path.join(ckpt, victim)
+        data = bytearray(open(path, "rb").read())
+        data[-3] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        resumed = run_study(
+            tiny_config, jobs=2, checkpoint=ckpt, resume=True, store="v3"
+        )
+        assert resumed == serial_dataset
+
+    def test_mixed_store_resume(self, tiny_config, serial_dataset, tmp_path):
+        """JSON shards from an older run feed a v3-store resume."""
+        ckpt = str(tmp_path / "ckpt")
+        run_study(tiny_config, jobs=2, checkpoint=ckpt)  # rows -> .json
+        removed = sorted(
+            n for n in os.listdir(ckpt) if n.startswith("shard-")
+        )[:3]
+        for name in removed:
+            os.unlink(os.path.join(ckpt, name))
+        resumed = run_study(
+            tiny_config, jobs=2, checkpoint=ckpt, resume=True, store="v3"
+        )
+        assert isinstance(resumed, ColumnarDataset)
+        assert resumed == serial_dataset
+        exts = {
+            os.path.splitext(n)[1]
+            for n in os.listdir(ckpt)
+            if n.startswith("shard-")
+        }
+        assert exts == {".json", ".v3"}
+
+
+class TestTraceCache:
+    def test_cache_written_and_loadable(self, tiny_config, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        run_study(tiny_config, jobs=2, checkpoint=ckpt)
+        fingerprint = study_fingerprint(
+            tiny_config, "batch", collect_traces(tiny_config)
+        )
+        caches = [n for n in os.listdir(ckpt) if n.startswith("traces-")]
+        assert caches == [f"traces-{fingerprint}.bin"]
+        traces = load_trace_cache(
+            os.path.join(ckpt, caches[0]), fingerprint=fingerprint
+        )
+        assert traces  # one per (app, input)
+
+    def test_workers_count_shared_traces(self, tiny_config, tmp_path):
+        rec = Recorder(clock=lambda: 0.0)
+        run_study(
+            tiny_config,
+            jobs=2,
+            checkpoint=str(tmp_path / "ckpt"),
+            recorder=rec,
+        )
+        report = RunReport.from_recorder(rec)
+        assert report.total_counter("study.traces.shared") > 0
+        assert report.total_counter("study.traces.rebuilt") == 0
+
+    def test_workers_count_rebuilt_without_checkpoint(self, tiny_config):
+        rec = Recorder(clock=lambda: 0.0)
+        run_study(tiny_config, jobs=2, recorder=rec)
+        report = RunReport.from_recorder(rec)
+        assert report.total_counter("study.traces.rebuilt") > 0
+        assert report.total_counter("study.traces.shared") == 0
+
+
+class TestDoctorOnColumnarCheckpoints:
+    def test_healthy_v3_checkpoint(self, tiny_config, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        run_study(tiny_config, jobs=2, checkpoint=ckpt, store="v3")
+        diag = diagnose_checkpoint(ckpt)
+        assert diag.ok
+        assert not [f for f in diag.findings if f.severity == "error"]
+
+    def test_corrupt_v3_shard_reported(self, tiny_config, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        run_study(tiny_config, jobs=2, checkpoint=ckpt, store="v3")
+        victim = sorted(
+            n for n in os.listdir(ckpt) if n.startswith("shard-")
+        )[0]
+        path = os.path.join(ckpt, victim)
+        data = bytearray(open(path, "rb").read())
+        data[-3] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        diag = diagnose_checkpoint(ckpt)
+        assert not diag.ok
+        assert any(f.code == "shard-corrupt" for f in diag.findings)
+        assert any("re-priced" in step for step in diag.repair_plan)
+
+    def test_twin_shards_flagged(self, tiny_config, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        run_study(tiny_config, jobs=2, checkpoint=ckpt, store="v3")
+        twin_src = sorted(
+            n for n in os.listdir(ckpt) if n.endswith(".v3")
+        )[0]
+        # Fabricate a JSON twin for the same task.
+        twin = twin_src.replace(".v3", ".json")
+        with open(os.path.join(ckpt, twin), "w") as f:
+            f.write("{}")
+        diag = diagnose_checkpoint(ckpt)
+        assert any(f.code == "shard-twin" for f in diag.findings)
+
+    def test_trace_cache_not_misread_as_shard(self, tiny_config, tmp_path):
+        """traces-*.bin in the directory never confuses the doctor."""
+        ckpt = str(tmp_path / "ckpt")
+        run_study(tiny_config, jobs=2, checkpoint=ckpt, store="v3")
+        assert any(
+            n.startswith("traces-") for n in os.listdir(ckpt)
+        )
+        diag = diagnose_checkpoint(ckpt)
+        assert diag.ok
+
+
+class TestCheckpointSpillHygiene:
+    def test_fresh_open_clears_stale_spill_files(self, tiny_config,
+                                                 tmp_path):
+        ckpt_dir = str(tmp_path / "ckpt")
+        run_study(tiny_config, jobs=2, checkpoint=ckpt_dir, store="v3")
+        # Simulate a crashed worker leaving a chunk behind.
+        stale = os.path.join(ckpt_dir, "chunk-0000-0000.v3")
+        with open(stale, "wb") as f:
+            f.write(b"junk")
+        fingerprint = study_fingerprint(
+            tiny_config, "batch", collect_traces(tiny_config)
+        )
+        ckpt = StudyCheckpoint(ckpt_dir)
+        ckpt.open(fingerprint, n_chips=2, n_configs=12, resume=False)
+        assert not os.path.exists(stale)
